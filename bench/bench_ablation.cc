@@ -1,0 +1,130 @@
+// Ablation study: decomposes Vista's end-to-end gain into its three
+// decision dimensions (Section 4.2) by knocking each out in turn:
+//   A. logical plan    — replace Staged with Lazy/Eager under Vista's
+//                        system configuration;
+//   B. system config   — run Vista's Staged plan under the naive default
+//                        configuration;
+//   C. physical choices — force the non-chosen persistence format and join
+//                        operator under otherwise-Vista settings.
+// Also sweeps the serialized-format benefit against feature density (the
+// sparsity lever behind Appendix A).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "vista/experiments.h"
+
+namespace vista {
+namespace {
+
+Result<sim::SimResult> VistaWith(const ExperimentSetup& setup,
+                                 LogicalPlan plan,
+                                 const df::JoinStrategy* join_override,
+                                 const df::PersistenceFormat* pers_override) {
+  Vista::Options options;
+  options.cnn = setup.cnn;
+  options.num_layers = setup.num_layers;
+  options.data = setup.data;
+  options.env = setup.env;
+  VISTA_ASSIGN_OR_RETURN(Vista vista, Vista::Create(options));
+  OptimizerDecisions d = vista.decisions();
+  if (join_override != nullptr) d.join = *join_override;
+  if (pers_override != nullptr) d.persistence = *pers_override;
+  SystemProfile profile =
+      VistaProfile(setup.env, setup.pd, d, options.optimizer);
+  VISTA_ASSIGN_OR_RETURN(CompiledPlan compiled,
+                         CompilePlan(plan, vista.workload()));
+  SimExecutorConfig config;
+  config.env = setup.env;
+  config.node = setup.node;
+  config.profile = profile;
+  SimExecutor executor(&vista.entry());
+  return executor.Execute(compiled, vista.workload(), setup.data, config);
+}
+
+void DecomposeGains(const char* label, const ExperimentSetup& setup) {
+  std::printf("\n%s:\n", label);
+  auto report = [&](const char* what, Result<sim::SimResult> r) {
+    if (!r.ok()) {
+      std::printf("  %-34s error: %s\n", what, r.status().ToString().c_str());
+      return;
+    }
+    std::printf("  %-34s %s\n", what, bench::Outcome(*r).c_str());
+  };
+  report("Vista (all decisions)",
+         VistaWith(setup, LogicalPlan::kStaged, nullptr, nullptr));
+  report("  - staged plan (Lazy instead)",
+         VistaWith(setup, LogicalPlan::kLazy, nullptr, nullptr));
+  report("  - staged plan (Eager instead)",
+         VistaWith(setup, LogicalPlan::kEager, nullptr, nullptr));
+  // Knock out the auto-configuration: Staged on naive defaults.
+  {
+    auto resolved = Roster::Default();
+    auto entry = resolved->Lookup(setup.cnn).value();
+    auto workload = TransferWorkload::TopLayers(*resolved, setup.cnn,
+                                                setup.num_layers)
+                        .value();
+    auto plan = CompilePlan(LogicalPlan::kStaged, workload).value();
+    SimExecutorConfig config;
+    config.env = setup.env;
+    config.node = setup.node;
+    config.profile =
+        SparkDefaultProfile(setup.env, 7, setup.data.num_records);
+    SimExecutor executor(entry);
+    report("  - auto config (Spark defaults)",
+           executor.Execute(plan, workload, setup.data, config));
+  }
+  const df::PersistenceFormat deser = df::PersistenceFormat::kDeserialized;
+  const df::PersistenceFormat ser = df::PersistenceFormat::kSerialized;
+  report("  - serialized (force deser.)",
+         VistaWith(setup, LogicalPlan::kStaged, nullptr, &deser));
+  report("  + serialized (force ser.)",
+         VistaWith(setup, LogicalPlan::kStaged, nullptr, &ser));
+  const df::JoinStrategy shuffle = df::JoinStrategy::kShuffleHash;
+  report("  - join choice (force shuffle)",
+         VistaWith(setup, LogicalPlan::kStaged, &shuffle, nullptr));
+}
+
+void DensitySweep() {
+  std::printf("\nSerialized-format benefit vs feature density "
+              "(Amazon/ResNet50, forced serialized):\n");
+  std::printf("%-10s | %-12s | %-14s\n", "density", "runtime",
+              "spills written");
+  for (double density : {0.13, 0.25, 0.36, 0.5, 0.75, 1.0}) {
+    ExperimentSetup setup;
+    setup.cnn = dl::KnownCnn::kResNet50;
+    setup.num_layers = 5;
+    setup.data = AmazonDataStats();
+    setup.data.feature_density = density;
+    const df::PersistenceFormat ser = df::PersistenceFormat::kSerialized;
+    auto r = VistaWith(setup, LogicalPlan::kStaged, nullptr, &ser);
+    if (!r.ok()) {
+      std::printf("%-10.2f | error\n", density);
+      continue;
+    }
+    std::printf("%-10.2f | %-12s | %-14s\n", density,
+                bench::Outcome(*r).c_str(),
+                FormatBytes(r->spill_bytes_written).c_str());
+  }
+}
+
+}  // namespace
+}  // namespace vista
+
+int main() {
+  using namespace vista;
+  bench::Banner("Ablation", "Decomposing Vista's decisions (DESIGN.md §5)");
+
+  ExperimentSetup foods;
+  foods.cnn = dl::KnownCnn::kResNet50;
+  foods.num_layers = 5;
+  foods.data = FoodsDataStats();
+  DecomposeGains("Foods/ResNet50 (intermediates fit in memory)", foods);
+
+  ExperimentSetup amazon = foods;
+  amazon.data = AmazonDataStats();
+  DecomposeGains("Amazon/ResNet50 (intermediates exceed memory)", amazon);
+
+  DensitySweep();
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Regenerates Figure 10: physical plan choices — Shuffle vs Broadcast join
+// and Serialized vs Deserialized persistence — varying data scale and the
+// number of structured features, on the Staged/AJ logical plan. Paper
+// shape: mostly indistinguishable at small scales; Serialized wins
+// slightly once spills start (ResNet at 8X); Broadcast is marginally
+// faster than Shuffle but crashes when the broadcast table grows (many
+// structured features at 8X) — no single combination always dominates.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "vista/experiments.h"
+
+namespace vista {
+namespace {
+
+struct PhysicalChoice {
+  const char* label;
+  df::JoinStrategy join;
+  df::PersistenceFormat persistence;
+};
+
+const PhysicalChoice kChoices[] = {
+    {"Shuffle/Deser.", df::JoinStrategy::kShuffleHash,
+     df::PersistenceFormat::kDeserialized},
+    {"Shuffle/Ser.", df::JoinStrategy::kShuffleHash,
+     df::PersistenceFormat::kSerialized},
+    {"Broad./Deser.", df::JoinStrategy::kBroadcast,
+     df::PersistenceFormat::kDeserialized},
+    {"Broad./Ser.", df::JoinStrategy::kBroadcast,
+     df::PersistenceFormat::kSerialized},
+};
+
+void Run(const ExperimentSetup& base, const char* row_label) {
+  std::printf("%-10s", row_label);
+  for (const auto& choice : kChoices) {
+    DrillDownConfig config;
+    config.join = choice.join;
+    config.persistence = choice.persistence;
+    auto r = RunDrillDown(base, config);
+    if (!r.ok()) {
+      std::printf(" | %-14s", "error");
+      continue;
+    }
+    std::printf(" | %-14s", bench::Outcome(*r).c_str());
+  }
+  std::printf("\n");
+}
+
+void Header() {
+  std::printf("%-10s", "");
+  for (const auto& choice : kChoices) std::printf(" | %-14s", choice.label);
+  std::printf("\n");
+}
+
+void SweepScale(dl::KnownCnn cnn, int num_layers) {
+  std::printf("\n(%s/%dL) runtime vs data scale:\n",
+              dl::KnownCnnToString(cnn), num_layers);
+  Header();
+  for (double scale : {1.0, 2.0, 4.0, 8.0}) {
+    ExperimentSetup setup;
+    setup.cnn = cnn;
+    setup.num_layers = num_layers;
+    setup.data = FoodsDataStats(scale);
+    char label[16];
+    std::snprintf(label, sizeof(label), "%gX", scale);
+    Run(setup, label);
+  }
+}
+
+void SweepStructFeatures(dl::KnownCnn cnn, int num_layers) {
+  std::printf("\n(%s/%dL/8X) runtime vs #structured features:\n",
+              dl::KnownCnnToString(cnn), num_layers);
+  Header();
+  for (int features : {10, 100, 1000, 10000}) {
+    ExperimentSetup setup;
+    setup.cnn = cnn;
+    setup.num_layers = num_layers;
+    setup.data = FoodsDataStats(8.0);
+    setup.data.num_struct_features = features;
+    char label[16];
+    std::snprintf(label, sizeof(label), "%d", features);
+    Run(setup, label);
+  }
+}
+
+}  // namespace
+}  // namespace vista
+
+int main() {
+  using namespace vista;
+  bench::Banner("Figure 10",
+                "Physical plan choices (Foods drill-down, Staged/AJ, cpu=4, "
+                "8 nodes)");
+  SweepScale(dl::KnownCnn::kAlexNet, 4);
+  SweepScale(dl::KnownCnn::kResNet50, 5);
+  SweepStructFeatures(dl::KnownCnn::kAlexNet, 4);
+  SweepStructFeatures(dl::KnownCnn::kResNet50, 5);
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Regenerates Figure 11: system configuration sweeps. (A) runtime vs the
+// worker degree of parallelism (cpu) with explicitly apportioned memory;
+// (B) runtime vs the number of partitions np (cpu fixed to 4). Also prints
+// the values the Vista optimizer picks. Paper shape: runtime decreases
+// sub-linearly with cpu; VGG16 crashes beyond 4 cores (CNN inference
+// memory blowup); np is non-monotonic — too few partitions crash the join
+// (Core memory), too many add scheduling overhead (status-message
+// compression past ~2000 tasks); the optimizer lands at or near the best
+// settings.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "vista/experiments.h"
+
+namespace vista {
+namespace {
+
+const dl::KnownCnn kCnns[] = {dl::KnownCnn::kAlexNet, dl::KnownCnn::kVgg16,
+                              dl::KnownCnn::kResNet50};
+
+ExperimentSetup FoodsSetup(dl::KnownCnn cnn) {
+  ExperimentSetup setup;
+  setup.cnn = cnn;
+  setup.num_layers = PaperNumLayers(cnn);
+  setup.data = FoodsDataStats();
+  return setup;
+}
+
+void SweepCpu() {
+  std::printf("\n(A) runtime vs cpu (explicit apportioning, 8 nodes):\n");
+  std::printf("%-6s", "cpu");
+  for (auto cnn : kCnns) std::printf(" | %-12s", dl::KnownCnnToString(cnn));
+  std::printf("\n");
+  for (int cpu = 1; cpu <= 8; ++cpu) {
+    std::printf("%-6d", cpu);
+    for (auto cnn : kCnns) {
+      DrillDownConfig config;
+      config.cpu = cpu;
+      auto r = RunDrillDown(FoodsSetup(cnn), config);
+      if (!r.ok()) {
+        std::printf(" | %-12s", "error");
+        continue;
+      }
+      std::printf(" | %-12s",
+                  r->crashed() ? "x (crash)" : bench::Outcome(*r).c_str());
+    }
+    std::printf("\n");
+  }
+}
+
+void SweepNp() {
+  std::printf("\n(B) runtime vs np (cpu = 4, 8 nodes):\n");
+  std::printf("%-6s", "np");
+  for (auto cnn : kCnns) std::printf(" | %-12s", dl::KnownCnnToString(cnn));
+  std::printf("\n");
+  for (int64_t np : {8, 16, 32, 64, 160, 224, 512, 1024, 2048, 4096}) {
+    std::printf("%-6lld", static_cast<long long>(np));
+    for (auto cnn : kCnns) {
+      DrillDownConfig config;
+      config.cpu = 4;
+      config.num_partitions = np;
+      auto r = RunDrillDown(FoodsSetup(cnn), config);
+      if (!r.ok()) {
+        std::printf(" | %-12s", "error");
+        continue;
+      }
+      std::printf(" | %-12s",
+                  r->crashed() ? "x (crash)" : bench::Outcome(*r).c_str());
+    }
+    std::printf("\n");
+  }
+}
+
+void OptimizerPicks() {
+  std::printf("\nOptimizer-picked values (paper: cpu 7/4/7; np 160/160/224 "
+              "in the cpu=4 drill-down context):\n");
+  for (auto cnn : kCnns) {
+    Vista::Options options;
+    options.cnn = cnn;
+    options.num_layers = PaperNumLayers(cnn);
+    options.data = FoodsDataStats();
+    auto vista = Vista::Create(options);
+    if (!vista.ok()) {
+      std::printf("  %-10s infeasible: %s\n", dl::KnownCnnToString(cnn),
+                  vista.status().ToString().c_str());
+      continue;
+    }
+    std::printf("  %-10s %s\n", dl::KnownCnnToString(cnn),
+                vista->decisions().ToString().c_str());
+  }
+}
+
+}  // namespace
+}  // namespace vista
+
+int main() {
+  using namespace vista;
+  bench::Banner("Figure 11", "System configuration sweeps (Foods)");
+  SweepCpu();
+  SweepNp();
+  OptimizerPicks();
+  return 0;
+}

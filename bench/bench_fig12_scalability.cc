@@ -1,0 +1,105 @@
+// Regenerates Figure 12: (A) scaleup — nodes and data grow together;
+// (B) speedup — fixed data, growing nodes; (C) single-node speedup vs cpu
+// on 0.25X data. Paper shape: near-linear scaleup for all CNNs; near-
+// linear speedup for VGG16/ResNet50 but markedly sub-linear for AlexNet
+// (HDFS small-files reads dominate its small compute); single-node cpu
+// speedup plateaus around 4 cores because the DL system uses all cores
+// regardless.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "vista/experiments.h"
+
+namespace vista {
+namespace {
+
+const dl::KnownCnn kCnns[] = {dl::KnownCnn::kAlexNet, dl::KnownCnn::kVgg16,
+                              dl::KnownCnn::kResNet50};
+
+Result<double> Seconds(dl::KnownCnn cnn, int nodes, double scale, int cpu) {
+  ExperimentSetup setup;
+  setup.cnn = cnn;
+  setup.num_layers = PaperNumLayers(cnn);
+  setup.data = FoodsDataStats(scale);
+  setup.env.num_nodes = nodes;
+  DrillDownConfig config;
+  config.cpu = cpu;
+  VISTA_ASSIGN_OR_RETURN(sim::SimResult r, RunDrillDown(setup, config));
+  if (r.crashed()) return Status::ResourceExhausted(r.status.message());
+  return r.total_seconds;
+}
+
+void Scaleup() {
+  std::printf("\n(A) Scaleup (nodes = scale factor; 1.0 = flat/ideal):\n");
+  std::printf("%-8s", "factor");
+  for (auto cnn : kCnns) std::printf(" | %-9s", dl::KnownCnnToString(cnn));
+  std::printf("\n");
+  for (int f : {1, 2, 4, 8}) {
+    std::printf("%-8d", f);
+    for (auto cnn : kCnns) {
+      auto base = Seconds(cnn, 1, 1.0, 4);
+      auto scaled = Seconds(cnn, f, f, 4);
+      if (!base.ok() || !scaled.ok()) {
+        std::printf(" | %-9s", "error");
+        continue;
+      }
+      std::printf(" | %-9.2f", *scaled / *base);
+    }
+    std::printf("\n");
+  }
+}
+
+void Speedup() {
+  std::printf("\n(B) Speedup (fixed 1X data):\n");
+  std::printf("%-8s", "nodes");
+  for (auto cnn : kCnns) std::printf(" | %-9s", dl::KnownCnnToString(cnn));
+  std::printf("\n");
+  for (int nodes : {1, 2, 4, 8}) {
+    std::printf("%-8d", nodes);
+    for (auto cnn : kCnns) {
+      auto base = Seconds(cnn, 1, 1.0, 4);
+      auto scaled = Seconds(cnn, nodes, 1.0, 4);
+      if (!base.ok() || !scaled.ok()) {
+        std::printf(" | %-9s", "error");
+        continue;
+      }
+      std::printf(" | %-9.2f", *base / *scaled);
+    }
+    std::printf("\n");
+  }
+}
+
+void SingleNodeCpuSpeedup() {
+  std::printf("\n(C) Single-node speedup vs cpu (0.25X data):\n");
+  std::printf("%-8s", "cpus");
+  for (auto cnn : kCnns) std::printf(" | %-9s", dl::KnownCnnToString(cnn));
+  std::printf("\n");
+  for (int cpu : {1, 2, 3, 4, 5, 6, 7, 8}) {
+    std::printf("%-8d", cpu);
+    for (auto cnn : kCnns) {
+      auto base = Seconds(cnn, 1, 0.25, 1);
+      auto scaled = Seconds(cnn, 1, 0.25, cpu);
+      if (!base.ok() || !scaled.ok()) {
+        std::printf(" | %-9s", "error");
+        continue;
+      }
+      std::printf(" | %-9.2f", *base / *scaled);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace vista
+
+int main() {
+  using namespace vista;
+  bench::Banner("Figure 12",
+                "Scaleup, speedup, and single-node cpu speedup (Foods, "
+                "Staged/AJ/Shuffle/Deser.)");
+  Scaleup();
+  Speedup();
+  SingleNodeCpuSpeedup();
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Regenerates Table 2 and Figure 16 (Appendix B): sizes of
+// pre-materialized feature layers for Foods, and runtimes of exploring the
+// top-k layers with versus without a pre-materialized base layer. Paper
+// shape: feature layer files are much larger than the raw JPEGs (0.26 GB),
+// dramatically so for ResNet50's lower layers; pre-materialization helps
+// AlexNet/VGG16 (saves recomputation) but for ResNet50's 5th layer the
+// huge feature file's IO can cancel the savings.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "vista/experiments.h"
+
+namespace vista {
+namespace {
+
+/// Layers-from-top explored in the paper's Appendix B sweep.
+std::vector<int> BaseDepths(dl::KnownCnn cnn) {
+  if (cnn == dl::KnownCnn::kResNet50) return {5, 4, 2, 1};
+  return {4, 2, 1};
+}
+
+void Table2() {
+  std::printf("\nTable 2: serialized sizes of pre-materialized layers "
+              "(Foods; raw images are %s):\n",
+              FormatBytes(20000LL * 14 * 1024).c_str());
+  auto roster = Roster::Default().value();
+  std::printf("%-10s", "CNN");
+  for (int d : {1, 2, 4, 5}) std::printf(" | %6dth", d);
+  std::printf("   (layer index from the top)\n");
+  for (auto cnn : {dl::KnownCnn::kAlexNet, dl::KnownCnn::kVgg16,
+                   dl::KnownCnn::kResNet50}) {
+    const RosterEntry* entry = roster.Lookup(cnn).value();
+    SimExecutor executor(entry);
+    std::printf("%-10s", dl::KnownCnnToString(cnn));
+    for (int d : {1, 2, 4, 5}) {
+      if (d > entry->arch.num_layers() ||
+          (cnn != dl::KnownCnn::kResNet50 && d == 5)) {
+        std::printf(" | %8s", "-");
+        continue;
+      }
+      const int layer = entry->arch.num_layers() - d;
+      std::printf(" | %8s",
+                  FormatBytes(executor.MaterializedLayerFileBytes(
+                                  layer, FoodsDataStats()))
+                      .c_str());
+    }
+    std::printf("\n");
+  }
+}
+
+void Figure16(dl::KnownCnn cnn) {
+  std::printf("\n%s: explore top-k layers, with vs without "
+              "pre-materialized base:\n",
+              dl::KnownCnnToString(cnn));
+  std::printf("%-6s | %-14s | %-14s | %-14s\n", "k", "materialization",
+              "with pre-mat", "without");
+  auto roster = Roster::Default().value();
+  const RosterEntry* entry = roster.Lookup(cnn).value();
+  for (int k : BaseDepths(cnn)) {
+    ExperimentSetup setup;
+    setup.cnn = cnn;
+    setup.num_layers = k;
+    setup.data = FoodsDataStats();
+    auto workload =
+        TransferWorkload::TopLayers(roster, cnn, k).value();
+
+    // Without pre-materialization: Staged/AJ from raw images.
+    DrillDownConfig config;
+    auto without = RunDrillDown(setup, config);
+
+    // With: materialize the base layer first, then run from the file.
+    SimExecutor executor(entry);
+    OptimizerParams params;
+    auto est = EstimateSizes(*entry, workload, setup.data).value();
+    const int64_t udf_table = static_cast<int64_t>(
+        params.alpha * static_cast<double>(setup.data.num_records) *
+        static_cast<double>(est.udf_record_bytes));
+    const int64_t np = ComputeNumPartitions(
+        std::max(est.s_single, udf_table), 4, setup.env.num_nodes,
+        params.p_max);
+    SystemProfile profile = ExplicitProfile(
+        setup.env, setup.pd, 4, entry->memory.runtime_cpu_bytes,
+        entry->memory.serialized_bytes + 4 * (udf_table / np) * 2, np);
+    SimExecutorConfig sim_config;
+    sim_config.env = setup.env;
+    sim_config.node = setup.node;
+    sim_config.profile = profile;
+    int64_t file_bytes = 0;
+    auto pre = executor.SimulatePreMaterialization(workload, setup.data,
+                                                   sim_config, &file_bytes);
+    auto plan =
+        CompilePlan(LogicalPlan::kStaged, workload, true).value();
+    auto with = executor.Execute(plan, workload, setup.data, sim_config);
+
+    std::printf("%-6d | %-14s | %-14s | %-14s\n", k,
+                pre.ok() ? bench::Outcome(*pre).c_str() : "error",
+                with.ok() ? bench::Outcome(*with).c_str() : "error",
+                without.ok() ? bench::Outcome(*without).c_str() : "error");
+  }
+}
+
+}  // namespace
+}  // namespace vista
+
+int main() {
+  using namespace vista;
+  bench::Banner("Table 2 + Figure 16 (Appendix B)",
+                "Pre-materializing a base layer (Foods)");
+  Table2();
+  for (auto cnn : {dl::KnownCnn::kAlexNet, dl::KnownCnn::kVgg16,
+                   dl::KnownCnn::kResNet50}) {
+    Figure16(cnn);
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Regenerates Figure 6: end-to-end reliability and efficiency of the six
+// approaches on Spark-TF and Ignite-TF, for Foods and Amazon across the
+// three roster CNNs. Paper shape: Lazy-5/7 crash for VGG16 on Spark;
+// Lazy-7 crashes for all CNNs on Amazon/Ignite and for ResNet50 on
+// Foods/Ignite; Eager crashes on Ignite/Amazon/ResNet50; Vista never
+// crashes and is 58%-92% faster than Lazy baselines.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "vista/experiments.h"
+
+namespace vista {
+namespace {
+
+void RunMatrix(PdSystem pd) {
+  for (bool amazon : {false, true}) {
+    std::printf("\n--- %s-TF on %s ---\n", PdSystemToString(pd),
+                amazon ? "Amazon" : "Foods");
+    std::printf("%-10s", "CNN");
+    for (const auto& approach : StandardApproaches()) {
+      std::printf(" | %-18s", approach.c_str());
+    }
+    std::printf("\n");
+    for (auto cnn : {dl::KnownCnn::kAlexNet, dl::KnownCnn::kVgg16,
+                     dl::KnownCnn::kResNet50}) {
+      ExperimentSetup setup;
+      setup.pd = pd;
+      setup.cnn = cnn;
+      setup.num_layers = PaperNumLayers(cnn);
+      setup.data = amazon ? AmazonDataStats() : FoodsDataStats();
+      std::printf("%-10s", dl::KnownCnnToString(cnn));
+      double vista_minutes = -1, best_lazy = -1;
+      for (const auto& approach : StandardApproaches()) {
+        auto r = RunApproach(setup, approach);
+        if (!r.ok()) {
+          std::printf(" | %-18s", ("error: " + r.status().ToString()).c_str());
+          continue;
+        }
+        std::printf(" | %-18s",
+                    bench::Outcome(r->result, r->pre_mat_seconds).c_str());
+        const double minutes =
+            (r->result.total_seconds + r->pre_mat_seconds) / 60.0;
+        if (!r->result.crashed()) {
+          if (approach == "Vista") vista_minutes = minutes;
+          if (approach.rfind("Lazy-", 0) == 0 &&
+              approach.find("Pre") == std::string::npos) {
+            if (best_lazy < 0 || minutes < best_lazy) best_lazy = minutes;
+          }
+        }
+      }
+      if (vista_minutes > 0 && best_lazy > 0) {
+        std::printf("  [Vista vs best Lazy: -%.0f%%]",
+                    100.0 * (1.0 - vista_minutes / best_lazy));
+      }
+      std::printf("\n");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vista
+
+int main() {
+  vista::bench::Banner(
+      "Figure 6", "End-to-end reliability and efficiency (CPU cluster)");
+  std::printf(
+      "Paper: x = workload crash. Expected shape: Lazy-5/7 crash for VGG16\n"
+      "on Spark; Lazy crashes on Ignite/Amazon for all CNNs and on\n"
+      "Ignite/Foods for ResNet50 at 7 CPUs; Eager crashes on\n"
+      "Ignite/Amazon/ResNet50 and spills heavily on Spark/Amazon/ResNet50;\n"
+      "Vista never crashes and cuts runtimes by 58%%-92%% vs Lazy.\n");
+  vista::RunMatrix(vista::PdSystem::kSparkLike);
+  vista::RunMatrix(vista::PdSystem::kIgniteLike);
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Regenerates Figure 7(A): end-to-end reliability and efficiency on a
+// single GPU node (32 GB RAM, 12 GB GPU, SSD) over Foods. Paper shape:
+// Lazy-5 and Lazy-7 crash with VGG16; for ResNet50, Eager takes much
+// longer than Vista due to costly disk spills.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "vista/experiments.h"
+
+namespace vista {
+namespace {
+
+ExperimentSetup GpuSetup(dl::KnownCnn cnn) {
+  ExperimentSetup setup;
+  setup.pd = PdSystem::kSparkLike;
+  setup.cnn = cnn;
+  setup.num_layers = PaperNumLayers(cnn);
+  setup.data = FoodsDataStats();
+  setup.env.num_nodes = 1;
+  setup.env.gpu_memory_bytes = GiB(12);
+  setup.node.gpu_memory_bytes = GiB(12);
+  setup.node.disk_read_mbps = 500;  // SSD.
+  setup.node.disk_write_mbps = 450;
+  setup.use_gpu = true;
+  return setup;
+}
+
+}  // namespace
+}  // namespace vista
+
+int main() {
+  using namespace vista;
+  bench::Banner("Figure 7(A)",
+                "GPU single-node reliability and efficiency (Foods)");
+  std::printf(
+      "Paper: Lazy-5/7 crash with VGG16 (GPU memory blowup); Eager on\n"
+      "ResNet50 is much slower than Vista due to disk spills.\n\n");
+  std::printf("%-10s", "CNN");
+  for (const auto& approach : StandardApproaches()) {
+    std::printf(" | %-18s", approach.c_str());
+  }
+  std::printf("\n");
+  for (auto cnn : {dl::KnownCnn::kAlexNet, dl::KnownCnn::kVgg16,
+                   dl::KnownCnn::kResNet50}) {
+    std::printf("%-10s", dl::KnownCnnToString(cnn));
+    for (const auto& approach : StandardApproaches()) {
+      auto r = RunApproach(GpuSetup(cnn), approach);
+      if (!r.ok()) {
+        std::printf(" | %-18s", ("error: " + r.status().ToString()).c_str());
+        continue;
+      }
+      std::printf(" | %-18s",
+                  bench::Outcome(r->result, r->pre_mat_seconds).c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Regenerates Figure 9: runtimes of the logical execution plan
+// alternatives (Eager/Staged x inference Before-Join/After-Join) while
+// varying the number of layers explored and the data scale. Paper shape:
+// all plans comparable at low scale / few layers; Eager plans degrade
+// sharply at high |L| or scale (disk spills of large intermediates),
+// especially for ResNet50; AJ is comparable to or marginally faster than
+// BJ at larger scales — validating Vista's Staged/AJ choice.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "vista/experiments.h"
+
+namespace vista {
+namespace {
+
+struct PlanChoice {
+  const char* label;
+  LogicalPlan plan;
+};
+
+const PlanChoice kPlans[] = {
+    {"Eager/BJ", LogicalPlan::kEagerReordered},
+    {"Eager/AJ", LogicalPlan::kEager},
+    {"Staged/BJ", LogicalPlan::kStagedReordered},
+    {"Staged/AJ", LogicalPlan::kStaged},
+};
+
+void SweepLayers(dl::KnownCnn cnn, double scale, int max_layers) {
+  std::printf("\n(%s, data scale %gX) runtime vs #layers:\n",
+              dl::KnownCnnToString(cnn), scale);
+  std::printf("%-10s", "#layers");
+  for (const auto& p : kPlans) std::printf(" | %-12s", p.label);
+  std::printf("\n");
+  for (int k = 1; k <= max_layers; ++k) {
+    std::printf("%-10d", k);
+    for (const auto& p : kPlans) {
+      ExperimentSetup setup;
+      setup.cnn = cnn;
+      setup.num_layers = k;
+      setup.data = FoodsDataStats(scale);
+      DrillDownConfig config;
+      config.plan = p.plan;
+      auto r = RunDrillDown(setup, config);
+      if (!r.ok()) {
+        std::printf(" | %-12s", "error");
+        continue;
+      }
+      std::printf(" | %-12s", bench::Outcome(*r).c_str());
+    }
+    std::printf("\n");
+  }
+}
+
+void SweepScale(dl::KnownCnn cnn, int num_layers) {
+  std::printf("\n(%s, %dL) runtime vs data scale:\n",
+              dl::KnownCnnToString(cnn), num_layers);
+  std::printf("%-10s", "scale");
+  for (const auto& p : kPlans) std::printf(" | %-12s", p.label);
+  std::printf("\n");
+  for (double scale : {1.0, 2.0, 4.0, 8.0}) {
+    std::printf("%-9gX", scale);
+    for (const auto& p : kPlans) {
+      ExperimentSetup setup;
+      setup.cnn = cnn;
+      setup.num_layers = num_layers;
+      setup.data = FoodsDataStats(scale);
+      DrillDownConfig config;
+      config.plan = p.plan;
+      auto r = RunDrillDown(setup, config);
+      if (!r.ok()) {
+        std::printf(" | %-12s", "error");
+        continue;
+      }
+      std::printf(" | %-12s", bench::Outcome(*r).c_str());
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace vista
+
+int main() {
+  using namespace vista;
+  bench::Banner("Figure 9",
+                "Logical execution plan alternatives (Foods drill-down, "
+                "cpu=4, 8 nodes)");
+  // Panels (1)-(2): vary #layers at 2X scale.
+  SweepLayers(dl::KnownCnn::kAlexNet, 2.0, 4);
+  SweepLayers(dl::KnownCnn::kResNet50, 2.0, 5);
+  // Panels (3)-(4): vary scale at the paper's |L|.
+  SweepScale(dl::KnownCnn::kAlexNet, 4);
+  SweepScale(dl::KnownCnn::kResNet50, 5);
+  return 0;
+}

@@ -1,0 +1,182 @@
+// Microbenchmarks (google-benchmark) for the performance-critical kernels:
+// convolution, partial inference, join operators, record serialization,
+// and the Vista optimizer itself.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "dataflow/engine.h"
+#include "dl/model_zoo.h"
+#include "tensor/ops.h"
+#include "dl/dag.h"
+#include "features/hog.h"
+#include "tensor/gemm.h"
+#include "vista/optimizer.h"
+
+namespace vista {
+namespace {
+
+void BM_Conv2D3x3(benchmark::State& state) {
+  const int64_t channels = state.range(0);
+  Rng rng(1);
+  Tensor input = Tensor::RandomGaussian(Shape{channels, 32, 32}, &rng);
+  Tensor w = Tensor::RandomGaussian(Shape{channels, channels, 3, 3}, &rng);
+  Tensor b(Shape{channels});
+  for (auto _ : state) {
+    auto out = Conv2D(input, w, b, 1, 1);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Conv2D3x3)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_MicroCnnInference(benchmark::State& state) {
+  auto arch = dl::MicroAlexNetArch();
+  auto model = dl::CnnModel::Instantiate(*arch, 3);
+  Rng rng(2);
+  Tensor img = Tensor::RandomGaussian(Shape{3, 32, 32}, &rng);
+  for (auto _ : state) {
+    auto out = model->Run(img);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MicroCnnInference);
+
+void BM_PartialInferenceTopLayer(benchmark::State& state) {
+  // Staged execution's inner loop: one hop between adjacent fc layers.
+  auto arch = dl::MicroAlexNetArch();
+  auto model = dl::CnnModel::Instantiate(*arch, 3);
+  Rng rng(2);
+  Tensor img = Tensor::RandomGaussian(Shape{3, 32, 32}, &rng);
+  Tensor fc7 = model->RunTo(img, 6).value();
+  for (auto _ : state) {
+    auto out = model->RunRange(fc7, 7, 7);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PartialInferenceTopLayer);
+
+std::vector<df::Record> BenchRecords(int n, double density) {
+  Rng rng(7);
+  std::vector<df::Record> records;
+  for (int i = 0; i < n; ++i) {
+    df::Record r;
+    r.id = i;
+    r.struct_features = {static_cast<float>(i % 2), 1.f, 2.f};
+    Tensor t(Shape{512});
+    for (int64_t j = 0; j < 512; ++j) {
+      if (rng.NextBool(density)) t.set(j, static_cast<float>(rng.NextGaussian()));
+    }
+    r.features.Append(std::move(t));
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+void BM_RecordSerializeSparse(benchmark::State& state) {
+  const double density = static_cast<double>(state.range(0)) / 100.0;
+  auto records = BenchRecords(64, density);
+  for (auto _ : state) {
+    std::vector<uint8_t> buf;
+    for (const auto& r : records) df::SerializeRecord(r, &buf);
+    benchmark::DoNotOptimize(buf);
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_RecordSerializeSparse)->Arg(13)->Arg(36)->Arg(100);
+
+void BM_ShuffleHashJoin(benchmark::State& state) {
+  df::EngineConfig config;
+  config.cpus_per_worker = 4;
+  df::Engine engine(config);
+  auto left = engine.MakeTable(BenchRecords(2000, 0.1), 8).value();
+  auto right = engine.MakeTable(BenchRecords(2000, 0.1), 8).value();
+  for (auto _ : state) {
+    auto joined = engine.Join(left, right, df::JoinStrategy::kShuffleHash, 8);
+    benchmark::DoNotOptimize(joined);
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_ShuffleHashJoin);
+
+void BM_BroadcastJoin(benchmark::State& state) {
+  df::EngineConfig config;
+  config.cpus_per_worker = 4;
+  df::Engine engine(config);
+  auto left = engine.MakeTable(BenchRecords(2000, 0.1), 8).value();
+  auto right = engine.MakeTable(BenchRecords(2000, 0.1), 8).value();
+  for (auto _ : state) {
+    auto joined = engine.Join(left, right, df::JoinStrategy::kBroadcast, 8);
+    benchmark::DoNotOptimize(joined);
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_BroadcastJoin);
+
+void BM_OptimizerLatency(benchmark::State& state) {
+  auto roster = Roster::Default().value();
+  const RosterEntry* entry = roster.Lookup(dl::KnownCnn::kResNet50).value();
+  auto workload =
+      TransferWorkload::TopLayers(roster, dl::KnownCnn::kResNet50, 5).value();
+  DataStats stats;
+  stats.num_records = 200000;
+  stats.num_struct_features = 200;
+  SystemEnv env;
+  for (auto _ : state) {
+    auto d = OptimizeFeatureTransfer(env, *entry, workload, stats);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_OptimizerLatency);
+
+
+void BM_Conv2DDirect32(benchmark::State& state) {
+  Rng rng(4);
+  Tensor input = Tensor::RandomGaussian(Shape{16, 32, 32}, &rng);
+  Tensor w = Tensor::RandomGaussian(Shape{16, 16, 3, 3}, &rng);
+  Tensor b(Shape{16});
+  for (auto _ : state) {
+    auto out = Conv2D(input, w, b, 1, 1);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_Conv2DDirect32);
+
+void BM_Conv2DGemm32(benchmark::State& state) {
+  Rng rng(4);
+  Tensor input = Tensor::RandomGaussian(Shape{16, 32, 32}, &rng);
+  Tensor w = Tensor::RandomGaussian(Shape{16, 16, 3, 3}, &rng);
+  Tensor b(Shape{16});
+  for (auto _ : state) {
+    auto out = Conv2DGemm(input, w, b, 1, 1);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_Conv2DGemm32);
+
+void BM_HogDescriptor(benchmark::State& state) {
+  Rng rng(5);
+  Tensor img = Tensor::RandomGaussian(Shape{3, 32, 32}, &rng);
+  for (auto _ : state) {
+    auto f = feat::HogFeatures(img);
+    benchmark::DoNotOptimize(f);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HogDescriptor);
+
+void BM_DagStagedPlanner(benchmark::State& state) {
+  auto arch = dl::MicroDenseNetDag().value();
+  for (auto _ : state) {
+    auto plan = dl::PlanStagedDag(arch, {2, 4, 5});
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_DagStagedPlanner);
+
+}  // namespace
+}  // namespace vista
+
+BENCHMARK_MAIN();

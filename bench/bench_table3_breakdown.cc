@@ -1,0 +1,109 @@
+// Regenerates Table 3 and Figure 17 (Appendix C): per-layer runtime
+// breakdown (partial CNN inference + downstream training per layer, plus
+// the image-read time) for 1-8 worker nodes, and the drill-down speedup of
+// each component. Paper shape: the bottom-most explored layer dominates
+// (inference from raw images); image reads speed up sub-linearly (HDFS
+// small-files); inference+training speeds up near-linearly (slightly
+// super-linear for ResNet50).
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "vista/experiments.h"
+
+namespace vista {
+namespace {
+
+struct Breakdown {
+  std::map<std::string, double> per_layer_seconds;  // layer name -> seconds.
+  double read_images_seconds = 0;
+  double total_seconds = 0;
+};
+
+Result<Breakdown> Run(dl::KnownCnn cnn, int nodes) {
+  ExperimentSetup setup;
+  setup.cnn = cnn;
+  setup.num_layers = PaperNumLayers(cnn);
+  setup.data = FoodsDataStats();
+  setup.env.num_nodes = nodes;
+  DrillDownConfig config;
+  VISTA_ASSIGN_OR_RETURN(sim::SimResult r, RunDrillDown(setup, config));
+  if (r.crashed()) return Status::ResourceExhausted(r.status.message());
+  Breakdown out;
+  out.total_seconds = r.total_seconds;
+  for (const auto& stage : r.stages) {
+    if (stage.name.rfind("read:images", 0) == 0) {
+      out.read_images_seconds += stage.seconds;
+    } else if (stage.name.rfind("inference:", 0) == 0 ||
+               stage.name.rfind("train:", 0) == 0) {
+      out.per_layer_seconds[stage.name.substr(stage.name.find(':') + 1)] +=
+          stage.seconds;
+    }
+  }
+  return out;
+}
+
+void Table3(dl::KnownCnn cnn) {
+  std::printf("\n%s/%dL: per-layer time (CNN inference + downstream "
+              "training), minutes:\n",
+              dl::KnownCnnToString(cnn), PaperNumLayers(cnn));
+  std::map<int, Breakdown> runs;
+  for (int nodes : {1, 2, 4, 8}) {
+    auto r = Run(cnn, nodes);
+    if (!r.ok()) {
+      std::printf("  error at %d nodes: %s\n", nodes,
+                  r.status().ToString().c_str());
+      return;
+    }
+    runs[nodes] = *r;
+  }
+  std::printf("%-12s", "layer");
+  for (int nodes : {1, 2, 4, 8}) std::printf(" | %5d node%s", nodes,
+                                             nodes == 1 ? " " : "s");
+  std::printf("\n");
+  for (const auto& [layer, seconds] : runs[1].per_layer_seconds) {
+    (void)seconds;
+    std::printf("%-12s", layer.c_str());
+    for (int nodes : {1, 2, 4, 8}) {
+      std::printf(" | %10.1f", runs[nodes].per_layer_seconds[layer] / 60.0);
+    }
+    std::printf("\n");
+  }
+  std::printf("%-12s", "total");
+  for (int nodes : {1, 2, 4, 8}) {
+    std::printf(" | %10.1f", runs[nodes].total_seconds / 60.0);
+  }
+  std::printf("\n%-12s", "read images");
+  for (int nodes : {1, 2, 4, 8}) {
+    std::printf(" | %10.1f", runs[nodes].read_images_seconds / 60.0);
+  }
+  std::printf("\n");
+
+  // Figure 17: component speedups at 8 nodes.
+  double compute1 = 0, compute8 = 0;
+  for (const auto& [layer, seconds] : runs[1].per_layer_seconds) {
+    compute1 += seconds;
+    compute8 += runs[8].per_layer_seconds[layer];
+  }
+  std::printf("Fig 17 speedups @8 nodes: inference+train %.1fx, "
+              "read images %.1fx\n",
+              compute1 / compute8,
+              runs[1].read_images_seconds / runs[8].read_images_seconds);
+}
+
+}  // namespace
+}  // namespace vista
+
+int main() {
+  using namespace vista;
+  bench::Banner("Table 3 + Figure 17 (Appendix C)",
+                "Per-layer runtime breakdown and component speedups "
+                "(Foods, Staged/AJ)");
+  for (auto cnn : {dl::KnownCnn::kResNet50, dl::KnownCnn::kAlexNet,
+                   dl::KnownCnn::kVgg16}) {
+    Table3(cnn);
+  }
+  return 0;
+}

@@ -1,0 +1,40 @@
+#ifndef VISTA_BENCH_BENCH_UTIL_H_
+#define VISTA_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "common/bytes.h"
+#include "sim/cluster.h"
+
+namespace vista::bench {
+
+/// Prints a figure/table banner with the paper reference.
+inline void Banner(const char* experiment_id, const char* description) {
+  std::printf("\n");
+  std::printf(
+      "==============================================================="
+      "=========\n");
+  std::printf("%s — %s\n", experiment_id, description);
+  std::printf(
+      "==============================================================="
+      "=========\n");
+}
+
+/// Renders a sim outcome as the paper renders it: minutes, or an "x" crash
+/// marker with the crash scenario.
+inline std::string Outcome(const sim::SimResult& result,
+                           double extra_seconds = 0) {
+  if (result.crashed()) {
+    return std::string("x (") + sim::CrashScenarioToString(result.crash) +
+           ")";
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f min",
+                (result.total_seconds + extra_seconds) / 60.0);
+  return buf;
+}
+
+}  // namespace vista::bench
+
+#endif  // VISTA_BENCH_BENCH_UTIL_H_

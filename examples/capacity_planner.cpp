@@ -1,0 +1,81 @@
+// Capacity planning with Vista's optimizer and cluster simulator: before
+// buying cluster time, ask "will this feature-transfer workload even run,
+// and how should the system be configured?" for different cluster shapes.
+//
+// This is the what-if face of Vista: the same optimizer that configures
+// real runs (Algorithm 1) plus the discrete cluster simulator predict
+// runtime and crash behaviour for naive versus optimized configurations.
+//
+// Build & run:  ./build/examples/capacity_planner
+
+#include <cstdio>
+
+#include "vista/experiments.h"
+
+int main() {
+  using namespace vista;
+
+  std::printf("Workload: ResNet50, top 5 layers, Amazon-scale data "
+              "(200k records, 200 structured features)\n\n");
+
+  // --- Question 1: what does the naive configuration do on my cluster?
+  std::printf("Naive Spark config (29 GB heap, 7 worker threads):\n");
+  ExperimentSetup setup;
+  setup.cnn = dl::KnownCnn::kResNet50;
+  setup.num_layers = 5;
+  setup.data = AmazonDataStats();
+  auto naive = RunApproach(setup, "Lazy-7");
+  if (naive.ok()) {
+    if (naive->result.crashed()) {
+      std::printf("  -> would CRASH: %s\n",
+                  sim::CrashScenarioToString(naive->result.crash));
+    } else {
+      std::printf("  -> completes in %.0f min\n",
+                  naive->result.total_seconds / 60.0);
+    }
+  }
+
+  // --- Question 2: what does Vista configure, and what does it cost?
+  for (int nodes : {2, 4, 8, 16}) {
+    Vista::Options options;
+    options.cnn = setup.cnn;
+    options.num_layers = setup.num_layers;
+    options.data = setup.data;
+    options.env.num_nodes = nodes;
+    auto vista = Vista::Create(options);
+    if (!vista.ok()) {
+      std::printf("%2d nodes: infeasible (%s)\n", nodes,
+                  vista.status().message().c_str());
+      continue;
+    }
+    auto result =
+        vista->ExecuteSimulated(PdSystem::kSparkLike, sim::NodeResources{});
+    if (!result.ok() || result->crashed()) {
+      std::printf("%2d nodes: unexpected failure\n", nodes);
+      continue;
+    }
+    std::printf("%2d nodes: %s -> %.0f min (spills %s)\n", nodes,
+                vista->decisions().ToString().c_str(),
+                result->total_seconds / 60.0,
+                FormatBytes(result->spill_bytes_written).c_str());
+  }
+
+  // --- Question 3: is 32 GB per node enough for VGG16?
+  std::printf("\nVGG16 on small-memory nodes:\n");
+  for (int64_t gb : {8, 16, 32}) {
+    Vista::Options options;
+    options.cnn = dl::KnownCnn::kVgg16;
+    options.num_layers = 3;
+    options.data = FoodsDataStats();
+    options.env.node_memory_bytes = GiB(static_cast<double>(gb));
+    auto vista = Vista::Create(options);
+    if (!vista.ok()) {
+      std::printf("  %2lld GB/node: %s\n", static_cast<long long>(gb),
+                  vista.status().message().c_str());
+    } else {
+      std::printf("  %2lld GB/node: feasible with cpu=%d\n",
+                  static_cast<long long>(gb), vista->decisions().cpu);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,124 @@
+// The paper's motivating scenario (Section 1): a data scientist at an
+// online retailer predicts product popularity from structured features
+// (price, category embeddings, ...) and product images. She suspects image
+// features will help, but which CNN layer transfers best is unknowable
+// upfront — so she asks Vista to explore several layers of ResNet50 and
+// compares against a structured-features-only baseline, for both logistic
+// regression and a decision tree downstream.
+//
+// Build & run:  ./build/examples/product_recommender
+
+#include <algorithm>
+#include <cstdio>
+
+#include "dl/model_zoo.h"
+#include "features/synthetic.h"
+#include "ml/decision_tree.h"
+#include "vista/vista.h"
+
+namespace {
+
+vista::Result<double> StructOnlyF1(vista::df::Engine* engine,
+                                   const vista::df::Table& t_str) {
+  using namespace vista;
+  const auto extractor = MakeTransferExtractor(-1, 2);
+  auto train = engine->MapPartitions(
+      t_str, [](std::vector<df::Record> records)
+                 -> Result<std::vector<df::Record>> {
+        std::vector<df::Record> out;
+        for (auto& r : records) {
+          if (!feat::IsTestId(r.id, 0.2)) out.push_back(std::move(r));
+        }
+        return out;
+      });
+  VISTA_RETURN_IF_ERROR(train.status());
+  ml::LogisticRegressionConfig lr;
+  lr.iterations = 25;
+  lr.learning_rate = 0.3;
+  VISTA_ASSIGN_OR_RETURN(
+      ml::LogisticRegressionModel model,
+      ml::TrainLogisticRegression(engine, *train, extractor, lr));
+  ml::BinaryMetrics metrics;
+  VISTA_ASSIGN_OR_RETURN(std::vector<df::Record> rows,
+                         engine->Collect(t_str));
+  std::vector<float> x;
+  float label = 0;
+  for (const df::Record& r : rows) {
+    if (!feat::IsTestId(r.id, 0.2)) continue;
+    VISTA_RETURN_IF_ERROR(extractor(r, &x, &label));
+    metrics.Add(model.Predict(x.data()), label > 0.5f ? 1 : 0);
+  }
+  return metrics.F1();
+}
+
+}  // namespace
+
+int main() {
+  using namespace vista;
+
+  // Product catalog: 1500 products, 24 structured features (price, title
+  // embedding, categories), one image each. Label: popular or not.
+  feat::MultimodalDatasetSpec spec;
+  spec.name = "catalog";
+  spec.num_records = 1500;
+  spec.num_struct_features = 24;
+  spec.num_informative_struct = 6;
+  spec.image_size = 32;
+  spec.struct_signal = 0.45;
+  spec.seed = 5;
+  auto data = feat::GenerateMultimodal(spec);
+  if (!data.ok()) return 1;
+
+  df::EngineConfig engine_config;
+  engine_config.cpus_per_worker = 6;
+  df::Engine engine(engine_config);
+  auto t_str = engine.MakeTable(std::move(data->t_str), 6);
+  auto t_img = engine.MakeTable(std::move(data->t_img), 6);
+
+  // Baseline: structured features only.
+  auto baseline = StructOnlyF1(&engine, *t_str);
+  if (!baseline.ok()) {
+    std::printf("baseline failed: %s\n",
+                baseline.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Structured features only:        test F1 = %.1f%%\n",
+              100 * *baseline);
+
+  // Vista: explore the top 5 layers of ResNet50.
+  Vista::Options options;
+  options.cnn = dl::KnownCnn::kResNet50;
+  options.num_layers = 5;
+  options.training_iterations = 25;
+  options.data.num_records = spec.num_records;
+  options.data.num_struct_features = spec.num_struct_features + 1;
+  auto vista = Vista::Create(options);
+  if (!vista.ok()) return 1;
+
+  auto arch = dl::BuildMicroArch(dl::KnownCnn::kResNet50);
+  auto model =
+      dl::CnnModel::Instantiate(*arch, 99, dl::WeightInit::kGaborFirstConv);
+  auto result = vista->ExecuteReal(&engine, &*model, *t_str, *t_img, 6);
+  if (!result.ok()) {
+    std::printf("Vista run failed: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  const LayerRunResult* best = nullptr;
+  for (const auto& layer : result->per_layer) {
+    std::printf("Structured + ResNet50 %-10s test F1 = %.1f%%\n",
+                layer.layer_name.c_str(), 100 * layer.test_f1);
+    if (best == nullptr || layer.test_f1 > best->test_f1) best = &layer;
+  }
+  std::printf("\nBest transfer layer: %s (F1 %.1f%%, +%.1f points over "
+              "structured-only)\n",
+              best->layer_name.c_str(), 100 * best->test_f1,
+              100 * (best->test_f1 - *baseline));
+  std::printf("Note: the best layer is %s the topmost — exactly why the "
+              "paper insists on exploring multiple layers.\n",
+              best->layer_index ==
+                      result->per_layer.back().layer_index
+                  ? "(this time)"
+                  : "NOT");
+  return 0;
+}

@@ -1,0 +1,136 @@
+// vista_cli — command-line front-end for Vista's declarative API.
+//
+//   vista_cli explain  --cnn ResNet50 --layers 5 --records 20000
+//                      --features 130 [--nodes 8] [--memory-gb 32]
+//   vista_cli simulate --cnn VGG16 --layers 3 --records 200000
+//                      --features 200 [--pd ignite] [--approach Lazy-7]
+//   vista_cli optimize --cnn AlexNet --layers 4 --records 20000
+//                      --features 130
+//
+// `explain` prints the full EXPLAIN report; `optimize` prints only the
+// optimizer decisions; `simulate` runs one Figure-6 approach (default
+// "Vista") on the cluster simulator and reports runtime or the crash.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "vista/experiments.h"
+
+namespace {
+
+using namespace vista;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> flags;
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::stoll(it->second);
+  }
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: vista_cli <explain|optimize|simulate> --cnn "
+               "<AlexNet|VGG16|ResNet50> --layers <k>\n"
+               "       --records <n> --features <d> [--nodes <n>] "
+               "[--memory-gb <g>] [--gpu-gb <g>]\n"
+               "       [--pd <spark|ignite>] [--approach <Lazy-1|Lazy-5|"
+               "Lazy-7|Lazy-5+Pre-mat|Eager|Vista>]\n");
+  return 2;
+}
+
+Result<Args> Parse(int argc, char** argv) {
+  if (argc < 2) return Status::InvalidArgument("missing command");
+  Args args;
+  args.command = argv[1];
+  for (int i = 2; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0) {
+      return Status::InvalidArgument(std::string("expected flag, got ") +
+                                     argv[i]);
+    }
+    args.flags[argv[i] + 2] = argv[i + 1];
+  }
+  return args;
+}
+
+Result<int> Run(const Args& args) {
+  VISTA_ASSIGN_OR_RETURN(dl::KnownCnn cnn,
+                         dl::KnownCnnFromString(args.Get("cnn", "ResNet50")));
+  Vista::Options options;
+  options.cnn = cnn;
+  options.num_layers =
+      static_cast<int>(args.GetInt("layers", PaperNumLayers(cnn)));
+  options.data.num_records = args.GetInt("records", 20000);
+  options.data.num_struct_features = args.GetInt("features", 130);
+  options.env.num_nodes = static_cast<int>(args.GetInt("nodes", 8));
+  options.env.node_memory_bytes =
+      GiB(static_cast<double>(args.GetInt("memory-gb", 32)));
+  options.env.gpu_memory_bytes =
+      GiB(static_cast<double>(args.GetInt("gpu-gb", 0)));
+  const std::string pd_name = args.Get("pd", "spark");
+  const PdSystem pd =
+      pd_name == "ignite" ? PdSystem::kIgniteLike : PdSystem::kSparkLike;
+
+  if (args.command == "optimize" || args.command == "explain") {
+    VISTA_ASSIGN_OR_RETURN(Vista vista, Vista::Create(options));
+    if (args.command == "optimize") {
+      std::printf("%s\n", vista.decisions().ToString().c_str());
+    } else {
+      VISTA_ASSIGN_OR_RETURN(std::string report, vista.Explain(pd));
+      std::printf("%s", report.c_str());
+    }
+    return 0;
+  }
+
+  if (args.command == "simulate") {
+    ExperimentSetup setup;
+    setup.env = options.env;
+    setup.pd = pd;
+    setup.cnn = cnn;
+    setup.num_layers = options.num_layers;
+    setup.data = options.data;
+    setup.use_gpu = options.env.gpu_memory_bytes > 0;
+    setup.node.gpu_memory_bytes = options.env.gpu_memory_bytes;
+    const std::string approach = args.Get("approach", "Vista");
+    VISTA_ASSIGN_OR_RETURN(ApproachResult result,
+                           RunApproach(setup, approach));
+    if (result.result.crashed()) {
+      std::printf("%s would CRASH: %s (stage '%s')\n", approach.c_str(),
+                  sim::CrashScenarioToString(result.result.crash),
+                  result.result.crashed_stage.c_str());
+      return 1;
+    }
+    std::printf("%s completes in %s", approach.c_str(),
+                FormatDuration(result.result.total_seconds +
+                               result.pre_mat_seconds)
+                    .c_str());
+    if (result.result.spill_bytes_written > 0) {
+      std::printf(" (spills %s)",
+                  FormatBytes(result.result.spill_bytes_written).c_str());
+    }
+    std::printf("\n");
+    return 0;
+  }
+  return Status::InvalidArgument("unknown command: " + args.command);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto args = Parse(argc, argv);
+  if (!args.ok()) return Usage();
+  auto result = Run(*args);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  return *result;
+}

@@ -1,0 +1,35 @@
+#include "common/bytes.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace vista {
+
+std::string FormatBytes(int64_t bytes) {
+  char buf[64];
+  const double b = static_cast<double>(bytes);
+  if (std::llabs(bytes) >= kGiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f GiB", b / static_cast<double>(kGiB));
+  } else if (std::llabs(bytes) >= kMiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f MiB", b / static_cast<double>(kMiB));
+  } else if (std::llabs(bytes) >= kKiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f KiB", b / static_cast<double>(kKiB));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lld B", static_cast<long long>(bytes));
+  }
+  return buf;
+}
+
+std::string FormatDuration(double seconds) {
+  char buf[64];
+  if (seconds >= 60.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f min", seconds / 60.0);
+  } else if (seconds >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", seconds);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f ms", seconds * 1e3);
+  }
+  return buf;
+}
+
+}  // namespace vista

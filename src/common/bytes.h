@@ -1,0 +1,25 @@
+#ifndef VISTA_COMMON_BYTES_H_
+#define VISTA_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace vista {
+
+inline constexpr int64_t kKiB = 1024;
+inline constexpr int64_t kMiB = 1024 * kKiB;
+inline constexpr int64_t kGiB = 1024 * kMiB;
+
+constexpr int64_t KiB(double n) { return static_cast<int64_t>(n * kKiB); }
+constexpr int64_t MiB(double n) { return static_cast<int64_t>(n * kMiB); }
+constexpr int64_t GiB(double n) { return static_cast<int64_t>(n * kGiB); }
+
+/// Renders a byte count as a short human-readable string, e.g. "2.4 GiB".
+std::string FormatBytes(int64_t bytes);
+
+/// Renders seconds as "1.2 s" / "3.4 min" style strings for bench output.
+std::string FormatDuration(double seconds);
+
+}  // namespace vista
+
+#endif  // VISTA_COMMON_BYTES_H_

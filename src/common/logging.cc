@@ -1,0 +1,77 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <mutex>
+
+namespace vista {
+namespace {
+
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+
+// Serializes whole log lines across threads.
+std::mutex& LogMutex() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+const char* Basename(const char* file) {
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  return base;
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+}
+
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line
+          << "] ";
+}
+
+LogMessage::~LogMessage() {
+  stream_ << "\n";
+  std::lock_guard<std::mutex> lock(LogMutex());
+  (level_ >= LogLevel::kWarning ? std::cerr : std::clog) << stream_.str();
+}
+
+FatalLogMessage::FatalLogMessage(const char* file, int line) {
+  stream_ << "[FATAL " << Basename(file) << ":" << line << "] ";
+}
+
+FatalLogMessage::~FatalLogMessage() {
+  stream_ << "\n";
+  {
+    std::lock_guard<std::mutex> lock(LogMutex());
+    std::cerr << stream_.str();
+  }
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace vista

@@ -1,0 +1,87 @@
+#ifndef VISTA_COMMON_LOGGING_H_
+#define VISTA_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace vista {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped.
+/// Defaults to kInfo; tests may lower it to kDebug.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Stream-style log line emitter; flushes on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Like LogMessage but aborts the process on destruction.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace vista
+
+#define VISTA_LOG_INTERNAL(level)                                          \
+  ::vista::internal::LogMessage(level, __FILE__, __LINE__).stream()
+
+#define VISTA_LOG(severity)                                                 \
+  !(static_cast<int>(::vista::LogLevel::k##severity) >=                     \
+    static_cast<int>(::vista::GetLogLevel()))                               \
+      ? (void)0                                                             \
+      : ::vista::internal::Voidify() &                                      \
+            VISTA_LOG_INTERNAL(::vista::LogLevel::k##severity)
+
+/// CHECK-style invariant assertion: active in all build types. Use for
+/// programming errors, never for recoverable conditions (return Status for
+/// those).
+#define VISTA_CHECK(cond)                                                   \
+  (cond) ? (void)0                                                          \
+         : ::vista::internal::Voidify() &                                   \
+               ::vista::internal::FatalLogMessage(__FILE__, __LINE__)       \
+                   .stream()                                                \
+               << "Check failed: " #cond " "
+
+#define VISTA_CHECK_EQ(a, b) VISTA_CHECK((a) == (b))
+#define VISTA_CHECK_NE(a, b) VISTA_CHECK((a) != (b))
+#define VISTA_CHECK_LT(a, b) VISTA_CHECK((a) < (b))
+#define VISTA_CHECK_LE(a, b) VISTA_CHECK((a) <= (b))
+#define VISTA_CHECK_GT(a, b) VISTA_CHECK((a) > (b))
+#define VISTA_CHECK_GE(a, b) VISTA_CHECK((a) >= (b))
+
+#define VISTA_DCHECK(cond) VISTA_CHECK(cond)
+
+#endif  // VISTA_COMMON_LOGGING_H_

@@ -1,0 +1,56 @@
+#include "common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace vista {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kOutOfMemory:
+      return "OutOfMemory";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kIOError:
+      return "IOError";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(state_->code);
+  out += ": ";
+  out += state_->message;
+  return out;
+}
+
+namespace internal {
+
+void DieBadResultAccess(const Status& status) {
+  std::fprintf(stderr, "FATAL: accessed value of errored Result: %s\n",
+               status.ToString().c_str());
+  std::abort();
+}
+
+void DieOkStatusAsError() {
+  std::fprintf(stderr, "FATAL: constructed Result<T> from an OK Status\n");
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace vista

@@ -1,0 +1,202 @@
+#ifndef VISTA_COMMON_STATUS_H_
+#define VISTA_COMMON_STATUS_H_
+
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace vista {
+
+/// Error categories used across the Vista codebase.
+///
+/// The set intentionally mirrors the failure taxonomy of the paper's
+/// Section 4.1 where it matters: memory-related failures are reported as
+/// `kOutOfMemory` (allocation-level) or `kResourceExhausted`
+/// (budget/apportioning-level) so that callers can distinguish a hard
+/// allocation failure from a planned-capacity violation.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfMemory = 4,
+  kResourceExhausted = 5,
+  kFailedPrecondition = 6,
+  kUnimplemented = 7,
+  kInternal = 8,
+  kIOError = 9,
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "OutOfMemory").
+const char* StatusCodeToString(StatusCode code);
+
+/// Result of an operation that can fail without a value payload.
+///
+/// `Status` is cheap to copy in the OK case (a single pointer compare against
+/// null); error states carry a code and message on the heap. This is the
+/// standard Arrow/RocksDB-style alternative to exceptions, which this
+/// codebase does not use across API boundaries.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message) {
+    if (code != StatusCode::kOk) {
+      state_ = std::make_shared<State>(State{code, std::move(message)});
+    }
+  }
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfMemory(std::string msg) {
+    return Status(StatusCode::kOutOfMemory, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return ok() ? kEmpty : state_->message;
+  }
+
+  bool IsOutOfMemory() const { return code() == StatusCode::kOutOfMemory; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+
+  /// Renders "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<State> state_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// A value-or-error holder, analogous to arrow::Result / absl::StatusOr.
+///
+/// Invariant: exactly one of {value, error-status} is engaged. Accessing
+/// `value()` on an error Result aborts the process (programming error).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: allows `return my_value;` in functions returning
+  /// Result<T>. Implicit from a Status likewise allows `return SomeError();`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    AbortIfOk();
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    AbortIfError();
+    return *value_;
+  }
+  const T& value() const& {
+    AbortIfError();
+    return *value_;
+  }
+  T&& value() && {
+    AbortIfError();
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Returns the value if ok, otherwise `fallback`.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void AbortIfError() const;
+  void AbortIfOk() const;
+
+  std::optional<T> value_;
+  Status status_ = Status::OK();
+};
+
+namespace internal {
+[[noreturn]] void DieBadResultAccess(const Status& status);
+[[noreturn]] void DieOkStatusAsError();
+}  // namespace internal
+
+template <typename T>
+void Result<T>::AbortIfError() const {
+  if (!ok()) internal::DieBadResultAccess(status_);
+}
+
+template <typename T>
+void Result<T>::AbortIfOk() const {
+  if (status_.ok()) internal::DieOkStatusAsError();
+}
+
+}  // namespace vista
+
+/// Propagates a non-OK Status from an expression.
+#define VISTA_RETURN_IF_ERROR(expr)                 \
+  do {                                              \
+    ::vista::Status _st = (expr);                   \
+    if (!_st.ok()) return _st;                      \
+  } while (false)
+
+#define VISTA_CONCAT_IMPL(x, y) x##y
+#define VISTA_CONCAT(x, y) VISTA_CONCAT_IMPL(x, y)
+
+/// Evaluates a Result<T>-returning expression; on success assigns the value
+/// to `lhs`, on failure propagates the Status.
+#define VISTA_ASSIGN_OR_RETURN(lhs, expr)                          \
+  VISTA_ASSIGN_OR_RETURN_IMPL(VISTA_CONCAT(_res_, __LINE__), lhs, expr)
+
+#define VISTA_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#endif  // VISTA_COMMON_STATUS_H_

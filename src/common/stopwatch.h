@@ -1,0 +1,27 @@
+#ifndef VISTA_COMMON_STOPWATCH_H_
+#define VISTA_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace vista {
+
+/// Wall-clock stopwatch for coarse timing of real-mode executions.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace vista
+
+#endif  // VISTA_COMMON_STOPWATCH_H_

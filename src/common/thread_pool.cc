@@ -1,0 +1,87 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+
+#include "common/logging.h"
+
+namespace vista {
+
+ThreadPool::ThreadPool(int num_threads) {
+  VISTA_CHECK_GE(num_threads, 1);
+  threads_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    VISTA_CHECK(!shutdown_);
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::ParallelFor(int64_t n,
+                             const std::function<void(int64_t)>& fn) {
+  if (n <= 0) return;
+  std::atomic<int64_t> next{0};
+  const int workers = num_threads();
+  std::atomic<int> done{0};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  for (int w = 0; w < workers; ++w) {
+    Submit([&] {
+      for (int64_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+        fn(i);
+      }
+      if (done.fetch_add(1) + 1 == workers) {
+        std::lock_guard<std::mutex> lock(done_mu);
+        done_cv.notify_all();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&] { return done.load() == workers; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(lock,
+                           [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        // Only reachable when shutting down.
+        return;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace vista

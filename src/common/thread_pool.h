@@ -1,0 +1,51 @@
+#ifndef VISTA_COMMON_THREAD_POOL_H_
+#define VISTA_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vista {
+
+/// Fixed-size worker pool used by the local dataflow engine to model the
+/// per-worker degree of parallelism (the paper's `cpu` knob).
+///
+/// Tasks are plain std::function<void()>; failures must be communicated
+/// through captured state (e.g. a Status slot per task), never by throwing.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Safe to call from any thread, including pool threads.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished running.
+  void WaitIdle();
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+  /// Runs `fn(i)` for i in [0, n) across the pool and waits for completion.
+  void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  int in_flight_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace vista
+
+#endif  // VISTA_COMMON_THREAD_POOL_H_

@@ -1,0 +1,138 @@
+#include "dataflow/cache.h"
+
+namespace vista::df {
+
+StorageCache::StorageCache(MemoryManager* memory, SpillManager* spill,
+                           bool allow_spill)
+    : memory_(memory), spill_(spill), allow_spill_(allow_spill) {}
+
+Status StorageCache::EvictUntilAvailable(int64_t bytes) {
+  for (;;) {
+    if (memory_->Available(MemoryRegion::kStorage) >= bytes) {
+      return Status::OK();
+    }
+    if (lru_.empty()) {
+      if (!allow_spill_) {
+        return Status::ResourceExhausted(
+            "Storage memory exhausted and spilling is disabled "
+            "(memory-only mode)");
+      }
+      // Caller will spill the incoming partition itself.
+      return Status::OutOfMemory("storage cannot fit partition");
+    }
+    // Evict the least-recently-used resident partition.
+    Partition* victim = lru_.back();
+    auto it = entries_.find(victim);
+    Entry& entry = it->second;
+    if (!allow_spill_) {
+      return Status::ResourceExhausted(
+          "Storage memory exhausted and spilling is disabled "
+          "(memory-only mode)");
+    }
+    VISTA_ASSIGN_OR_RETURN(std::vector<uint8_t> blob, victim->ToBlob());
+    VISTA_RETURN_IF_ERROR(spill_->Write(entry.key, blob));
+    victim->Evict();
+    memory_->Release(MemoryRegion::kStorage, entry.charged_bytes);
+    entry.charged_bytes = 0;
+    lru_.pop_back();
+    entry.in_lru = false;
+  }
+}
+
+Status StorageCache::Insert(const std::shared_ptr<Partition>& partition) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.count(partition.get()) > 0) {
+    return Status::OK();  // Already managed.
+  }
+  Entry entry;
+  entry.key = next_key_++;
+  entry.partition = partition;
+  const int64_t bytes = partition->memory_bytes();
+  Status avail = EvictUntilAvailable(bytes);
+  if (avail.ok()) {
+    Status reserve = memory_->TryReserve(MemoryRegion::kStorage, bytes);
+    if (reserve.ok()) {
+      entry.charged_bytes = bytes;
+      lru_.push_front(partition.get());
+      entry.lru_it = lru_.begin();
+      entry.in_lru = true;
+      entries_.emplace(partition.get(), std::move(entry));
+      return Status::OK();
+    }
+    avail = reserve;
+  }
+  if (avail.IsResourceExhausted()) return avail;  // Memory-only crash.
+  // Spill the incoming partition directly: it is managed but non-resident.
+  VISTA_ASSIGN_OR_RETURN(std::vector<uint8_t> blob, partition->ToBlob());
+  VISTA_RETURN_IF_ERROR(spill_->Write(entry.key, blob));
+  partition->Evict();
+  entries_.emplace(partition.get(), std::move(entry));
+  return Status::OK();
+}
+
+Status StorageCache::FaultIn(Entry* entry) {
+  Partition* p = entry->partition.get();
+  VISTA_ASSIGN_OR_RETURN(std::vector<uint8_t> blob, spill_->Read(entry->key));
+  // Restored partitions come back in the compact serialized format; the
+  // blob size is exactly what Storage must hold.
+  const int64_t bytes = static_cast<int64_t>(blob.size());
+  VISTA_RETURN_IF_ERROR(EvictUntilAvailable(bytes));
+  VISTA_RETURN_IF_ERROR(memory_->TryReserve(MemoryRegion::kStorage, bytes));
+  Status restored = p->Restore(blob, PersistenceFormat::kSerialized);
+  if (!restored.ok()) {
+    memory_->Release(MemoryRegion::kStorage, bytes);
+    return restored;
+  }
+  entry->charged_bytes = bytes;
+  spill_->Remove(entry->key);
+  lru_.push_front(p);
+  entry->lru_it = lru_.begin();
+  entry->in_lru = true;
+  return Status::OK();
+}
+
+Result<std::vector<Record>> StorageCache::ReadThrough(
+    const std::shared_ptr<Partition>& partition) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(partition.get());
+  if (it == entries_.end()) {
+    // Unmanaged partition: plain read.
+    return partition->ReadRecords();
+  }
+  Entry& entry = it->second;
+  if (!partition->resident()) {
+    VISTA_RETURN_IF_ERROR(FaultIn(&entry));
+  } else if (entry.in_lru) {
+    lru_.erase(entry.lru_it);
+    lru_.push_front(partition.get());
+    entry.lru_it = lru_.begin();
+  }
+  return partition->ReadRecords();
+}
+
+void StorageCache::Remove(const std::shared_ptr<Partition>& partition) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(partition.get());
+  if (it == entries_.end()) return;
+  Entry& entry = it->second;
+  if (entry.in_lru) lru_.erase(entry.lru_it);
+  memory_->Release(MemoryRegion::kStorage, entry.charged_bytes);
+  spill_->Remove(entry.key);
+  entries_.erase(it);
+}
+
+int64_t StorageCache::num_managed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(entries_.size());
+}
+
+int64_t StorageCache::num_spilled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t n = 0;
+  for (const auto& [p, entry] : entries_) {
+    if (!p->resident()) ++n;
+  }
+  return n;
+}
+
+}  // namespace vista::df

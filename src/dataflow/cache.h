@@ -1,0 +1,79 @@
+#ifndef VISTA_DATAFLOW_CACHE_H_
+#define VISTA_DATAFLOW_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "dataflow/memory.h"
+#include "dataflow/partition.h"
+#include "dataflow/spill.h"
+
+namespace vista::df {
+
+/// LRU-managed Storage Memory for cached partitions.
+///
+/// Inserted partitions charge their footprint against the MemoryManager's
+/// Storage region. Under pressure, least-recently-used partitions are
+/// evicted to the SpillManager (if spilling is allowed — Spark-like) or the
+/// insert fails with ResourceExhausted (memory-only, Ignite-like), which is
+/// exactly the paper's Eager-on-Ignite crash mode.
+class StorageCache {
+ public:
+  StorageCache(MemoryManager* memory, SpillManager* spill, bool allow_spill);
+
+  StorageCache(const StorageCache&) = delete;
+  StorageCache& operator=(const StorageCache&) = delete;
+
+  /// Places `partition` under cache management, evicting LRU entries as
+  /// needed. If it cannot fit even after evictions, the partition itself is
+  /// spilled (when allowed) or ResourceExhausted is returned.
+  Status Insert(const std::shared_ptr<Partition>& partition);
+
+  /// Reads the records of a managed partition, faulting it in from disk if
+  /// it was spilled, and marks it most-recently-used. Also works for
+  /// partitions that are not under management (plain read).
+  Result<std::vector<Record>> ReadThrough(
+      const std::shared_ptr<Partition>& partition);
+
+  /// Removes a partition from management, releasing memory and any spill.
+  void Remove(const std::shared_ptr<Partition>& partition);
+
+  int64_t num_managed() const;
+  int64_t num_spilled() const;
+
+ private:
+  struct Entry {
+    int64_t key = 0;
+    std::shared_ptr<Partition> partition;
+    /// Bytes charged to Storage while resident.
+    int64_t charged_bytes = 0;
+    std::list<Partition*>::iterator lru_it;
+    bool in_lru = false;
+  };
+
+  /// Evicts LRU partitions until `bytes` of Storage are available.
+  /// Requires mu_ held. Returns ResourceExhausted when nothing is left to
+  /// evict (or spilling is disallowed) and the space still is not there.
+  Status EvictUntilAvailable(int64_t bytes);
+
+  /// Requires mu_ held.
+  Status FaultIn(Entry* entry);
+
+  MemoryManager* memory_;
+  SpillManager* spill_;
+  bool allow_spill_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<Partition*, Entry> entries_;
+  /// Most-recently-used at the front.
+  std::list<Partition*> lru_;
+  int64_t next_key_ = 0;
+};
+
+}  // namespace vista::df
+
+#endif  // VISTA_DATAFLOW_CACHE_H_

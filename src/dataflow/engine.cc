@@ -1,0 +1,351 @@
+#include "dataflow/engine.h"
+
+#include <algorithm>
+#include <unistd.h>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace vista::df {
+namespace {
+
+/// Stable hash of a record id for partitioning (splitmix64 finalizer).
+uint64_t HashId(int64_t id) {
+  uint64_t z = static_cast<uint64_t>(id) + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::vector<std::vector<Record>> BucketByHash(std::vector<Record> records,
+                                              int num_partitions) {
+  std::vector<std::vector<Record>> buckets(num_partitions);
+  for (Record& r : records) {
+    buckets[HashId(r.id) % num_partitions].push_back(std::move(r));
+  }
+  return buckets;
+}
+
+}  // namespace
+
+const char* JoinStrategyToString(JoinStrategy strategy) {
+  switch (strategy) {
+    case JoinStrategy::kShuffleHash:
+      return "shuffle";
+    case JoinStrategy::kBroadcast:
+      return "broadcast";
+  }
+  return "?";
+}
+
+Record MergeRecords(const Record& left, const Record& right) {
+  Record out;
+  out.id = left.id;
+  out.struct_features = left.struct_features;
+  out.struct_features.insert(out.struct_features.end(),
+                             right.struct_features.begin(),
+                             right.struct_features.end());
+  out.images = left.has_image() ? left.images : right.images;
+  for (const Tensor& t : left.features.tensors()) out.features.Append(t);
+  for (const Tensor& t : right.features.tensors()) out.features.Append(t);
+  return out;
+}
+
+Engine::Engine(EngineConfig config) : config_(std::move(config)) {
+  VISTA_CHECK_GE(config_.num_workers, 1);
+  VISTA_CHECK_GE(config_.cpus_per_worker, 1);
+  memory_ = std::make_unique<MemoryManager>(config_.budgets);
+  if (config_.spill_dir.empty()) {
+    config_.spill_dir =
+        "/tmp/vista_spill_" + std::to_string(::getpid()) + "_" +
+        std::to_string(reinterpret_cast<uintptr_t>(this));
+  }
+  spill_ = std::make_unique<SpillManager>(config_.spill_dir);
+  cache_ = std::make_unique<StorageCache>(memory_.get(), spill_.get(),
+                                          config_.allow_spill);
+  pool_ = std::make_unique<ThreadPool>(config_.num_workers *
+                                       config_.cpus_per_worker);
+}
+
+EngineStats Engine::stats() const {
+  EngineStats s;
+  s.shuffle_bytes = shuffle_bytes_.load();
+  s.broadcast_bytes = broadcast_bytes_.load();
+  s.spill_bytes_written = spill_->bytes_written();
+  s.spill_bytes_read = spill_->bytes_read();
+  s.num_spills = spill_->num_spills();
+  return s;
+}
+
+Result<Table> Engine::MakeTable(std::vector<Record> records,
+                                int num_partitions) {
+  if (num_partitions < 1) {
+    return Status::InvalidArgument("num_partitions must be >= 1");
+  }
+  auto buckets = BucketByHash(std::move(records), num_partitions);
+  Table table;
+  table.partitions.reserve(num_partitions);
+  for (auto& bucket : buckets) {
+    table.partitions.push_back(
+        std::make_shared<Partition>(std::move(bucket)));
+  }
+  return table;
+}
+
+Result<std::vector<Record>> Engine::ReadPartition(
+    const std::shared_ptr<Partition>& p) {
+  return cache_->ReadThrough(p);
+}
+
+Result<Table> Engine::MapPartitions(const Table& input,
+                                    const MapPartitionsFn& fn) {
+  const int np = input.num_partitions();
+  std::vector<std::shared_ptr<Partition>> outputs(np);
+  std::vector<Status> statuses(np);
+  pool_->ParallelFor(np, [&](int64_t i) {
+    auto records = ReadPartition(input.partitions[i]);
+    if (!records.ok()) {
+      statuses[i] = records.status();
+      return;
+    }
+    auto mapped = fn(std::move(records).value());
+    if (!mapped.ok()) {
+      statuses[i] = mapped.status();
+      return;
+    }
+    outputs[i] = std::make_shared<Partition>(std::move(mapped).value());
+  });
+  for (const Status& st : statuses) {
+    VISTA_RETURN_IF_ERROR(st);
+  }
+  Table out;
+  out.partitions = std::move(outputs);
+  return out;
+}
+
+Result<Table> Engine::Repartition(const Table& input, int num_partitions) {
+  if (num_partitions < 1) {
+    return Status::InvalidArgument("num_partitions must be >= 1");
+  }
+  // Gather-and-rebucket; metered as shuffle traffic.
+  std::vector<Record> all;
+  for (const auto& p : input.partitions) {
+    VISTA_ASSIGN_OR_RETURN(std::vector<Record> records, ReadPartition(p));
+    for (Record& r : records) {
+      shuffle_bytes_.fetch_add(EstimateRecordBytes(r));
+      all.push_back(std::move(r));
+    }
+  }
+  return MakeTable(std::move(all), num_partitions);
+}
+
+Result<Table> Engine::Join(const Table& left, const Table& right,
+                           JoinStrategy strategy,
+                           int num_output_partitions) {
+  if (num_output_partitions < 1) {
+    return Status::InvalidArgument("num_output_partitions must be >= 1");
+  }
+  if (strategy == JoinStrategy::kBroadcast) {
+    // Build one hash table from the full right side; replicated per worker
+    // in a real cluster, so Core memory is charged num_workers times.
+    std::vector<Record> small;
+    int64_t small_bytes = 0;
+    for (const auto& p : right.partitions) {
+      VISTA_ASSIGN_OR_RETURN(std::vector<Record> records, ReadPartition(p));
+      for (Record& r : records) {
+        small_bytes += EstimateRecordBytes(r);
+        small.push_back(std::move(r));
+      }
+    }
+    broadcast_bytes_.fetch_add(small_bytes * config_.num_workers);
+    const int64_t charged = small_bytes * config_.num_workers;
+    VISTA_RETURN_IF_ERROR(memory_->TryReserve(MemoryRegion::kCore, charged));
+    std::unordered_map<int64_t, const Record*> hash_table;
+    hash_table.reserve(small.size());
+    for (const Record& r : small) hash_table.emplace(r.id, &r);
+
+    const int np = left.num_partitions();
+    std::vector<std::shared_ptr<Partition>> outputs(np);
+    std::vector<Status> statuses(np);
+    pool_->ParallelFor(np, [&](int64_t i) {
+      auto records = ReadPartition(left.partitions[i]);
+      if (!records.ok()) {
+        statuses[i] = records.status();
+        return;
+      }
+      std::vector<Record> joined;
+      for (const Record& l : *records) {
+        auto it = hash_table.find(l.id);
+        if (it != hash_table.end()) {
+          joined.push_back(MergeRecords(l, *it->second));
+        }
+      }
+      outputs[i] = std::make_shared<Partition>(std::move(joined));
+    });
+    memory_->Release(MemoryRegion::kCore, charged);
+    for (const Status& st : statuses) {
+      VISTA_RETURN_IF_ERROR(st);
+    }
+    Table out;
+    out.partitions = std::move(outputs);
+    if (out.num_partitions() != num_output_partitions) {
+      return Repartition(out, num_output_partitions);
+    }
+    return out;
+  }
+
+  // Shuffle-hash join: bucket both sides by id hash into the output
+  // partition count, then hash-join bucket pairs in parallel.
+  const int np = num_output_partitions;
+  std::vector<std::vector<Record>> left_buckets(np);
+  std::vector<std::vector<Record>> right_buckets(np);
+  for (const auto& p : left.partitions) {
+    VISTA_ASSIGN_OR_RETURN(std::vector<Record> records, ReadPartition(p));
+    for (Record& r : records) {
+      shuffle_bytes_.fetch_add(EstimateRecordBytes(r));
+      left_buckets[HashId(r.id) % np].push_back(std::move(r));
+    }
+  }
+  for (const auto& p : right.partitions) {
+    VISTA_ASSIGN_OR_RETURN(std::vector<Record> records, ReadPartition(p));
+    for (Record& r : records) {
+      shuffle_bytes_.fetch_add(EstimateRecordBytes(r));
+      right_buckets[HashId(r.id) % np].push_back(std::move(r));
+    }
+  }
+
+  std::vector<std::shared_ptr<Partition>> outputs(np);
+  std::vector<Status> statuses(np);
+  pool_->ParallelFor(np, [&](int64_t i) {
+    // Build side: the smaller bucket. Charge its footprint to Core memory
+    // for the duration of the probe (join working memory).
+    std::vector<Record>& build = right_buckets[i].size() <=
+                                         left_buckets[i].size()
+                                     ? right_buckets[i]
+                                     : left_buckets[i];
+    std::vector<Record>& probe = right_buckets[i].size() <=
+                                         left_buckets[i].size()
+                                     ? left_buckets[i]
+                                     : right_buckets[i];
+    const bool build_is_right = &build == &right_buckets[i];
+    int64_t build_bytes = 0;
+    for (const Record& r : build) build_bytes += EstimateRecordBytes(r);
+    Status reserve = memory_->TryReserve(MemoryRegion::kCore, build_bytes);
+    if (!reserve.ok()) {
+      statuses[i] = reserve;
+      return;
+    }
+    std::unordered_map<int64_t, const Record*> hash_table;
+    hash_table.reserve(build.size());
+    for (const Record& r : build) hash_table.emplace(r.id, &r);
+    std::vector<Record> joined;
+    for (const Record& p : probe) {
+      auto it = hash_table.find(p.id);
+      if (it != hash_table.end()) {
+        // Keep (left, right) merge order regardless of build side.
+        joined.push_back(build_is_right ? MergeRecords(p, *it->second)
+                                        : MergeRecords(*it->second, p));
+      }
+    }
+    memory_->Release(MemoryRegion::kCore, build_bytes);
+    build.clear();
+    probe.clear();
+    outputs[i] = std::make_shared<Partition>(std::move(joined));
+  });
+  for (const Status& st : statuses) {
+    VISTA_RETURN_IF_ERROR(st);
+  }
+  Table out;
+  out.partitions = std::move(outputs);
+  return out;
+}
+
+
+Result<Table> Engine::Filter(
+    const Table& input, const std::function<bool(const Record&)>& predicate) {
+  return MapPartitions(
+      input,
+      [&predicate](std::vector<Record> records)
+          -> Result<std::vector<Record>> {
+        std::vector<Record> out;
+        for (Record& r : records) {
+          if (predicate(r)) out.push_back(std::move(r));
+        }
+        return out;
+      });
+}
+
+Result<Table> Engine::Union(const Table& a, const Table& b) {
+  if (a.num_partitions() != b.num_partitions()) {
+    return Status::InvalidArgument(
+        "Union: partition counts differ (" +
+        std::to_string(a.num_partitions()) + " vs " +
+        std::to_string(b.num_partitions()) + "); repartition first");
+  }
+  Table out;
+  for (int i = 0; i < a.num_partitions(); ++i) {
+    VISTA_ASSIGN_OR_RETURN(std::vector<Record> left,
+                           ReadPartition(a.partitions[i]));
+    VISTA_ASSIGN_OR_RETURN(std::vector<Record> right,
+                           ReadPartition(b.partitions[i]));
+    for (Record& r : right) left.push_back(std::move(r));
+    out.partitions.push_back(std::make_shared<Partition>(std::move(left)));
+  }
+  return out;
+}
+
+Result<Table> Engine::Sample(const Table& input, double fraction,
+                             uint64_t seed) {
+  if (fraction < 0.0 || fraction > 1.0) {
+    return Status::InvalidArgument("Sample: fraction must be in [0, 1]");
+  }
+  return MapPartitions(
+      input,
+      [fraction, seed](std::vector<Record> records)
+          -> Result<std::vector<Record>> {
+        std::vector<Record> out;
+        for (Record& r : records) {
+          // Stable per-id hash draw (splitmix64 finalizer).
+          uint64_t z = static_cast<uint64_t>(r.id) * 0x9e3779b97f4a7c15ULL +
+                       seed;
+          z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+          z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+          z ^= z >> 31;
+          const double u = static_cast<double>(z >> 11) * 0x1.0p-53;
+          if (u < fraction) out.push_back(std::move(r));
+        }
+        return out;
+      });
+}
+
+Status Engine::Persist(Table* table, PersistenceFormat format) {
+  for (auto& p : table->partitions) {
+    VISTA_RETURN_IF_ERROR(p->ConvertTo(format));
+    VISTA_RETURN_IF_ERROR(cache_->Insert(p));
+  }
+  return Status::OK();
+}
+
+void Engine::Unpersist(Table* table) {
+  for (auto& p : table->partitions) cache_->Remove(p);
+}
+
+Result<std::vector<Record>> Engine::Collect(const Table& table,
+                                            int64_t driver_memory_bytes) {
+  std::vector<Record> all;
+  int64_t bytes = 0;
+  for (const auto& p : table.partitions) {
+    VISTA_ASSIGN_OR_RETURN(std::vector<Record> records, ReadPartition(p));
+    for (Record& r : records) {
+      bytes += EstimateRecordBytes(r);
+      if (driver_memory_bytes >= 0 && bytes > driver_memory_bytes) {
+        return Status::ResourceExhausted(
+            "driver memory exhausted while collecting results");
+      }
+      all.push_back(std::move(r));
+    }
+  }
+  return all;
+}
+
+}  // namespace vista::df

@@ -1,0 +1,161 @@
+#ifndef VISTA_DATAFLOW_ENGINE_H_
+#define VISTA_DATAFLOW_ENGINE_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "dataflow/cache.h"
+#include "dataflow/memory.h"
+#include "dataflow/partition.h"
+#include "dataflow/record.h"
+#include "dataflow/spill.h"
+
+namespace vista::df {
+
+/// A distributed table handle: an ordered set of hash partitions.
+/// Tables are cheap to copy (partitions are shared).
+struct Table {
+  std::vector<std::shared_ptr<Partition>> partitions;
+
+  int num_partitions() const { return static_cast<int>(partitions.size()); }
+  int64_t num_records() const {
+    int64_t n = 0;
+    for (const auto& p : partitions) n += p->num_records();
+    return n;
+  }
+  /// Current total in-memory footprint.
+  int64_t memory_bytes() const {
+    int64_t n = 0;
+    for (const auto& p : partitions) n += p->memory_bytes();
+    return n;
+  }
+};
+
+/// Physical join operator choice (Section 4.2.3).
+enum class JoinStrategy {
+  kShuffleHash,
+  kBroadcast,
+};
+
+const char* JoinStrategyToString(JoinStrategy strategy);
+
+/// Configuration of the local dataflow engine.
+///
+/// The engine executes in one process; `num_workers * cpus_per_worker`
+/// threads model the cluster's total parallelism, and the MemoryBudgets
+/// model the *aggregate* regions across workers. Crash scenarios surface as
+/// ResourceExhausted Statuses rather than process deaths.
+struct EngineConfig {
+  int num_workers = 1;
+  int cpus_per_worker = 2;
+  MemoryBudgets budgets;
+  /// Storage format applied by Persist() unless overridden.
+  PersistenceFormat persistence = PersistenceFormat::kDeserialized;
+  /// False models memory-only deployments (Ignite-like): storage pressure
+  /// becomes a crash instead of a disk spill.
+  bool allow_spill = true;
+  /// Scratch directory for spills; auto-generated when empty.
+  std::string spill_dir;
+};
+
+/// Counters the benches and tests inspect after running a plan.
+struct EngineStats {
+  int64_t shuffle_bytes = 0;
+  int64_t broadcast_bytes = 0;
+  int64_t spill_bytes_written = 0;
+  int64_t spill_bytes_read = 0;
+  int64_t num_spills = 0;
+};
+
+/// The parallel-dataflow substrate: partitioned tables, UDF map-partitions,
+/// shuffle-hash and broadcast key-key joins, managed caching with LRU
+/// eviction and disk spills.
+class Engine {
+ public:
+  /// UDF over one partition's records. Runs concurrently across partitions;
+  /// must be thread-compatible (no shared mutable state without locking).
+  using MapPartitionsFn =
+      std::function<Result<std::vector<Record>>(std::vector<Record>)>;
+
+  explicit Engine(EngineConfig config);
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  const EngineConfig& config() const { return config_; }
+  MemoryManager& memory() { return *memory_; }
+  StorageCache& cache() { return *cache_; }
+  EngineStats stats() const;
+
+  /// Total execution threads (num_workers * cpus_per_worker).
+  int parallelism() const { return pool_->num_threads(); }
+
+  /// Hash-partitions `records` by id into `num_partitions` partitions.
+  Result<Table> MakeTable(std::vector<Record> records, int num_partitions);
+
+  /// Applies `fn` to every partition in parallel, producing a new
+  /// (unmanaged) table with the same partitioning.
+  Result<Table> MapPartitions(const Table& input, const MapPartitionsFn& fn);
+
+  /// Inner key-key join on record id. Records are merged field-wise: ids
+  /// must match, struct features are concatenated (left then right), image
+  /// and feature-list fields are taken from whichever side has them.
+  Result<Table> Join(const Table& left, const Table& right,
+                     JoinStrategy strategy, int num_output_partitions);
+
+  /// Re-partitions a table by id hash.
+  Result<Table> Repartition(const Table& input, int num_partitions);
+
+  /// Keeps the records satisfying `predicate` (partition-parallel).
+  Result<Table> Filter(const Table& input,
+                       const std::function<bool(const Record&)>& predicate);
+
+  /// Concatenates two tables partition-wise. Record ids are not
+  /// deduplicated; partition counts must match (repartition first
+  /// otherwise).
+  Result<Table> Union(const Table& a, const Table& b);
+
+  /// Deterministic Bernoulli sample of `fraction` of the records, keyed on
+  /// record id and `seed` (the same record is always in or out for a given
+  /// seed, independent of partitioning).
+  Result<Table> Sample(const Table& input, double fraction,
+                       uint64_t seed = 17);
+
+  /// Puts a table's partitions under managed Storage memory in `format`,
+  /// spilling under pressure (or failing when spills are disallowed).
+  Status Persist(Table* table, PersistenceFormat format);
+
+  /// Removes a table's partitions from managed storage.
+  void Unpersist(Table* table);
+
+  /// Gathers all records to the caller ("driver"). If
+  /// `driver_memory_bytes` >= 0, fails with ResourceExhausted when the
+  /// result exceeds it (the paper's driver-OOM crash scenario).
+  Result<std::vector<Record>> Collect(const Table& table,
+                                      int64_t driver_memory_bytes = -1);
+
+ private:
+  /// Reads a partition's records through the cache (faulting in spills).
+  Result<std::vector<Record>> ReadPartition(
+      const std::shared_ptr<Partition>& p);
+
+  EngineConfig config_;
+  std::unique_ptr<MemoryManager> memory_;
+  std::unique_ptr<SpillManager> spill_;
+  std::unique_ptr<StorageCache> cache_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::atomic<int64_t> shuffle_bytes_{0};
+  std::atomic<int64_t> broadcast_bytes_{0};
+};
+
+/// Merges two joined records (documented on Engine::Join).
+Record MergeRecords(const Record& left, const Record& right);
+
+}  // namespace vista::df
+
+#endif  // VISTA_DATAFLOW_ENGINE_H_

@@ -1,0 +1,239 @@
+#include "dataflow/io.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace vista::df {
+namespace {
+
+constexpr char kTableMagic[8] = {'V', 'T', 'B', 'L', '0', '0', '0', '1'};
+
+Status WriteAll(std::ofstream& out, const void* data, size_t bytes) {
+  out.write(static_cast<const char*>(data),
+            static_cast<std::streamsize>(bytes));
+  if (!out.good()) return Status::IOError("write failed");
+  return Status::OK();
+}
+
+Status ReadAll(std::ifstream& in, void* data, size_t bytes) {
+  in.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
+  if (in.gcount() != static_cast<std::streamsize>(bytes)) {
+    return Status::IOError("short read / truncated file");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteStructCsv(const std::vector<Record>& records,
+                      const std::string& path) {
+  size_t width = 0;
+  for (const Record& r : records) {
+    if (r.has_image() || r.features.size() > 0) {
+      return Status::InvalidArgument(
+          "WriteStructCsv: records with image/feature tensors are not "
+          "representable as CSV; use WriteTableFile");
+    }
+    width = std::max(width, r.struct_features.size());
+  }
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  out << "id";
+  for (size_t i = 0; i < width; ++i) out << ",f" << i;
+  out << "\n";
+  for (const Record& r : records) {
+    if (r.struct_features.size() != width) {
+      return Status::InvalidArgument(
+          "WriteStructCsv: ragged rows (record " + std::to_string(r.id) +
+          " has " + std::to_string(r.struct_features.size()) +
+          " features, expected " + std::to_string(width) + ")");
+    }
+    out << r.id;
+    char buf[48];
+    for (float v : r.struct_features) {
+      std::snprintf(buf, sizeof(buf), ",%.9g", static_cast<double>(v));
+      out << buf;
+    }
+    out << "\n";
+  }
+  out.flush();
+  if (!out.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::vector<Record>> ReadStructCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open for reading: " + path);
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("empty CSV: " + path);
+  }
+  if (line.rfind("id", 0) != 0) {
+    return Status::InvalidArgument("CSV missing 'id,...' header: " + path);
+  }
+  std::vector<Record> records;
+  int line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    Record r;
+    std::istringstream is(line);
+    std::string cell;
+    if (!std::getline(is, cell, ',')) {
+      return Status::InvalidArgument("bad CSV row at line " +
+                                     std::to_string(line_no));
+    }
+    try {
+      r.id = std::stoll(cell);
+    } catch (...) {
+      return Status::InvalidArgument("bad id at line " +
+                                     std::to_string(line_no));
+    }
+    while (std::getline(is, cell, ',')) {
+      try {
+        size_t pos = 0;
+        r.struct_features.push_back(std::stof(cell, &pos));
+        if (pos != cell.size()) throw 0;
+      } catch (...) {
+        return Status::InvalidArgument("bad float '" + cell + "' at line " +
+                                       std::to_string(line_no));
+      }
+    }
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+Status WriteTableFile(const Table& table, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  VISTA_RETURN_IF_ERROR(WriteAll(out, kTableMagic, sizeof(kTableMagic)));
+  const uint32_t np = static_cast<uint32_t>(table.num_partitions());
+  VISTA_RETURN_IF_ERROR(WriteAll(out, &np, sizeof(np)));
+  for (const auto& partition : table.partitions) {
+    VISTA_ASSIGN_OR_RETURN(std::vector<uint8_t> blob, partition->ToBlob());
+    const uint64_t num_records =
+        static_cast<uint64_t>(partition->num_records());
+    const uint64_t blob_bytes = blob.size();
+    VISTA_RETURN_IF_ERROR(WriteAll(out, &num_records, sizeof(num_records)));
+    VISTA_RETURN_IF_ERROR(WriteAll(out, &blob_bytes, sizeof(blob_bytes)));
+    if (!blob.empty()) {
+      VISTA_RETURN_IF_ERROR(WriteAll(out, blob.data(), blob.size()));
+    }
+  }
+  out.flush();
+  if (!out.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Table> ReadTableFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open for reading: " + path);
+  }
+  char magic[sizeof(kTableMagic)];
+  VISTA_RETURN_IF_ERROR(ReadAll(in, magic, sizeof(magic)));
+  if (std::memcmp(magic, kTableMagic, sizeof(magic)) != 0) {
+    return Status::InvalidArgument("not a Vista table file: " + path);
+  }
+  uint32_t np = 0;
+  VISTA_RETURN_IF_ERROR(ReadAll(in, &np, sizeof(np)));
+  if (np == 0 || np > 1 << 20) {
+    return Status::InvalidArgument("implausible partition count in " + path);
+  }
+  Table table;
+  for (uint32_t p = 0; p < np; ++p) {
+    uint64_t num_records = 0, blob_bytes = 0;
+    VISTA_RETURN_IF_ERROR(ReadAll(in, &num_records, sizeof(num_records)));
+    VISTA_RETURN_IF_ERROR(ReadAll(in, &blob_bytes, sizeof(blob_bytes)));
+    std::vector<uint8_t> blob(blob_bytes);
+    if (blob_bytes > 0) {
+      VISTA_RETURN_IF_ERROR(ReadAll(in, blob.data(), blob_bytes));
+    }
+    std::vector<Record> records;
+    records.reserve(num_records);
+    size_t offset = 0;
+    for (uint64_t i = 0; i < num_records; ++i) {
+      VISTA_ASSIGN_OR_RETURN(Record r, DeserializeRecord(blob, &offset));
+      records.push_back(std::move(r));
+    }
+    if (offset != blob.size()) {
+      return Status::InvalidArgument("trailing bytes in partition blob of " +
+                                     path);
+    }
+    table.partitions.push_back(
+        std::make_shared<Partition>(std::move(records)));
+  }
+  return table;
+}
+
+Status WriteImagePpm(const Tensor& image, const std::string& path) {
+  if (image.shape().rank() != 3 ||
+      (image.shape().dim(0) != 1 && image.shape().dim(0) != 3)) {
+    return Status::InvalidArgument(
+        "WriteImagePpm expects a 1xHxW or 3xHxW tensor, got " +
+        image.shape().ToString());
+  }
+  const int64_t c = image.shape().dim(0);
+  const int64_t h = image.shape().dim(1);
+  const int64_t w = image.shape().dim(2);
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  out << "P6\n" << w << " " << h << "\n255\n";
+  std::vector<uint8_t> row(static_cast<size_t>(w) * 3);
+  const float* data = image.data();
+  for (int64_t y = 0; y < h; ++y) {
+    for (int64_t x = 0; x < w; ++x) {
+      for (int64_t ch = 0; ch < 3; ++ch) {
+        const int64_t src = c == 3 ? ch : 0;
+        const float v =
+            std::clamp(data[(src * h + y) * w + x], 0.0f, 1.0f);
+        row[x * 3 + ch] = static_cast<uint8_t>(v * 255.0f + 0.5f);
+      }
+    }
+    VISTA_RETURN_IF_ERROR(WriteAll(out, row.data(), row.size()));
+  }
+  out.flush();
+  if (!out.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Tensor> ReadImagePpm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open for reading: " + path);
+  }
+  std::string magic;
+  int64_t w = 0, h = 0, maxval = 0;
+  in >> magic >> w >> h >> maxval;
+  if (magic != "P6" || w <= 0 || h <= 0 || maxval != 255) {
+    return Status::InvalidArgument("unsupported PPM header in " + path);
+  }
+  in.get();  // Single whitespace after header.
+  std::vector<uint8_t> raw(static_cast<size_t>(w) * h * 3);
+  VISTA_RETURN_IF_ERROR(ReadAll(in, raw.data(), raw.size()));
+  Tensor image(Shape{3, h, w});
+  float* data = image.mutable_data();
+  for (int64_t y = 0; y < h; ++y) {
+    for (int64_t x = 0; x < w; ++x) {
+      for (int64_t ch = 0; ch < 3; ++ch) {
+        data[(ch * h + y) * w + x] =
+            static_cast<float>(raw[(y * w + x) * 3 + ch]) / 255.0f;
+      }
+    }
+  }
+  return image;
+}
+
+}  // namespace vista::df

@@ -1,0 +1,44 @@
+#ifndef VISTA_DATAFLOW_IO_H_
+#define VISTA_DATAFLOW_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dataflow/engine.h"
+
+namespace vista::df {
+
+/// Persistent table exchange: structured data as CSV, arbitrary tables
+/// (including image and feature tensors) as Vista's binary table format.
+/// This is how real datasets enter and leave the engine.
+
+/// Writes the structured fields (id + struct_features) of `records` as CSV
+/// with header "id,f0,f1,...". Image and feature fields are not
+/// representable in CSV and must be absent (InvalidArgument otherwise).
+Status WriteStructCsv(const std::vector<Record>& records,
+                      const std::string& path);
+
+/// Reads a CSV written by WriteStructCsv (or hand-made with the same
+/// layout). All feature columns must parse as floats.
+Result<std::vector<Record>> ReadStructCsv(const std::string& path);
+
+/// Binary table file: magic + version + partition count, then each
+/// partition's record count and serialized blob (sparse-encoded feature
+/// tensors, see dataflow/record.h). Round-trips any table exactly.
+Status WriteTableFile(const Table& table, const std::string& path);
+
+/// Reads a binary table file, restoring the original partitioning.
+Result<Table> ReadTableFile(const std::string& path);
+
+/// Writes a CHW image tensor as a binary PPM (P6). Values are clamped to
+/// [0, 1] and quantized to 8 bits; single-channel tensors are replicated
+/// to gray RGB.
+Status WriteImagePpm(const Tensor& image, const std::string& path);
+
+/// Reads a binary PPM (P6) into a 3xHxW float tensor in [0, 1].
+Result<Tensor> ReadImagePpm(const std::string& path);
+
+}  // namespace vista::df
+
+#endif  // VISTA_DATAFLOW_IO_H_

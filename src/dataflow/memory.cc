@@ -1,0 +1,114 @@
+#include "dataflow/memory.h"
+
+#include <limits>
+#include <sstream>
+
+#include "common/bytes.h"
+
+namespace vista::df {
+
+const char* MemoryRegionToString(MemoryRegion region) {
+  switch (region) {
+    case MemoryRegion::kUser:
+      return "User";
+    case MemoryRegion::kCore:
+      return "Core";
+    case MemoryRegion::kStorage:
+      return "Storage";
+    case MemoryRegion::kDlExecution:
+      return "DLExecution";
+  }
+  return "?";
+}
+
+int64_t MemoryBudgets::Get(MemoryRegion region) const {
+  switch (region) {
+    case MemoryRegion::kUser:
+      return user;
+    case MemoryRegion::kCore:
+      return core;
+    case MemoryRegion::kStorage:
+      return storage;
+    case MemoryRegion::kDlExecution:
+      return dl_execution;
+  }
+  return -1;
+}
+
+MemoryManager::MemoryManager(MemoryBudgets budgets) : budgets_(budgets) {
+  for (int i = 0; i < kNumMemoryRegions; ++i) {
+    used_[i].store(0);
+    peak_[i].store(0);
+  }
+}
+
+Status MemoryManager::TryReserve(MemoryRegion region, int64_t bytes) {
+  if (bytes <= 0) return Status::OK();
+  const int idx = static_cast<int>(region);
+  const int64_t budget = budgets_.Get(region);
+  int64_t current = used_[idx].load(std::memory_order_relaxed);
+  for (;;) {
+    const int64_t proposed = current + bytes;
+    if (budget >= 0 && proposed > budget) {
+      return Status::ResourceExhausted(
+          std::string(MemoryRegionToString(region)) +
+          " memory exhausted: in use " + FormatBytes(current) +
+          ", requested " + FormatBytes(bytes) + ", budget " +
+          FormatBytes(budget));
+    }
+    if (used_[idx].compare_exchange_weak(current, proposed,
+                                         std::memory_order_relaxed)) {
+      // Update the high-water mark (racy max loop).
+      int64_t prev_peak = peak_[idx].load(std::memory_order_relaxed);
+      while (proposed > prev_peak &&
+             !peak_[idx].compare_exchange_weak(prev_peak, proposed,
+                                               std::memory_order_relaxed)) {
+      }
+      return Status::OK();
+    }
+  }
+}
+
+void MemoryManager::Release(MemoryRegion region, int64_t bytes) {
+  if (bytes <= 0) return;
+  const int idx = static_cast<int>(region);
+  int64_t current = used_[idx].fetch_sub(bytes, std::memory_order_relaxed);
+  if (current - bytes < 0) {
+    // Defensive clamp; indicates an accounting bug upstream.
+    used_[idx].store(0, std::memory_order_relaxed);
+  }
+}
+
+int64_t MemoryManager::Used(MemoryRegion region) const {
+  return used_[static_cast<int>(region)].load(std::memory_order_relaxed);
+}
+
+int64_t MemoryManager::Budget(MemoryRegion region) const {
+  return budgets_.Get(region);
+}
+
+int64_t MemoryManager::Peak(MemoryRegion region) const {
+  return peak_[static_cast<int>(region)].load(std::memory_order_relaxed);
+}
+
+int64_t MemoryManager::Available(MemoryRegion region) const {
+  const int64_t budget = budgets_.Get(region);
+  if (budget < 0) return std::numeric_limits<int64_t>::max();
+  return budget - Used(region);
+}
+
+std::string MemoryManager::DebugString() const {
+  std::ostringstream os;
+  for (int i = 0; i < kNumMemoryRegions; ++i) {
+    const auto region = static_cast<MemoryRegion>(i);
+    os << MemoryRegionToString(region) << ": used "
+       << FormatBytes(Used(region)) << " / budget ";
+    const int64_t budget = Budget(region);
+    os << (budget < 0 ? "unlimited" : FormatBytes(budget));
+    os << " (peak " << FormatBytes(Peak(region)) << ")";
+    if (i + 1 < kNumMemoryRegions) os << "; ";
+  }
+  return os.str();
+}
+
+}  // namespace vista::df

@@ -1,0 +1,81 @@
+#ifndef VISTA_DATAFLOW_MEMORY_H_
+#define VISTA_DATAFLOW_MEMORY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace vista::df {
+
+/// The memory regions of the paper's abstract model of distributed memory
+/// apportioning (Section 4.1 / Figure 4). Budgets are per worker.
+enum class MemoryRegion : int {
+  /// UDF execution scratch: CNN models being deserialized, feature-layer
+  /// buffers, downstream-model copies.
+  kUser = 0,
+  /// Query-processing scratch: join hash tables, shuffle buffers.
+  kCore = 1,
+  /// Cached intermediate data partitions.
+  kStorage = 2,
+  /// DL-system memory, outside the dataflow system's heap: per-thread CNN
+  /// replicas during inference.
+  kDlExecution = 3,
+};
+
+inline constexpr int kNumMemoryRegions = 4;
+
+const char* MemoryRegionToString(MemoryRegion region);
+
+/// Per-worker memory budgets (bytes). A budget of -1 means unlimited
+/// (useful in tests exercising logic without memory pressure).
+struct MemoryBudgets {
+  int64_t user = -1;
+  int64_t core = -1;
+  int64_t storage = -1;
+  int64_t dl_execution = -1;
+
+  int64_t Get(MemoryRegion region) const;
+};
+
+/// Thread-safe accounting of region usage against budgets.
+///
+/// This is real accounting, not simulation: the local engine reserves bytes
+/// before materializing buffers and fails with ResourceExhausted when a
+/// region's budget would be exceeded — reproducing the paper's crash
+/// scenarios as observable Status values instead of process deaths.
+class MemoryManager {
+ public:
+  explicit MemoryManager(MemoryBudgets budgets = {});
+
+  MemoryManager(const MemoryManager&) = delete;
+  MemoryManager& operator=(const MemoryManager&) = delete;
+
+  /// Attempts to reserve `bytes` in `region`; ResourceExhausted if the
+  /// budget would be exceeded. Reservations of zero or negative bytes are
+  /// no-ops.
+  Status TryReserve(MemoryRegion region, int64_t bytes);
+
+  /// Releases a previous reservation (clamped at zero defensively).
+  void Release(MemoryRegion region, int64_t bytes);
+
+  int64_t Used(MemoryRegion region) const;
+  int64_t Budget(MemoryRegion region) const;
+  /// High-water mark of usage in `region` since construction.
+  int64_t Peak(MemoryRegion region) const;
+
+  /// Bytes of head-room left, or INT64_MAX for unlimited regions.
+  int64_t Available(MemoryRegion region) const;
+
+  std::string DebugString() const;
+
+ private:
+  MemoryBudgets budgets_;
+  std::atomic<int64_t> used_[kNumMemoryRegions];
+  std::atomic<int64_t> peak_[kNumMemoryRegions];
+};
+
+}  // namespace vista::df
+
+#endif  // VISTA_DATAFLOW_MEMORY_H_

@@ -1,0 +1,133 @@
+#include "dataflow/partition.h"
+
+namespace vista::df {
+
+const char* PersistenceFormatToString(PersistenceFormat format) {
+  switch (format) {
+    case PersistenceFormat::kDeserialized:
+      return "deserialized";
+    case PersistenceFormat::kSerialized:
+      return "serialized";
+  }
+  return "?";
+}
+
+Partition::Partition(std::vector<Record> records)
+    : num_records_(static_cast<int64_t>(records.size())),
+      records_(std::move(records)) {}
+
+int64_t Partition::memory_bytes() const {
+  if (!resident_) return 0;
+  return memory_bytes_as(format_);
+}
+
+int64_t Partition::memory_bytes_as(PersistenceFormat format) const {
+  if (format == PersistenceFormat::kDeserialized) {
+    if (deserialized_bytes_ < 0) {
+      int64_t bytes = 0;
+      if (resident_ && format_ == PersistenceFormat::kDeserialized) {
+        for (const Record& r : records_) bytes += EstimateRecordBytes(r);
+        deserialized_bytes_ = bytes;
+      } else {
+        // Decode to estimate; rare path (size queries on serialized data).
+        auto records = ReadRecords();
+        if (!records.ok()) return 0;
+        for (const Record& r : *records) bytes += EstimateRecordBytes(r);
+        deserialized_bytes_ = bytes;
+      }
+    }
+    return deserialized_bytes_;
+  }
+  if (serialized_bytes_ < 0) {
+    if (resident_ && format_ == PersistenceFormat::kSerialized) {
+      serialized_bytes_ = static_cast<int64_t>(blob_.size());
+    } else {
+      auto blob = ToBlob();
+      if (!blob.ok()) return 0;
+      serialized_bytes_ = static_cast<int64_t>(blob->size());
+    }
+  }
+  return serialized_bytes_;
+}
+
+Status Partition::ConvertTo(PersistenceFormat format) {
+  if (!resident_) {
+    return Status::FailedPrecondition("cannot convert a spilled partition");
+  }
+  if (format == format_) return Status::OK();
+  if (format == PersistenceFormat::kSerialized) {
+    VISTA_ASSIGN_OR_RETURN(blob_, ToBlob());
+    serialized_bytes_ = static_cast<int64_t>(blob_.size());
+    records_.clear();
+    records_.shrink_to_fit();
+  } else {
+    std::vector<Record> records;
+    records.reserve(num_records_);
+    size_t offset = 0;
+    for (int64_t i = 0; i < num_records_; ++i) {
+      VISTA_ASSIGN_OR_RETURN(Record r, DeserializeRecord(blob_, &offset));
+      records.push_back(std::move(r));
+    }
+    records_ = std::move(records);
+    blob_.clear();
+    blob_.shrink_to_fit();
+  }
+  format_ = format;
+  return Status::OK();
+}
+
+Result<std::vector<Record>> Partition::ReadRecords() const {
+  if (!resident_) {
+    return Status::FailedPrecondition("partition is spilled");
+  }
+  if (format_ == PersistenceFormat::kDeserialized) {
+    return records_;  // Copy; tensors share buffers so this is cheap.
+  }
+  std::vector<Record> records;
+  records.reserve(num_records_);
+  size_t offset = 0;
+  for (int64_t i = 0; i < num_records_; ++i) {
+    VISTA_ASSIGN_OR_RETURN(Record r, DeserializeRecord(blob_, &offset));
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+Result<const std::vector<Record>*> Partition::records() const {
+  if (!resident_ || format_ != PersistenceFormat::kDeserialized) {
+    return Status::FailedPrecondition(
+        "records() requires a resident deserialized partition");
+  }
+  return &records_;
+}
+
+Result<std::vector<uint8_t>> Partition::ToBlob() const {
+  if (!resident_) {
+    return Status::FailedPrecondition("partition is spilled");
+  }
+  if (format_ == PersistenceFormat::kSerialized) return blob_;
+  std::vector<uint8_t> blob;
+  for (const Record& r : records_) SerializeRecord(r, &blob);
+  return blob;
+}
+
+void Partition::Evict() {
+  records_.clear();
+  records_.shrink_to_fit();
+  blob_.clear();
+  blob_.shrink_to_fit();
+  resident_ = false;
+}
+
+Status Partition::Restore(const std::vector<uint8_t>& blob,
+                          PersistenceFormat format) {
+  if (resident_) {
+    return Status::FailedPrecondition("partition is already resident");
+  }
+  blob_ = blob;
+  resident_ = true;
+  format_ = PersistenceFormat::kSerialized;
+  return ConvertTo(format);
+}
+
+}  // namespace vista::df

@@ -1,0 +1,80 @@
+#ifndef VISTA_DATAFLOW_PARTITION_H_
+#define VISTA_DATAFLOW_PARTITION_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "dataflow/record.h"
+
+namespace vista::df {
+
+/// In-memory storage format of a cached partition (Section 4.2.3).
+enum class PersistenceFormat {
+  /// Records held as live objects: no translation cost, larger footprint.
+  kDeserialized,
+  /// Records held as one compact byte blob (with sparse tensor encoding):
+  /// smaller footprint, pays encode/decode cost on access.
+  kSerialized,
+};
+
+const char* PersistenceFormatToString(PersistenceFormat format);
+
+/// A horizontal slice of a table. Exactly one representation is resident at
+/// a time: deserialized records, a serialized blob, or nothing (spilled to
+/// disk, managed by StorageCache).
+class Partition {
+ public:
+  explicit Partition(std::vector<Record> records);
+
+  Partition(const Partition&) = delete;
+  Partition& operator=(const Partition&) = delete;
+
+  int64_t num_records() const { return num_records_; }
+  PersistenceFormat format() const { return format_; }
+  bool resident() const { return resident_; }
+
+  /// Current in-memory footprint: the Tungsten-style estimate for
+  /// deserialized data, the exact blob size for serialized data, zero when
+  /// spilled.
+  int64_t memory_bytes() const;
+
+  /// Footprint this partition would occupy in `format`.
+  int64_t memory_bytes_as(PersistenceFormat format) const;
+
+  /// Converts the resident representation. No-op if already in `format`.
+  Status ConvertTo(PersistenceFormat format);
+
+  /// Returns a copy of the records, decoding if serialized. Fails if the
+  /// partition is not resident.
+  Result<std::vector<Record>> ReadRecords() const;
+
+  /// Direct access to deserialized records (must be resident and
+  /// deserialized).
+  Result<const std::vector<Record>*> records() const;
+
+  /// Serialized blob of the partition's records regardless of the resident
+  /// format (encodes on the fly if deserialized). Used for spilling.
+  Result<std::vector<uint8_t>> ToBlob() const;
+
+  /// Drops in-memory data (after a successful spill).
+  void Evict();
+
+  /// Restores from a spilled blob in the given format.
+  Status Restore(const std::vector<uint8_t>& blob, PersistenceFormat format);
+
+ private:
+  int64_t num_records_ = 0;
+  PersistenceFormat format_ = PersistenceFormat::kDeserialized;
+  bool resident_ = true;
+  std::vector<Record> records_;
+  std::vector<uint8_t> blob_;
+  // Cached size estimates (valid while num_records_ is unchanged).
+  mutable int64_t deserialized_bytes_ = -1;
+  mutable int64_t serialized_bytes_ = -1;
+};
+
+}  // namespace vista::df
+
+#endif  // VISTA_DATAFLOW_PARTITION_H_

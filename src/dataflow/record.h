@@ -1,0 +1,59 @@
+#ifndef VISTA_DATAFLOW_RECORD_H_
+#define VISTA_DATAFLOW_RECORD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+namespace vista::df {
+
+/// One logical row moving through the dataflow engine.
+///
+/// The layout mirrors the paper's description of Spark's internal record
+/// format (Appendix A / Figure 14): a fixed-length primary key plus
+/// variable-length structured features, an optional raw image tensor, and a
+/// TensorList holding materialized CNN feature layers. Unused fields are
+/// simply empty, so the same type serves Tstr, Timg, and every intermediate
+/// table T_i.
+struct Record {
+  int64_t id = 0;
+  /// X: structured feature vector (first element may be the label by table
+  /// convention; see features/synthetic.h).
+  std::vector<float> struct_features;
+  /// I: raw image tensors (CHW). One image per record is the paper's
+  /// setting; multiple images per record (its future-work item) are
+  /// supported — the executors aggregate their CNN features by
+  /// element-wise mean.
+  std::vector<Tensor> images;
+
+  bool has_image() const { return !images.empty(); }
+  /// First (usually only) image; requires has_image().
+  const Tensor& image() const { return images.front(); }
+  void set_image(Tensor t) { images.assign(1, std::move(t)); }
+  /// Materialized feature layers g_l(f̂_l(I)), one entry per layer of
+  /// interest that has been computed so far.
+  TensorList features;
+};
+
+/// Estimated in-memory (deserialized) size of a record, following the
+/// paper's Tungsten-style estimate (Eq. 16): 8 B key + 8 B header per
+/// variable-length field + 4 B per float payload element.
+int64_t EstimateRecordBytes(const Record& record);
+
+/// Binary serialization of a record into `out` (appended). The feature
+/// tensors use a sparse (index, value) encoding when more than half of the
+/// entries are zero — this is the engine's "compressed serialized"
+/// persistence format; CNN feature layers post-ReLU are often mostly zeros
+/// (the paper measures 13%–36% non-zero).
+void SerializeRecord(const Record& record, std::vector<uint8_t>* out);
+
+/// Deserializes one record starting at `*offset` in `buffer`, advancing
+/// `*offset`. Fails with InvalidArgument on malformed input.
+Result<Record> DeserializeRecord(const std::vector<uint8_t>& buffer,
+                                 size_t* offset);
+
+}  // namespace vista::df
+
+#endif  // VISTA_DATAFLOW_RECORD_H_

@@ -1,0 +1,82 @@
+#include "dataflow/spill.h"
+
+#include <cstdio>
+#include <filesystem>
+
+namespace vista::df {
+
+namespace fs = std::filesystem;
+
+SpillManager::SpillManager(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+}
+
+SpillManager::~SpillManager() {
+  std::error_code ec;
+  fs::remove_all(dir_, ec);
+}
+
+std::string SpillManager::PathFor(int64_t key) const {
+  return dir_ + "/part-" + std::to_string(key) + ".spill";
+}
+
+Status SpillManager::Write(int64_t key, const std::vector<uint8_t>& blob) {
+  const std::string path = PathFor(key);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open spill file " + path);
+  }
+  const size_t written = blob.empty()
+                             ? 0
+                             : std::fwrite(blob.data(), 1, blob.size(), f);
+  std::fclose(f);
+  if (written != blob.size()) {
+    return Status::IOError("short write to spill file " + path);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sizes_[key] = static_cast<int64_t>(blob.size());
+  }
+  bytes_written_.fetch_add(static_cast<int64_t>(blob.size()));
+  num_spills_.fetch_add(1);
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> SpillManager::Read(int64_t key) {
+  int64_t size = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sizes_.find(key);
+    if (it == sizes_.end()) {
+      return Status::NotFound("no spill for partition key " +
+                              std::to_string(key));
+    }
+    size = it->second;
+  }
+  const std::string path = PathFor(key);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open spill file " + path);
+  }
+  std::vector<uint8_t> blob(static_cast<size_t>(size));
+  const size_t read =
+      blob.empty() ? 0 : std::fread(blob.data(), 1, blob.size(), f);
+  std::fclose(f);
+  if (read != blob.size()) {
+    return Status::IOError("short read from spill file " + path);
+  }
+  bytes_read_.fetch_add(size);
+  return blob;
+}
+
+void SpillManager::Remove(int64_t key) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sizes_.erase(key);
+  }
+  std::error_code ec;
+  fs::remove(PathFor(key), ec);
+}
+
+}  // namespace vista::df

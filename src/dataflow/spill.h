@@ -1,0 +1,53 @@
+#ifndef VISTA_DATAFLOW_SPILL_H_
+#define VISTA_DATAFLOW_SPILL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace vista::df {
+
+/// Writes evicted partition blobs to real files in a scratch directory and
+/// reads them back on demand. Disk spills are a first-class cost in the
+/// paper's trade-off space, so the engine both performs and meters them.
+class SpillManager {
+ public:
+  /// `dir` is created if missing; files are removed on destruction.
+  explicit SpillManager(std::string dir);
+  ~SpillManager();
+
+  SpillManager(const SpillManager&) = delete;
+  SpillManager& operator=(const SpillManager&) = delete;
+
+  /// Persists `blob` under `key` (overwrites any previous spill of `key`).
+  Status Write(int64_t key, const std::vector<uint8_t>& blob);
+
+  /// Reads back the blob spilled under `key`.
+  Result<std::vector<uint8_t>> Read(int64_t key);
+
+  /// Deletes the spill file for `key`, if any.
+  void Remove(int64_t key);
+
+  int64_t bytes_written() const { return bytes_written_.load(); }
+  int64_t bytes_read() const { return bytes_read_.load(); }
+  int64_t num_spills() const { return num_spills_.load(); }
+
+ private:
+  std::string PathFor(int64_t key) const;
+
+  std::string dir_;
+  std::mutex mu_;
+  std::unordered_map<int64_t, int64_t> sizes_;
+  std::atomic<int64_t> bytes_written_{0};
+  std::atomic<int64_t> bytes_read_{0};
+  std::atomic<int64_t> num_spills_{0};
+};
+
+}  // namespace vista::df
+
+#endif  // VISTA_DATAFLOW_SPILL_H_

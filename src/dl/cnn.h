@@ -1,0 +1,170 @@
+#ifndef VISTA_DL_CNN_H_
+#define VISTA_DL_CNN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "dl/op_spec.h"
+#include "dl/primitive.h"
+#include "tensor/tensor.h"
+
+namespace vista::dl {
+
+/// Analytic statistics of one logical layer (a paper-sense CNN layer f_i).
+struct LayerStat {
+  std::string name;
+  Shape output_shape;
+  /// FLOPs of this logical layer alone.
+  int64_t flops = 0;
+  /// FLOPs of f̂_i = f_i ∘ ... ∘ f_1 (inference from the raw image through
+  /// this layer). This is what makes Lazy's redundancy quantifiable.
+  int64_t cumulative_flops = 0;
+  int64_t param_count = 0;
+  /// True if the output is a CHW feature map (the paper then applies grid
+  /// max pooling before flattening, footnote 4).
+  bool convolutional = false;
+};
+
+/// Declarative description of one logical layer: a named run of primitives.
+struct LogicalLayerSpec {
+  std::string name;
+  std::vector<OpSpec> ops;
+};
+
+/// A CNN architecture: input shape + ordered logical layers, with all
+/// statistics (shapes, FLOPs, parameters) computed analytically. Building an
+/// architecture allocates no weights, so the full-size AlexNet/VGG16/ResNet50
+/// definitions are cheap; they power the optimizer and the simulator.
+class CnnArchitecture {
+ public:
+  const std::string& name() const { return name_; }
+  const Shape& input_shape() const { return input_shape_; }
+
+  int num_layers() const { return static_cast<int>(stats_.size()); }
+  const LayerStat& layer(int i) const { return stats_[i]; }
+  const std::vector<LayerStat>& layers() const { return stats_; }
+  const LogicalLayerSpec& layer_spec(int i) const { return specs_[i]; }
+
+  /// Index of the layer named `name`, or NotFound.
+  Result<int> FindLayer(const std::string& name) const;
+
+  /// Indices of the top `k` logical layers, ordered bottom-up (the paper's
+  /// L, "starting from the top most layer"). E.g. k=4 on AlexNet yields
+  /// {conv5, fc6, fc7, fc8}.
+  Result<std::vector<int>> TopLayers(int k) const;
+
+  int64_t total_params() const;
+  int64_t total_flops() const { return stats_.back().cumulative_flops; }
+  /// Size of the serialized model file (float32 weights).
+  int64_t serialized_bytes() const { return total_params() * 4; }
+
+  /// Number of features g_l(f̂_l(I)) contributes after the paper's
+  /// dimensionality reduction: conv layers are grid-max-pooled to
+  /// grid x grid x depth, others flattened as-is.
+  int64_t transfer_feature_count(int layer_index, int grid = 2) const;
+
+ private:
+  friend class CnnBuilder;
+  std::string name_;
+  Shape input_shape_;
+  std::vector<LogicalLayerSpec> specs_;
+  std::vector<LayerStat> stats_;
+};
+
+/// Fluent builder for CnnArchitecture.
+///
+///   CnnBuilder b("AlexNet", Shape{3, 227, 227});
+///   b.BeginLayer("conv1").Conv(96, 11, 4, 0).Lrn().MaxPool(3, 2);
+///   ...
+///   VISTA_ASSIGN_OR_RETURN(auto arch, b.Build());
+class CnnBuilder {
+ public:
+  CnnBuilder(std::string name, Shape input_shape);
+
+  CnnBuilder& BeginLayer(std::string name);
+  /// Convolution with fused ReLU (pass relu=false for linear convs);
+  /// `groups` > 1 selects grouped convolution (AlexNet conv2/4/5).
+  CnnBuilder& Conv(int64_t filters, int kernel, int stride, int pad,
+                   bool relu = true, int groups = 1);
+  CnnBuilder& MaxPool(int window, int stride, int pad = 0);
+  CnnBuilder& AvgPool(int window, int stride, int pad = 0);
+  CnnBuilder& GlobalAvgPool();
+  CnnBuilder& Lrn();
+  /// Fully connected with fused ReLU by default; an implicit flatten is
+  /// applied if the running shape is not rank-1.
+  CnnBuilder& Fc(int64_t units, bool relu = true);
+  CnnBuilder& Flatten();
+  /// ResNet bottleneck block; `project` selects a projected shortcut.
+  CnnBuilder& Bottleneck(int64_t mid_channels, int64_t out_channels,
+                         int stride, bool project);
+
+  /// Validates every op against the propagated shapes and produces the
+  /// architecture. The builder is consumed.
+  Result<CnnArchitecture> Build();
+
+ private:
+  void FinishLayer();
+
+  CnnArchitecture arch_;
+  LogicalLayerSpec current_;
+  bool layer_open_ = false;
+};
+
+/// An instantiated, runnable CNN: architecture + weights.
+///
+/// This is the DL-system substrate: Vista's executors call RunRange to
+/// perform *partial CNN inference* f̂_{i→j} (Definition 3.7).
+class CnnModel {
+ public:
+  /// Allocates and initializes weights for `arch` deterministically from
+  /// `seed`. Memory cost is arch.serialized_bytes(); callers instantiate
+  /// micro variants in tests and full models only when truly running them.
+  static Result<CnnModel> Instantiate(const CnnArchitecture& arch,
+                                      uint64_t seed,
+                                      WeightInit init = WeightInit::kHe);
+
+  const CnnArchitecture& arch() const { return *arch_; }
+
+  /// Full inference f(t): raw image through the last logical layer.
+  Result<Tensor> Run(const Tensor& image) const;
+
+  /// Partial inference f̂_{from→to}: `input` must be the output of logical
+  /// layer `from - 1` (or the raw image iff from == 0); runs logical layers
+  /// [from, to] inclusive.
+  Result<Tensor> RunRange(const Tensor& input, int from, int to) const;
+
+  /// f̂_l: raw image through logical layer `to`.
+  Result<Tensor> RunTo(const Tensor& image, int to) const {
+    return RunRange(image, 0, to);
+  }
+
+  /// All weight tensors in instantiation order (layer-major,
+  /// primitive-major). Used by dl/weights_io.h.
+  std::vector<const Tensor*> weight_tensors() const;
+
+  /// Replaces every weight with the tensors in `weights` (must match
+  /// weight_tensors() in count and shapes). Used when loading serialized
+  /// models.
+  Status SetWeights(const std::vector<Tensor>& weights);
+
+ private:
+  struct LayerInstance {
+    std::vector<PrimitiveInstance> primitives;
+  };
+
+  std::shared_ptr<const CnnArchitecture> arch_;
+  std::vector<LayerInstance> layers_;
+};
+
+/// The paper's g_l ∘ (optional pooling): reduces a convolutional layer
+/// output to a grid x grid x depth tensor via max pooling, then flattens;
+/// non-convolutional outputs are flattened directly.
+Result<Tensor> TransferFeaturize(const Tensor& layer_output, int grid = 2);
+
+}  // namespace vista::dl
+
+#endif  // VISTA_DL_CNN_H_

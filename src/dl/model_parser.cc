@@ -1,0 +1,283 @@
+#include "dl/model_parser.h"
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace vista::dl {
+namespace {
+
+/// Splits a line into whitespace-separated tokens, dropping '#' comments.
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream is(line);
+  std::string token;
+  while (is >> token) {
+    if (token[0] == '#') break;
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+/// Parses "key=value" arguments after the op keyword.
+Result<std::map<std::string, std::string>> ParseArgs(
+    const std::vector<std::string>& tokens, size_t first, int line_no) {
+  std::map<std::string, std::string> args;
+  for (size_t i = first; i < tokens.size(); ++i) {
+    const size_t eq = tokens[i].find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= tokens[i].size()) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_no) + ": expected key=value, got '" +
+          tokens[i] + "'");
+    }
+    args[tokens[i].substr(0, eq)] = tokens[i].substr(eq + 1);
+  }
+  return args;
+}
+
+Result<int64_t> GetInt(const std::map<std::string, std::string>& args,
+                       const std::string& key, int line_no,
+                       int64_t fallback = -1) {
+  auto it = args.find(key);
+  if (it == args.end()) {
+    if (fallback >= 0) return fallback;
+    return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                   ": missing required argument '" + key +
+                                   "'");
+  }
+  try {
+    size_t pos = 0;
+    const int64_t v = std::stoll(it->second, &pos);
+    if (pos != it->second.size() || v < 0) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": bad integer for '" + key + "'");
+    }
+    return v;
+  } catch (...) {
+    return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                   ": bad integer for '" + key + "'");
+  }
+}
+
+Result<bool> GetBool(const std::map<std::string, std::string>& args,
+                     const std::string& key, int line_no, bool fallback) {
+  auto it = args.find(key);
+  if (it == args.end()) return fallback;
+  if (it->second == "true") return true;
+  if (it->second == "false") return false;
+  return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                 ": expected true/false for '" + key + "'");
+}
+
+/// Checks that no unknown keys were passed.
+Status CheckKeys(const std::map<std::string, std::string>& args,
+                 std::initializer_list<const char*> allowed, int line_no) {
+  for (const auto& [key, value] : args) {
+    (void)value;
+    bool ok = false;
+    for (const char* a : allowed) {
+      if (key == a) ok = true;
+    }
+    if (!ok) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": unknown argument '" + key + "'");
+    }
+  }
+  return Status::OK();
+}
+
+Result<Shape> ParseShape(const std::string& text, int line_no) {
+  std::vector<int64_t> dims;
+  std::string current;
+  for (char ch : text + "x") {
+    if (ch == 'x') {
+      if (current.empty()) {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": bad shape '" + text + "'");
+      }
+      try {
+        dims.push_back(std::stoll(current));
+      } catch (...) {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": bad shape '" + text + "'");
+      }
+      current.clear();
+    } else {
+      current += ch;
+    }
+  }
+  if (dims.size() != 3) {
+    return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                   ": input shape must be CxHxW");
+  }
+  return Shape(std::move(dims));
+}
+
+}  // namespace
+
+Result<CnnArchitecture> ParseCnnSpec(const std::string& spec) {
+  std::istringstream input(spec);
+  std::string line;
+  int line_no = 0;
+
+  std::unique_ptr<CnnBuilder> builder;
+  bool layer_open = false;
+
+  while (std::getline(input, line)) {
+    ++line_no;
+    const std::vector<std::string> tokens = Tokenize(line);
+    if (tokens.empty()) continue;
+    const std::string& keyword = tokens[0];
+
+    if (keyword == "cnn") {
+      if (builder != nullptr) {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": duplicate 'cnn' header");
+      }
+      if (tokens.size() != 4 || tokens[2] != "input") {
+        return Status::InvalidArgument(
+            "line " + std::to_string(line_no) +
+            ": expected 'cnn <name> input <C>x<H>x<W>'");
+      }
+      VISTA_ASSIGN_OR_RETURN(Shape shape, ParseShape(tokens[3], line_no));
+      builder = std::make_unique<CnnBuilder>(tokens[1], shape);
+      continue;
+    }
+    if (builder == nullptr) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_no) +
+          ": spec must start with a 'cnn' header");
+    }
+
+    if (keyword == "layer") {
+      if (tokens.size() != 2) {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": expected 'layer <name>'");
+      }
+      builder->BeginLayer(tokens[1]);
+      layer_open = true;
+      continue;
+    }
+    if (!layer_open) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": op '" + keyword +
+                                     "' before any 'layer'");
+    }
+
+    VISTA_ASSIGN_OR_RETURN(auto args, ParseArgs(tokens, 1, line_no));
+    if (keyword == "conv") {
+      VISTA_RETURN_IF_ERROR(CheckKeys(
+          args, {"filters", "kernel", "stride", "pad", "relu", "groups"},
+          line_no));
+      VISTA_ASSIGN_OR_RETURN(int64_t filters,
+                             GetInt(args, "filters", line_no));
+      VISTA_ASSIGN_OR_RETURN(int64_t kernel, GetInt(args, "kernel", line_no));
+      VISTA_ASSIGN_OR_RETURN(int64_t stride,
+                             GetInt(args, "stride", line_no, 1));
+      VISTA_ASSIGN_OR_RETURN(int64_t pad, GetInt(args, "pad", line_no, 0));
+      VISTA_ASSIGN_OR_RETURN(bool relu, GetBool(args, "relu", line_no, true));
+      VISTA_ASSIGN_OR_RETURN(int64_t groups,
+                             GetInt(args, "groups", line_no, 1));
+      builder->Conv(filters, static_cast<int>(kernel),
+                    static_cast<int>(stride), static_cast<int>(pad), relu,
+                    static_cast<int>(groups));
+    } else if (keyword == "maxpool" || keyword == "avgpool") {
+      VISTA_RETURN_IF_ERROR(
+          CheckKeys(args, {"window", "stride", "pad"}, line_no));
+      VISTA_ASSIGN_OR_RETURN(int64_t window, GetInt(args, "window", line_no));
+      VISTA_ASSIGN_OR_RETURN(int64_t stride, GetInt(args, "stride", line_no));
+      VISTA_ASSIGN_OR_RETURN(int64_t pad, GetInt(args, "pad", line_no, 0));
+      if (keyword == "maxpool") {
+        builder->MaxPool(static_cast<int>(window), static_cast<int>(stride),
+                         static_cast<int>(pad));
+      } else {
+        builder->AvgPool(static_cast<int>(window), static_cast<int>(stride),
+                         static_cast<int>(pad));
+      }
+    } else if (keyword == "gap") {
+      VISTA_RETURN_IF_ERROR(CheckKeys(args, {}, line_no));
+      builder->GlobalAvgPool();
+    } else if (keyword == "lrn") {
+      VISTA_RETURN_IF_ERROR(CheckKeys(args, {}, line_no));
+      builder->Lrn();
+    } else if (keyword == "fc") {
+      VISTA_RETURN_IF_ERROR(CheckKeys(args, {"units", "relu"}, line_no));
+      VISTA_ASSIGN_OR_RETURN(int64_t units, GetInt(args, "units", line_no));
+      VISTA_ASSIGN_OR_RETURN(bool relu, GetBool(args, "relu", line_no, true));
+      builder->Fc(units, relu);
+    } else if (keyword == "flatten") {
+      VISTA_RETURN_IF_ERROR(CheckKeys(args, {}, line_no));
+      builder->Flatten();
+    } else if (keyword == "bottleneck") {
+      VISTA_RETURN_IF_ERROR(
+          CheckKeys(args, {"mid", "out", "stride", "project"}, line_no));
+      VISTA_ASSIGN_OR_RETURN(int64_t mid, GetInt(args, "mid", line_no));
+      VISTA_ASSIGN_OR_RETURN(int64_t out, GetInt(args, "out", line_no));
+      VISTA_ASSIGN_OR_RETURN(int64_t stride,
+                             GetInt(args, "stride", line_no, 1));
+      VISTA_ASSIGN_OR_RETURN(bool project,
+                             GetBool(args, "project", line_no, false));
+      builder->Bottleneck(mid, out, static_cast<int>(stride), project);
+    } else {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": unknown op '" + keyword + "'");
+    }
+  }
+  if (builder == nullptr) {
+    return Status::InvalidArgument("empty CNN spec");
+  }
+  return builder->Build();
+}
+
+std::string CnnSpecToString(const CnnArchitecture& arch) {
+  std::ostringstream os;
+  const Shape& in = arch.input_shape();
+  os << "cnn " << arch.name() << " input " << in.dim(0) << "x" << in.dim(1)
+     << "x" << in.dim(2) << "\n";
+  for (int li = 0; li < arch.num_layers(); ++li) {
+    os << "layer " << arch.layer(li).name << "\n";
+    for (const OpSpec& op : arch.layer_spec(li).ops) {
+      switch (op.kind) {
+        case OpKind::kConv:
+          os << "  conv filters=" << op.out_channels
+             << " kernel=" << op.kernel << " stride=" << op.stride
+             << " pad=" << op.pad
+             << " relu=" << (op.relu ? "true" : "false");
+          if (op.groups > 1) os << " groups=" << op.groups;
+          os << "\n";
+          break;
+        case OpKind::kMaxPool:
+          os << "  maxpool window=" << op.window << " stride=" << op.stride
+             << " pad=" << op.pad << "\n";
+          break;
+        case OpKind::kAvgPool:
+          os << "  avgpool window=" << op.window << " stride=" << op.stride
+             << " pad=" << op.pad << "\n";
+          break;
+        case OpKind::kGlobalAvgPool:
+          os << "  gap\n";
+          break;
+        case OpKind::kLrn:
+          os << "  lrn\n";
+          break;
+        case OpKind::kFc:
+          os << "  fc units=" << op.out_channels
+             << " relu=" << (op.relu ? "true" : "false") << "\n";
+          break;
+        case OpKind::kFlatten:
+          os << "  flatten\n";
+          break;
+        case OpKind::kSoftmax:
+          break;  // Not representable; never emitted by builders.
+        case OpKind::kBottleneck:
+          os << "  bottleneck mid=" << op.mid_channels
+             << " out=" << op.out_channels << " stride=" << op.stride
+             << " project=" << (op.project ? "true" : "false") << "\n";
+          break;
+      }
+    }
+  }
+  return os.str();
+}
+
+}  // namespace vista::dl

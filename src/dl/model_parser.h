@@ -1,0 +1,43 @@
+#ifndef VISTA_DL_MODEL_PARSER_H_
+#define VISTA_DL_MODEL_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "dl/cnn.h"
+
+namespace vista::dl {
+
+/// Parses a CNN architecture from Vista's model-spec text format — the
+/// "arbitrary CNNs" extension the paper leaves to future work (Section 5.4:
+/// supporting CNNs beyond the roster requires analyzing the DL system's
+/// computational graphs; this format is the declarative equivalent).
+///
+/// Grammar (line-oriented; '#' starts a comment):
+///
+///   cnn <name> input <C>x<H>x<W>
+///   layer <name>
+///     conv filters=<n> kernel=<k> [stride=<s>] [pad=<p>] [relu=<bool>]
+///          [groups=<g>]
+///     maxpool window=<w> stride=<s> [pad=<p>]
+///     avgpool window=<w> stride=<s> [pad=<p>]
+///     gap                                   # global average pooling
+///     lrn
+///     fc units=<n> [relu=<bool>]
+///     flatten
+///     bottleneck mid=<m> out=<n> [stride=<s>] [project=<bool>]
+///   layer <name>
+///     ...
+///
+/// Every layer introduced with `layer` becomes one logical layer (a feature
+/// transfer point). The parsed architecture is validated by shape
+/// propagation exactly like the built-in roster models.
+Result<CnnArchitecture> ParseCnnSpec(const std::string& spec);
+
+/// Renders an architecture back into the model-spec format (round-trips
+/// through ParseCnnSpec).
+std::string CnnSpecToString(const CnnArchitecture& arch);
+
+}  // namespace vista::dl
+
+#endif  // VISTA_DL_MODEL_PARSER_H_

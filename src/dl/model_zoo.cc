@@ -1,0 +1,201 @@
+#include "dl/model_zoo.h"
+
+#include "common/bytes.h"
+
+namespace vista::dl {
+
+const char* KnownCnnToString(KnownCnn cnn) {
+  switch (cnn) {
+    case KnownCnn::kAlexNet:
+      return "AlexNet";
+    case KnownCnn::kVgg16:
+      return "VGG16";
+    case KnownCnn::kResNet50:
+      return "ResNet50";
+  }
+  return "?";
+}
+
+Result<KnownCnn> KnownCnnFromString(const std::string& name) {
+  if (name == "AlexNet") return KnownCnn::kAlexNet;
+  if (name == "VGG16") return KnownCnn::kVgg16;
+  if (name == "ResNet50") return KnownCnn::kResNet50;
+  return Status::NotFound("unknown CNN '" + name +
+                          "' (roster: AlexNet, VGG16, ResNet50)");
+}
+
+Result<CnnArchitecture> AlexNetArch() {
+  CnnBuilder b("AlexNet", Shape{3, 227, 227});
+  b.BeginLayer("conv1").Conv(96, 11, 4, 0).Lrn().MaxPool(3, 2);
+  b.BeginLayer("conv2").Conv(256, 5, 1, 2, true, /*groups=*/2)
+      .Lrn()
+      .MaxPool(3, 2);
+  b.BeginLayer("conv3").Conv(384, 3, 1, 1);
+  b.BeginLayer("conv4").Conv(384, 3, 1, 1, true, /*groups=*/2);
+  b.BeginLayer("conv5").Conv(256, 3, 1, 1, true, /*groups=*/2).MaxPool(3, 2);
+  b.BeginLayer("fc6").Fc(4096);
+  b.BeginLayer("fc7").Fc(4096);
+  b.BeginLayer("fc8").Fc(1000, /*relu=*/false);
+  return b.Build();
+}
+
+Result<CnnArchitecture> Vgg16Arch() {
+  CnnBuilder b("VGG16", Shape{3, 224, 224});
+  b.BeginLayer("conv1")
+      .Conv(64, 3, 1, 1)
+      .Conv(64, 3, 1, 1)
+      .MaxPool(2, 2);
+  b.BeginLayer("conv2")
+      .Conv(128, 3, 1, 1)
+      .Conv(128, 3, 1, 1)
+      .MaxPool(2, 2);
+  b.BeginLayer("conv3")
+      .Conv(256, 3, 1, 1)
+      .Conv(256, 3, 1, 1)
+      .Conv(256, 3, 1, 1)
+      .MaxPool(2, 2);
+  b.BeginLayer("conv4")
+      .Conv(512, 3, 1, 1)
+      .Conv(512, 3, 1, 1)
+      .Conv(512, 3, 1, 1)
+      .MaxPool(2, 2);
+  b.BeginLayer("conv5")
+      .Conv(512, 3, 1, 1)
+      .Conv(512, 3, 1, 1)
+      .Conv(512, 3, 1, 1)
+      .MaxPool(2, 2);
+  b.BeginLayer("fc6").Fc(4096);
+  b.BeginLayer("fc7").Fc(4096);
+  b.BeginLayer("fc8").Fc(1000, /*relu=*/false);
+  return b.Build();
+}
+
+Result<CnnArchitecture> ResNet50Arch() {
+  CnnBuilder b("ResNet50", Shape{3, 224, 224});
+  b.BeginLayer("conv1").Conv(64, 7, 2, 3).MaxPool(3, 2, 1);
+  // conv2_x: 3 bottlenecks, 64->256.
+  b.BeginLayer("conv2_1").Bottleneck(64, 256, 1, /*project=*/true);
+  b.BeginLayer("conv2_2").Bottleneck(64, 256, 1, false);
+  b.BeginLayer("conv2_3").Bottleneck(64, 256, 1, false);
+  // conv3_x: 4 bottlenecks, 128->512.
+  b.BeginLayer("conv3_1").Bottleneck(128, 512, 2, true);
+  b.BeginLayer("conv3_2").Bottleneck(128, 512, 1, false);
+  b.BeginLayer("conv3_3").Bottleneck(128, 512, 1, false);
+  b.BeginLayer("conv3_4").Bottleneck(128, 512, 1, false);
+  // conv4_x: 6 bottlenecks, 256->1024.
+  b.BeginLayer("conv4_1").Bottleneck(256, 1024, 2, true);
+  b.BeginLayer("conv4_2").Bottleneck(256, 1024, 1, false);
+  b.BeginLayer("conv4_3").Bottleneck(256, 1024, 1, false);
+  b.BeginLayer("conv4_4").Bottleneck(256, 1024, 1, false);
+  b.BeginLayer("conv4_5").Bottleneck(256, 1024, 1, false);
+  b.BeginLayer("conv4_6").Bottleneck(256, 1024, 1, false);
+  // conv5_x: 3 bottlenecks, 512->2048.
+  b.BeginLayer("conv5_1").Bottleneck(512, 2048, 2, true);
+  b.BeginLayer("conv5_2").Bottleneck(512, 2048, 1, false);
+  b.BeginLayer("conv5_3").Bottleneck(512, 2048, 1, false);
+  // The paper's Figure 8 calls the pooled top of ResNet50 "fc_6".
+  b.BeginLayer("fc6").GlobalAvgPool().Fc(1000, /*relu=*/false);
+  return b.Build();
+}
+
+Result<CnnArchitecture> BuildArch(KnownCnn cnn) {
+  switch (cnn) {
+    case KnownCnn::kAlexNet:
+      return AlexNetArch();
+    case KnownCnn::kVgg16:
+      return Vgg16Arch();
+    case KnownCnn::kResNet50:
+      return ResNet50Arch();
+  }
+  return Status::Internal("unhandled KnownCnn");
+}
+
+Result<CnnArchitecture> MicroAlexNetArch() {
+  CnnBuilder b("MicroAlexNet", Shape{3, 32, 32});
+  b.BeginLayer("conv1").Conv(12, 5, 1, 2).Lrn().MaxPool(3, 2);
+  b.BeginLayer("conv2").Conv(24, 3, 1, 1).Lrn().MaxPool(3, 2);
+  b.BeginLayer("conv3").Conv(32, 3, 1, 1);
+  b.BeginLayer("conv4").Conv(32, 3, 1, 1);
+  b.BeginLayer("conv5").Conv(24, 3, 1, 1).MaxPool(3, 2);
+  b.BeginLayer("fc6").Fc(64);
+  b.BeginLayer("fc7").Fc(48);
+  b.BeginLayer("fc8").Fc(16, /*relu=*/false);
+  return b.Build();
+}
+
+Result<CnnArchitecture> MicroVgg16Arch() {
+  CnnBuilder b("MicroVGG16", Shape{3, 32, 32});
+  b.BeginLayer("conv1").Conv(8, 3, 1, 1).Conv(8, 3, 1, 1).MaxPool(2, 2);
+  b.BeginLayer("conv2").Conv(16, 3, 1, 1).Conv(16, 3, 1, 1).MaxPool(2, 2);
+  b.BeginLayer("conv3")
+      .Conv(32, 3, 1, 1)
+      .Conv(32, 3, 1, 1)
+      .MaxPool(2, 2);
+  b.BeginLayer("conv4")
+      .Conv(48, 3, 1, 1)
+      .Conv(48, 3, 1, 1)
+      .MaxPool(2, 2);
+  b.BeginLayer("conv5")
+      .Conv(48, 3, 1, 1)
+      .Conv(48, 3, 1, 1)
+      .MaxPool(2, 2);
+  b.BeginLayer("fc6").Fc(64);
+  b.BeginLayer("fc7").Fc(48);
+  b.BeginLayer("fc8").Fc(16, /*relu=*/false);
+  return b.Build();
+}
+
+Result<CnnArchitecture> MicroResNet50Arch() {
+  CnnBuilder b("MicroResNet50", Shape{3, 32, 32});
+  b.BeginLayer("conv1").Conv(8, 3, 1, 1).MaxPool(3, 2, 1);
+  b.BeginLayer("conv2_1").Bottleneck(8, 32, 1, true);
+  b.BeginLayer("conv3_1").Bottleneck(16, 64, 2, true);
+  b.BeginLayer("conv4_1").Bottleneck(32, 128, 2, true);
+  b.BeginLayer("conv4_6").Bottleneck(32, 128, 1, false);
+  b.BeginLayer("conv5_1").Bottleneck(64, 256, 2, true);
+  b.BeginLayer("conv5_2").Bottleneck(64, 256, 1, false);
+  b.BeginLayer("conv5_3").Bottleneck(64, 256, 1, false);
+  b.BeginLayer("fc6").GlobalAvgPool().Fc(16, /*relu=*/false);
+  return b.Build();
+}
+
+Result<CnnArchitecture> BuildMicroArch(KnownCnn cnn) {
+  switch (cnn) {
+    case KnownCnn::kAlexNet:
+      return MicroAlexNetArch();
+    case KnownCnn::kVgg16:
+      return MicroVgg16Arch();
+    case KnownCnn::kResNet50:
+      return MicroResNet50Arch();
+  }
+  return Status::Internal("unhandled KnownCnn");
+}
+
+Result<CnnMemoryStats> LookupMemoryStats(KnownCnn cnn) {
+  // Serialized sizes are the exact float32 parameter sizes of the
+  // architectures above. Runtime footprints are per-replica process
+  // footprints (weights + activation workspace + framework overhead),
+  // calibrated so the crash behaviour of Section 5.1 reproduces; see
+  // DESIGN.md §2 and EXPERIMENTS.md.
+  CnnMemoryStats stats;
+  switch (cnn) {
+    case KnownCnn::kAlexNet:
+      stats.serialized_bytes = MiB(233);
+      stats.runtime_cpu_bytes = MiB(250);
+      stats.runtime_gpu_bytes = MiB(1230);
+      return stats;
+    case KnownCnn::kVgg16:
+      stats.serialized_bytes = MiB(528);
+      stats.runtime_cpu_bytes = MiB(6350);
+      stats.runtime_gpu_bytes = MiB(4400);
+      return stats;
+    case KnownCnn::kResNet50:
+      stats.serialized_bytes = MiB(98);
+      stats.runtime_cpu_bytes = MiB(390);
+      stats.runtime_gpu_bytes = MiB(1540);
+      return stats;
+  }
+  return Status::Internal("unhandled KnownCnn");
+}
+
+}  // namespace vista::dl

@@ -1,0 +1,64 @@
+#ifndef VISTA_DL_MODEL_ZOO_H_
+#define VISTA_DL_MODEL_ZOO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "dl/cnn.h"
+
+namespace vista::dl {
+
+/// The roster of well-known CNNs supported for feature transfer
+/// (Section 3.2: AlexNet, VGG16, ResNet50 — "due to their popularity in real
+/// feature transfer applications").
+enum class KnownCnn {
+  kAlexNet,
+  kVgg16,
+  kResNet50,
+};
+
+const char* KnownCnnToString(KnownCnn cnn);
+Result<KnownCnn> KnownCnnFromString(const std::string& name);
+
+/// Full-size AlexNet (Krizhevsky et al.): input 3x227x227, logical layers
+/// conv1..conv5, fc6, fc7, fc8. ~61M parameters.
+Result<CnnArchitecture> AlexNetArch();
+
+/// Full-size VGG16 (Simonyan & Zisserman): input 3x224x224, logical layers
+/// conv1..conv5 (the five conv blocks), fc6, fc7, fc8. ~138M parameters.
+Result<CnnArchitecture> Vgg16Arch();
+
+/// Full-size ResNet50 (He et al.): input 3x224x224, logical layers conv1,
+/// conv2_1..conv2_3, conv3_1..conv3_4, conv4_1..conv4_6, conv5_1..conv5_3,
+/// fc6 (global average pool + 1000-way FC, named fc6 to match the paper's
+/// Figure 8 labels). ~25.5M parameters.
+Result<CnnArchitecture> ResNet50Arch();
+
+/// Builds the full-size architecture for a roster CNN.
+Result<CnnArchitecture> BuildArch(KnownCnn cnn);
+
+/// Scaled-down runnable counterparts with the same layer topology pattern
+/// and the same logical layer names, over 3x32x32 inputs. Used by tests,
+/// examples, and the accuracy experiments, where real numerics matter but
+/// full-size inference cost does not.
+Result<CnnArchitecture> MicroAlexNetArch();
+Result<CnnArchitecture> MicroVgg16Arch();
+Result<CnnArchitecture> MicroResNet50Arch();
+Result<CnnArchitecture> BuildMicroArch(KnownCnn cnn);
+
+/// Memory footprint statistics of a roster CNN as deployed on the DL system
+/// (Table 1's |f|_ser, |f|_mem, |f|_mem_gpu). Serialized size is exact
+/// (float32 params); runtime footprints are calibrated per DESIGN.md to the
+/// behaviour the paper reports (per-replica process footprint including
+/// activation workspace).
+struct CnnMemoryStats {
+  int64_t serialized_bytes = 0;
+  int64_t runtime_cpu_bytes = 0;
+  int64_t runtime_gpu_bytes = 0;
+};
+
+Result<CnnMemoryStats> LookupMemoryStats(KnownCnn cnn);
+
+}  // namespace vista::dl
+
+#endif  // VISTA_DL_MODEL_ZOO_H_

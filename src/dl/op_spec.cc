@@ -1,0 +1,170 @@
+#include "dl/op_spec.h"
+
+#include <algorithm>
+
+#include "tensor/ops.h"
+
+namespace vista::dl {
+
+const char* OpKindToString(OpKind kind) {
+  switch (kind) {
+    case OpKind::kConv:
+      return "Conv";
+    case OpKind::kMaxPool:
+      return "MaxPool";
+    case OpKind::kAvgPool:
+      return "AvgPool";
+    case OpKind::kGlobalAvgPool:
+      return "GlobalAvgPool";
+    case OpKind::kLrn:
+      return "LRN";
+    case OpKind::kFc:
+      return "FC";
+    case OpKind::kFlatten:
+      return "Flatten";
+    case OpKind::kSoftmax:
+      return "Softmax";
+    case OpKind::kBottleneck:
+      return "Bottleneck";
+  }
+  return "?";
+}
+
+namespace {
+
+Result<OpStat> AnalyzeConv(const OpSpec& spec, const Shape& in) {
+  if (in.rank() != 3) {
+    return Status::InvalidArgument("Conv expects CHW input, got " +
+                                   in.ToString());
+  }
+  const int64_t c = in.dim(0), h = in.dim(1), w = in.dim(2);
+  const int64_t groups = std::max(1, spec.groups);
+  if (c % groups != 0 || spec.out_channels % groups != 0) {
+    return Status::InvalidArgument("Conv channels not divisible by groups");
+  }
+  if (spec.kernel > h + 2 * spec.pad || spec.kernel > w + 2 * spec.pad) {
+    return Status::InvalidArgument("Conv kernel larger than padded input");
+  }
+  const int64_t h_out = (h + 2 * spec.pad - spec.kernel) / spec.stride + 1;
+  const int64_t w_out = (w + 2 * spec.pad - spec.kernel) / spec.stride + 1;
+  if (h_out <= 0 || w_out <= 0) {
+    return Status::InvalidArgument("Conv output would be empty");
+  }
+  OpStat stat;
+  stat.output_shape = Shape{spec.out_channels, h_out, w_out};
+  stat.flops = Conv2DFlops(c / groups, spec.out_channels, h_out, w_out,
+                           spec.kernel);
+  if (spec.relu) stat.flops += stat.output_shape.num_elements();
+  stat.param_count =
+      spec.out_channels * (c / groups) * spec.kernel * spec.kernel +
+      spec.out_channels;
+  return stat;
+}
+
+Result<OpStat> AnalyzePool(const OpSpec& spec, const Shape& in) {
+  if (in.rank() != 3) {
+    return Status::InvalidArgument("Pool expects CHW input, got " +
+                                   in.ToString());
+  }
+  const int64_t c = in.dim(0), h = in.dim(1), w = in.dim(2);
+  if (spec.window > h + 2 * spec.pad || spec.window > w + 2 * spec.pad) {
+    return Status::InvalidArgument("Pool window larger than padded input");
+  }
+  const int64_t h_out = (h + 2 * spec.pad - spec.window) / spec.stride + 1;
+  const int64_t w_out = (w + 2 * spec.pad - spec.window) / spec.stride + 1;
+  if (h_out <= 0 || w_out <= 0) {
+    return Status::InvalidArgument("Pool output would be empty");
+  }
+  OpStat stat;
+  stat.output_shape = Shape{c, h_out, w_out};
+  stat.flops =
+      stat.output_shape.num_elements() * spec.window * spec.window;
+  return stat;
+}
+
+Result<OpStat> AnalyzeBottleneck(const OpSpec& spec, const Shape& in) {
+  if (in.rank() != 3) {
+    return Status::InvalidArgument("Bottleneck expects CHW input, got " +
+                                   in.ToString());
+  }
+  const int64_t c = in.dim(0), h = in.dim(1), w = in.dim(2);
+  const int64_t mid = spec.mid_channels;
+  const int64_t out = spec.out_channels;
+  const int64_t h_out = (h - 1) / spec.stride + 1;
+  const int64_t w_out = (w - 1) / spec.stride + 1;
+
+  OpStat stat;
+  stat.output_shape = Shape{out, h_out, w_out};
+  // conv1: 1x1, stride s, c -> mid.
+  stat.flops += Conv2DFlops(c, mid, h_out, w_out, 1);
+  stat.param_count += c * mid + mid;       // weights + bias
+  stat.param_count += 2 * mid;             // bn scale/shift
+  // conv2: 3x3, pad 1, mid -> mid.
+  stat.flops += Conv2DFlops(mid, mid, h_out, w_out, 3);
+  stat.param_count += mid * mid * 9 + mid + 2 * mid;
+  // conv3: 1x1, mid -> out.
+  stat.flops += Conv2DFlops(mid, out, h_out, w_out, 1);
+  stat.param_count += mid * out + out + 2 * out;
+  if (spec.project) {
+    // Projection shortcut: 1x1 conv, stride s, c -> out, plus BN.
+    stat.flops += Conv2DFlops(c, out, h_out, w_out, 1);
+    stat.param_count += c * out + out + 2 * out;
+  }
+  // Residual add + final ReLU.
+  stat.flops += 2 * stat.output_shape.num_elements();
+  return stat;
+}
+
+}  // namespace
+
+Result<OpStat> AnalyzeOp(const OpSpec& spec, const Shape& in) {
+  switch (spec.kind) {
+    case OpKind::kConv:
+      return AnalyzeConv(spec, in);
+    case OpKind::kMaxPool:
+    case OpKind::kAvgPool:
+      return AnalyzePool(spec, in);
+    case OpKind::kGlobalAvgPool: {
+      if (in.rank() != 3) {
+        return Status::InvalidArgument("GlobalAvgPool expects CHW input");
+      }
+      OpStat stat;
+      stat.output_shape = Shape{in.dim(0)};
+      stat.flops = in.num_elements();
+      return stat;
+    }
+    case OpKind::kLrn: {
+      OpStat stat;
+      stat.output_shape = in;
+      // ~8 FLOPs per element (square, sum window, pow, divide).
+      stat.flops = in.num_elements() * 8;
+      return stat;
+    }
+    case OpKind::kFc: {
+      OpStat stat;
+      stat.output_shape = Shape{spec.out_channels};
+      stat.flops =
+          FullyConnectedFlops(in.num_elements(), spec.out_channels);
+      if (spec.relu) stat.flops += spec.out_channels;
+      stat.param_count =
+          in.num_elements() * spec.out_channels + spec.out_channels;
+      return stat;
+    }
+    case OpKind::kFlatten: {
+      OpStat stat;
+      stat.output_shape = Shape{in.num_elements()};
+      return stat;
+    }
+    case OpKind::kSoftmax: {
+      OpStat stat;
+      stat.output_shape = in;
+      stat.flops = in.num_elements() * 3;
+      return stat;
+    }
+    case OpKind::kBottleneck:
+      return AnalyzeBottleneck(spec, in);
+  }
+  return Status::Internal("unhandled OpKind");
+}
+
+}  // namespace vista::dl

@@ -1,0 +1,69 @@
+#ifndef VISTA_DL_OP_SPEC_H_
+#define VISTA_DL_OP_SPEC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "tensor/shape.h"
+
+namespace vista::dl {
+
+/// Primitive operations composing CNN layers. A paper-sense "layer"
+/// (Definition 3.4) is a *logical* layer: a named run of primitives, e.g.
+/// AlexNet's conv1 = Conv+ReLU+LRN+MaxPool, or one ResNet bottleneck block.
+enum class OpKind {
+  kConv,
+  kMaxPool,
+  kAvgPool,
+  kGlobalAvgPool,
+  kLrn,
+  kFc,
+  kFlatten,
+  kSoftmax,
+  /// A full ResNet bottleneck residual block (1x1 -> 3x3 -> 1x1 convs with
+  /// batch norm and a skip connection, optionally projected).
+  kBottleneck,
+};
+
+const char* OpKindToString(OpKind kind);
+
+/// Declarative description of one primitive op. Which fields are meaningful
+/// depends on `kind`; unused fields stay at their defaults.
+struct OpSpec {
+  OpKind kind = OpKind::kConv;
+  /// Conv filter count / FC units / bottleneck output channels.
+  int64_t out_channels = 0;
+  /// Bottleneck squeeze width (the 1x1/3x3 channel count).
+  int64_t mid_channels = 0;
+  int kernel = 0;
+  int stride = 1;
+  int pad = 0;
+  /// Grouped convolution (AlexNet's conv2/4/5 use 2 groups).
+  int groups = 1;
+  /// Pooling window (max/avg pool).
+  int window = 0;
+  /// Fused ReLU after conv/fc/bottleneck output.
+  bool relu = false;
+  /// Bottleneck: use a projection (1x1 conv) shortcut instead of identity.
+  bool project = false;
+};
+
+/// Analytic properties of an op applied to a given input shape.
+struct OpStat {
+  Shape output_shape;
+  /// Multiply-accumulate FLOPs (2 per MAC); pooling/activation counted as
+  /// one FLOP per output element.
+  int64_t flops = 0;
+  /// Number of learned parameters (weights + biases + BN scale/shift).
+  int64_t param_count = 0;
+};
+
+/// Computes output shape, FLOPs, and parameter count of `spec` applied to an
+/// input of shape `input`. Pure and cheap: used to derive full-size model
+/// statistics without allocating weights.
+Result<OpStat> AnalyzeOp(const OpSpec& spec, const Shape& input);
+
+}  // namespace vista::dl
+
+#endif  // VISTA_DL_OP_SPEC_H_

@@ -1,0 +1,49 @@
+#ifndef VISTA_DL_PRIMITIVE_H_
+#define VISTA_DL_PRIMITIVE_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "dl/op_spec.h"
+#include "tensor/tensor.h"
+
+namespace vista::dl {
+
+/// Weight initialization schemes for instantiated models.
+enum class WeightInit {
+  /// He-normal everywhere. Produces generic random-projection features.
+  kHe,
+  /// He-normal, except the first convolution which gets a bank of Gabor
+  /// filters (orientation/frequency selective). This mimics the oriented
+  /// edge detectors that ImageNet training produces in early layers and is
+  /// the documented stand-in for pretrained weights (DESIGN.md §2).
+  kGaborFirstConv,
+};
+
+/// An instantiated primitive op: its spec, the input shape it was bound to,
+/// and its weight tensors (layout depends on the op kind; see
+/// primitive.cc). Shared by the sequential CnnModel and the DagModel.
+struct PrimitiveInstance {
+  OpSpec spec;
+  Shape input_shape;
+  std::vector<Tensor> weights;
+};
+
+/// Allocates and initializes the weights of `op` for an input of `shape`.
+/// `first_conv` tracks whether the model's very first convolution is still
+/// pending (consumed by the Gabor initialization); pass the same flag
+/// across all of a model's primitives.
+Result<PrimitiveInstance> InstantiatePrimitive(const OpSpec& op,
+                                               const Shape& shape, Rng* rng,
+                                               WeightInit init,
+                                               bool* first_conv);
+
+/// Executes one primitive on `input`. The input must be shape-compatible
+/// with the shape the primitive was instantiated for.
+Result<Tensor> ApplyPrimitive(const PrimitiveInstance& prim,
+                              const Tensor& input);
+
+}  // namespace vista::dl
+
+#endif  // VISTA_DL_PRIMITIVE_H_

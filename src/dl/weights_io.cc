@@ -1,0 +1,129 @@
+#include "dl/weights_io.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "dl/model_parser.h"
+
+namespace vista::dl {
+namespace {
+
+constexpr char kMagic[8] = {'V', 'C', 'N', 'N', '0', '0', '0', '1'};
+
+void PutU32(uint32_t v, std::vector<uint8_t>* out) {
+  const size_t n = out->size();
+  out->resize(n + 4);
+  std::memcpy(out->data() + n, &v, 4);
+}
+
+void PutI64(int64_t v, std::vector<uint8_t>* out) {
+  const size_t n = out->size();
+  out->resize(n + 8);
+  std::memcpy(out->data() + n, &v, 8);
+}
+
+Status ReadBytes(const std::vector<uint8_t>& blob, size_t* offset, void* dst,
+                 size_t bytes) {
+  if (*offset + bytes > blob.size()) {
+    return Status::InvalidArgument("weights blob truncated");
+  }
+  std::memcpy(dst, blob.data() + *offset, bytes);
+  *offset += bytes;
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<uint8_t>> SerializeCnnModel(const CnnModel& model) {
+  std::vector<uint8_t> blob;
+  blob.insert(blob.end(), kMagic, kMagic + sizeof(kMagic));
+  const std::string spec = CnnSpecToString(model.arch());
+  PutU32(static_cast<uint32_t>(spec.size()), &blob);
+  blob.insert(blob.end(), spec.begin(), spec.end());
+
+  const std::vector<const Tensor*> weights = model.weight_tensors();
+  PutU32(static_cast<uint32_t>(weights.size()), &blob);
+  for (const Tensor* w : weights) {
+    PutU32(static_cast<uint32_t>(w->shape().rank()), &blob);
+    for (int d = 0; d < w->shape().rank(); ++d) {
+      PutI64(w->shape().dim(d), &blob);
+    }
+    const size_t at = blob.size();
+    blob.resize(at + static_cast<size_t>(w->num_bytes()));
+    std::memcpy(blob.data() + at, w->data(),
+                static_cast<size_t>(w->num_bytes()));
+  }
+  return blob;
+}
+
+Result<CnnModel> DeserializeCnnModel(const std::vector<uint8_t>& blob) {
+  size_t offset = 0;
+  char magic[sizeof(kMagic)];
+  VISTA_RETURN_IF_ERROR(ReadBytes(blob, &offset, magic, sizeof(magic)));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not a Vista CNN weights blob");
+  }
+  uint32_t spec_len = 0;
+  VISTA_RETURN_IF_ERROR(ReadBytes(blob, &offset, &spec_len, 4));
+  if (offset + spec_len > blob.size()) {
+    return Status::InvalidArgument("weights blob truncated (spec)");
+  }
+  const std::string spec(blob.begin() + offset,
+                         blob.begin() + offset + spec_len);
+  offset += spec_len;
+  VISTA_ASSIGN_OR_RETURN(CnnArchitecture arch, ParseCnnSpec(spec));
+  // Instantiate with arbitrary seed, then overwrite every weight.
+  VISTA_ASSIGN_OR_RETURN(CnnModel model, CnnModel::Instantiate(arch, 0));
+
+  uint32_t num_tensors = 0;
+  VISTA_RETURN_IF_ERROR(ReadBytes(blob, &offset, &num_tensors, 4));
+  std::vector<Tensor> weights;
+  weights.reserve(num_tensors);
+  for (uint32_t i = 0; i < num_tensors; ++i) {
+    uint32_t rank = 0;
+    VISTA_RETURN_IF_ERROR(ReadBytes(blob, &offset, &rank, 4));
+    if (rank > 8) return Status::InvalidArgument("bad tensor rank");
+    std::vector<int64_t> dims(rank);
+    for (uint32_t d = 0; d < rank; ++d) {
+      VISTA_RETURN_IF_ERROR(ReadBytes(blob, &offset, &dims[d], 8));
+      if (dims[d] <= 0) return Status::InvalidArgument("bad tensor dim");
+    }
+    Tensor t{Shape(std::move(dims))};
+    VISTA_RETURN_IF_ERROR(ReadBytes(blob, &offset, t.mutable_data(),
+                                    static_cast<size_t>(t.num_bytes())));
+    weights.push_back(std::move(t));
+  }
+  if (offset != blob.size()) {
+    return Status::InvalidArgument("trailing bytes in weights blob");
+  }
+  VISTA_RETURN_IF_ERROR(model.SetWeights(weights));
+  return model;
+}
+
+Status SaveCnnModel(const CnnModel& model, const std::string& path) {
+  VISTA_ASSIGN_OR_RETURN(std::vector<uint8_t> blob,
+                         SerializeCnnModel(model));
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  const size_t written = std::fwrite(blob.data(), 1, blob.size(), f);
+  std::fclose(f);
+  if (written != blob.size()) {
+    return Status::IOError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+Result<CnnModel> LoadCnnModel(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<uint8_t> blob(static_cast<size_t>(size));
+  const size_t read = std::fread(blob.data(), 1, blob.size(), f);
+  std::fclose(f);
+  if (read != blob.size()) return Status::IOError("short read from " + path);
+  return DeserializeCnnModel(blob);
+}
+
+}  // namespace vista::dl

@@ -1,0 +1,32 @@
+#ifndef VISTA_DL_WEIGHTS_IO_H_
+#define VISTA_DL_WEIGHTS_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dl/cnn.h"
+#include "dl/dag.h"
+
+namespace vista::dl {
+
+/// Serialized model weights — the |f|_ser artifact of Table 1. The format
+/// stores the architecture (as a model-spec string for sequential CNNs) and
+/// every weight tensor in instantiation order, so a saved model reloads to
+/// bit-identical inference anywhere. This is how "pretrained" weights move
+/// between sessions in this codebase.
+
+/// Serializes a CnnModel's weights (with its architecture spec) to a byte
+/// blob.
+Result<std::vector<uint8_t>> SerializeCnnModel(const CnnModel& model);
+
+/// Reconstructs a CnnModel from a blob produced by SerializeCnnModel.
+Result<CnnModel> DeserializeCnnModel(const std::vector<uint8_t>& blob);
+
+/// File convenience wrappers.
+Status SaveCnnModel(const CnnModel& model, const std::string& path);
+Result<CnnModel> LoadCnnModel(const std::string& path);
+
+}  // namespace vista::dl
+
+#endif  // VISTA_DL_WEIGHTS_IO_H_

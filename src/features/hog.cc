@@ -1,0 +1,112 @@
+#include "features/hog.h"
+
+#include <cmath>
+#include <vector>
+
+namespace vista::feat {
+
+int64_t HogFeatureLength(int64_t height, int64_t width,
+                         const HogConfig& config) {
+  const int64_t cells_y = height / config.cell_size;
+  const int64_t cells_x = width / config.cell_size;
+  const int64_t blocks_y = cells_y - config.block_size + 1;
+  const int64_t blocks_x = cells_x - config.block_size + 1;
+  if (blocks_y <= 0 || blocks_x <= 0) return 0;
+  return blocks_y * blocks_x * config.block_size * config.block_size *
+         config.num_bins;
+}
+
+Result<Tensor> HogFeatures(const Tensor& image, const HogConfig& config) {
+  if (image.shape().rank() != 3) {
+    return Status::InvalidArgument("HOG expects a CHW image tensor, got " +
+                                   image.shape().ToString());
+  }
+  const int64_t c = image.shape().dim(0);
+  const int64_t h = image.shape().dim(1);
+  const int64_t w = image.shape().dim(2);
+  const int64_t cells_y = h / config.cell_size;
+  const int64_t cells_x = w / config.cell_size;
+  const int64_t blocks_y = cells_y - config.block_size + 1;
+  const int64_t blocks_x = cells_x - config.block_size + 1;
+  if (blocks_y <= 0 || blocks_x <= 0) {
+    return Status::InvalidArgument("image too small for HOG configuration");
+  }
+
+  // Grayscale conversion: channel mean.
+  std::vector<float> gray(h * w, 0.0f);
+  const float* data = image.data();
+  for (int64_t ch = 0; ch < c; ++ch) {
+    for (int64_t i = 0; i < h * w; ++i) {
+      gray[i] += data[ch * h * w + i] / static_cast<float>(c);
+    }
+  }
+
+  // Per-cell orientation histograms with magnitude weighting and linear
+  // interpolation between adjacent bins.
+  std::vector<double> cell_hist(cells_y * cells_x * config.num_bins, 0.0);
+  const double bin_width = 180.0 / config.num_bins;
+  for (int64_t y = 0; y < cells_y * config.cell_size; ++y) {
+    for (int64_t x = 0; x < cells_x * config.cell_size; ++x) {
+      const float left = x > 0 ? gray[y * w + x - 1] : gray[y * w + x];
+      const float right = x < w - 1 ? gray[y * w + x + 1] : gray[y * w + x];
+      const float up = y > 0 ? gray[(y - 1) * w + x] : gray[y * w + x];
+      const float down =
+          y < h - 1 ? gray[(y + 1) * w + x] : gray[y * w + x];
+      const double gx = right - left;
+      const double gy = down - up;
+      const double mag = std::sqrt(gx * gx + gy * gy);
+      if (mag == 0.0) continue;
+      double angle = std::atan2(gy, gx) * 180.0 / 3.14159265358979323846;
+      if (angle < 0) angle += 180.0;
+      if (angle >= 180.0) angle -= 180.0;
+      const double bin_pos = angle / bin_width - 0.5;
+      int b0 = static_cast<int>(std::floor(bin_pos));
+      const double frac = bin_pos - b0;
+      int b1 = b0 + 1;
+      if (b0 < 0) b0 += config.num_bins;
+      if (b1 >= config.num_bins) b1 -= config.num_bins;
+      const int64_t cy = y / config.cell_size;
+      const int64_t cx = x / config.cell_size;
+      double* hist =
+          cell_hist.data() + (cy * cells_x + cx) * config.num_bins;
+      hist[b0] += mag * (1.0 - frac);
+      hist[b1] += mag * frac;
+    }
+  }
+
+  // Block normalization (L2-hys style without clipping: plain L2).
+  const int64_t block_len =
+      config.block_size * config.block_size * config.num_bins;
+  Tensor out(Shape{blocks_y * blocks_x * block_len});
+  float* o = out.mutable_data();
+  int64_t at = 0;
+  for (int64_t by = 0; by < blocks_y; ++by) {
+    for (int64_t bx = 0; bx < blocks_x; ++bx) {
+      double norm_sq = 1e-12;
+      for (int dy = 0; dy < config.block_size; ++dy) {
+        for (int dx = 0; dx < config.block_size; ++dx) {
+          const double* hist =
+              cell_hist.data() +
+              ((by + dy) * cells_x + (bx + dx)) * config.num_bins;
+          for (int b = 0; b < config.num_bins; ++b) {
+            norm_sq += hist[b] * hist[b];
+          }
+        }
+      }
+      const double inv_norm = 1.0 / std::sqrt(norm_sq);
+      for (int dy = 0; dy < config.block_size; ++dy) {
+        for (int dx = 0; dx < config.block_size; ++dx) {
+          const double* hist =
+              cell_hist.data() +
+              ((by + dy) * cells_x + (bx + dx)) * config.num_bins;
+          for (int b = 0; b < config.num_bins; ++b) {
+            o[at++] = static_cast<float>(hist[b] * inv_norm);
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace vista::feat

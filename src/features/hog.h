@@ -1,0 +1,28 @@
+#ifndef VISTA_FEATURES_HOG_H_
+#define VISTA_FEATURES_HOG_H_
+
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+namespace vista::feat {
+
+/// Histogram-of-Oriented-Gradients parameters (Dalal & Triggs [31]); the
+/// paper's traditional hand-crafted baseline in Figure 8.
+struct HogConfig {
+  int cell_size = 8;
+  int block_size = 2;  // cells per block side
+  int num_bins = 9;    // unsigned orientation bins over [0, 180)
+};
+
+/// Computes the HOG descriptor of a CHW image tensor (channels are averaged
+/// to grayscale first). Output is a rank-1 feature vector whose length
+/// depends on image size and config.
+Result<Tensor> HogFeatures(const Tensor& image, const HogConfig& config = {});
+
+/// Descriptor length for an image of the given height/width.
+int64_t HogFeatureLength(int64_t height, int64_t width,
+                         const HogConfig& config = {});
+
+}  // namespace vista::feat
+
+#endif  // VISTA_FEATURES_HOG_H_

@@ -1,0 +1,160 @@
+#include "features/synthetic.h"
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace vista::feat {
+
+MultimodalDatasetSpec FoodsSpec() {
+  MultimodalDatasetSpec spec;
+  spec.name = "Foods";
+  spec.num_records = 20000;
+  spec.num_struct_features = 130;
+  spec.num_informative_struct = 10;
+  spec.image_size = 227;
+  spec.seed = 101;
+  return spec;
+}
+
+MultimodalDatasetSpec AmazonSpec() {
+  MultimodalDatasetSpec spec;
+  spec.name = "Amazon";
+  spec.num_records = 200000;
+  spec.num_struct_features = 200;
+  spec.num_informative_struct = 12;
+  spec.image_size = 227;
+  spec.seed = 202;
+  return spec;
+}
+
+namespace {
+
+/// Paints an oriented sinusoidal stripe patch onto the image.
+void PaintStripePatch(float* img, int size, int cy, int cx, int radius,
+                      double theta, double wavelength, double amplitude,
+                      const float tint[3]) {
+  const double ct = std::cos(theta);
+  const double st = std::sin(theta);
+  for (int y = std::max(0, cy - radius);
+       y < std::min(size, cy + radius); ++y) {
+    for (int x = std::max(0, cx - radius);
+         x < std::min(size, cx + radius); ++x) {
+      const double dy = y - cy;
+      const double dx = x - cx;
+      const double dist_sq = dx * dx + dy * dy;
+      if (dist_sq > static_cast<double>(radius) * radius) continue;
+      const double falloff =
+          std::exp(-dist_sq / (0.5 * radius * radius));
+      const double phase = (dx * ct + dy * st) * 2.0 *
+                           3.14159265358979323846 / wavelength;
+      const double v = amplitude * falloff * std::cos(phase);
+      for (int c = 0; c < 3; ++c) {
+        img[(c * size + y) * size + x] += static_cast<float>(v * tint[c]);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Result<MultimodalDataset> GenerateMultimodal(
+    const MultimodalDatasetSpec& spec) {
+  if (spec.num_records <= 0 || spec.num_struct_features <= 0 ||
+      spec.image_size < 8) {
+    return Status::InvalidArgument("bad dataset spec");
+  }
+  if (spec.num_informative_struct > spec.num_struct_features) {
+    return Status::InvalidArgument(
+        "num_informative_struct exceeds num_struct_features");
+  }
+  if (spec.images_per_record < 1) {
+    return Status::InvalidArgument("images_per_record must be >= 1");
+  }
+  Rng rng(spec.seed);
+
+  // Class-conditional structured means for the informative block.
+  std::vector<double> mean0(spec.num_informative_struct);
+  std::vector<double> mean1(spec.num_informative_struct);
+  for (int i = 0; i < spec.num_informative_struct; ++i) {
+    mean0[i] = rng.NextGaussian() * 0.5;
+    mean1[i] = mean0[i] + spec.struct_signal * (rng.NextBool(0.5) ? 1 : -1);
+  }
+
+  MultimodalDataset out;
+  out.t_str.reserve(spec.num_records);
+  out.t_img.reserve(spec.num_records);
+  const int size = spec.image_size;
+
+  for (int64_t id = 0; id < spec.num_records; ++id) {
+    const int label = rng.NextBool(0.5) ? 1 : 0;
+
+    // --- Structured record.
+    df::Record rs;
+    rs.id = id;
+    rs.struct_features.reserve(spec.num_struct_features + 1);
+    rs.struct_features.push_back(static_cast<float>(label));
+    const auto& mean = label == 1 ? mean1 : mean0;
+    for (int i = 0; i < spec.num_struct_features; ++i) {
+      double v = rng.NextGaussian();
+      if (i < spec.num_informative_struct) v += mean[i];
+      rs.struct_features.push_back(static_cast<float>(v));
+    }
+    out.t_str.push_back(std::move(rs));
+
+    // --- Image record.
+    df::Record ri;
+    ri.id = id;
+    for (int copy = 0; copy < spec.images_per_record; ++copy) {
+    Tensor img(Shape{3, size, size});
+    float* data = img.mutable_data();
+    // Low-amplitude background noise.
+    for (int64_t i = 0; i < img.num_elements(); ++i) {
+      data[i] = static_cast<float>(rng.NextGaussian() * 0.15);
+    }
+    // Weak class-correlated color tint (visible to color-aware features,
+    // invisible to HOG which is grayscale-gradient based).
+    const float class_tint = static_cast<float>(
+        (label == 1 ? 0.1 : -0.1) * spec.image_signal);
+    for (int64_t i = 0; i < static_cast<int64_t>(size) * size; ++i) {
+      data[i] += class_tint;                           // R
+      data[2 * size * size + i] -= class_tint;         // B
+    }
+    // Oriented texture patches: class 1 favors steep, high-frequency
+    // stripes; class 0 favors shallow, low-frequency stripes. Overlap in
+    // the sampling keeps the task non-trivial.
+    const int num_patches = 3 + static_cast<int>(rng.NextUint64(3));
+    for (int p = 0; p < num_patches; ++p) {
+      const double base_theta = label == 1 ? 1.2 : 0.3;
+      const double theta = base_theta + rng.NextGaussian() * 0.35;
+      const double wavelength =
+          (label == 1 ? 3.0 : 6.5) * (1.0 + 0.2 * rng.NextGaussian());
+      const int radius = size / 5 + static_cast<int>(rng.NextUint64(size / 5));
+      const int cy = static_cast<int>(rng.NextUint64(size));
+      const int cx = static_cast<int>(rng.NextUint64(size));
+      float tint[3] = {1.0f, 1.0f, 1.0f};
+      // Class-correlated chroma of the texture itself.
+      tint[label == 1 ? 0 : 2] += 0.5f;
+      PaintStripePatch(data, size, cy, cx, radius, theta,
+                       std::max(2.0, wavelength),
+                       spec.image_signal * (0.8 + 0.3 * rng.NextDouble()),
+                       tint);
+    }
+    ri.images.push_back(std::move(img));
+    }
+    out.t_img.push_back(std::move(ri));
+  }
+  return out;
+}
+
+bool IsTestId(int64_t id, double test_fraction, uint64_t seed) {
+  uint64_t z = static_cast<uint64_t>(id) * 0x9e3779b97f4a7c15ULL + seed;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  const double u =
+      static_cast<double>(z >> 11) * 0x1.0p-53;
+  return u < test_fraction;
+}
+
+}  // namespace vista::feat

@@ -1,0 +1,271 @@
+#include "sim/cluster.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace vista::sim {
+
+const char* CrashScenarioToString(CrashScenario scenario) {
+  switch (scenario) {
+    case CrashScenario::kNone:
+      return "none";
+    case CrashScenario::kDlMemoryBlowup:
+      return "DL Execution Memory blowup (OS killed workload)";
+    case CrashScenario::kInsufficientUserMemory:
+      return "insufficient User memory (UDF out-of-memory)";
+    case CrashScenario::kOversizedPartitions:
+      return "execution memory exceeded (data partitions too large)";
+    case CrashScenario::kInsufficientDriverMemory:
+      return "insufficient Driver memory";
+    case CrashScenario::kStorageExhausted:
+      return "storage exhausted in memory-only mode";
+  }
+  return "?";
+}
+
+ClusterSim::ClusterSim(int num_nodes, NodeResources node,
+                       WorkerMemoryModel memory, bool use_gpu)
+    : num_nodes_(num_nodes),
+      node_(node),
+      memory_(memory),
+      use_gpu_(use_gpu) {
+  VISTA_CHECK_GE(num_nodes_, 1);
+  VISTA_CHECK_GE(memory_.cpus, 1);
+}
+
+double ClusterSim::DlCoreScaling(int cpus) {
+  // Saturating speedup: the DL system already parallelizes one invocation
+  // across the node, so extra worker threads mostly overlap framework
+  // overheads. Plateaus near 4 cores, ~1.0 at 8 (Fig. 12(C)).
+  auto curve = [](double c) { return 1.0 - std::exp(-c / 2.5); };
+  return curve(cpus) / curve(8.0);
+}
+
+CrashScenario ClusterSim::CheckMemory(const SimStage& stage,
+                                      int64_t* evict_bytes) {
+  *evict_bytes = 0;
+
+  // (2) Insufficient User memory: every execution thread needs its
+  // per-task UDF scratch simultaneously.
+  const int64_t user_need =
+      stage.user_mem_per_task * static_cast<int64_t>(memory_.cpus);
+  if (user_need > memory_.user_bytes) {
+    return CrashScenario::kInsufficientUserMemory;
+  }
+
+  // (3) Oversized partitions: Core (execution) memory demand. Spark-like
+  // deployments can borrow from Storage by evicting cached partitions to
+  // disk; static off-heap (Ignite-like) cannot.
+  const int64_t core_need =
+      stage.core_mem_per_task * static_cast<int64_t>(memory_.cpus);
+  if (memory_.offheap_static) {
+    // User and Core are one unified in-heap region (Figure 4(C)).
+    if (core_need + user_need > memory_.core_bytes + memory_.user_bytes) {
+      return CrashScenario::kOversizedPartitions;
+    }
+  } else if (core_need > memory_.core_bytes) {
+    const int64_t deficit_cluster =
+        (core_need - memory_.core_bytes) * num_nodes_;
+    const int64_t evictable = storage_resident_bytes_;
+    if (deficit_cluster <= evictable && memory_.allow_disk_spill) {
+      *evict_bytes = deficit_cluster;
+    } else {
+      return CrashScenario::kOversizedPartitions;
+    }
+  }
+
+  // (1) DL Execution Memory blowup: OS + committed dataflow memory +
+  // per-thread DL replicas must fit in physical memory.
+  if (stage.uses_dl) {
+    const int64_t dl_need =
+        stage.dl_mem_per_thread * static_cast<int64_t>(memory_.cpus);
+    int64_t committed;
+    if (memory_.offheap_static) {
+      committed = memory_.heap_bytes + memory_.offheap_storage_bytes;
+    } else {
+      const int64_t resident_per_node =
+          storage_resident_bytes_ / num_nodes_;
+      committed = std::min(
+          memory_.heap_bytes,
+          memory_.jvm_base_bytes + resident_per_node +
+              std::min(user_need, memory_.user_bytes) +
+              std::min(core_need, memory_.core_bytes));
+    }
+    if (memory_.os_actual_bytes + committed + dl_need >
+        node_.memory_bytes) {
+      return CrashScenario::kDlMemoryBlowup;
+    }
+    if (use_gpu_) {
+      const int64_t gpu_need = stage.dl_gpu_mem_per_thread *
+                               static_cast<int64_t>(memory_.cpus);
+      if (gpu_need > node_.gpu_memory_bytes) {
+        return CrashScenario::kDlMemoryBlowup;
+      }
+    }
+  }
+
+  // (4) Driver memory.
+  if (stage.driver_collect_bytes > memory_.driver_memory_bytes) {
+    return CrashScenario::kInsufficientDriverMemory;
+  }
+
+  return CrashScenario::kNone;
+}
+
+SimResult ClusterSim::Run(const std::vector<SimStage>& stages) {
+  SimResult result;
+  storage_resident_bytes_ = 0;
+  storage_spilled_bytes_ = 0;
+  const double read_bw = node_.disk_read_mbps * 1e6;
+  const double write_bw = node_.disk_write_mbps * 1e6;
+  const double net_bw = node_.network_mbps * 1e6;
+  const int64_t storage_capacity =
+      memory_.storage_bytes * static_cast<int64_t>(num_nodes_);
+
+  for (const SimStage& stage : stages) {
+    StageResult sr;
+    sr.name = stage.name;
+
+    // Free cached tables this stage no longer needs, proportionally from
+    // the resident and spilled pools.
+    if (stage.cache_release_bytes > 0) {
+      const int64_t cached =
+          storage_resident_bytes_ + storage_spilled_bytes_;
+      const int64_t release =
+          std::min(stage.cache_release_bytes, cached);
+      if (cached > 0) {
+        const int64_t from_spill = static_cast<int64_t>(
+            static_cast<double>(release) * storage_spilled_bytes_ / cached);
+        storage_spilled_bytes_ -= from_spill;
+        storage_resident_bytes_ -= release - from_spill;
+      }
+    }
+
+    int64_t evict_bytes = 0;
+    const CrashScenario crash = CheckMemory(stage, &evict_bytes);
+    if (crash != CrashScenario::kNone) {
+      result.crash = crash;
+      result.crashed_stage = stage.name;
+      result.status = Status::ResourceExhausted(
+          std::string(CrashScenarioToString(crash)) + " in stage '" +
+          stage.name + "'");
+      result.stages.push_back(std::move(sr));
+      return result;
+    }
+
+    int64_t spill_write = 0;
+    int64_t spill_read = 0;
+
+    // Core-borrowing evictions scheduled by the memory check.
+    if (evict_bytes > 0) {
+      storage_resident_bytes_ -= evict_bytes;
+      storage_spilled_bytes_ += evict_bytes;
+      spill_write += evict_bytes;
+    }
+
+    // Reads of cached inputs: the spilled fraction comes from disk.
+    if (stage.cache_read_bytes > 0) {
+      const int64_t cached =
+          storage_resident_bytes_ + storage_spilled_bytes_;
+      if (cached > 0 && storage_spilled_bytes_ > 0) {
+        spill_read += static_cast<int64_t>(
+            static_cast<double>(stage.cache_read_bytes) *
+            storage_spilled_bytes_ / cached);
+      }
+    }
+
+    // New cached output: overflow spills (or crashes in memory-only mode).
+    if (stage.cache_insert_bytes > 0) {
+      const int64_t avail =
+          std::max<int64_t>(0, storage_capacity - storage_resident_bytes_);
+      const int64_t fit = std::min(stage.cache_insert_bytes, avail);
+      storage_resident_bytes_ += fit;
+      const int64_t excess = stage.cache_insert_bytes - fit;
+      if (excess > 0) {
+        if (!memory_.allow_disk_spill) {
+          result.crash = CrashScenario::kStorageExhausted;
+          result.crashed_stage = stage.name;
+          result.status = Status::ResourceExhausted(
+              std::string(
+                  CrashScenarioToString(CrashScenario::kStorageExhausted)) +
+              " in stage '" + stage.name + "'");
+          result.stages.push_back(std::move(sr));
+          return result;
+        }
+        storage_spilled_bytes_ += excess;
+        spill_write += excess;
+      }
+    }
+
+    // ---- Timing. Tasks round-robin over nodes; per-node serial phases.
+    const int total_tasks = static_cast<int>(stage.tasks.size());
+    double max_node_seconds = 0;
+    double max_compute = 0, max_disk = 0, max_net = 0;
+    for (int n = 0; n < num_nodes_; ++n) {
+      double flops = 0;
+      int64_t dread = 0, dwrite = 0, shuffle = 0;
+      int ntasks = 0;
+      for (int t = n; t < total_tasks; t += num_nodes_) {
+        flops += stage.tasks[t].flops;
+        dread += stage.tasks[t].disk_read_bytes;
+        dwrite += stage.tasks[t].disk_write_bytes;
+        shuffle += stage.tasks[t].shuffle_bytes;
+        ++ntasks;
+      }
+      double compute = 0;
+      if (flops > 0) {
+        if (stage.uses_dl) {
+          const double gflops =
+              use_gpu_ ? node_.gpu_gflops
+                       : node_.node_peak_gflops * DlCoreScaling(memory_.cpus);
+          compute = flops / (gflops * 1e9);
+        } else {
+          const double per_core = node_.node_peak_gflops /
+                                  static_cast<double>(node_.cores);
+          const int parallelism =
+              std::max(1, std::min(memory_.cpus, ntasks));
+          compute = flops / (per_core * parallelism * 1e9);
+        }
+      }
+      const double disk = static_cast<double>(dread) / read_bw +
+                          static_cast<double>(dwrite) / write_bw;
+      const double net = static_cast<double>(shuffle) / net_bw;
+      max_compute = std::max(max_compute, compute);
+      max_disk = std::max(max_disk, disk);
+      max_net = std::max(max_net, net);
+      max_node_seconds = std::max(max_node_seconds, compute + disk + net);
+    }
+
+    // Spill traffic is spread uniformly over the nodes' disks.
+    const double spill_seconds =
+        (static_cast<double>(spill_write) / num_nodes_) / write_bw +
+        (static_cast<double>(spill_read) / num_nodes_) / read_bw;
+
+    // Driver-side costs: collecting partial results over the network plus
+    // per-task scheduling overhead (which explodes past ~2000 tasks when
+    // status messages start being compressed — Section 5.3).
+    const double collect_seconds =
+        static_cast<double>(stage.driver_collect_bytes) / net_bw;
+    double per_task_overhead = 0.004;
+    if (total_tasks > 2000) per_task_overhead += 0.012;
+    const double overhead_seconds =
+        total_tasks * per_task_overhead + stage.fixed_seconds;
+
+    sr.compute_seconds = max_compute;
+    sr.disk_seconds = max_disk;
+    sr.network_seconds = max_net + collect_seconds;
+    sr.spill_seconds = spill_seconds;
+    sr.overhead_seconds = overhead_seconds;
+    sr.seconds = max_node_seconds + spill_seconds + collect_seconds +
+                 overhead_seconds;
+    result.total_seconds += sr.seconds;
+    result.spill_bytes_written += spill_write;
+    result.spill_bytes_read += spill_read;
+    result.stages.push_back(std::move(sr));
+  }
+  return result;
+}
+
+}  // namespace vista::sim

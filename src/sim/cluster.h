@@ -1,0 +1,168 @@
+#ifndef VISTA_SIM_CLUSTER_H_
+#define VISTA_SIM_CLUSTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace vista::sim {
+
+/// Hardware resources of one worker node (defaults mirror the paper's
+/// CloudLab testbed: 8 cores, 32 GB RAM, HDD, GbE).
+struct NodeResources {
+  int cores = 8;
+  int64_t memory_bytes = GiB(32);
+  int64_t gpu_memory_bytes = 0;  // 0 = no GPU on the node.
+  /// Aggregate CNN-inference throughput of the whole node when all cores
+  /// are engaged (the DL system uses every core regardless of the worker's
+  /// configured parallelism — Section 4.3 footnote).
+  double node_peak_gflops = 40.0;
+  double gpu_gflops = 600.0;
+  double disk_read_mbps = 140.0;
+  double disk_write_mbps = 110.0;
+  double network_mbps = 110.0;  // ~1 GbE effective payload rate.
+};
+
+/// The worker memory apportioning under simulation — the concrete outcome
+/// of either a manual/default configuration or the Vista optimizer
+/// (Table 1(B)), mapped per Figure 4.
+struct WorkerMemoryModel {
+  /// What the OS and auxiliary daemons actually occupy at runtime.
+  int64_t os_actual_bytes = GiB(1);
+  /// Configured heap of the dataflow worker (Spark executor JVM heap or
+  /// Ignite JVM heap).
+  int64_t heap_bytes = GiB(29);
+  /// Ignite-style static off-heap storage; 0 for Spark-style in-heap
+  /// storage.
+  int64_t offheap_storage_bytes = 0;
+  /// True when the storage region is statically committed (Ignite):
+  /// the full region counts against physical memory at all times.
+  bool offheap_static = false;
+  /// Region budgets (per worker).
+  int64_t storage_bytes = GiB(15);
+  int64_t user_bytes = GiB(10);
+  int64_t core_bytes = static_cast<int64_t>(2.4 * 1024) * kMiB;
+  /// Heap committed regardless of data (runtime structures).
+  int64_t jvm_base_bytes = GiB(1);
+  /// False = memory-only mode: storage pressure crashes instead of
+  /// spilling (Ignite memory-only, as in the paper's setup).
+  bool allow_disk_spill = true;
+  /// Worker degree of parallelism (execution threads; each CNN-inference
+  /// thread holds its own DL model replica).
+  int cpus = 8;
+  int64_t driver_memory_bytes = GiB(8);
+};
+
+/// One task of a stage (one partition's worth of work).
+struct SimTask {
+  double flops = 0;
+  int64_t disk_read_bytes = 0;
+  int64_t disk_write_bytes = 0;
+  int64_t shuffle_bytes = 0;
+};
+
+/// One barrier-synchronized stage of the workload.
+struct SimStage {
+  std::string name;
+  std::vector<SimTask> tasks;
+  /// True when the stage runs CNN (partial) inference: compute scales with
+  /// the DL system's saturating multi-core curve and each of the worker's
+  /// `cpus` threads holds a DL model replica of `dl_mem_per_thread` bytes.
+  bool uses_dl = false;
+  int64_t dl_mem_per_thread = 0;
+  int64_t dl_gpu_mem_per_thread = 0;
+  /// Per concurrently-running task demands on the worker regions.
+  int64_t user_mem_per_task = 0;
+  int64_t core_mem_per_task = 0;
+  /// Cluster-total bytes read from previously cached tables.
+  int64_t cache_read_bytes = 0;
+  /// Cluster-total bytes newly cached when the stage completes.
+  int64_t cache_insert_bytes = 0;
+  /// Cluster-total cached bytes released before the stage starts.
+  int64_t cache_release_bytes = 0;
+  /// Bytes pulled to the driver at the end of the stage.
+  int64_t driver_collect_bytes = 0;
+  /// Extra constant latency (e.g. broadcast distribution).
+  double fixed_seconds = 0;
+};
+
+/// Crash taxonomy of Section 4.1.
+enum class CrashScenario {
+  kNone,
+  kDlMemoryBlowup,       // (1) OS kills the workload.
+  kInsufficientUserMemory,  // (2) UDF OOM.
+  kOversizedPartitions,  // (3) execution memory exceeded.
+  kInsufficientDriverMemory,  // (4) driver OOM.
+  kStorageExhausted,     // memory-only storage overflow (Ignite Eager).
+};
+
+const char* CrashScenarioToString(CrashScenario scenario);
+
+/// Per-stage timing breakdown.
+struct StageResult {
+  std::string name;
+  double seconds = 0;
+  double compute_seconds = 0;
+  double disk_seconds = 0;
+  double network_seconds = 0;
+  double spill_seconds = 0;
+  double overhead_seconds = 0;
+};
+
+/// Outcome of simulating a workload.
+struct SimResult {
+  /// OK, or ResourceExhausted/OutOfMemory describing the crash.
+  Status status = Status::OK();
+  CrashScenario crash = CrashScenario::kNone;
+  /// Stage where the crash occurred (empty if none).
+  std::string crashed_stage;
+  double total_seconds = 0;
+  int64_t spill_bytes_written = 0;
+  int64_t spill_bytes_read = 0;
+  std::vector<StageResult> stages;
+
+  bool crashed() const { return crash != CrashScenario::kNone; }
+};
+
+/// Discrete cluster simulator: runs barrier-synchronized stages over
+/// homogeneous nodes with the paper's region-based memory model; disk
+/// spills and crash scenarios emerge from the ledger, not from flags.
+class ClusterSim {
+ public:
+  ClusterSim(int num_nodes, NodeResources node, WorkerMemoryModel memory,
+             bool use_gpu = false);
+
+  /// Simulates the stages in order. Always returns a SimResult; a crash is
+  /// reported in SimResult::status/crash with the partial timing up to the
+  /// crash point.
+  SimResult Run(const std::vector<SimStage>& stages);
+
+  /// The DL system's saturating multi-core speedup curve, normalized to 1.0
+  /// at 8 cores (Fig. 12(C): plateau around 4 cores).
+  static double DlCoreScaling(int cpus);
+
+  int num_nodes() const { return num_nodes_; }
+  const NodeResources& node() const { return node_; }
+  const WorkerMemoryModel& memory() const { return memory_; }
+
+ private:
+  /// Returns the crash scenario triggered by the stage's memory demands, or
+  /// kNone. May schedule storage evictions (spills) as a side effect.
+  CrashScenario CheckMemory(const SimStage& stage, int64_t* evict_bytes);
+
+  int num_nodes_;
+  NodeResources node_;
+  WorkerMemoryModel memory_;
+  bool use_gpu_;
+
+  // Cluster-total storage ledger.
+  int64_t storage_resident_bytes_ = 0;
+  int64_t storage_spilled_bytes_ = 0;
+};
+
+}  // namespace vista::sim
+
+#endif  // VISTA_SIM_CLUSTER_H_

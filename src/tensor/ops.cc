@@ -1,0 +1,337 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace vista {
+namespace {
+
+Status ExpectRank(const Tensor& t, int rank, const char* what) {
+  if (t.shape().rank() != rank) {
+    return Status::InvalidArgument(std::string(what) + ": expected rank " +
+                                   std::to_string(rank) + ", got shape " +
+                                   t.shape().ToString());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Tensor> Conv2D(const Tensor& input, const Tensor& weights,
+                      const Tensor& bias, int stride, int pad, int groups) {
+  VISTA_RETURN_IF_ERROR(ExpectRank(input, 3, "Conv2D input"));
+  VISTA_RETURN_IF_ERROR(ExpectRank(weights, 4, "Conv2D weights"));
+  VISTA_RETURN_IF_ERROR(ExpectRank(bias, 1, "Conv2D bias"));
+  if (stride < 1 || pad < 0 || groups < 1) {
+    return Status::InvalidArgument("Conv2D: bad stride/pad/groups");
+  }
+  const int64_t c_in = input.shape().dim(0);
+  const int64_t h = input.shape().dim(1);
+  const int64_t w = input.shape().dim(2);
+  const int64_t k = weights.shape().dim(0);
+  const int64_t r = weights.shape().dim(2);
+  const int64_t s = weights.shape().dim(3);
+  if (c_in % groups != 0 || k % groups != 0) {
+    return Status::InvalidArgument(
+        "Conv2D: channels not divisible by groups");
+  }
+  const int64_t c_per_group = c_in / groups;
+  if (weights.shape().dim(1) != c_per_group) {
+    return Status::InvalidArgument(
+        "Conv2D: weight channel dim " +
+        std::to_string(weights.shape().dim(1)) + " != input channels/groups " +
+        std::to_string(c_per_group));
+  }
+  if (bias.shape().dim(0) != k) {
+    return Status::InvalidArgument("Conv2D: bias length != filter count");
+  }
+  if (r > h + 2 * pad || s > w + 2 * pad) {
+    return Status::InvalidArgument("Conv2D: kernel larger than padded input " +
+                                   input.shape().ToString());
+  }
+  const int64_t h_out = (h + 2 * pad - r) / stride + 1;
+  const int64_t w_out = (w + 2 * pad - s) / stride + 1;
+  if (h_out <= 0 || w_out <= 0) {
+    return Status::InvalidArgument("Conv2D: output would be empty for input " +
+                                   input.shape().ToString());
+  }
+
+  Tensor out(Shape{k, h_out, w_out});
+  float* o = out.mutable_data();
+  const float* in = input.data();
+  const float* wt = weights.data();
+  const float* b = bias.data();
+
+  const int64_t k_per_group = k / groups;
+  for (int64_t f = 0; f < k; ++f) {
+    const float* wf = wt + f * c_per_group * r * s;
+    const int64_t group_c0 = (f / k_per_group) * c_per_group;
+    for (int64_t oy = 0; oy < h_out; ++oy) {
+      const int64_t iy0 = oy * stride - pad;
+      for (int64_t ox = 0; ox < w_out; ++ox) {
+        const int64_t ix0 = ox * stride - pad;
+        float acc = b[f];
+        for (int64_t c = 0; c < c_per_group; ++c) {
+          const float* in_c = in + (group_c0 + c) * h * w;
+          const float* w_c = wf + c * r * s;
+          for (int64_t ky = 0; ky < r; ++ky) {
+            const int64_t iy = iy0 + ky;
+            if (iy < 0 || iy >= h) continue;
+            const float* in_row = in_c + iy * w;
+            const float* w_row = w_c + ky * s;
+            for (int64_t kx = 0; kx < s; ++kx) {
+              const int64_t ix = ix0 + kx;
+              if (ix < 0 || ix >= w) continue;
+              acc += in_row[ix] * w_row[kx];
+            }
+          }
+        }
+        o[(f * h_out + oy) * w_out + ox] = acc;
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+enum class PoolKind { kMax, kAvg };
+
+Result<Tensor> Pool2D(const Tensor& input, int window, int stride, int pad,
+                      PoolKind kind) {
+  VISTA_RETURN_IF_ERROR(ExpectRank(input, 3, "Pool2D input"));
+  if (window < 1 || stride < 1 || pad < 0) {
+    return Status::InvalidArgument("Pool2D: bad window/stride/pad");
+  }
+  const int64_t c = input.shape().dim(0);
+  const int64_t h = input.shape().dim(1);
+  const int64_t w = input.shape().dim(2);
+  if (window > h + 2 * pad || window > w + 2 * pad) {
+    return Status::InvalidArgument("Pool2D: window larger than padded input");
+  }
+  const int64_t h_out = (h + 2 * pad - window) / stride + 1;
+  const int64_t w_out = (w + 2 * pad - window) / stride + 1;
+  if (h_out <= 0 || w_out <= 0) {
+    return Status::InvalidArgument("Pool2D: output would be empty");
+  }
+  Tensor out(Shape{c, h_out, w_out});
+  float* o = out.mutable_data();
+  const float* in = input.data();
+  for (int64_t ch = 0; ch < c; ++ch) {
+    const float* in_c = in + ch * h * w;
+    for (int64_t oy = 0; oy < h_out; ++oy) {
+      for (int64_t ox = 0; ox < w_out; ++ox) {
+        const int64_t iy0 = oy * stride - pad;
+        const int64_t ix0 = ox * stride - pad;
+        float best = -std::numeric_limits<float>::infinity();
+        float sum = 0.0f;
+        int64_t count = 0;
+        for (int ky = 0; ky < window; ++ky) {
+          const int64_t iy = iy0 + ky;
+          if (iy < 0 || iy >= h) continue;
+          for (int kx = 0; kx < window; ++kx) {
+            const int64_t ix = ix0 + kx;
+            if (ix < 0 || ix >= w) continue;
+            const float v = in_c[iy * w + ix];
+            best = std::max(best, v);
+            sum += v;
+            ++count;
+          }
+        }
+        float result;
+        if (kind == PoolKind::kMax) {
+          result = count > 0 ? best : 0.0f;
+        } else {
+          result = count > 0 ? sum / static_cast<float>(count) : 0.0f;
+        }
+        o[(ch * h_out + oy) * w_out + ox] = result;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Tensor> MaxPool2D(const Tensor& input, int window, int stride,
+                         int pad) {
+  return Pool2D(input, window, stride, pad, PoolKind::kMax);
+}
+
+Result<Tensor> AvgPool2D(const Tensor& input, int window, int stride,
+                         int pad) {
+  return Pool2D(input, window, stride, pad, PoolKind::kAvg);
+}
+
+Result<Tensor> GlobalAvgPool(const Tensor& input) {
+  VISTA_RETURN_IF_ERROR(ExpectRank(input, 3, "GlobalAvgPool input"));
+  const int64_t c = input.shape().dim(0);
+  const int64_t hw = input.shape().dim(1) * input.shape().dim(2);
+  Tensor out(Shape{c});
+  const float* in = input.data();
+  float* o = out.mutable_data();
+  for (int64_t ch = 0; ch < c; ++ch) {
+    double sum = 0.0;
+    for (int64_t i = 0; i < hw; ++i) sum += in[ch * hw + i];
+    o[ch] = static_cast<float>(sum / static_cast<double>(hw));
+  }
+  return out;
+}
+
+Tensor Relu(const Tensor& input) {
+  Tensor out = input.Clone();
+  float* o = out.mutable_data();
+  const int64_t n = out.num_elements();
+  for (int64_t i = 0; i < n; ++i) o[i] = std::max(0.0f, o[i]);
+  return out;
+}
+
+Result<Tensor> FullyConnected(const Tensor& input, const Tensor& weights,
+                              const Tensor& bias) {
+  VISTA_RETURN_IF_ERROR(ExpectRank(weights, 2, "FullyConnected weights"));
+  VISTA_RETURN_IF_ERROR(ExpectRank(bias, 1, "FullyConnected bias"));
+  const int64_t out_dim = weights.shape().dim(0);
+  const int64_t in_dim = weights.shape().dim(1);
+  if (input.num_elements() != in_dim) {
+    return Status::InvalidArgument(
+        "FullyConnected: input has " + std::to_string(input.num_elements()) +
+        " elements, weights expect " + std::to_string(in_dim));
+  }
+  if (bias.shape().dim(0) != out_dim) {
+    return Status::InvalidArgument("FullyConnected: bias length mismatch");
+  }
+  Tensor out(Shape{out_dim});
+  const float* x = input.data();
+  const float* w = weights.data();
+  const float* b = bias.data();
+  float* o = out.mutable_data();
+  for (int64_t r = 0; r < out_dim; ++r) {
+    const float* wr = w + r * in_dim;
+    double acc = b[r];
+    for (int64_t c = 0; c < in_dim; ++c) acc += wr[c] * x[c];
+    o[r] = static_cast<float>(acc);
+  }
+  return out;
+}
+
+Result<Tensor> BatchNormInference(const Tensor& input, const Tensor& scale,
+                                  const Tensor& shift) {
+  VISTA_RETURN_IF_ERROR(ExpectRank(input, 3, "BatchNorm input"));
+  const int64_t c = input.shape().dim(0);
+  if (scale.num_elements() != c || shift.num_elements() != c) {
+    return Status::InvalidArgument("BatchNorm: scale/shift length mismatch");
+  }
+  const int64_t hw = input.shape().dim(1) * input.shape().dim(2);
+  Tensor out = input.Clone();
+  float* o = out.mutable_data();
+  const float* sc = scale.data();
+  const float* sh = shift.data();
+  for (int64_t ch = 0; ch < c; ++ch) {
+    for (int64_t i = 0; i < hw; ++i) {
+      o[ch * hw + i] = sc[ch] * o[ch * hw + i] + sh[ch];
+    }
+  }
+  return out;
+}
+
+Result<Tensor> Add(const Tensor& a, const Tensor& b) {
+  if (a.shape() != b.shape()) {
+    return Status::InvalidArgument("Add: shape mismatch " +
+                                   a.shape().ToString() + " vs " +
+                                   b.shape().ToString());
+  }
+  Tensor out = a.Clone();
+  float* o = out.mutable_data();
+  const float* bb = b.data();
+  const int64_t n = out.num_elements();
+  for (int64_t i = 0; i < n; ++i) o[i] += bb[i];
+  return out;
+}
+
+Result<Tensor> Softmax(const Tensor& input) {
+  VISTA_RETURN_IF_ERROR(ExpectRank(input, 1, "Softmax input"));
+  Tensor out = input.Clone();
+  float* o = out.mutable_data();
+  const int64_t n = out.num_elements();
+  float max_v = -std::numeric_limits<float>::infinity();
+  for (int64_t i = 0; i < n; ++i) max_v = std::max(max_v, o[i]);
+  double sum = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    o[i] = std::exp(o[i] - max_v);
+    sum += o[i];
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    o[i] = static_cast<float>(o[i] / sum);
+  }
+  return out;
+}
+
+Result<Tensor> LocalResponseNorm(const Tensor& input, int depth_radius,
+                                 float bias, float alpha, float beta) {
+  VISTA_RETURN_IF_ERROR(ExpectRank(input, 3, "LRN input"));
+  const int64_t c = input.shape().dim(0);
+  const int64_t hw = input.shape().dim(1) * input.shape().dim(2);
+  Tensor out(input.shape());
+  const float* in = input.data();
+  float* o = out.mutable_data();
+  for (int64_t ch = 0; ch < c; ++ch) {
+    const int64_t lo = std::max<int64_t>(0, ch - depth_radius);
+    const int64_t hi = std::min<int64_t>(c - 1, ch + depth_radius);
+    for (int64_t i = 0; i < hw; ++i) {
+      float sq = 0.0f;
+      for (int64_t j = lo; j <= hi; ++j) {
+        const float v = in[j * hw + i];
+        sq += v * v;
+      }
+      o[ch * hw + i] =
+          in[ch * hw + i] / std::pow(bias + alpha * sq, beta);
+    }
+  }
+  return out;
+}
+
+Result<Tensor> GridMaxPool(const Tensor& input, int grid) {
+  VISTA_RETURN_IF_ERROR(ExpectRank(input, 3, "GridMaxPool input"));
+  if (grid < 1) return Status::InvalidArgument("GridMaxPool: grid < 1");
+  const int64_t c = input.shape().dim(0);
+  const int64_t h = input.shape().dim(1);
+  const int64_t w = input.shape().dim(2);
+  if (h < grid || w < grid) {
+    // Already at or below target resolution: identity.
+    return input;
+  }
+  Tensor out(Shape{c, grid, grid});
+  const float* in = input.data();
+  float* o = out.mutable_data();
+  for (int64_t ch = 0; ch < c; ++ch) {
+    for (int g1 = 0; g1 < grid; ++g1) {
+      const int64_t y0 = g1 * h / grid;
+      const int64_t y1 = (g1 + 1) * h / grid;
+      for (int g2 = 0; g2 < grid; ++g2) {
+        const int64_t x0 = g2 * w / grid;
+        const int64_t x1 = (g2 + 1) * w / grid;
+        float best = -std::numeric_limits<float>::infinity();
+        for (int64_t y = y0; y < y1; ++y) {
+          for (int64_t x = x0; x < x1; ++x) {
+            best = std::max(best, in[(ch * h + y) * w + x]);
+          }
+        }
+        o[(ch * grid + g1) * grid + g2] = best;
+      }
+    }
+  }
+  return out;
+}
+
+int64_t Conv2DFlops(int64_t in_channels, int64_t out_channels,
+                    int64_t out_height, int64_t out_width, int64_t kernel) {
+  return 2 * in_channels * out_channels * out_height * out_width * kernel *
+         kernel;
+}
+
+int64_t FullyConnectedFlops(int64_t in_features, int64_t out_features) {
+  return 2 * in_features * out_features;
+}
+
+}  // namespace vista

@@ -1,0 +1,48 @@
+#ifndef VISTA_TENSOR_SHAPE_H_
+#define VISTA_TENSOR_SHAPE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace vista {
+
+/// Shape of a dense d-dimensional tensor (Definition 3.1 in the paper).
+///
+/// Convention for image tensors is CHW (channels, height, width); vectors
+/// are rank-1. A default-constructed Shape is the scalar shape (rank 0,
+/// 1 element).
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<int64_t> dims) : dims_(dims) {}
+  explicit Shape(std::vector<int64_t> dims) : dims_(std::move(dims)) {}
+
+  int rank() const { return static_cast<int>(dims_.size()); }
+  int64_t dim(int i) const { return dims_[i]; }
+  const std::vector<int64_t>& dims() const { return dims_; }
+
+  /// Total number of elements (product of dims; 1 for rank 0).
+  int64_t num_elements() const {
+    int64_t n = 1;
+    for (int64_t d : dims_) n *= d;
+    return n;
+  }
+
+  /// Bytes occupied by a float32 tensor of this shape.
+  int64_t num_bytes() const { return num_elements() * 4; }
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  /// Renders e.g. "(3, 227, 227)".
+  std::string ToString() const;
+
+ private:
+  std::vector<int64_t> dims_;
+};
+
+}  // namespace vista
+
+#endif  // VISTA_TENSOR_SHAPE_H_

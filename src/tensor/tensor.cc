@@ -1,0 +1,18 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+
+namespace vista {
+
+bool Tensor::AllClose(const Tensor& other, float tol) const {
+  if (shape_ != other.shape_) return false;
+  const float* a = data();
+  const float* b = other.data();
+  const int64_t n = num_elements();
+  for (int64_t i = 0; i < n; ++i) {
+    if (std::fabs(a[i] - b[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace vista

@@ -1,0 +1,126 @@
+#include "vista/dag_executor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vista {
+namespace {
+
+/// Pooled transfer-feature count of a DAG node (grid max pooling for
+/// convolutional outputs, as for sequential CNNs).
+int64_t DagTransferFeatures(const dl::DagNodeStat& node) {
+  if (!node.convolutional) return node.output_shape.num_elements();
+  const int64_t grid_h = std::min<int64_t>(2, node.output_shape.dim(1));
+  const int64_t grid_w = std::min<int64_t>(2, node.output_shape.dim(2));
+  return node.output_shape.dim(0) * grid_h * grid_w;
+}
+
+}  // namespace
+
+Result<sim::SimResult> SimulateDagTransfer(const dl::DagArchitecture& arch,
+                                           const std::vector<int>& targets,
+                                           const DagSimSetup& setup,
+                                           DagFrontierPolicy policy) {
+  VISTA_ASSIGN_OR_RETURN(dl::DagStagedPlan plan,
+                         dl::PlanStagedDag(arch, targets));
+  const int64_t n = setup.data.num_records;
+  const int64_t np = setup.profile.num_partitions;
+  const double alpha = setup.alpha;
+  const int cpus = setup.profile.memory.cpus;
+
+  auto make_tasks = [&](double flops, int64_t dread) {
+    std::vector<sim::SimTask> tasks(static_cast<size_t>(np));
+    for (auto& t : tasks) {
+      t.flops = flops / static_cast<double>(np);
+      t.disk_read_bytes = dread / np;
+    }
+    return tasks;
+  };
+  auto table_bytes = [&](int64_t per_record_payload) {
+    return static_cast<int64_t>(alpha * static_cast<double>(n) *
+                                static_cast<double>(16 + per_record_payload));
+  };
+
+  std::vector<sim::SimStage> stages;
+  // Read the base tables (struct is joined with the first target table;
+  // its cost is tiny next to the images).
+  {
+    sim::SimStage read;
+    read.name = "read:images";
+    read.fixed_seconds =
+        static_cast<double>(n) * 0.010 /
+        std::pow(static_cast<double>(setup.env.num_nodes), 0.8);
+    const int64_t img_bytes = n * (16 + setup.data.avg_image_file_bytes);
+    read.tasks = make_tasks(0, img_bytes);
+    read.cache_insert_bytes = img_bytes +
+                              n * (16 + 4 * setup.data.num_struct_features);
+    stages.push_back(std::move(read));
+  }
+
+  int64_t prev_frontier_table_bytes = 0;
+  int64_t keep_everything_bytes = 0;
+  for (const dl::DagStagedHop& hop : plan.hops) {
+    // Inference hop: compute the hop's nodes for every record.
+    sim::SimStage infer;
+    infer.name = "dag-inference:" + arch.node(hop.target).name;
+    infer.uses_dl = true;
+    infer.dl_mem_per_thread = setup.model_runtime_bytes;
+    double flops = 0;
+    for (int node : hop.compute_nodes) {
+      flops += static_cast<double>(arch.node(node).flops);
+    }
+    infer.tasks = make_tasks(flops * static_cast<double>(n), 0);
+    // Per-thread UDF buffers: previous frontier + everything computed in
+    // the hop.
+    int64_t hop_record_bytes = arch.input_shape().num_bytes();
+    for (int node : hop.compute_nodes) {
+      hop_record_bytes += arch.node(node).output_shape.num_bytes();
+    }
+    infer.user_mem_per_task =
+        setup.model_serialized_bytes / std::max(1, cpus) +
+        static_cast<int64_t>(alpha * static_cast<double>(hop_record_bytes) *
+                             static_cast<double>(n / np));
+    infer.cache_read_bytes = prev_frontier_table_bytes;
+
+    // Frontier bookkeeping: the new kept tables replace the old ones
+    // (minimal policy), or accumulate (keep-everything ablation).
+    int64_t new_frontier_bytes;
+    if (policy == DagFrontierPolicy::kMinimalFrontier) {
+      new_frontier_bytes = table_bytes(hop.keep_bytes);
+      infer.cache_release_bytes = prev_frontier_table_bytes;
+      infer.cache_insert_bytes = new_frontier_bytes;
+    } else {
+      for (int node : hop.compute_nodes) {
+        keep_everything_bytes +=
+            table_bytes(arch.node(node).output_shape.num_bytes());
+      }
+      new_frontier_bytes = keep_everything_bytes;
+      infer.cache_insert_bytes =
+          new_frontier_bytes - prev_frontier_table_bytes;
+    }
+    prev_frontier_table_bytes = new_frontier_bytes;
+    stages.push_back(std::move(infer));
+
+    // Downstream training on [X, g(target features)].
+    sim::SimStage train;
+    train.name = "dag-train:" + arch.node(hop.target).name;
+    const int64_t dim = setup.data.num_struct_features +
+                        DagTransferFeatures(arch.node(hop.target));
+    train.tasks = make_tasks(6.0 * static_cast<double>(dim) *
+                                 static_cast<double>(n) *
+                                 setup.training_iterations,
+                             0);
+    const int64_t target_table =
+        table_bytes(arch.node(hop.target).output_shape.num_bytes());
+    train.cache_read_bytes = target_table * setup.training_iterations;
+    train.user_mem_per_task = dim * 8 * 3 + kMiB;
+    train.driver_collect_bytes = dim * 8 * setup.training_iterations;
+    stages.push_back(std::move(train));
+  }
+
+  sim::ClusterSim cluster(setup.env.num_nodes, setup.node,
+                          setup.profile.memory);
+  return cluster.Run(stages);
+}
+
+}  // namespace vista

@@ -1,0 +1,43 @@
+#ifndef VISTA_VISTA_DAG_EXECUTOR_H_
+#define VISTA_VISTA_DAG_EXECUTOR_H_
+
+#include <vector>
+
+#include "dl/dag.h"
+#include "vista/sim_executor.h"
+
+namespace vista {
+
+/// Cluster-scale simulation of DAG feature transfer (the Section 5.4
+/// extension): executes the generalized staged plan of dl/dag.h hop by
+/// hop, tracking the retained frontier tables in Storage memory the way
+/// the sequential executor tracks T_i.
+struct DagSimSetup {
+  SystemEnv env;
+  sim::NodeResources node;
+  SystemProfile profile;
+  DataStats data;
+  int training_iterations = 10;
+  double alpha = kDefaultAlpha;
+  /// Deployment memory footprint per DL-thread replica of the DAG model.
+  int64_t model_runtime_bytes = MiB(256);
+  int64_t model_serialized_bytes = MiB(64);
+};
+
+/// Frontier policy under simulation — the DAG ablation: the generalized
+/// staged plan keeps only the minimal frontier; the naive alternative
+/// keeps every computed node's table alive until the end.
+enum class DagFrontierPolicy {
+  kMinimalFrontier,
+  kKeepEverything,
+};
+
+/// Simulates transferring features from the DAG nodes in `targets`.
+Result<sim::SimResult> SimulateDagTransfer(
+    const dl::DagArchitecture& arch, const std::vector<int>& targets,
+    const DagSimSetup& setup,
+    DagFrontierPolicy policy = DagFrontierPolicy::kMinimalFrontier);
+
+}  // namespace vista
+
+#endif  // VISTA_VISTA_DAG_EXECUTOR_H_

@@ -1,0 +1,112 @@
+#include "vista/estimator.h"
+
+#include <algorithm>
+
+namespace vista {
+
+int64_t LayerFeatureBytes(const dl::CnnArchitecture& arch, int layer_index) {
+  return arch.layer(layer_index).output_shape.num_elements() * 4;
+}
+
+Result<SizeEstimates> EstimateSizes(const RosterEntry& entry,
+                                    const TransferWorkload& workload,
+                                    const DataStats& stats, double alpha) {
+  if (workload.layers.empty()) {
+    return Status::InvalidArgument("workload has no layers");
+  }
+  for (int l : workload.layers) {
+    if (l < 0 || l >= entry.arch.num_layers()) {
+      return Status::InvalidArgument("layer index out of range: " +
+                                     std::to_string(l));
+    }
+  }
+  const int64_t n = stats.num_records;
+  SizeEstimates est;
+
+  // Tungsten-style record overheads: 8 B key + 8 B header per
+  // variable-length field (Figure 14).
+  est.t_str_bytes = n * (8 + 8 + 4 * stats.num_struct_features);
+  est.t_img_file_bytes = n * (8 + 8 + stats.avg_image_file_bytes);
+  est.t_img_tensor_bytes =
+      n * (8 + 8 + entry.arch.input_shape().num_bytes());
+
+  int64_t eager_record_payload = 0;
+  for (int l : workload.layers) {
+    const int64_t feature_bytes = LayerFeatureBytes(entry.arch, l);
+    const int64_t ti = static_cast<int64_t>(
+                           alpha * static_cast<double>(
+                                       n * (8 + 8 + feature_bytes))) +
+                       est.t_str_bytes;
+    est.t_i_bytes.push_back(ti);
+    // Serialized: sparse pairs cost 8 B per nonzero; capped by dense.
+    const int64_t sparse_bytes = static_cast<int64_t>(
+        stats.feature_density * 2.0 * static_cast<double>(feature_bytes));
+    const int64_t ser_feature = std::min(feature_bytes, sparse_bytes);
+    est.t_i_serialized_bytes.push_back(n * (8 + 8 + ser_feature) +
+                                       est.t_str_bytes);
+    eager_record_payload += 8 + feature_bytes;
+  }
+  est.eager_table_bytes =
+      static_cast<int64_t>(alpha *
+                           static_cast<double>(n * (8 + eager_record_payload))) +
+      est.t_str_bytes;
+
+  // Peak UDF (input + output) record buffers across staged hops.
+  const int64_t img_record = entry.arch.input_shape().num_bytes();
+  int64_t peak_udf =
+      img_record + LayerFeatureBytes(entry.arch, workload.layers[0]);
+  int64_t eager_out = 0;
+  for (size_t i = 0; i < workload.layers.size(); ++i) {
+    eager_out += LayerFeatureBytes(entry.arch, workload.layers[i]);
+    if (i + 1 < workload.layers.size()) {
+      peak_udf = std::max(
+          peak_udf, LayerFeatureBytes(entry.arch, workload.layers[i]) +
+                        LayerFeatureBytes(entry.arch,
+                                          workload.layers[i + 1]));
+    }
+  }
+  est.udf_record_bytes = peak_udf;
+  est.eager_udf_record_bytes = img_record + eager_out;
+
+  est.s_single = *std::max_element(est.t_i_bytes.begin(),
+                                   est.t_i_bytes.end());
+  if (est.t_i_bytes.size() == 1) {
+    est.s_double = est.s_single;
+  } else {
+    int64_t best = 0;
+    for (size_t i = 0; i + 1 < est.t_i_bytes.size(); ++i) {
+      best = std::max(best, est.t_i_bytes[i] + est.t_i_bytes[i + 1] -
+                                est.t_str_bytes);
+    }
+    est.s_double = best;
+  }
+  return est;
+}
+
+int64_t EstimateModelMemoryBytes(const RosterEntry& entry,
+                                 const TransferWorkload& workload,
+                                 const DataStats& stats) {
+  int64_t max_features = 0;
+  for (int l : workload.layers) {
+    max_features =
+        std::max(max_features, entry.arch.transfer_feature_count(l));
+  }
+  const int64_t dim = stats.num_struct_features + max_features;
+  switch (workload.model) {
+    case DownstreamModel::kLogisticRegression:
+      // Weights + gradient accumulators + optimizer scratch (double
+      // precision).
+      return dim * 8 * 3 + kMiB;
+    case DownstreamModel::kMlp: {
+      // Paper's Fig. 7(B) MLP: two 1024-unit hidden layers.
+      const int64_t params = dim * 1024 + 1024 * 1024 + 1024;
+      return params * 8 * 3 + kMiB;
+    }
+    case DownstreamModel::kDecisionTree:
+      // Histograms per feature dominate.
+      return dim * 256 + kMiB;
+  }
+  return kMiB;
+}
+
+}  // namespace vista

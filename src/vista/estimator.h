@@ -1,0 +1,76 @@
+#ifndef VISTA_VISTA_ESTIMATOR_H_
+#define VISTA_VISTA_ESTIMATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "vista/roster.h"
+
+namespace vista {
+
+/// The cluster environment handed to Vista (Table 1(A)).
+struct SystemEnv {
+  int num_nodes = 8;
+  int64_t node_memory_bytes = GiB(32);
+  int cores_per_node = 8;
+  /// GPU memory per node; 0 when the cluster has no GPUs.
+  int64_t gpu_memory_bytes = 0;
+};
+
+/// Intermediate-table size estimates (Appendix A, Eq. 16). All sizes are
+/// cluster totals in bytes.
+struct SizeEstimates {
+  /// Base tables.
+  int64_t t_str_bytes = 0;
+  /// Raw images as stored (compressed files on distributed storage).
+  int64_t t_img_file_bytes = 0;
+  /// Raw images decoded into tensors (what inference reads).
+  int64_t t_img_tensor_bytes = 0;
+  /// Deserialized size of each intermediate table T_i (i indexes the
+  /// workload's layer list L, ascending). T_i carries the full feature
+  /// tensor of layer L[i] plus the joined structured features.
+  std::vector<int64_t> t_i_bytes;
+  /// Serialized/compressed size of each T_i (density-scaled sparse
+  /// encoding).
+  std::vector<int64_t> t_i_serialized_bytes;
+  /// Eager's single materialized table holding every layer of L at once.
+  int64_t eager_table_bytes = 0;
+  /// Peak single-table and adjacent-pair sizes (Eqs. 5-6).
+  int64_t s_single = 0;
+  int64_t s_double = 0;
+  /// Peak per-record UDF buffer bytes during staged execution: the largest
+  /// (input tensor + produced tensor) pair across inference hops, counting
+  /// the decoded image for the first hop. Drives the User-memory term of
+  /// Eq. 10 ("buffers to read inputs, and to hold features created by CNN
+  /// inference") and the partitioning rule.
+  int64_t udf_record_bytes = 0;
+  /// Same for the Eager plan (image input + every layer's output at once).
+  int64_t eager_udf_record_bytes = 0;
+};
+
+/// Fudge factor for the blowup of binary feature vectors as managed-heap
+/// objects (Table 1(C), default 2).
+inline constexpr double kDefaultAlpha = 2.0;
+
+/// Computes all size estimates for running `workload` over data with
+/// `stats` (Eq. 16 with fudge factor `alpha`).
+Result<SizeEstimates> EstimateSizes(const RosterEntry& entry,
+                                    const TransferWorkload& workload,
+                                    const DataStats& stats,
+                                    double alpha = kDefaultAlpha);
+
+/// Per-record bytes of the full feature tensor of `layer_index`.
+int64_t LayerFeatureBytes(const dl::CnnArchitecture& arch, int layer_index);
+
+/// Downstream-model memory footprint |M|_mem: proportional to the total
+/// feature dimensionality (structured + the largest pooled CNN layer in L),
+/// Section 4.3.
+int64_t EstimateModelMemoryBytes(const RosterEntry& entry,
+                                 const TransferWorkload& workload,
+                                 const DataStats& stats);
+
+}  // namespace vista
+
+#endif  // VISTA_VISTA_ESTIMATOR_H_

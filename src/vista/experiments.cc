@@ -1,0 +1,238 @@
+#include "vista/experiments.h"
+
+#include <algorithm>
+
+namespace vista {
+namespace {
+
+/// Builds the workload + roster entry for a setup.
+struct Resolved {
+  Roster roster;
+  const RosterEntry* entry;
+  TransferWorkload workload;
+};
+
+Result<Resolved> Resolve(const ExperimentSetup& setup) {
+  VISTA_ASSIGN_OR_RETURN(Roster roster, Roster::Default());
+  Resolved r{std::move(roster), nullptr, {}};
+  VISTA_ASSIGN_OR_RETURN(r.entry, r.roster.Lookup(setup.cnn));
+  VISTA_ASSIGN_OR_RETURN(
+      r.workload, TransferWorkload::TopLayers(r.roster, setup.cnn,
+                                              setup.num_layers, setup.model));
+  r.workload.training_iterations = setup.training_iterations;
+  return r;
+}
+
+SimExecutorConfig MakeSimConfig(const ExperimentSetup& setup,
+                                SystemProfile profile) {
+  SimExecutorConfig config;
+  config.env = setup.env;
+  config.node = setup.node;
+  config.use_gpu = setup.use_gpu;
+  config.profile = std::move(profile);
+  return config;
+}
+
+/// "Explicitly apportioned" baseline profile at a requested parallelism:
+/// the strong baselines get optimizer-quality memory apportioning (the
+/// paper gives Lazy-5+Pre-mat and Eager parts of Vista's machinery) but a
+/// fixed plan. The cpu is lowered if the DL replicas cannot physically fit.
+SystemProfile ApportionedProfile(const ExperimentSetup& setup,
+                                 const Resolved& r, int want_cpu,
+                                 const SizeEstimates& est) {
+  OptimizerParams params;
+  int cpu = want_cpu;
+  const int64_t f_mem = setup.use_gpu
+                            ? r.entry->memory.runtime_gpu_bytes
+                            : r.entry->memory.runtime_cpu_bytes;
+  while (cpu > 1) {
+    const int64_t dl = static_cast<int64_t>(cpu) *
+                       r.entry->memory.runtime_cpu_bytes;
+    const int64_t gpu = static_cast<int64_t>(cpu) * f_mem;
+    const bool cpu_fits = params.mem_os_rsv + dl + params.mem_core +
+                              GiB(2) <
+                          setup.env.node_memory_bytes;
+    const bool gpu_fits = !setup.use_gpu ||
+                          gpu < setup.env.gpu_memory_bytes;
+    if (cpu_fits && gpu_fits) break;
+    --cpu;
+  }
+  // Budget UDF buffers for the worst case across the baseline plans: the
+  // Eager plan holds the decoded image plus every produced layer at once.
+  const int64_t udf_record =
+      std::max(est.udf_record_bytes, est.eager_udf_record_bytes);
+  const int64_t udf_table = static_cast<int64_t>(
+      params.alpha * static_cast<double>(setup.data.num_records) *
+      static_cast<double>(udf_record));
+  const int64_t np = ComputeNumPartitions(
+      std::max(est.s_single, udf_table), cpu, setup.env.num_nodes,
+      params.p_max);
+  const int64_t partition = (udf_table + np - 1) / np;
+  const int64_t user =
+      r.entry->memory.serialized_bytes +
+      static_cast<int64_t>(1.1 * cpu * static_cast<double>(partition));
+  return ExplicitProfile(setup.env, setup.pd, cpu,
+                         r.entry->memory.runtime_cpu_bytes, user, np);
+}
+
+}  // namespace
+
+std::vector<std::string> StandardApproaches() {
+  return {"Lazy-1", "Lazy-5", "Lazy-7", "Lazy-5+Pre-mat", "Eager", "Vista"};
+}
+
+DataStats FoodsDataStats(double scale) {
+  DataStats stats;
+  stats.num_records = static_cast<int64_t>(20000 * scale);
+  stats.num_struct_features = 130;
+  stats.avg_image_file_bytes = 14 * 1024;
+  // AlexNet features measured at 13% nonzero; VGG/ResNet ~36% (Appendix A).
+  stats.feature_density = 0.35;
+  return stats;
+}
+
+DataStats AmazonDataStats(double scale) {
+  DataStats stats;
+  stats.num_records = static_cast<int64_t>(200000 * scale);
+  stats.num_struct_features = 200;
+  stats.avg_image_file_bytes = 14 * 1024;
+  stats.feature_density = 0.35;
+  return stats;
+}
+
+int PaperNumLayers(dl::KnownCnn cnn) {
+  switch (cnn) {
+    case dl::KnownCnn::kAlexNet:
+      return 4;
+    case dl::KnownCnn::kVgg16:
+      return 3;
+    case dl::KnownCnn::kResNet50:
+      return 5;
+  }
+  return 3;
+}
+
+Result<ApproachResult> RunApproach(const ExperimentSetup& setup,
+                                   const std::string& approach) {
+  VISTA_ASSIGN_OR_RETURN(Resolved r, Resolve(setup));
+  SimExecutor executor(r.entry);
+  ApproachResult out;
+  out.approach = approach;
+
+  auto default_profile = [&](int cpus) {
+    return setup.pd == PdSystem::kSparkLike
+               ? SparkDefaultProfile(setup.env, cpus,
+                                     setup.data.num_records)
+               : IgniteDefaultProfile(setup.env, cpus);
+  };
+
+  if (approach == "Lazy-1" || approach == "Lazy-5" ||
+      approach == "Lazy-7") {
+    const int cpus = approach == "Lazy-1" ? 1
+                     : approach == "Lazy-5" ? 5
+                                            : 7;
+    VISTA_ASSIGN_OR_RETURN(CompiledPlan plan,
+                           CompilePlan(LogicalPlan::kLazy, r.workload));
+    VISTA_ASSIGN_OR_RETURN(
+        out.result,
+        executor.Execute(plan, r.workload, setup.data,
+                         MakeSimConfig(setup, default_profile(cpus))));
+    return out;
+  }
+
+  VISTA_ASSIGN_OR_RETURN(SizeEstimates est,
+                         EstimateSizes(*r.entry, r.workload, setup.data));
+
+  if (approach == "Lazy-5+Pre-mat") {
+    SystemProfile profile = ApportionedProfile(setup, r, 5, est);
+    SimExecutorConfig config = MakeSimConfig(setup, profile);
+    int64_t file_bytes = 0;
+    VISTA_ASSIGN_OR_RETURN(
+        sim::SimResult pre,
+        executor.SimulatePreMaterialization(r.workload, setup.data, config,
+                                            &file_bytes));
+    out.pre_mat_seconds = pre.total_seconds;
+    if (pre.crashed()) {
+      out.result = pre;
+      return out;
+    }
+    VISTA_ASSIGN_OR_RETURN(
+        CompiledPlan plan,
+        CompilePlan(LogicalPlan::kLazy, r.workload,
+                    /*pre_materialized_base=*/true));
+    VISTA_ASSIGN_OR_RETURN(
+        out.result, executor.Execute(plan, r.workload, setup.data, config));
+    return out;
+  }
+
+  if (approach == "Eager") {
+    SystemProfile profile = ApportionedProfile(setup, r, 5, est);
+    VISTA_ASSIGN_OR_RETURN(CompiledPlan plan,
+                           CompilePlan(LogicalPlan::kEager, r.workload));
+    VISTA_ASSIGN_OR_RETURN(
+        out.result, executor.Execute(plan, r.workload, setup.data,
+                                     MakeSimConfig(setup, profile)));
+    return out;
+  }
+
+  if (approach == "Vista") {
+    Vista::Options options;
+    options.env = setup.env;
+    options.cnn = setup.cnn;
+    options.num_layers = setup.num_layers;
+    options.model = setup.model;
+    options.training_iterations = setup.training_iterations;
+    options.data = setup.data;
+    auto vista = Vista::Create(options);
+    if (!vista.ok()) {
+      // Infeasible environments are reported, not crashed: Vista tells the
+      // user to provision more memory instead of attempting to run.
+      return vista.status();
+    }
+    VISTA_ASSIGN_OR_RETURN(
+        out.result, vista->ExecuteSimulated(setup.pd, setup.node,
+                                            setup.use_gpu));
+    return out;
+  }
+
+  return Status::InvalidArgument("unknown approach: " + approach);
+}
+
+Result<sim::SimResult> RunDrillDown(const ExperimentSetup& setup,
+                                    const DrillDownConfig& config) {
+  VISTA_ASSIGN_OR_RETURN(Resolved r, Resolve(setup));
+  VISTA_ASSIGN_OR_RETURN(SizeEstimates est,
+                         EstimateSizes(*r.entry, r.workload, setup.data));
+  OptimizerParams params;
+  const bool eager = config.plan == LogicalPlan::kEager ||
+                     config.plan == LogicalPlan::kEagerReordered;
+  const int64_t udf_record =
+      eager ? est.eager_udf_record_bytes : est.udf_record_bytes;
+  const int64_t udf_table = static_cast<int64_t>(
+      params.alpha * static_cast<double>(setup.data.num_records) *
+      static_cast<double>(udf_record));
+  const int64_t np =
+      config.num_partitions > 0
+          ? config.num_partitions
+          : ComputeNumPartitions(std::max(est.s_single, udf_table),
+                                 config.cpu, setup.env.num_nodes,
+                                 params.p_max);
+  const int64_t partition = (udf_table + np - 1) / np;
+  const int64_t user =
+      r.entry->memory.serialized_bytes +
+      static_cast<int64_t>(1.1 * config.cpu *
+                           static_cast<double>(partition));
+  SystemProfile profile =
+      ExplicitProfile(setup.env, setup.pd, config.cpu,
+                      r.entry->memory.runtime_cpu_bytes, user, np);
+  profile.join = config.join;
+  profile.persistence = config.persistence;
+
+  SimExecutor executor(r.entry);
+  VISTA_ASSIGN_OR_RETURN(CompiledPlan plan,
+                         CompilePlan(config.plan, r.workload));
+  return executor.Execute(plan, r.workload, setup.data,
+                          MakeSimConfig(setup, profile));
+}
+
+}  // namespace vista

@@ -1,0 +1,72 @@
+#ifndef VISTA_VISTA_EXPERIMENTS_H_
+#define VISTA_VISTA_EXPERIMENTS_H_
+
+#include <string>
+#include <vector>
+
+#include "vista/sim_executor.h"
+#include "vista/vista.h"
+
+namespace vista {
+
+/// A Section-5 experiment setting: cluster, PD system, dataset statistics,
+/// and workload. Shared by the test suite and the benchmark harnesses.
+struct ExperimentSetup {
+  SystemEnv env;
+  sim::NodeResources node;
+  bool use_gpu = false;
+  PdSystem pd = PdSystem::kSparkLike;
+  dl::KnownCnn cnn = dl::KnownCnn::kAlexNet;
+  int num_layers = 4;
+  DataStats data;
+  DownstreamModel model = DownstreamModel::kLogisticRegression;
+  int training_iterations = 10;
+};
+
+/// Result of running one approach of Figure 6/7.
+struct ApproachResult {
+  std::string approach;
+  sim::SimResult result;
+  /// Time spent pre-materializing the base layer (Lazy-5 w/ Pre-mat only);
+  /// reported separately, as in the paper's Figure 6 hatched bars.
+  double pre_mat_seconds = 0;
+};
+
+/// The approaches compared in Figures 6 and 7(A):
+/// Lazy-1, Lazy-5, Lazy-7 (naive, default system configs),
+/// Lazy-5+Pre-mat and Eager (strong baselines with explicitly apportioned
+/// memory), and Vista.
+std::vector<std::string> StandardApproaches();
+
+/// Runs one approach by name. Baselines run on default/explicit system
+/// profiles; "Vista" runs the optimizer + Staged plan. Crashes are reported
+/// inside ApproachResult::result, not as a failed Status.
+Result<ApproachResult> RunApproach(const ExperimentSetup& setup,
+                                   const std::string& approach);
+
+/// Drill-down runner (Figures 9-12): explicit logical/physical plan and
+/// system knobs. `num_partitions` <= 0 lets the optimizer's partitioning
+/// rule pick.
+struct DrillDownConfig {
+  LogicalPlan plan = LogicalPlan::kStaged;
+  df::JoinStrategy join = df::JoinStrategy::kShuffleHash;
+  df::PersistenceFormat persistence = df::PersistenceFormat::kDeserialized;
+  int cpu = 4;
+  int64_t num_partitions = 0;
+};
+
+Result<sim::SimResult> RunDrillDown(const ExperimentSetup& setup,
+                                    const DrillDownConfig& config);
+
+/// Foods / Amazon experiment data statistics (Section 5), with an optional
+/// record-replication scale factor (the drill-downs' "2X", "8X", ...).
+DataStats FoodsDataStats(double scale = 1.0);
+DataStats AmazonDataStats(double scale = 1.0);
+
+/// The paper's layer selections: AlexNet |L|=4, VGG16 |L|=3, ResNet50
+/// |L|=5 (Section 5, Workloads).
+int PaperNumLayers(dl::KnownCnn cnn);
+
+}  // namespace vista
+
+#endif  // VISTA_VISTA_EXPERIMENTS_H_

@@ -1,0 +1,267 @@
+#include "vista/plans.h"
+
+#include <sstream>
+
+namespace vista {
+
+const char* LogicalPlanToString(LogicalPlan plan) {
+  switch (plan) {
+    case LogicalPlan::kLazy:
+      return "Lazy/AJ";
+    case LogicalPlan::kLazyReordered:
+      return "Lazy/BJ";
+    case LogicalPlan::kEager:
+      return "Eager/AJ";
+    case LogicalPlan::kEagerReordered:
+      return "Eager/BJ";
+    case LogicalPlan::kStaged:
+      return "Staged/AJ";
+    case LogicalPlan::kStagedReordered:
+      return "Staged/BJ";
+  }
+  return "?";
+}
+
+std::string PlanStep::ToString() const {
+  std::ostringstream os;
+  switch (kind) {
+    case Kind::kReadStruct:
+      os << "ReadStruct -> " << output;
+      break;
+    case Kind::kReadImages:
+      os << "ReadImages -> " << output;
+      break;
+    case Kind::kJoin:
+      os << "Join(" << input << ", " << input2 << ") -> " << output;
+      break;
+    case Kind::kInference: {
+      os << "Inference(" << input << ", from ";
+      if (source_slot < 0) {
+        os << "image";
+      } else {
+        os << "layer " << source_layer << " @slot " << source_slot;
+      }
+      os << ", produce {";
+      for (size_t i = 0; i < produce_layers.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << produce_layers[i];
+      }
+      os << "}) -> " << output;
+      break;
+    }
+    case Kind::kTrain:
+      os << "Train(" << input << ", layer " << train_layer << " @slot "
+         << feature_slot << ")";
+      break;
+    case Kind::kPersist:
+      os << "Persist(" << input << ")";
+      break;
+    case Kind::kRelease:
+      os << "Release(" << input << ")";
+      break;
+  }
+  return os.str();
+}
+
+std::string CompiledPlan::ToString() const {
+  std::ostringstream os;
+  os << LogicalPlanToString(logical);
+  if (pre_materialized_base) os << " (pre-materialized base)";
+  os << ":\n";
+  for (const PlanStep& step : steps) {
+    os << "  " << step.ToString() << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+PlanStep ReadStruct() {
+  PlanStep s;
+  s.kind = PlanStep::Kind::kReadStruct;
+  s.output = "str";
+  return s;
+}
+
+PlanStep ReadImages() {
+  PlanStep s;
+  s.kind = PlanStep::Kind::kReadImages;
+  s.output = "img";
+  return s;
+}
+
+PlanStep Join(std::string left, std::string right, std::string out) {
+  PlanStep s;
+  s.kind = PlanStep::Kind::kJoin;
+  s.input = std::move(left);
+  s.input2 = std::move(right);
+  s.output = std::move(out);
+  return s;
+}
+
+PlanStep Inference(std::string in, std::string out, int source_slot,
+                   int source_layer, std::vector<int> produce) {
+  PlanStep s;
+  s.kind = PlanStep::Kind::kInference;
+  s.input = std::move(in);
+  s.output = std::move(out);
+  s.source_slot = source_slot;
+  s.source_layer = source_layer;
+  s.produce_layers = std::move(produce);
+  return s;
+}
+
+PlanStep Train(std::string in, int slot, int layer) {
+  PlanStep s;
+  s.kind = PlanStep::Kind::kTrain;
+  s.input = std::move(in);
+  s.feature_slot = slot;
+  s.train_layer = layer;
+  return s;
+}
+
+PlanStep Persist(std::string table) {
+  PlanStep s;
+  s.kind = PlanStep::Kind::kPersist;
+  s.input = std::move(table);
+  return s;
+}
+
+PlanStep Release(std::string table) {
+  PlanStep s;
+  s.kind = PlanStep::Kind::kRelease;
+  s.input = std::move(table);
+  return s;
+}
+
+}  // namespace
+
+Result<CompiledPlan> CompilePlan(LogicalPlan plan,
+                                 const TransferWorkload& workload,
+                                 bool pre_materialized_base) {
+  const std::vector<int>& layers = workload.layers;
+  if (layers.empty()) {
+    return Status::InvalidArgument("workload has no layers");
+  }
+  for (size_t i = 1; i < layers.size(); ++i) {
+    if (layers[i] <= layers[i - 1]) {
+      return Status::InvalidArgument(
+          "workload layers must be strictly ascending");
+    }
+  }
+  const int k = static_cast<int>(layers.size());
+
+  // With a pre-materialized base, the "img" table already carries the
+  // bottom-most layer's tensors in slot 0.
+  const int base_slot = pre_materialized_base ? 0 : -1;
+  const int base_layer = pre_materialized_base ? layers.front() : -1;
+
+  CompiledPlan out;
+  out.logical = plan;
+  out.pre_materialized_base = pre_materialized_base;
+  auto& steps = out.steps;
+  steps.push_back(ReadStruct());
+  steps.push_back(ReadImages());
+
+  auto table_name = [](const char* prefix, int i) {
+    return std::string(prefix) + "_" + std::to_string(i);
+  };
+
+  switch (plan) {
+    case LogicalPlan::kLazy: {
+      for (int i = 0; i < k; ++i) {
+        const std::string feat = table_name("feat", i);
+        const std::string ti = table_name("t", i);
+        steps.push_back(
+            Inference("img", feat, base_slot, base_layer, {layers[i]}));
+        steps.push_back(Join("str", feat, ti));
+        steps.push_back(Persist(ti));
+        steps.push_back(Release(feat));
+        steps.push_back(Train(ti, 0, layers[i]));
+        steps.push_back(Release(ti));
+      }
+      break;
+    }
+    case LogicalPlan::kLazyReordered: {
+      steps.push_back(Join("str", "img", "base"));
+      steps.push_back(Persist("base"));
+      for (int i = 0; i < k; ++i) {
+        const std::string ti = table_name("t", i);
+        steps.push_back(
+            Inference("base", ti, base_slot, base_layer, {layers[i]}));
+        steps.push_back(Persist(ti));
+        steps.push_back(Train(ti, 0, layers[i]));
+        steps.push_back(Release(ti));
+      }
+      steps.push_back(Release("base"));
+      break;
+    }
+    case LogicalPlan::kEager: {
+      steps.push_back(
+          Inference("img", "feats", base_slot, base_layer, layers));
+      steps.push_back(Persist("feats"));
+      steps.push_back(Join("str", "feats", "t_all"));
+      steps.push_back(Persist("t_all"));
+      steps.push_back(Release("feats"));
+      for (int i = 0; i < k; ++i) {
+        steps.push_back(Train("t_all", i, layers[i]));
+      }
+      steps.push_back(Release("t_all"));
+      break;
+    }
+    case LogicalPlan::kEagerReordered: {
+      steps.push_back(Join("str", "img", "base"));
+      steps.push_back(
+          Inference("base", "t_all", base_slot, base_layer, layers));
+      steps.push_back(Persist("t_all"));
+      steps.push_back(Release("base"));
+      for (int i = 0; i < k; ++i) {
+        steps.push_back(Train("t_all", i, layers[i]));
+      }
+      steps.push_back(Release("t_all"));
+      break;
+    }
+    case LogicalPlan::kStaged: {
+      // First hop: inference to the bottom-most layer, then the only join.
+      steps.push_back(
+          Inference("img", "feat_0", base_slot, base_layer, {layers[0]}));
+      steps.push_back(Persist("feat_0"));
+      steps.push_back(Join("str", "feat_0", "t_0"));
+      steps.push_back(Persist("t_0"));
+      steps.push_back(Release("feat_0"));
+      steps.push_back(Train("t_0", 0, layers[0]));
+      for (int i = 1; i < k; ++i) {
+        const std::string prev = table_name("t", i - 1);
+        const std::string ti = table_name("t", i);
+        steps.push_back(Inference(prev, ti, 0, layers[i - 1], {layers[i]}));
+        steps.push_back(Persist(ti));
+        steps.push_back(Release(prev));
+        steps.push_back(Train(ti, 0, layers[i]));
+      }
+      steps.push_back(Release(table_name("t", k - 1)));
+      break;
+    }
+    case LogicalPlan::kStagedReordered: {
+      steps.push_back(Join("str", "img", "base"));
+      steps.push_back(Persist("base"));
+      steps.push_back(
+          Inference("base", "t_0", base_slot, base_layer, {layers[0]}));
+      steps.push_back(Persist("t_0"));
+      steps.push_back(Release("base"));
+      steps.push_back(Train("t_0", 0, layers[0]));
+      for (int i = 1; i < k; ++i) {
+        const std::string prev = table_name("t", i - 1);
+        const std::string ti = table_name("t", i);
+        steps.push_back(Inference(prev, ti, 0, layers[i - 1], {layers[i]}));
+        steps.push_back(Persist(ti));
+        steps.push_back(Release(prev));
+        steps.push_back(Train(ti, 0, layers[i]));
+      }
+      steps.push_back(Release(table_name("t", k - 1)));
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace vista

@@ -1,0 +1,89 @@
+#ifndef VISTA_VISTA_PLANS_H_
+#define VISTA_VISTA_PLANS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "vista/roster.h"
+
+namespace vista {
+
+/// The logical execution plans of Figure 5. "Reordered" pulls the key-key
+/// join below CNN inference (BJ = before-join inference input is the joined
+/// table); the plain variants join after inference (AJ).
+enum class LogicalPlan {
+  kLazy,             // Fig. 5(A): the de-facto manual approach.
+  kLazyReordered,    // Fig. 5(B).
+  kEager,            // Fig. 5(C): all layers in one go.
+  kEagerReordered,   // Fig. 5(D).
+  kStaged,           // Fig. 5(E)/AJ: Vista's plan.
+  kStagedReordered,  // Staged/BJ drill-down variant (Section 5.3).
+};
+
+const char* LogicalPlanToString(LogicalPlan plan);
+
+/// One step of a compiled plan. Steps operate on named table refs; the
+/// record layout of each table is implied by the compiler: structured
+/// features travel with the records once joined, and the TensorList of an
+/// inference output holds exactly `produce_layers` (ascending), so a train
+/// step addresses its layer by TensorList slot.
+struct PlanStep {
+  enum class Kind {
+    /// Bind the structured base table to `output`.
+    kReadStruct,
+    /// Bind the images base table to `output`.
+    kReadImages,
+    /// Key-key join of `input` (struct side) with `input2` (feature/image
+    /// side) into `output`.
+    kJoin,
+    /// Partial CNN inference: read tensors from `input` (the raw image if
+    /// source_slot == -1, else TensorList slot `source_slot` holding layer
+    /// `source_layer`), run layers (source_layer, produce_layers.back()],
+    /// and write the tensors of `produce_layers` into `output`.
+    kInference,
+    /// Train the downstream model on [X, g(features[feature_slot])] of
+    /// `input`; `train_layer` names the CNN layer for reporting.
+    kTrain,
+    /// Put `input` under managed storage (format chosen by the physical
+    /// planner).
+    kPersist,
+    /// Drop `input` from storage.
+    kRelease,
+  };
+
+  Kind kind;
+  std::string input;
+  std::string input2;
+  std::string output;
+  int source_slot = -1;
+  int source_layer = -1;
+  std::vector<int> produce_layers;
+  int feature_slot = -1;
+  int train_layer = -1;
+
+  std::string ToString() const;
+};
+
+/// A compiled logical plan: ordered steps plus bookkeeping for reporting.
+struct CompiledPlan {
+  LogicalPlan logical;
+  std::vector<PlanStep> steps;
+  /// True when inference starts from a pre-materialized base layer table
+  /// instead of raw images (Appendix B).
+  bool pre_materialized_base = false;
+
+  std::string ToString() const;
+};
+
+/// Compiles `plan` for `workload`. When `pre_materialized_base` is set, the
+/// images table is assumed to already hold the bottom-most requested
+/// layer's tensors (materialized beforehand), and all inference starts
+/// there.
+Result<CompiledPlan> CompilePlan(LogicalPlan plan,
+                                 const TransferWorkload& workload,
+                                 bool pre_materialized_base = false);
+
+}  // namespace vista
+
+#endif  // VISTA_VISTA_PLANS_H_

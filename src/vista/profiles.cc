@@ -1,0 +1,128 @@
+#include "vista/profiles.h"
+
+#include <algorithm>
+
+namespace vista {
+
+const char* PdSystemToString(PdSystem system) {
+  switch (system) {
+    case PdSystem::kSparkLike:
+      return "Spark";
+    case PdSystem::kIgniteLike:
+      return "Ignite";
+  }
+  return "?";
+}
+
+SystemProfile SparkDefaultProfile(const SystemEnv& env, int cpus,
+                                  int64_t num_records) {
+  (void)env;
+  SystemProfile p;
+  p.name = "Spark-defaults/cpu" + std::to_string(cpus);
+  p.pd = PdSystem::kSparkLike;
+  p.memory.heap_bytes = GiB(29);
+  p.memory.jvm_base_bytes = GiB(1);
+  // Spark defaults: 40% of heap to User, 60% shared Storage/Execution;
+  // model the split as half-and-half of the shared pool.
+  p.memory.user_bytes = static_cast<int64_t>(0.4 * GiB(29));
+  p.memory.storage_bytes = static_cast<int64_t>(0.36 * GiB(29));
+  p.memory.core_bytes = static_cast<int64_t>(0.24 * GiB(29));
+  p.memory.offheap_storage_bytes = 0;
+  p.memory.offheap_static = false;
+  p.memory.allow_disk_spill = true;
+  p.memory.cpus = cpus;
+  // Spark's default: max(shuffle default, input splits from ~100 small
+  // image files per grouped split).
+  p.num_partitions = std::max<int64_t>(200, num_records / 100);
+  p.join = df::JoinStrategy::kShuffleHash;
+  p.persistence = df::PersistenceFormat::kDeserialized;
+  return p;
+}
+
+SystemProfile IgniteDefaultProfile(const SystemEnv& env, int cpus) {
+  (void)env;
+  SystemProfile p;
+  p.name = "Ignite-defaults/cpu" + std::to_string(cpus);
+  p.pd = PdSystem::kIgniteLike;
+  p.memory.heap_bytes = GiB(4);
+  p.memory.jvm_base_bytes = static_cast<int64_t>(1.2 * kGiB);
+  // Unified in-heap User+Core pool (Figure 4(C)).
+  p.memory.user_bytes = static_cast<int64_t>(1.4 * kGiB);
+  p.memory.core_bytes = static_cast<int64_t>(1.4 * kGiB);
+  p.memory.storage_bytes = GiB(25);
+  p.memory.offheap_storage_bytes = GiB(25);
+  p.memory.offheap_static = true;
+  p.memory.allow_disk_spill = false;  // Memory-only mode.
+  p.memory.cpus = cpus;
+  p.num_partitions = 1024;
+  p.join = df::JoinStrategy::kShuffleHash;
+  p.persistence = df::PersistenceFormat::kSerialized;  // Binary format.
+  return p;
+}
+
+SystemProfile VistaProfile(const SystemEnv& env, PdSystem pd,
+                           const OptimizerDecisions& decisions,
+                           const OptimizerParams& params) {
+  (void)env;
+  SystemProfile p;
+  p.name = std::string("Vista/") + PdSystemToString(pd);
+  p.pd = pd;
+  p.memory.user_bytes = decisions.mem_user;
+  p.memory.core_bytes = params.mem_core;
+  p.memory.storage_bytes = decisions.mem_storage;
+  if (pd == PdSystem::kIgniteLike) {
+    p.memory.heap_bytes = decisions.mem_user + params.mem_core + GiB(1);
+    p.memory.offheap_storage_bytes = decisions.mem_storage;
+    p.memory.offheap_static = true;
+    // Vista enables Ignite's disk-backed storage so that estimated
+    // overflow degrades to spills.
+    p.memory.allow_disk_spill = true;
+  } else {
+    p.memory.heap_bytes = decisions.mem_user + params.mem_core +
+                          decisions.mem_storage + GiB(1);
+    p.memory.offheap_storage_bytes = 0;
+    p.memory.offheap_static = false;
+    p.memory.allow_disk_spill = true;
+  }
+  p.memory.jvm_base_bytes = GiB(1);
+  p.memory.cpus = decisions.cpu;
+  p.num_partitions = decisions.num_partitions;
+  p.join = decisions.join;
+  p.persistence = decisions.persistence;
+  return p;
+}
+
+SystemProfile ExplicitProfile(const SystemEnv& env, PdSystem pd, int cpus,
+                              int64_t dl_mem_per_thread, int64_t user_bytes,
+                              int64_t num_partitions) {
+  SystemProfile p;
+  p.name = std::string(PdSystemToString(pd)) + "-explicit/cpu" +
+           std::to_string(cpus);
+  p.pd = pd;
+  const int64_t dl_total = dl_mem_per_thread * cpus;
+  const int64_t worker =
+      env.node_memory_bytes - GiB(3) - dl_total - user_bytes;
+  p.memory.user_bytes = user_bytes;
+  p.memory.core_bytes = static_cast<int64_t>(2.4 * kGiB);
+  p.memory.storage_bytes =
+      std::max<int64_t>(GiB(1), worker - p.memory.core_bytes);
+  if (pd == PdSystem::kIgniteLike) {
+    p.memory.heap_bytes = user_bytes + p.memory.core_bytes + GiB(1);
+    p.memory.offheap_storage_bytes = p.memory.storage_bytes;
+    p.memory.offheap_static = true;
+    p.memory.allow_disk_spill = false;
+    p.persistence = df::PersistenceFormat::kSerialized;
+  } else {
+    p.memory.heap_bytes =
+        user_bytes + p.memory.core_bytes + p.memory.storage_bytes + GiB(1);
+    p.memory.allow_disk_spill = true;
+    p.persistence = df::PersistenceFormat::kDeserialized;
+  }
+  p.memory.jvm_base_bytes = GiB(1);
+  p.memory.cpus = cpus;
+  p.num_partitions = num_partitions;
+  p.join = df::JoinStrategy::kShuffleHash;
+  return p;
+}
+
+}  // namespace vista

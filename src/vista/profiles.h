@@ -1,0 +1,65 @@
+#ifndef VISTA_VISTA_PROFILES_H_
+#define VISTA_VISTA_PROFILES_H_
+
+#include <string>
+
+#include "dataflow/engine.h"
+#include "sim/cluster.h"
+#include "vista/estimator.h"
+#include "vista/optimizer.h"
+
+namespace vista {
+
+/// Which PD system the deployment emulates. The distinction matters for
+/// the memory mapping (Figure 4): Spark keeps User/Core/Storage in one JVM
+/// heap with dynamic borrowing and disk spills; Ignite keeps a small heap
+/// for unified User+Core and puts Storage off-heap, and (as configured in
+/// the paper's experiments) runs memory-only, so storage pressure crashes.
+enum class PdSystem {
+  kSparkLike,
+  kIgniteLike,
+};
+
+const char* PdSystemToString(PdSystem system);
+
+/// A complete system configuration for a simulated run: memory model plus
+/// the parallelism/partitioning/physical choices.
+struct SystemProfile {
+  std::string name;
+  PdSystem pd = PdSystem::kSparkLike;
+  sim::WorkerMemoryModel memory;
+  int64_t num_partitions = 200;
+  df::JoinStrategy join = df::JoinStrategy::kShuffleHash;
+  df::PersistenceFormat persistence = df::PersistenceFormat::kDeserialized;
+};
+
+/// The paper's baseline Spark configuration ("best practices": 29 GB JVM
+/// heap, shuffle join, deserialized, default partitioning), with the given
+/// worker parallelism (Lazy-1/5/7 use cpus = 1/5/7). The default partition
+/// count follows HDFS file/block-based input splits, so it scales with the
+/// dataset (pass the record count).
+SystemProfile SparkDefaultProfile(const SystemEnv& env, int cpus,
+                                  int64_t num_records = 20000);
+
+/// The paper's baseline Ignite configuration (4 GB JVM heap, 25 GB
+/// statically committed off-heap storage, memory-only, np = 1024).
+SystemProfile IgniteDefaultProfile(const SystemEnv& env, int cpus);
+
+/// A profile realizing the Vista optimizer's decisions on the given PD
+/// system. On Ignite, Vista enables the disk-backed storage mode so that
+/// estimated overflow degrades to spills instead of crashes (Section 3.2's
+/// secondary-storage assumption).
+SystemProfile VistaProfile(const SystemEnv& env, PdSystem pd,
+                           const OptimizerDecisions& decisions,
+                           const OptimizerParams& params = {});
+
+/// A profile with explicitly apportioned memory regions for a given cpu
+/// (used by the paper's strong baselines, Section 5.1: "we explicitly
+/// apportion CNN Inference memory, Storage, User and Core Memory").
+SystemProfile ExplicitProfile(const SystemEnv& env, PdSystem pd, int cpus,
+                              int64_t dl_mem_per_thread, int64_t user_bytes,
+                              int64_t num_partitions);
+
+}  // namespace vista
+
+#endif  // VISTA_VISTA_PROFILES_H_

@@ -1,0 +1,408 @@
+#include "vista/real_executor.h"
+
+#include <algorithm>
+#include <functional>
+#include <mutex>
+
+#include "common/stopwatch.h"
+#include "features/synthetic.h"
+#include "tensor/ops.h"
+
+namespace vista {
+
+namespace {
+
+/// FLOPs of partial inference (from_layer, to_layer] for one record.
+int64_t RangeFlops(const dl::CnnArchitecture& arch, int from_layer,
+                   int to_layer) {
+  const int64_t upto = arch.layer(to_layer).cumulative_flops;
+  const int64_t before =
+      from_layer < 0 ? 0 : arch.layer(from_layer).cumulative_flops;
+  return upto - before;
+}
+
+}  // namespace
+
+ml::FeatureExtractor MakeTransferExtractor(int feature_slot,
+                                           int pooling_grid) {
+  return [feature_slot, pooling_grid](const df::Record& r,
+                                      std::vector<float>* x,
+                                      float* label) -> Status {
+    if (r.struct_features.empty()) {
+      return Status::InvalidArgument("record has no structured features");
+    }
+    *label = r.struct_features[0];
+    x->clear();
+    x->insert(x->end(), r.struct_features.begin() + 1,
+              r.struct_features.end());
+    if (feature_slot >= 0) {
+      if (feature_slot >= r.features.size()) {
+        return Status::InvalidArgument(
+            "record has no feature tensor in slot " +
+            std::to_string(feature_slot));
+      }
+      VISTA_ASSIGN_OR_RETURN(
+          Tensor g,
+          dl::TransferFeaturize(r.features.at(feature_slot), pooling_grid));
+      x->insert(x->end(), g.data(), g.data() + g.num_elements());
+    }
+    return Status::OK();
+  };
+}
+
+RealExecutor::RealExecutor(df::Engine* engine, const dl::CnnModel* model)
+    : engine_(engine), model_(model) {}
+
+Result<df::Table> RealExecutor::RunInference(const PlanStep& step,
+                                             const df::Table& input,
+                                             const RealExecutorConfig& config,
+                                             int64_t* flops) {
+  (void)config;
+  const dl::CnnArchitecture& arch = model_->arch();
+  const int source_layer = step.source_layer;
+  const int source_slot = step.source_slot;
+  const std::vector<int>& produce = step.produce_layers;
+  if (produce.empty()) {
+    return Status::InvalidArgument("inference step produces no layers");
+  }
+
+  // FLOP accounting (per record) for the whole chain, skipping the
+  // pass-through case where the first produced layer is the source itself.
+  int64_t per_record_flops = 0;
+  if (!(produce.size() == 1 && produce[0] == source_layer)) {
+    per_record_flops =
+        RangeFlops(arch, std::max(source_layer, -1), produce.back());
+  }
+  *flops += per_record_flops * input.num_records();
+
+  df::MemoryManager& memory = engine_->memory();
+  return engine_->MapPartitions(
+      input,
+      [&, source_layer, source_slot, produce](std::vector<df::Record> records)
+          -> Result<std::vector<df::Record>> {
+        // Per-partition feature buffer charge against User memory: the
+        // produced tensors of every record in the partition are live at
+        // once inside the UDF (the paper's crash scenario 2).
+        int64_t buffer_bytes = 0;
+        for (int l : produce) {
+          buffer_bytes +=
+              arch.layer(l).output_shape.num_bytes() *
+              static_cast<int64_t>(records.size());
+        }
+        VISTA_RETURN_IF_ERROR(
+            memory.TryReserve(df::MemoryRegion::kUser, buffer_bytes));
+        auto release = [&memory, buffer_bytes] {
+          memory.Release(df::MemoryRegion::kUser, buffer_bytes);
+        };
+
+        std::vector<df::Record> out;
+        out.reserve(records.size());
+        for (df::Record& r : records) {
+          // Multi-image records: each image flows through the chain
+          // independently; per-layer outputs are aggregated element-wise
+          // (mean), the multiple-images-per-record extension.
+          std::vector<Tensor> currents;
+          if (source_slot < 0) {
+            if (!r.has_image()) {
+              release();
+              return Status::InvalidArgument(
+                  "inference from raw image but record has no image");
+            }
+            currents = r.images;
+          } else {
+            if (source_slot >= r.features.size()) {
+              release();
+              return Status::InvalidArgument(
+                  "inference source slot missing in record");
+            }
+            currents = {r.features.at(source_slot)};
+          }
+
+          df::Record result;
+          result.id = r.id;
+          result.struct_features = r.struct_features;
+          int from = source_layer;
+          for (int target : produce) {
+            if (target == from) {
+              // Pass-through (pre-materialized base layer).
+              result.features.Append(currents.front());
+              continue;
+            }
+            for (Tensor& current : currents) {
+              auto run = model_->RunRange(current, from + 1, target);
+              if (!run.ok()) {
+                release();
+                return run.status();
+              }
+              current = std::move(run).value();
+            }
+            Tensor aggregated = currents.front();
+            if (currents.size() > 1) {
+              aggregated = currents.front().Clone();
+              float* acc = aggregated.mutable_data();
+              for (size_t i = 1; i < currents.size(); ++i) {
+                const float* src = currents[i].data();
+                for (int64_t j = 0; j < aggregated.num_elements(); ++j) {
+                  acc[j] += src[j];
+                }
+              }
+              const float inv = 1.0f / static_cast<float>(currents.size());
+              for (int64_t j = 0; j < aggregated.num_elements(); ++j) {
+                acc[j] *= inv;
+              }
+            }
+            result.features.Append(aggregated);
+            from = target;
+          }
+          out.push_back(std::move(result));
+        }
+        release();
+        return out;
+      });
+}
+
+Result<LayerRunResult> RealExecutor::RunTrain(
+    const PlanStep& step, const TransferWorkload& workload,
+    const df::Table& input, const RealExecutorConfig& config) {
+  LayerRunResult result;
+  result.layer_index = step.train_layer;
+  result.layer_name = model_->arch().layer(step.train_layer).name;
+  if (!config.train_models) return result;
+
+  Stopwatch watch;
+  const auto extractor =
+      MakeTransferExtractor(step.feature_slot, config.pooling_grid);
+  const double test_fraction = config.test_fraction;
+
+  // Deterministic train/test split by id hash.
+  auto train_split = engine_->MapPartitions(
+      input, [test_fraction](std::vector<df::Record> records)
+                 -> Result<std::vector<df::Record>> {
+        std::vector<df::Record> out;
+        for (df::Record& r : records) {
+          if (!feat::IsTestId(r.id, test_fraction)) {
+            out.push_back(std::move(r));
+          }
+        }
+        return out;
+      });
+  VISTA_RETURN_IF_ERROR(train_split.status());
+  auto test_split = engine_->MapPartitions(
+      input, [test_fraction](std::vector<df::Record> records)
+                 -> Result<std::vector<df::Record>> {
+        std::vector<df::Record> out;
+        for (df::Record& r : records) {
+          if (feat::IsTestId(r.id, test_fraction)) {
+            out.push_back(std::move(r));
+          }
+        }
+        return out;
+      });
+  VISTA_RETURN_IF_ERROR(test_split.status());
+
+  // Train the configured downstream model and collect test predictions.
+  std::function<int(const float*)> predict;
+  switch (workload.model) {
+    case DownstreamModel::kLogisticRegression: {
+      ml::LogisticRegressionConfig lr = config.lr;
+      lr.iterations = workload.training_iterations;
+      VISTA_ASSIGN_OR_RETURN(
+          ml::LogisticRegressionModel model,
+          ml::TrainLogisticRegression(engine_, *train_split, extractor, lr));
+      predict = [model = std::move(model)](const float* x) {
+        return model.Predict(x);
+      };
+      break;
+    }
+    case DownstreamModel::kMlp: {
+      ml::MlpConfig mlp = config.mlp;
+      mlp.iterations = workload.training_iterations;
+      VISTA_ASSIGN_OR_RETURN(ml::MlpModel model,
+                             ml::TrainMlp(engine_, *train_split, extractor,
+                                          mlp));
+      predict = [model = std::move(model)](const float* x) {
+        return model.Predict(x);
+      };
+      break;
+    }
+    case DownstreamModel::kDecisionTree: {
+      VISTA_ASSIGN_OR_RETURN(
+          ml::DecisionTreeModel model,
+          ml::TrainDecisionTree(engine_, *train_split, extractor,
+                                config.tree));
+      predict = [model = std::move(model)](const float* x) {
+        return model.Predict(x);
+      };
+      break;
+    }
+  }
+
+  // Evaluate on the held-out split.
+  std::mutex metrics_mu;
+  ml::BinaryMetrics metrics;
+  auto eval = engine_->MapPartitions(
+      *test_split,
+      [&](std::vector<df::Record> records)
+          -> Result<std::vector<df::Record>> {
+        ml::BinaryMetrics local;
+        std::vector<float> x;
+        float label = 0;
+        for (const df::Record& r : records) {
+          VISTA_RETURN_IF_ERROR(extractor(r, &x, &label));
+          local.Add(predict(x.data()), label > 0.5f ? 1 : 0);
+        }
+        std::lock_guard<std::mutex> lock(metrics_mu);
+        metrics.true_positives += local.true_positives;
+        metrics.false_positives += local.false_positives;
+        metrics.true_negatives += local.true_negatives;
+        metrics.false_negatives += local.false_negatives;
+        return std::vector<df::Record>{};
+      });
+  VISTA_RETURN_IF_ERROR(eval.status());
+
+  result.train_seconds = watch.ElapsedSeconds();
+  result.test_metrics = metrics;
+  result.test_f1 = metrics.F1();
+  return result;
+}
+
+Result<RealRunResult> RealExecutor::Run(const CompiledPlan& plan,
+                                        const TransferWorkload& workload,
+                                        const df::Table& t_str,
+                                        const df::Table& t_img,
+                                        const RealExecutorConfig& config) {
+  Stopwatch total_watch;
+  RealRunResult run;
+  std::map<std::string, TableState> tables;
+
+  for (const PlanStep& step : plan.steps) {
+    switch (step.kind) {
+      case PlanStep::Kind::kReadStruct: {
+        tables[step.output] = TableState{t_str, {}, false};
+        break;
+      }
+      case PlanStep::Kind::kReadImages: {
+        TableState state;
+        state.table = t_img;
+        if (plan.pre_materialized_base) {
+          state.slots = {workload.layers.front()};
+        }
+        tables[step.output] = std::move(state);
+        break;
+      }
+      case PlanStep::Kind::kJoin: {
+        auto left = tables.find(step.input);
+        auto right = tables.find(step.input2);
+        if (left == tables.end() || right == tables.end()) {
+          return Status::Internal("join references unknown table");
+        }
+        VISTA_ASSIGN_OR_RETURN(
+            df::Table joined,
+            engine_->Join(left->second.table, right->second.table,
+                          config.join, config.num_partitions));
+        TableState state;
+        state.table = std::move(joined);
+        state.slots = right->second.slots;  // Features come from the right.
+        tables[step.output] = std::move(state);
+        break;
+      }
+      case PlanStep::Kind::kInference: {
+        auto in = tables.find(step.input);
+        if (in == tables.end()) {
+          return Status::Internal("inference references unknown table");
+        }
+        Stopwatch watch;
+        int64_t flops = 0;
+        VISTA_ASSIGN_OR_RETURN(
+            df::Table produced,
+            RunInference(step, in->second.table, config, &flops));
+        run.inference_flops += flops;
+        // Attribute inference time to the layers being produced.
+        const double seconds = watch.ElapsedSeconds();
+        for (int l : step.produce_layers) {
+          bool found = false;
+          for (LayerRunResult& lr : run.per_layer) {
+            if (lr.layer_index == l) found = true;
+          }
+          if (!found) {
+            LayerRunResult lr;
+            lr.layer_index = l;
+            lr.layer_name = model_->arch().layer(l).name;
+            lr.inference_seconds =
+                seconds / static_cast<double>(step.produce_layers.size());
+            run.per_layer.push_back(std::move(lr));
+          }
+        }
+        TableState state;
+        state.table = std::move(produced);
+        state.slots = step.produce_layers;
+        tables[step.output] = std::move(state);
+        break;
+      }
+      case PlanStep::Kind::kTrain: {
+        auto in = tables.find(step.input);
+        if (in == tables.end()) {
+          return Status::Internal("train references unknown table");
+        }
+        VISTA_ASSIGN_OR_RETURN(
+            LayerRunResult lr,
+            RunTrain(step, workload, in->second.table, config));
+        // Merge with the inference-time entry for this layer.
+        bool merged = false;
+        for (LayerRunResult& existing : run.per_layer) {
+          if (existing.layer_index == lr.layer_index) {
+            existing.train_seconds = lr.train_seconds;
+            existing.test_metrics = lr.test_metrics;
+            existing.test_f1 = lr.test_f1;
+            merged = true;
+            break;
+          }
+        }
+        if (!merged) run.per_layer.push_back(std::move(lr));
+        break;
+      }
+      case PlanStep::Kind::kPersist: {
+        auto in = tables.find(step.input);
+        if (in == tables.end()) {
+          return Status::Internal("persist references unknown table");
+        }
+        VISTA_RETURN_IF_ERROR(
+            engine_->Persist(&in->second.table, config.persistence));
+        in->second.persisted = true;
+        break;
+      }
+      case PlanStep::Kind::kRelease: {
+        auto in = tables.find(step.input);
+        if (in == tables.end()) break;
+        if (in->second.persisted) {
+          engine_->Unpersist(&in->second.table);
+        }
+        tables.erase(in);
+        break;
+      }
+    }
+  }
+
+  // Order per-layer results by layer index for stable reporting.
+  std::sort(run.per_layer.begin(), run.per_layer.end(),
+            [](const LayerRunResult& a, const LayerRunResult& b) {
+              return a.layer_index < b.layer_index;
+            });
+  run.total_seconds = total_watch.ElapsedSeconds();
+  run.engine_stats = engine_->stats();
+  return run;
+}
+
+Result<df::Table> RealExecutor::PreMaterializeBase(
+    const TransferWorkload& workload, const df::Table& t_img,
+    const RealExecutorConfig& config) {
+  PlanStep step;
+  step.kind = PlanStep::Kind::kInference;
+  step.source_slot = -1;
+  step.source_layer = -1;
+  step.produce_layers = {workload.layers.front()};
+  int64_t flops = 0;
+  return RunInference(step, t_img, config, &flops);
+}
+
+}  // namespace vista

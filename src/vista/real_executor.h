@@ -1,0 +1,111 @@
+#ifndef VISTA_VISTA_REAL_EXECUTOR_H_
+#define VISTA_VISTA_REAL_EXECUTOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dataflow/engine.h"
+#include "dl/cnn.h"
+#include "ml/decision_tree.h"
+#include "ml/logistic_regression.h"
+#include "ml/metrics.h"
+#include "ml/mlp.h"
+#include "vista/plans.h"
+#include "vista/roster.h"
+
+namespace vista {
+
+/// Physical choices for a real (in-process) execution.
+struct RealExecutorConfig {
+  df::JoinStrategy join = df::JoinStrategy::kShuffleHash;
+  df::PersistenceFormat persistence = df::PersistenceFormat::kDeserialized;
+  int num_partitions = 8;
+  /// Grid for the paper's conv-layer max pooling g_l (footnote 4).
+  int pooling_grid = 2;
+  /// Held-out fraction for test metrics (paper: 20%).
+  double test_fraction = 0.2;
+  /// Train downstream models and compute test metrics. Disable to measure
+  /// pure materialization pipelines.
+  bool train_models = true;
+  ml::LogisticRegressionConfig lr;
+  ml::MlpConfig mlp;
+  ml::DecisionTreeConfig tree;
+  /// Driver collect budget (-1 = unlimited).
+  int64_t driver_memory_bytes = -1;
+};
+
+/// Per-layer outcome of a feature-transfer run.
+struct LayerRunResult {
+  int layer_index = -1;
+  std::string layer_name;
+  /// Seconds spent on the partial inference that materialized this layer.
+  double inference_seconds = 0;
+  double train_seconds = 0;
+  ml::BinaryMetrics test_metrics;
+  double test_f1 = 0;
+};
+
+/// Outcome of executing a compiled plan end to end.
+struct RealRunResult {
+  std::vector<LayerRunResult> per_layer;
+  double total_seconds = 0;
+  /// Sum of CNN FLOPs actually executed (quantifies Lazy's redundancy).
+  int64_t inference_flops = 0;
+  df::EngineStats engine_stats;
+};
+
+/// Executes compiled plans on the local dataflow engine with a real CNN —
+/// the Spark-TF role. Feature outputs are bit-identical across logical
+/// plans (the paper's Section 5.2 invariant), which the test suite checks.
+class RealExecutor {
+ public:
+  /// `engine`, `model` must outlive the executor. `arch_for_flops` is the
+  /// architecture used for FLOP accounting (the model's own arch).
+  RealExecutor(df::Engine* engine, const dl::CnnModel* model);
+
+  /// Runs `plan` over the two base tables. `t_img` must carry raw images,
+  /// unless the plan was compiled with a pre-materialized base, in which
+  /// case it must carry the base layer's tensors in TensorList slot 0.
+  Result<RealRunResult> Run(const CompiledPlan& plan,
+                            const TransferWorkload& workload,
+                            const df::Table& t_str, const df::Table& t_img,
+                            const RealExecutorConfig& config);
+
+  /// Appendix B helper: materializes the bottom-most layer of `workload`
+  /// from raw images into a table carrying that layer in slot 0.
+  Result<df::Table> PreMaterializeBase(const TransferWorkload& workload,
+                                       const df::Table& t_img,
+                                       const RealExecutorConfig& config);
+
+ private:
+  struct TableState {
+    df::Table table;
+    /// Layer index carried in each TensorList slot.
+    std::vector<int> slots;
+    bool persisted = false;
+  };
+
+  /// Runs one inference step over `input`, producing the requested layers.
+  Result<df::Table> RunInference(const PlanStep& step, const df::Table& input,
+                                 const RealExecutorConfig& config,
+                                 int64_t* flops);
+
+  Result<LayerRunResult> RunTrain(const PlanStep& step,
+                                  const TransferWorkload& workload,
+                                  const df::Table& input,
+                                  const RealExecutorConfig& config);
+
+  df::Engine* engine_;
+  const dl::CnnModel* model_;
+};
+
+/// The feature extractor used for downstream training: label is
+/// struct_features[0], features are [struct_features[1..], g(slot tensor)].
+ml::FeatureExtractor MakeTransferExtractor(int feature_slot,
+                                           int pooling_grid);
+
+}  // namespace vista
+
+#endif  // VISTA_VISTA_REAL_EXECUTOR_H_

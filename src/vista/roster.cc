@@ -1,0 +1,95 @@
+#include "vista/roster.h"
+
+#include <algorithm>
+
+#include "common/bytes.h"
+
+namespace vista {
+
+Result<Roster> Roster::Default() {
+  Roster roster;
+  for (dl::KnownCnn cnn : {dl::KnownCnn::kAlexNet, dl::KnownCnn::kVgg16,
+                           dl::KnownCnn::kResNet50}) {
+    RosterEntry entry;
+    entry.cnn = cnn;
+    VISTA_ASSIGN_OR_RETURN(entry.arch, dl::BuildArch(cnn));
+    VISTA_ASSIGN_OR_RETURN(entry.memory, dl::LookupMemoryStats(cnn));
+    roster.entries_.push_back(std::move(entry));
+  }
+  return roster;
+}
+
+Status Roster::Register(dl::CnnArchitecture arch,
+                        dl::CnnMemoryStats memory) {
+  for (const RosterEntry& entry : entries_) {
+    if (entry.name() == arch.name()) {
+      return Status::AlreadyExists("roster already has a CNN named '" +
+                                   arch.name() + "'");
+    }
+  }
+  if (memory.serialized_bytes == 0) {
+    memory.serialized_bytes = arch.serialized_bytes();
+  }
+  if (memory.runtime_cpu_bytes == 0) {
+    // Conservative: weights plus twice the largest activation (input +
+    // output buffers of the widest layer), plus framework overhead.
+    int64_t max_activation = 0;
+    for (const dl::LayerStat& layer : arch.layers()) {
+      max_activation =
+          std::max(max_activation, layer.output_shape.num_bytes());
+    }
+    memory.runtime_cpu_bytes =
+        memory.serialized_bytes + 2 * max_activation + MiB(64);
+  }
+  if (memory.runtime_gpu_bytes == 0) {
+    memory.runtime_gpu_bytes = memory.runtime_cpu_bytes * 2;
+  }
+  RosterEntry entry;
+  entry.cnn = std::nullopt;
+  entry.arch = std::move(arch);
+  entry.memory = memory;
+  entries_.push_back(std::move(entry));
+  return Status::OK();
+}
+
+Result<const RosterEntry*> Roster::Lookup(dl::KnownCnn cnn) const {
+  for (const RosterEntry& entry : entries_) {
+    if (entry.cnn.has_value() && *entry.cnn == cnn) return &entry;
+  }
+  return Status::NotFound(std::string("CNN not in roster: ") +
+                          dl::KnownCnnToString(cnn));
+}
+
+Result<const RosterEntry*> Roster::LookupByName(
+    const std::string& name) const {
+  for (const RosterEntry& entry : entries_) {
+    if (entry.name() == name) return &entry;
+  }
+  return Status::NotFound("no CNN named '" + name + "' in the roster");
+}
+
+const char* DownstreamModelToString(DownstreamModel model) {
+  switch (model) {
+    case DownstreamModel::kLogisticRegression:
+      return "LogisticRegression";
+    case DownstreamModel::kMlp:
+      return "MLP";
+    case DownstreamModel::kDecisionTree:
+      return "DecisionTree";
+  }
+  return "?";
+}
+
+Result<TransferWorkload> TransferWorkload::TopLayers(const Roster& roster,
+                                                     dl::KnownCnn cnn,
+                                                     int num_layers,
+                                                     DownstreamModel model) {
+  VISTA_ASSIGN_OR_RETURN(const RosterEntry* entry, roster.Lookup(cnn));
+  TransferWorkload workload;
+  workload.cnn = cnn;
+  VISTA_ASSIGN_OR_RETURN(workload.layers, entry->arch.TopLayers(num_layers));
+  workload.model = model;
+  return workload;
+}
+
+}  // namespace vista

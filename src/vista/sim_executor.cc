@@ -1,0 +1,382 @@
+#include "vista/sim_executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace vista {
+namespace {
+
+/// Per-record FLOPs of partial inference (from_layer, to_layer].
+int64_t RangeFlops(const dl::CnnArchitecture& arch, int from_layer,
+                   int to_layer) {
+  const int64_t upto = arch.layer(to_layer).cumulative_flops;
+  const int64_t before =
+      from_layer < 0 ? 0 : arch.layer(from_layer).cumulative_flops;
+  return upto - before;
+}
+
+/// Bookkeeping for a named table during stage generation.
+struct TableInfo {
+  std::vector<int> layers;
+  bool has_struct = false;
+  bool has_image = false;
+  bool cached = false;
+  int64_t cached_bytes = 0;
+  /// For uncached distributed-file tables (pre-materialized feature
+  /// files): bytes re-read from disk by every consuming stage.
+  int64_t file_bytes = 0;
+};
+
+}  // namespace
+
+int64_t SimExecutor::MaterializedLayerFileBytes(int layer,
+                                                const DataStats& stats) const {
+  const int64_t feature_bytes =
+      entry_->arch.layer(layer).output_shape.num_elements() * 4;
+  const int64_t sparse = static_cast<int64_t>(
+      stats.feature_density * 2.0 * static_cast<double>(feature_bytes));
+  return stats.num_records * (16 + std::min(feature_bytes, sparse));
+}
+
+Result<std::vector<sim::SimStage>> SimExecutor::BuildStages(
+    const CompiledPlan& plan, const TransferWorkload& workload,
+    const DataStats& stats, const SimExecutorConfig& config) {
+  const dl::CnnArchitecture& arch = entry_->arch;
+  const SystemProfile& profile = config.profile;
+  const int64_t np = profile.num_partitions;
+  const int64_t n = stats.num_records;
+  const double alpha = config.alpha;
+  const int64_t model_mem =
+      EstimateModelMemoryBytes(*entry_, workload, stats);
+
+  // --- Size helpers.
+  const int64_t struct_payload = 16 + 4 * stats.num_struct_features;
+  const int64_t t_str_bytes = n * struct_payload;
+  const int64_t img_file_bytes = n * (16 + stats.avg_image_file_bytes);
+  const int64_t img_tensor_record = arch.input_shape().num_bytes();
+
+  auto layer_feature_bytes = [&](int l) {
+    return arch.layer(l).output_shape.num_elements() * 4;
+  };
+  auto layer_ser_bytes = [&](int l) {
+    const int64_t feat = layer_feature_bytes(l);
+    return std::min(feat, static_cast<int64_t>(stats.feature_density * 2.0 *
+                                               static_cast<double>(feat)));
+  };
+  // Deserialized (managed-object) table size.
+  auto table_deser_bytes = [&](const TableInfo& info) {
+    int64_t payload = 8;
+    for (int l : info.layers) payload += 8 + layer_feature_bytes(l);
+    int64_t bytes = static_cast<int64_t>(
+        alpha * static_cast<double>(n) * static_cast<double>(payload));
+    if (info.has_struct) bytes += t_str_bytes;
+    if (info.has_image) bytes += img_file_bytes;
+    return bytes;
+  };
+  auto table_ser_bytes = [&](const TableInfo& info) {
+    int64_t payload = 8;
+    for (int l : info.layers) payload += 8 + layer_ser_bytes(l);
+    int64_t bytes = n * payload;
+    if (info.has_struct) bytes += t_str_bytes;
+    if (info.has_image) bytes += img_file_bytes;
+    return bytes;
+  };
+  auto table_bytes_in_format = [&](const TableInfo& info) {
+    return profile.persistence == df::PersistenceFormat::kSerialized
+               ? table_ser_bytes(info)
+               : table_deser_bytes(info);
+  };
+
+  std::map<std::string, TableInfo> tables;
+  std::vector<sim::SimStage> stages;
+  const int64_t f_ser = entry_->memory.serialized_bytes;
+  const int64_t f_mem = entry_->memory.runtime_cpu_bytes;
+  const int64_t f_gpu = entry_->memory.runtime_gpu_bytes;
+  const int cpus = profile.memory.cpus;
+
+  auto make_tasks = [&](double total_flops, int64_t total_disk_read,
+                        int64_t total_disk_write, int64_t total_shuffle) {
+    std::vector<sim::SimTask> tasks(static_cast<size_t>(np));
+    for (auto& t : tasks) {
+      t.flops = total_flops / static_cast<double>(np);
+      t.disk_read_bytes = total_disk_read / np;
+      t.disk_write_bytes = total_disk_write / np;
+      t.shuffle_bytes = total_shuffle / np;
+    }
+    return tasks;
+  };
+
+  for (const PlanStep& step : plan.steps) {
+    switch (step.kind) {
+      case PlanStep::Kind::kReadStruct: {
+        TableInfo info;
+        info.has_struct = true;
+        sim::SimStage stage;
+        stage.name = "read:struct";
+        stage.tasks = make_tasks(0, t_str_bytes, 0, 0);
+        stage.cache_insert_bytes = t_str_bytes;
+        info.cached = true;
+        info.cached_bytes = t_str_bytes;
+        tables[step.output] = info;
+        stages.push_back(std::move(stage));
+        break;
+      }
+      case PlanStep::Kind::kReadImages: {
+        TableInfo info;
+        info.has_image = !plan.pre_materialized_base;
+        if (plan.pre_materialized_base) {
+          // Pre-materialized feature files are far larger than raw images
+          // and live on distributed storage; consumers stream them from
+          // disk instead of caching them (Appendix B's IO-cost caveat).
+          info.layers = {workload.layers.front()};
+          info.file_bytes =
+              MaterializedLayerFileBytes(workload.layers.front(), stats);
+          tables[step.output] = info;
+          break;
+        }
+        sim::SimStage stage;
+        stage.name = "read:images";
+        // Small-files metadata overhead; parallelizes sub-linearly.
+        stage.fixed_seconds =
+            static_cast<double>(n) * config.image_read_overhead_seconds /
+            std::pow(static_cast<double>(config.env.num_nodes), 0.8);
+        stage.tasks = make_tasks(0, img_file_bytes, 0, 0);
+        stage.cache_insert_bytes = img_file_bytes;
+        info.cached = true;
+        info.cached_bytes = img_file_bytes;
+        tables[step.output] = info;
+        stages.push_back(std::move(stage));
+        break;
+      }
+      case PlanStep::Kind::kJoin: {
+        const TableInfo& left = tables[step.input];
+        const TableInfo& right = tables[step.input2];
+        TableInfo out;
+        out.has_struct = left.has_struct || right.has_struct;
+        out.has_image = left.has_image || right.has_image;
+        out.layers = right.layers;
+
+        const int64_t left_bytes = table_deser_bytes(left);
+        const int64_t right_bytes = table_deser_bytes(right);
+        sim::SimStage stage;
+        stage.name = "join:" + step.output;
+        stage.cache_read_bytes = (left.cached ? left.cached_bytes : 0) +
+                                 (right.cached ? right.cached_bytes : 0);
+        const int64_t file_reads = left.file_bytes + right.file_bytes;
+        const double probe_flops = static_cast<double>(n) * 100.0;
+        if (profile.join == df::JoinStrategy::kBroadcast) {
+          const int64_t small_bytes = std::min(left_bytes, right_bytes);
+          stage.tasks = make_tasks(probe_flops, file_reads, 0, 0);
+          // Each worker pulls and holds a replica of the small table.
+          stage.fixed_seconds = static_cast<double>(small_bytes) /
+                                (config.node.network_mbps * 1e6);
+          stage.core_mem_per_task = small_bytes / std::max(1, cpus);
+        } else {
+          // A shuffle-join task buffers its shuffle blocks from both sides
+          // and builds a hash table on the smaller one — all Core memory.
+          const int64_t shuffled = left_bytes + right_bytes;
+          stage.tasks = make_tasks(probe_flops, file_reads, 0, shuffled);
+          stage.core_mem_per_task = shuffled / np;
+        }
+        tables[step.output] = out;
+        stages.push_back(std::move(stage));
+        break;
+      }
+      case PlanStep::Kind::kInference: {
+        const TableInfo& in = tables[step.input];
+        TableInfo out;
+        out.has_struct = in.has_struct;
+        out.layers = step.produce_layers;
+
+        int64_t per_record_flops = 0;
+        if (!(step.produce_layers.size() == 1 &&
+              step.produce_layers[0] == step.source_layer)) {
+          per_record_flops =
+              RangeFlops(arch, step.source_layer, step.produce_layers.back());
+        }
+        sim::SimStage stage;
+        stage.name = "inference:" +
+                     arch.layer(step.produce_layers.back()).name;
+        stage.uses_dl = true;
+        stage.dl_mem_per_thread = f_mem;
+        stage.dl_gpu_mem_per_thread = f_gpu;
+        stage.tasks =
+            make_tasks(static_cast<double>(per_record_flops) *
+                           static_cast<double>(n),
+                       in.file_bytes, 0, 0);
+        stage.cache_read_bytes = in.cached ? in.cached_bytes : 0;
+        // Per-thread UDF buffers: decoded inputs plus produced features of
+        // one partition, with the managed-object fudge factor (Eq. 10).
+        int64_t in_record_bytes =
+            step.source_slot < 0
+                ? img_tensor_record
+                : layer_feature_bytes(step.source_layer);
+        int64_t out_record_bytes = 0;
+        for (int l : step.produce_layers) {
+          out_record_bytes += layer_feature_bytes(l);
+        }
+        stage.user_mem_per_task =
+            f_ser / std::max(1, cpus) +
+            static_cast<int64_t>(alpha * static_cast<double>(
+                                             (in_record_bytes +
+                                              out_record_bytes) *
+                                             (n / np)));
+        tables[step.output] = out;
+        stages.push_back(std::move(stage));
+        break;
+      }
+      case PlanStep::Kind::kPersist: {
+        TableInfo& info = tables[step.input];
+        if (info.cached) break;  // Base tables cached at read.
+        sim::SimStage stage;
+        stage.name = "persist:" + step.input;
+        const int64_t bytes = table_bytes_in_format(info);
+        if (profile.persistence == df::PersistenceFormat::kSerialized) {
+          // Encoding cost: a few ops per raw byte.
+          stage.tasks = make_tasks(
+              3.0 * static_cast<double>(table_deser_bytes(info)), 0, 0, 0);
+        }
+        stage.cache_insert_bytes = bytes;
+        info.cached = true;
+        info.cached_bytes = bytes;
+        stages.push_back(std::move(stage));
+        break;
+      }
+      case PlanStep::Kind::kRelease: {
+        auto it = tables.find(step.input);
+        if (it == tables.end()) break;
+        if (it->second.cached) {
+          sim::SimStage stage;
+          stage.name = "release:" + step.input;
+          stage.cache_release_bytes = it->second.cached_bytes;
+          stages.push_back(std::move(stage));
+        }
+        tables.erase(it);
+        break;
+      }
+      case PlanStep::Kind::kTrain: {
+        const TableInfo& info = tables[step.input];
+        const int layer = step.train_layer;
+        const int64_t dim = stats.num_struct_features +
+                            entry_->arch.transfer_feature_count(layer);
+        const int iters = workload.training_iterations;
+        double per_record_per_iter = 0;
+        bool model_is_dl = false;
+        switch (workload.model) {
+          case DownstreamModel::kLogisticRegression:
+            per_record_per_iter = 6.0 * static_cast<double>(dim);
+            break;
+          case DownstreamModel::kMlp: {
+            const double params = static_cast<double>(dim) * 1024 +
+                                  1024.0 * 1024 + 1024;
+            per_record_per_iter = 6.0 * params;
+            model_is_dl = true;
+            break;
+          }
+          case DownstreamModel::kDecisionTree:
+            per_record_per_iter = 64.0 * static_cast<double>(dim) /
+                                  static_cast<double>(iters);
+            break;
+        }
+        // One-time pooling/flattening of the layer tensor (g_l).
+        const double pooling_flops =
+            2.0 * static_cast<double>(
+                      arch.layer(layer).output_shape.num_elements()) *
+            static_cast<double>(n);
+        sim::SimStage stage;
+        stage.name = "train:" + arch.layer(layer).name;
+        stage.tasks = make_tasks(
+            per_record_per_iter * static_cast<double>(n) * iters +
+                pooling_flops,
+            0, 0, 0);
+        // Every iteration re-reads the cached feature table; spilled
+        // fractions hit the disk each time.
+        stage.cache_read_bytes =
+            (info.cached ? info.cached_bytes : 0) * iters;
+        if (model_is_dl) {
+          // The DL-system-trained model lives in DL Execution Memory
+          // (Eq. 11 case (b)); User memory only stages feature batches.
+          stage.user_mem_per_task = MiB(64);
+          stage.uses_dl = true;
+          stage.dl_mem_per_thread = model_mem;
+          stage.dl_gpu_mem_per_thread = model_mem;
+        } else {
+          stage.user_mem_per_task = model_mem;
+        }
+        stage.driver_collect_bytes = static_cast<int64_t>(dim) * 8 * iters;
+        stages.push_back(std::move(stage));
+        break;
+      }
+    }
+  }
+  return stages;
+}
+
+Result<sim::SimResult> SimExecutor::Execute(const CompiledPlan& plan,
+                                            const TransferWorkload& workload,
+                                            const DataStats& stats,
+                                            const SimExecutorConfig& config) {
+  VISTA_ASSIGN_OR_RETURN(std::vector<sim::SimStage> stages,
+                         BuildStages(plan, workload, stats, config));
+  sim::NodeResources node = config.node;
+  sim::ClusterSim cluster(config.env.num_nodes, node, config.profile.memory,
+                          config.use_gpu);
+  return cluster.Run(stages);
+}
+
+Result<sim::SimResult> SimExecutor::SimulatePreMaterialization(
+    const TransferWorkload& workload, const DataStats& stats,
+    const SimExecutorConfig& config, int64_t* out_file_bytes) {
+  const dl::CnnArchitecture& arch = entry_->arch;
+  const int base_layer = workload.layers.front();
+  const int64_t n = stats.num_records;
+  const int64_t np = config.profile.num_partitions;
+  const int64_t file_bytes = MaterializedLayerFileBytes(base_layer, stats);
+  if (out_file_bytes != nullptr) *out_file_bytes = file_bytes;
+
+  std::vector<sim::SimStage> stages;
+  // Read raw images.
+  {
+    sim::SimStage stage;
+    stage.name = "read:images";
+    stage.fixed_seconds =
+        static_cast<double>(n) * config.image_read_overhead_seconds /
+        std::pow(static_cast<double>(config.env.num_nodes), 0.8);
+    const int64_t img_bytes = n * (16 + stats.avg_image_file_bytes);
+    stage.tasks.resize(static_cast<size_t>(np));
+    for (auto& t : stage.tasks) t.disk_read_bytes = img_bytes / np;
+    stages.push_back(std::move(stage));
+  }
+  // Inference to the base layer + write the serialized feature file.
+  {
+    sim::SimStage stage;
+    stage.name = "materialize:" + arch.layer(base_layer).name;
+    stage.uses_dl = true;
+    stage.dl_mem_per_thread = entry_->memory.runtime_cpu_bytes;
+    stage.dl_gpu_mem_per_thread = entry_->memory.runtime_gpu_bytes;
+    const double flops =
+        static_cast<double>(arch.layer(base_layer).cumulative_flops) *
+        static_cast<double>(n);
+    stage.tasks.resize(static_cast<size_t>(np));
+    for (auto& t : stage.tasks) {
+      t.flops = flops / static_cast<double>(np);
+      t.disk_write_bytes = file_bytes / np;
+    }
+    stage.user_mem_per_task =
+        entry_->memory.serialized_bytes /
+            std::max(1, config.profile.memory.cpus) +
+        static_cast<int64_t>(
+            config.alpha *
+            static_cast<double>(
+                (arch.input_shape().num_bytes() +
+                 arch.layer(base_layer).output_shape.num_bytes()) *
+                (n / np)));
+    stages.push_back(std::move(stage));
+  }
+  sim::ClusterSim cluster(config.env.num_nodes, config.node,
+                          config.profile.memory, config.use_gpu);
+  return cluster.Run(stages);
+}
+
+}  // namespace vista

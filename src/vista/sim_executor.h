@@ -1,0 +1,66 @@
+#ifndef VISTA_VISTA_SIM_EXECUTOR_H_
+#define VISTA_VISTA_SIM_EXECUTOR_H_
+
+#include <vector>
+
+#include "sim/cluster.h"
+#include "vista/estimator.h"
+#include "vista/plans.h"
+#include "vista/profiles.h"
+#include "vista/roster.h"
+
+namespace vista {
+
+/// Configuration of a simulated cluster run.
+struct SimExecutorConfig {
+  SystemEnv env;
+  sim::NodeResources node;
+  /// Run CNN inference on the node GPU (Fig. 7(A)); requires
+  /// node.gpu_memory_bytes > 0.
+  bool use_gpu = false;
+  SystemProfile profile;
+  /// Deserialized managed-object blowup factor (Table 1(C) α).
+  double alpha = kDefaultAlpha;
+  /// Seconds of metadata overhead per small image file read (the HDFS
+  /// "small files" problem, Section 5.3).
+  double image_read_overhead_seconds = 0.010;
+};
+
+/// Translates compiled feature-transfer plans into cluster-simulator stages
+/// and runs them — the role the real Spark/Ignite-TF deployment plays for
+/// the paper's runtime experiments. The cost structure (FLOPs, bytes moved,
+/// spills, region pressure) is computed from the same roster statistics and
+/// size estimator the optimizer uses.
+class SimExecutor {
+ public:
+  explicit SimExecutor(const RosterEntry* entry) : entry_(entry) {}
+
+  /// Simulates `plan` end to end.
+  Result<sim::SimResult> Execute(const CompiledPlan& plan,
+                                 const TransferWorkload& workload,
+                                 const DataStats& stats,
+                                 const SimExecutorConfig& config);
+
+  /// Builds (without running) the stage list for `plan` — exposed for
+  /// tests and for benches that want stage-level reporting.
+  Result<std::vector<sim::SimStage>> BuildStages(
+      const CompiledPlan& plan, const TransferWorkload& workload,
+      const DataStats& stats, const SimExecutorConfig& config);
+
+  /// Appendix B: simulates materializing the workload's bottom-most layer
+  /// from raw images to distributed files. Returns the result plus the
+  /// serialized file size via `out_file_bytes`.
+  Result<sim::SimResult> SimulatePreMaterialization(
+      const TransferWorkload& workload, const DataStats& stats,
+      const SimExecutorConfig& config, int64_t* out_file_bytes);
+
+  /// Serialized on-disk bytes of a materialized layer table (Table 2).
+  int64_t MaterializedLayerFileBytes(int layer, const DataStats& stats) const;
+
+ private:
+  const RosterEntry* entry_;
+};
+
+}  // namespace vista
+
+#endif  // VISTA_VISTA_SIM_EXECUTOR_H_

@@ -1,0 +1,137 @@
+#include "vista/vista.h"
+
+#include <sstream>
+
+namespace vista {
+
+Result<Vista> Vista::Create(const Options& options) {
+  Vista v;
+  v.options_ = options;
+  VISTA_ASSIGN_OR_RETURN(Roster roster, Roster::Default());
+  v.roster_ = std::make_shared<Roster>(std::move(roster));
+  VISTA_ASSIGN_OR_RETURN(v.entry_, v.roster_->Lookup(options.cnn));
+  VISTA_ASSIGN_OR_RETURN(
+      v.workload_, TransferWorkload::TopLayers(*v.roster_, options.cnn,
+                                               options.num_layers,
+                                               options.model));
+  v.workload_.training_iterations = options.training_iterations;
+  OptimizerParams params = options.optimizer;
+  params.model_in_dl_memory = options.model == DownstreamModel::kMlp;
+  VISTA_ASSIGN_OR_RETURN(
+      v.decisions_, OptimizeFeatureTransfer(options.env, *v.entry_,
+                                            v.workload_, options.data,
+                                            params));
+  VISTA_ASSIGN_OR_RETURN(
+      v.estimates_,
+      EstimateSizes(*v.entry_, v.workload_, options.data, params.alpha));
+  return v;
+}
+
+Result<CompiledPlan> Vista::Plan() const {
+  return CompilePlan(LogicalPlan::kStaged, workload_);
+}
+
+Result<sim::SimResult> Vista::ExecuteSimulated(PdSystem pd,
+                                               const sim::NodeResources& node,
+                                               bool use_gpu) const {
+  VISTA_ASSIGN_OR_RETURN(CompiledPlan plan, Plan());
+  SimExecutorConfig config;
+  config.env = options_.env;
+  config.node = node;
+  config.use_gpu = use_gpu;
+  config.profile = VistaProfile(options_.env, pd, decisions_,
+                                options_.optimizer);
+  config.alpha = options_.optimizer.alpha;
+  SimExecutor executor(entry_);
+  return executor.Execute(plan, workload_, options_.data, config);
+}
+
+Result<RealRunResult> Vista::ExecuteReal(df::Engine* engine,
+                                         const dl::CnnModel* model,
+                                         const df::Table& t_str,
+                                         const df::Table& t_img,
+                                         int num_partitions) const {
+  VISTA_ASSIGN_OR_RETURN(CompiledPlan plan, Plan());
+  // The micro model's layer topology mirrors the full architecture, so the
+  // workload's layer indices must exist in it.
+  TransferWorkload workload = workload_;
+  if (model->arch().num_layers() != entry_->arch.num_layers()) {
+    VISTA_ASSIGN_OR_RETURN(workload.layers,
+                           model->arch().TopLayers(options_.num_layers));
+    VISTA_ASSIGN_OR_RETURN(plan, CompilePlan(LogicalPlan::kStaged, workload));
+  }
+  RealExecutorConfig config;
+  config.join = decisions_.join;
+  config.persistence = decisions_.persistence;
+  config.num_partitions = num_partitions;
+  RealExecutor executor(engine, model);
+  return executor.Run(plan, workload, t_str, t_img, config);
+}
+
+
+Result<std::string> Vista::Explain(PdSystem pd,
+                                   const sim::NodeResources& node) const {
+  std::ostringstream os;
+  os << "=== Vista EXPLAIN ===\n";
+  os << "workload: " << entry_->name() << ", layers";
+  for (int l : workload_.layers) {
+    os << " " << entry_->arch.layer(l).name;
+  }
+  os << ", downstream " << DownstreamModelToString(workload_.model) << " x"
+     << workload_.training_iterations << " iterations\n";
+  os << "data: " << options_.data.num_records << " records, "
+     << options_.data.num_struct_features << " structured features\n";
+  os << "cluster: " << options_.env.num_nodes << " nodes x "
+     << FormatBytes(options_.env.node_memory_bytes) << ", "
+     << options_.env.cores_per_node << " cores ("
+     << PdSystemToString(pd) << "-like)\n\n";
+
+  os << "--- size estimates (Eq. 16, alpha=" << options_.optimizer.alpha
+     << ") ---\n";
+  os << "Tstr " << FormatBytes(estimates_.t_str_bytes) << "; Timg(files) "
+     << FormatBytes(estimates_.t_img_file_bytes) << "; Timg(decoded) "
+     << FormatBytes(estimates_.t_img_tensor_bytes) << "\n";
+  for (size_t i = 0; i < workload_.layers.size(); ++i) {
+    os << "T[" << entry_->arch.layer(workload_.layers[i]).name
+       << "]: " << FormatBytes(estimates_.t_i_bytes[i]) << " deser. / "
+       << FormatBytes(estimates_.t_i_serialized_bytes[i]) << " ser.\n";
+  }
+  os << "s_single " << FormatBytes(estimates_.s_single) << "; s_double "
+     << FormatBytes(estimates_.s_double) << "; Eager table "
+     << FormatBytes(estimates_.eager_table_bytes) << "\n\n";
+
+  os << "--- optimizer decisions (Algorithm 1) ---\n"
+     << decisions_.ToString() << "\n\n";
+
+  VISTA_ASSIGN_OR_RETURN(CompiledPlan plan, Plan());
+  os << "--- logical plan ---\n" << plan.ToString() << "\n";
+
+  os << "--- predicted timeline ---\n";
+  SimExecutorConfig config;
+  config.env = options_.env;
+  config.node = node;
+  config.profile = VistaProfile(options_.env, pd, decisions_,
+                                options_.optimizer);
+  config.alpha = options_.optimizer.alpha;
+  SimExecutor executor(entry_);
+  VISTA_ASSIGN_OR_RETURN(
+      sim::SimResult result,
+      executor.Execute(plan, workload_, options_.data, config));
+  for (const auto& stage : result.stages) {
+    if (stage.seconds < 0.05) continue;  // Skip bookkeeping stages.
+    os << "  " << stage.name << ": " << FormatDuration(stage.seconds);
+    if (stage.spill_seconds > 0.05) {
+      os << " (incl. " << FormatDuration(stage.spill_seconds)
+         << " of spill IO)";
+    }
+    os << "\n";
+  }
+  os << "predicted total: " << FormatDuration(result.total_seconds);
+  if (result.spill_bytes_written > 0) {
+    os << ", spilling " << FormatBytes(result.spill_bytes_written);
+  }
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace vista

@@ -1,0 +1,91 @@
+#ifndef VISTA_VISTA_VISTA_H_
+#define VISTA_VISTA_VISTA_H_
+
+#include <memory>
+
+#include "vista/estimator.h"
+#include "vista/optimizer.h"
+#include "vista/plans.h"
+#include "vista/profiles.h"
+#include "vista/real_executor.h"
+#include "vista/roster.h"
+#include "vista/sim_executor.h"
+
+namespace vista {
+
+/// The declarative entry point (Section 3.3): users state *what* to run —
+/// the system environment, a roster CNN with the number of top layers to
+/// explore, the downstream model, and data statistics — and Vista decides
+/// *how*: it invokes the optimizer (Algorithm 1), fixes the Staged logical
+/// plan (Section 4.2.1), and configures the PD/DL systems.
+///
+///   Vista::Options opt;
+///   opt.cnn = dl::KnownCnn::kResNet50;
+///   opt.num_layers = 5;
+///   opt.data.num_records = 20000;
+///   opt.data.num_struct_features = 130;
+///   VISTA_ASSIGN_OR_RETURN(Vista vista, Vista::Create(opt));
+///   auto result = vista.ExecuteSimulated(PdSystem::kSparkLike, node);
+class Vista {
+ public:
+  struct Options {
+    SystemEnv env;
+    dl::KnownCnn cnn = dl::KnownCnn::kAlexNet;
+    /// Explore the top `num_layers` logical layers of the CNN.
+    int num_layers = 3;
+    DownstreamModel model = DownstreamModel::kLogisticRegression;
+    int training_iterations = 10;
+    DataStats data;
+    OptimizerParams optimizer;
+  };
+
+  /// Validates the options, resolves the CNN from the roster, and runs the
+  /// optimizer. Fails (ResourceExhausted) when no feasible configuration
+  /// exists — the paper's "notify the user to provision more memory" path.
+  static Result<Vista> Create(const Options& options);
+
+  const Options& options() const { return options_; }
+  const RosterEntry& entry() const { return *entry_; }
+  const TransferWorkload& workload() const { return workload_; }
+  const OptimizerDecisions& decisions() const { return decisions_; }
+  const SizeEstimates& estimates() const { return estimates_; }
+
+  /// The plan Vista always uses: Staged with the join after the first
+  /// inference hop (Staged/AJ; Section 4.2.1, validated in Section 5.3).
+  Result<CompiledPlan> Plan() const;
+
+  /// Runs the workload on the cluster simulator, with the system
+  /// configured from the optimizer's decisions.
+  Result<sim::SimResult> ExecuteSimulated(PdSystem pd,
+                                          const sim::NodeResources& node,
+                                          bool use_gpu = false) const;
+
+  /// Runs the workload for real on a local engine with an instantiated
+  /// (micro) CNN, using the optimizer's physical choices.
+  Result<RealRunResult> ExecuteReal(df::Engine* engine,
+                                    const dl::CnnModel* model,
+                                    const df::Table& t_str,
+                                    const df::Table& t_img,
+                                    int num_partitions = 8) const;
+
+  /// EXPLAIN for feature transfer: a human-readable report covering the
+  /// size estimates (Eq. 16), the optimizer's decisions, the compiled
+  /// Staged plan, and a predicted stage-by-stage timeline from the cluster
+  /// simulator — what a DBA would ask the system before committing cluster
+  /// hours.
+  Result<std::string> Explain(
+      PdSystem pd = PdSystem::kSparkLike,
+      const sim::NodeResources& node = sim::NodeResources{}) const;
+
+ private:
+  Options options_;
+  std::shared_ptr<Roster> roster_;
+  const RosterEntry* entry_ = nullptr;
+  TransferWorkload workload_;
+  OptimizerDecisions decisions_;
+  SizeEstimates estimates_;
+};
+
+}  // namespace vista
+
+#endif  // VISTA_VISTA_VISTA_H_

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "vista/dag_executor.h"
+
+namespace vista {
+namespace {
+
+/// A DAG whose retained frontier matters at scale: a wide trunk feeding
+/// several aggregated feature heads.
+Result<dl::DagArchitecture> WideTrunkDag() {
+  using dl::DagNodeSpec;
+  using dl::MergeOp;
+  auto conv = [](int64_t filters, int kernel, int stride, int pad) {
+    dl::OpSpec op;
+    op.kind = dl::OpKind::kConv;
+    op.out_channels = filters;
+    op.kernel = kernel;
+    op.stride = stride;
+    op.pad = pad;
+    op.relu = true;
+    return op;
+  };
+  std::vector<DagNodeSpec> nodes;
+  nodes.push_back({"stem", {}, MergeOp::kNone, {conv(64, 7, 2, 3)}});
+  nodes.push_back({"trunk1", {0}, MergeOp::kNone, {conv(128, 3, 1, 1)}});
+  nodes.push_back({"trunk2", {1}, MergeOp::kNone, {conv(128, 3, 2, 1)}});
+  nodes.push_back({"head_a", {1, 2}, MergeOp::kNone, {}});
+  // head_a is invalid without merge; fix to concat via downsample mismatch
+  // -- use trunk2-only heads instead.
+  nodes.pop_back();
+  nodes.push_back({"head_a", {2}, MergeOp::kNone, {conv(64, 1, 1, 0)}});
+  nodes.push_back({"head_b", {2}, MergeOp::kNone, {conv(64, 1, 1, 0)}});
+  nodes.push_back({"head_c", {2}, MergeOp::kNone, {conv(64, 1, 1, 0)}});
+  return dl::DagArchitecture::Create("WideTrunk", Shape{3, 64, 64},
+                                     std::move(nodes));
+}
+
+DagSimSetup DefaultSetup() {
+  DagSimSetup setup;
+  setup.data.num_records = 20000;
+  setup.data.num_struct_features = 130;
+  setup.profile = SparkDefaultProfile(setup.env, 4);
+  // Trunk activations are large per record; keep partitions small enough
+  // for the per-thread UDF buffers (the optimizer's Eq. 14 would do this).
+  setup.profile.num_partitions = 1024;
+  return setup;
+}
+
+TEST(DagExecutorTest, SimulatesMinimalFrontierPlan) {
+  auto arch = WideTrunkDag();
+  ASSERT_TRUE(arch.ok()) << arch.status().ToString();
+  auto result = SimulateDagTransfer(*arch, {3, 4, 5}, DefaultSetup());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->crashed()) << result->status.ToString();
+  EXPECT_GT(result->total_seconds, 0);
+  // One inference + one train stage per target, plus the read stage.
+  int inference = 0, train = 0;
+  for (const auto& stage : result->stages) {
+    if (stage.name.rfind("dag-inference:", 0) == 0) ++inference;
+    if (stage.name.rfind("dag-train:", 0) == 0) ++train;
+  }
+  EXPECT_EQ(inference, 3);
+  EXPECT_EQ(train, 3);
+}
+
+TEST(DagExecutorTest, FirstHopDominates) {
+  // The trunk is computed once, in the first hop; later heads are cheap —
+  // the DAG analogue of the sequential staged plan's shape (Table 3).
+  auto arch = WideTrunkDag();
+  ASSERT_TRUE(arch.ok());
+  auto result = SimulateDagTransfer(*arch, {3, 4, 5}, DefaultSetup());
+  ASSERT_TRUE(result.ok());
+  // Compare compute time (scheduling overhead is flat per stage).
+  double first_hop = 0, later_hops = 0;
+  for (const auto& stage : result->stages) {
+    if (stage.name == "dag-inference:head_a") {
+      first_hop = stage.compute_seconds;
+    }
+    if (stage.name == "dag-inference:head_b" ||
+        stage.name == "dag-inference:head_c") {
+      later_hops += stage.compute_seconds;
+    }
+  }
+  EXPECT_GT(first_hop, 5 * later_hops);
+}
+
+TEST(DagExecutorTest, MinimalFrontierBeatsKeepEverythingAtScale) {
+  // The ablation: at a scale where keeping every computed node's table
+  // overflows Storage, the minimal frontier avoids (or greatly reduces)
+  // spills — the very point of generalized staged materialization.
+  auto arch = WideTrunkDag();
+  ASSERT_TRUE(arch.ok());
+  DagSimSetup setup = DefaultSetup();
+  setup.data.num_records = 200000;  // Amazon scale.
+  auto minimal = SimulateDagTransfer(*arch, {3, 4, 5}, setup,
+                                     DagFrontierPolicy::kMinimalFrontier);
+  auto keep_all = SimulateDagTransfer(*arch, {3, 4, 5}, setup,
+                                      DagFrontierPolicy::kKeepEverything);
+  ASSERT_TRUE(minimal.ok());
+  ASSERT_TRUE(keep_all.ok());
+  ASSERT_FALSE(minimal->crashed());
+  EXPECT_LT(minimal->spill_bytes_written, keep_all->spill_bytes_written);
+  EXPECT_LE(minimal->total_seconds, keep_all->total_seconds);
+}
+
+TEST(DagExecutorTest, RejectsBadTargets) {
+  auto arch = WideTrunkDag();
+  ASSERT_TRUE(arch.ok());
+  EXPECT_FALSE(SimulateDagTransfer(*arch, {}, DefaultSetup()).ok());
+  EXPECT_FALSE(SimulateDagTransfer(*arch, {42}, DefaultSetup()).ok());
+}
+
+}  // namespace
+}  // namespace vista

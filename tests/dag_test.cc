@@ -1,0 +1,294 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "dl/dag.h"
+
+namespace vista::dl {
+namespace {
+
+OpSpec ConvOp(int64_t filters, int kernel = 3, int stride = 1, int pad = 1) {
+  OpSpec op;
+  op.kind = OpKind::kConv;
+  op.out_channels = filters;
+  op.kernel = kernel;
+  op.stride = stride;
+  op.pad = pad;
+  op.relu = true;
+  return op;
+}
+
+// -------------------------------------------------------- Architecture.
+
+TEST(DagArchitectureTest, DenseNetShapesAndConsumers) {
+  auto arch = MicroDenseNetDag();
+  ASSERT_TRUE(arch.ok()) << arch.status().ToString();
+  EXPECT_EQ(arch->num_nodes(), 6);
+  // Stem halves resolution; dense nodes keep it.
+  EXPECT_EQ(arch->node(0).output_shape, (Shape{8, 16, 16}));
+  EXPECT_EQ(arch->node(1).output_shape, (Shape{8, 16, 16}));
+  // dense3 sees 24 concatenated channels.
+  EXPECT_EQ(arch->node(3).output_shape, (Shape{8, 16, 16}));
+  // Stem feeds dense1, dense2, dense3, transition.
+  EXPECT_EQ(arch->consumers(0), (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(arch->node(5).output_shape, (Shape{16}));
+}
+
+TEST(DagArchitectureTest, AncestorsAreTransitive) {
+  auto arch = MicroDenseNetDag();
+  ASSERT_TRUE(arch.ok());
+  EXPECT_EQ(arch->Ancestors(0), (std::vector<int>{}));
+  EXPECT_EQ(arch->Ancestors(3), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(arch->Ancestors(5), (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(DagArchitectureTest, RejectsForwardReferences) {
+  std::vector<DagNodeSpec> nodes;
+  nodes.push_back({"a", {1}, MergeOp::kNone, {ConvOp(4)}});
+  nodes.push_back({"b", {}, MergeOp::kNone, {ConvOp(4)}});
+  auto arch = DagArchitecture::Create("bad", Shape{3, 8, 8}, nodes);
+  ASSERT_FALSE(arch.ok());
+  EXPECT_NE(arch.status().message().find("topological"), std::string::npos);
+}
+
+TEST(DagArchitectureTest, RejectsMergelessFanIn) {
+  std::vector<DagNodeSpec> nodes;
+  nodes.push_back({"a", {}, MergeOp::kNone, {ConvOp(4)}});
+  nodes.push_back({"b", {}, MergeOp::kNone, {ConvOp(4)}});
+  nodes.push_back({"c", {0, 1}, MergeOp::kNone, {}});
+  EXPECT_FALSE(DagArchitecture::Create("bad", Shape{3, 8, 8}, nodes).ok());
+}
+
+TEST(DagArchitectureTest, RejectsAddShapeMismatch) {
+  std::vector<DagNodeSpec> nodes;
+  nodes.push_back({"a", {}, MergeOp::kNone, {ConvOp(4)}});
+  nodes.push_back({"b", {}, MergeOp::kNone, {ConvOp(8)}});
+  nodes.push_back({"c", {0, 1}, MergeOp::kAdd, {}});
+  EXPECT_FALSE(DagArchitecture::Create("bad", Shape{3, 8, 8}, nodes).ok());
+}
+
+TEST(DagArchitectureTest, ConcatRequiresMatchingSpatialDims) {
+  std::vector<DagNodeSpec> nodes;
+  nodes.push_back({"a", {}, MergeOp::kNone, {ConvOp(4)}});
+  nodes.push_back({"b", {}, MergeOp::kNone, {ConvOp(4, 3, 2, 1)}});
+  nodes.push_back({"c", {0, 1}, MergeOp::kConcat, {}});
+  EXPECT_FALSE(DagArchitecture::Create("bad", Shape{3, 8, 8}, nodes).ok());
+}
+
+TEST(DagArchitectureTest, RejectsDuplicateNames) {
+  std::vector<DagNodeSpec> nodes;
+  nodes.push_back({"a", {}, MergeOp::kNone, {ConvOp(4)}});
+  nodes.push_back({"a", {0}, MergeOp::kNone, {ConvOp(4)}});
+  EXPECT_FALSE(DagArchitecture::Create("bad", Shape{3, 8, 8}, nodes).ok());
+}
+
+// --------------------------------------------------------------- Model.
+
+TEST(DagModelTest, FullInferenceRuns) {
+  auto arch = MicroDenseNetDag();
+  ASSERT_TRUE(arch.ok());
+  auto model = DagModel::Instantiate(*arch, 5);
+  ASSERT_TRUE(model.ok());
+  Rng rng(1);
+  Tensor img = Tensor::RandomGaussian(Shape{3, 32, 32}, &rng);
+  auto out = model->ComputeFromInput(img, 5);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->shape(), (Shape{16}));
+}
+
+TEST(DagModelTest, PartialInferenceFromFrontierMatchesFull) {
+  // The DAG analogue of the sequential partial-inference equivalence: for
+  // every split point, computing the frontier first and resuming from it
+  // must reproduce the full result exactly.
+  auto arch = MicroDenseNetDag();
+  ASSERT_TRUE(arch.ok());
+  auto model = DagModel::Instantiate(*arch, 7);
+  ASSERT_TRUE(model.ok());
+  Rng rng(2);
+  Tensor img = Tensor::RandomGaussian(Shape{3, 32, 32}, &rng);
+
+  auto full = model->ComputeFromInput(img, 5);
+  ASSERT_TRUE(full.ok());
+
+  // Frontier = {stem, dense1, dense2, dense3}: enough for transition+head
+  // without the raw input.
+  std::map<int, Tensor> available;
+  available.emplace(DagModel::kRawInput, img);
+  auto frontier = model->Compute(available, {0, 1, 2, 3});
+  ASSERT_TRUE(frontier.ok());
+  // Resume WITHOUT the raw input.
+  auto resumed = model->Compute(*frontier, {5});
+  ASSERT_TRUE(resumed.ok());
+  EXPECT_TRUE(full->AllClose(resumed->at(5), 1e-4f));
+}
+
+TEST(DagModelTest, MissingDependencyIsFailedPrecondition) {
+  auto arch = MicroDenseNetDag();
+  ASSERT_TRUE(arch.ok());
+  auto model = DagModel::Instantiate(*arch, 7);
+  ASSERT_TRUE(model.ok());
+  // No raw input and no frontier: nothing can be computed.
+  auto result = model->Compute({}, {5});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(DagModelTest, AddMergeIsOrderInsensitiveInValue) {
+  auto arch = MicroSkipEncoderDag();
+  ASSERT_TRUE(arch.ok());
+  auto model = DagModel::Instantiate(*arch, 3);
+  ASSERT_TRUE(model.ok());
+  Rng rng(4);
+  Tensor embedding = Tensor::RandomGaussian(Shape{48}, &rng);
+  auto agg = model->ComputeFromInput(embedding, 4);  // enc1 + enc2.
+  ASSERT_TRUE(agg.ok());
+  std::map<int, Tensor> available;
+  available.emplace(DagModel::kRawInput, embedding);
+  auto parts = model->Compute(available, {1, 2});
+  ASSERT_TRUE(parts.ok());
+  Tensor expected = parts->at(1).Clone();
+  for (int64_t i = 0; i < expected.num_elements(); ++i) {
+    expected.set(i, expected.at(i) + parts->at(2).at(i));
+  }
+  EXPECT_TRUE(agg->AllClose(expected, 1e-5f));
+}
+
+// ------------------------------------------------------ Staged planning.
+
+TEST(DagStagedPlanTest, NoNodeComputedTwice) {
+  auto arch = MicroDenseNetDag();
+  ASSERT_TRUE(arch.ok());
+  auto plan = PlanStagedDag(*arch, {1, 3, 5});
+  ASSERT_TRUE(plan.ok());
+  std::set<int> seen;
+  for (const auto& hop : plan->hops) {
+    for (int n : hop.compute_nodes) {
+      EXPECT_TRUE(seen.insert(n).second) << "node " << n << " recomputed";
+    }
+  }
+  // Everything needed was computed exactly once.
+  EXPECT_EQ(seen.size(), 6u);  // All nodes are ancestors of node 5.
+}
+
+TEST(DagStagedPlanTest, TotalFlopsEqualsSumOfNeededNodes) {
+  auto arch = MicroDenseNetDag();
+  ASSERT_TRUE(arch.ok());
+  auto plan = PlanStagedDag(*arch, {3, 5});
+  ASSERT_TRUE(plan.ok());
+  int64_t expected = 0;
+  for (int i = 0; i < arch->num_nodes(); ++i) {
+    expected += arch->node(i).flops;
+  }
+  EXPECT_EQ(plan->total_flops, expected);
+}
+
+TEST(DagStagedPlanTest, FrontierDropsFullyConsumedNodes) {
+  auto arch = MicroDenseNetDag();
+  ASSERT_TRUE(arch.ok());
+  auto plan = PlanStagedDag(*arch, {4, 5});
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->hops.size(), 2u);
+  // After materializing the transition (which consumed the dense block),
+  // only the transition output needs to stay for the head.
+  EXPECT_EQ(plan->hops[0].keep_after, (std::vector<int>{4}));
+  // After the last hop, nothing remains.
+  EXPECT_TRUE(plan->hops[1].keep_after.empty());
+  EXPECT_EQ(plan->hops[1].keep_bytes, 0);
+}
+
+TEST(DagStagedPlanTest, DenseTargetsKeepTheDenseFrontier) {
+  auto arch = MicroDenseNetDag();
+  ASSERT_TRUE(arch.ok());
+  // Targets dense1..dense3: after materializing dense1, the stem and
+  // dense1 outputs must stay (dense2 and dense3 read both).
+  auto plan = PlanStagedDag(*arch, {1, 2, 3});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->hops[0].keep_after, (std::vector<int>{0, 1}));
+  EXPECT_EQ(plan->hops[1].keep_after, (std::vector<int>{0, 1, 2}));
+  // peak = stem + dense1 + dense2 outputs (all 8x16x16).
+  EXPECT_EQ(plan->peak_keep_bytes, 3 * 8 * 16 * 16 * 4);
+}
+
+TEST(DagStagedPlanTest, RawInputKeptWhileStillNeeded) {
+  // Two independent branches off the raw input: after the first branch is
+  // materialized, the raw input must still be charged to the frontier.
+  std::vector<DagNodeSpec> nodes;
+  nodes.push_back({"a", {}, MergeOp::kNone, {ConvOp(4)}});
+  nodes.push_back({"b", {}, MergeOp::kNone, {ConvOp(4)}});
+  auto arch = DagArchitecture::Create("branches", Shape{3, 8, 8}, nodes);
+  ASSERT_TRUE(arch.ok());
+  auto plan = PlanStagedDag(*arch, {0, 1});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->hops[0].keep_bytes, 3 * 8 * 8 * 4);  // raw input only.
+  EXPECT_EQ(plan->hops[1].keep_bytes, 0);
+}
+
+TEST(DagStagedPlanTest, StagedExecutionMatchesFullRecompute) {
+  // Execute the plan hop by hop, carrying only keep_after (+ raw input
+  // while charged), and check each target equals direct computation.
+  auto arch = MicroDenseNetDag();
+  ASSERT_TRUE(arch.ok());
+  auto model = DagModel::Instantiate(*arch, 11);
+  ASSERT_TRUE(model.ok());
+  Rng rng(6);
+  Tensor img = Tensor::RandomGaussian(Shape{3, 32, 32}, &rng);
+  auto plan = PlanStagedDag(*arch, {2, 4, 5});
+  ASSERT_TRUE(plan.ok());
+
+  std::map<int, Tensor> frontier;
+  frontier.emplace(DagModel::kRawInput, img);
+  for (const auto& hop : plan->hops) {
+    std::vector<int> want = hop.keep_after;
+    want.push_back(hop.target);
+    auto values = model->Compute(frontier, want);
+    ASSERT_TRUE(values.ok()) << values.status().ToString();
+    // Check the hop's target against direct full computation.
+    auto direct = model->ComputeFromInput(img, hop.target);
+    ASSERT_TRUE(direct.ok());
+    EXPECT_TRUE(direct->AllClose(values->at(hop.target), 1e-4f))
+        << "target " << hop.target;
+    // Next frontier: only keep_after (plus raw input if still charged).
+    std::map<int, Tensor> next;
+    if (hop.keep_bytes > 0 &&
+        std::find(hop.keep_after.begin(), hop.keep_after.end(), -1) ==
+            hop.keep_after.end()) {
+      // Raw input retained only when some un-computed node still reads it;
+      // conservatively keep it if the plan charged for it.
+      bool raw_charged = true;
+      int64_t kept = 0;
+      for (int n : hop.keep_after) {
+        kept += arch->node(n).output_shape.num_bytes();
+      }
+      raw_charged = hop.keep_bytes > kept;
+      if (raw_charged) next.emplace(DagModel::kRawInput, img);
+    }
+    for (int n : hop.keep_after) next.emplace(n, values->at(n));
+    frontier = std::move(next);
+  }
+}
+
+TEST(DagStagedPlanTest, RejectsBadTargets) {
+  auto arch = MicroDenseNetDag();
+  ASSERT_TRUE(arch.ok());
+  EXPECT_FALSE(PlanStagedDag(*arch, {}).ok());
+  EXPECT_FALSE(PlanStagedDag(*arch, {99}).ok());
+}
+
+TEST(DagStagedPlanTest, SkipEncoderAggregatesNeedMultipleLayers) {
+  // The BERT-style case: agg123 (node 5) depends on enc1..enc3. After
+  // materializing agg12 (node 4), enc1 and enc2 stay alive for agg123
+  // (enc3 is only computed in the second hop, from the kept enc2).
+  auto arch = MicroSkipEncoderDag();
+  ASSERT_TRUE(arch.ok());
+  auto plan = PlanStagedDag(*arch, {4, 5});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->hops[0].keep_after, (std::vector<int>{1, 2}));
+  // The second hop computes enc3 and agg123 without touching the raw
+  // input or recomputing enc1/enc2.
+  EXPECT_EQ(plan->hops[1].compute_nodes, (std::vector<int>{3, 5}));
+}
+
+}  // namespace
+}  // namespace vista::dl

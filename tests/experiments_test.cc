@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "vista/experiments.h"
+
+namespace vista {
+namespace {
+
+TEST(ProfilesTest, SparkDefaultsMatchPaperSetup) {
+  SystemEnv env;
+  SystemProfile p = SparkDefaultProfile(env, 5);
+  EXPECT_EQ(p.pd, PdSystem::kSparkLike);
+  EXPECT_EQ(p.memory.heap_bytes, GiB(29));
+  EXPECT_EQ(p.memory.cpus, 5);
+  EXPECT_TRUE(p.memory.allow_disk_spill);
+  EXPECT_FALSE(p.memory.offheap_static);
+  EXPECT_EQ(p.join, df::JoinStrategy::kShuffleHash);
+  EXPECT_EQ(p.persistence, df::PersistenceFormat::kDeserialized);
+  // Regions partition the heap.
+  EXPECT_LE(p.memory.user_bytes + p.memory.storage_bytes +
+                p.memory.core_bytes,
+            p.memory.heap_bytes);
+  // Partitioning scales with dataset size (input splits).
+  EXPECT_EQ(SparkDefaultProfile(env, 5, 20000).num_partitions, 200);
+  EXPECT_EQ(SparkDefaultProfile(env, 5, 200000).num_partitions, 2000);
+}
+
+TEST(ProfilesTest, IgniteDefaultsMatchPaperSetup) {
+  SystemEnv env;
+  SystemProfile p = IgniteDefaultProfile(env, 7);
+  EXPECT_EQ(p.pd, PdSystem::kIgniteLike);
+  EXPECT_EQ(p.memory.heap_bytes, GiB(4));
+  EXPECT_EQ(p.memory.offheap_storage_bytes, GiB(25));
+  EXPECT_TRUE(p.memory.offheap_static);
+  EXPECT_FALSE(p.memory.allow_disk_spill);  // Memory-only mode.
+  EXPECT_EQ(p.num_partitions, 1024);
+}
+
+TEST(ProfilesTest, VistaProfileRealizesDecisions) {
+  SystemEnv env;
+  OptimizerDecisions d;
+  d.cpu = 6;
+  d.num_partitions = 336;
+  d.mem_storage = GiB(18);
+  d.mem_user = GiB(2);
+  d.join = df::JoinStrategy::kBroadcast;
+  d.persistence = df::PersistenceFormat::kSerialized;
+
+  SystemProfile spark = VistaProfile(env, PdSystem::kSparkLike, d);
+  EXPECT_EQ(spark.memory.cpus, 6);
+  EXPECT_EQ(spark.num_partitions, 336);
+  EXPECT_EQ(spark.memory.storage_bytes, GiB(18));
+  EXPECT_EQ(spark.memory.user_bytes, GiB(2));
+  EXPECT_EQ(spark.join, df::JoinStrategy::kBroadcast);
+  EXPECT_FALSE(spark.memory.offheap_static);
+
+  SystemProfile ignite = VistaProfile(env, PdSystem::kIgniteLike, d);
+  EXPECT_TRUE(ignite.memory.offheap_static);
+  EXPECT_EQ(ignite.memory.offheap_storage_bytes, GiB(18));
+  // Vista enables disk-backed storage on Ignite so overflow spills.
+  EXPECT_TRUE(ignite.memory.allow_disk_spill);
+  // Ignite heap holds only user+core (+base), not storage.
+  EXPECT_LT(ignite.memory.heap_bytes, spark.memory.heap_bytes);
+}
+
+TEST(ProfilesTest, ExplicitProfileKeepsStorageFloor) {
+  SystemEnv env;
+  // Huge DL footprint squeezes the worker; storage must stay positive.
+  SystemProfile p =
+      ExplicitProfile(env, PdSystem::kSparkLike, 4, GiB(7), GiB(2), 128);
+  EXPECT_GE(p.memory.storage_bytes, GiB(1));
+  EXPECT_EQ(p.memory.cpus, 4);
+  EXPECT_EQ(p.num_partitions, 128);
+}
+
+TEST(ExperimentsTest, DataStatsMatchPaperDatasets) {
+  EXPECT_EQ(FoodsDataStats().num_records, 20000);
+  EXPECT_EQ(FoodsDataStats(4.0).num_records, 80000);
+  EXPECT_EQ(FoodsDataStats().num_struct_features, 130);
+  EXPECT_EQ(AmazonDataStats().num_records, 200000);
+  EXPECT_EQ(AmazonDataStats().num_struct_features, 200);
+  EXPECT_EQ(PaperNumLayers(dl::KnownCnn::kAlexNet), 4);
+  EXPECT_EQ(PaperNumLayers(dl::KnownCnn::kVgg16), 3);
+  EXPECT_EQ(PaperNumLayers(dl::KnownCnn::kResNet50), 5);
+}
+
+TEST(ExperimentsTest, StandardApproachesMatchFigure6) {
+  const auto approaches = StandardApproaches();
+  ASSERT_EQ(approaches.size(), 6u);
+  EXPECT_EQ(approaches.front(), "Lazy-1");
+  EXPECT_EQ(approaches.back(), "Vista");
+}
+
+TEST(ExperimentsTest, UnknownApproachRejected) {
+  ExperimentSetup setup;
+  setup.data = FoodsDataStats();
+  auto r = RunApproach(setup, "Psychic");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(ExperimentsTest, PreMatReportsMaterializationTime) {
+  ExperimentSetup setup;
+  setup.cnn = dl::KnownCnn::kAlexNet;
+  setup.num_layers = 4;
+  setup.data = FoodsDataStats();
+  auto r = RunApproach(setup, "Lazy-5+Pre-mat");
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->pre_mat_seconds, 0);
+  EXPECT_FALSE(r->result.crashed());
+}
+
+TEST(ExperimentsTest, VistaInfeasibleEnvPropagatesStatus) {
+  ExperimentSetup setup;
+  setup.cnn = dl::KnownCnn::kVgg16;
+  setup.num_layers = 3;
+  setup.data = FoodsDataStats();
+  setup.env.node_memory_bytes = GiB(8);
+  auto r = RunApproach(setup, "Vista");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsResourceExhausted());
+}
+
+TEST(ExperimentsTest, DrillDownHonorsExplicitPartitioning) {
+  ExperimentSetup setup;
+  setup.cnn = dl::KnownCnn::kAlexNet;
+  setup.num_layers = 4;
+  setup.data = FoodsDataStats();
+  DrillDownConfig config;
+  config.num_partitions = 64;
+  auto r = RunDrillDown(setup, config);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->crashed());
+  // Few coarse partitions vs many fine ones: the scheduling-overhead term
+  // differs measurably (Fig. 11(B)'s right side).
+  DrillDownConfig many = config;
+  many.num_partitions = 4096;
+  auto r_many = RunDrillDown(setup, many);
+  ASSERT_TRUE(r_many.ok());
+  EXPECT_GT(r_many->total_seconds, r->total_seconds);
+}
+
+TEST(ExperimentsTest, LazyApproachUsesRequestedParallelism) {
+  ExperimentSetup setup;
+  setup.cnn = dl::KnownCnn::kAlexNet;
+  setup.num_layers = 4;
+  setup.data = FoodsDataStats();
+  auto lazy1 = RunApproach(setup, "Lazy-1");
+  auto lazy7 = RunApproach(setup, "Lazy-7");
+  ASSERT_TRUE(lazy1.ok());
+  ASSERT_TRUE(lazy7.ok());
+  // More threads -> faster inference, saturating but clearly ordered.
+  EXPECT_GT(lazy1->result.total_seconds,
+            lazy7->result.total_seconds * 1.5);
+}
+
+}  // namespace
+}  // namespace vista

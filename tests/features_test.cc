@@ -1,0 +1,221 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "features/hog.h"
+#include "features/synthetic.h"
+
+namespace vista::feat {
+namespace {
+
+Tensor StripeImage(int size, bool vertical) {
+  Tensor img(Shape{3, size, size});
+  float* data = img.mutable_data();
+  for (int c = 0; c < 3; ++c) {
+    for (int y = 0; y < size; ++y) {
+      for (int x = 0; x < size; ++x) {
+        const int coord = vertical ? x : y;
+        data[(c * size + y) * size + x] = (coord / 2) % 2 == 0 ? 1.0f : 0.0f;
+      }
+    }
+  }
+  return img;
+}
+
+TEST(HogTest, FeatureLengthFormula) {
+  HogConfig config;  // 8px cells, 2x2 blocks, 9 bins.
+  // 32x32 -> 4x4 cells -> 3x3 blocks -> 3*3*2*2*9 = 324.
+  EXPECT_EQ(HogFeatureLength(32, 32, config), 324);
+  EXPECT_EQ(HogFeatureLength(8, 8, config), 0);  // Too small for a block.
+}
+
+TEST(HogTest, OutputMatchesLength) {
+  Rng rng(1);
+  Tensor img = Tensor::RandomGaussian(Shape{3, 32, 32}, &rng);
+  auto features = HogFeatures(img);
+  ASSERT_TRUE(features.ok());
+  EXPECT_EQ(features->num_elements(), HogFeatureLength(32, 32));
+}
+
+TEST(HogTest, RejectsNonImage) {
+  EXPECT_FALSE(HogFeatures(Tensor(Shape{10})).ok());
+  EXPECT_FALSE(HogFeatures(Tensor(Shape{3, 4, 4})).ok());
+}
+
+TEST(HogTest, OrientationSelective) {
+  // Vertical and horizontal stripes must produce clearly different
+  // descriptors — the point of oriented gradients.
+  auto v = HogFeatures(StripeImage(32, true));
+  auto h = HogFeatures(StripeImage(32, false));
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(h.ok());
+  double distance = 0;
+  for (int64_t i = 0; i < v->num_elements(); ++i) {
+    const double d = v->at(i) - h->at(i);
+    distance += d * d;
+  }
+  EXPECT_GT(std::sqrt(distance), 1.0);
+}
+
+TEST(HogTest, InvariantToUniformBrightness) {
+  // Constant offsets do not change gradients.
+  Tensor img = StripeImage(32, true);
+  Tensor brighter = img.Clone();
+  for (int64_t i = 0; i < brighter.num_elements(); ++i) {
+    brighter.set(i, brighter.at(i) + 5.0f);
+  }
+  auto f1 = HogFeatures(img);
+  auto f2 = HogFeatures(brighter);
+  ASSERT_TRUE(f1.ok());
+  ASSERT_TRUE(f2.ok());
+  EXPECT_TRUE(f1->AllClose(*f2, 1e-4f));
+}
+
+TEST(SyntheticTest, GeneratesRequestedShape) {
+  MultimodalDatasetSpec spec;
+  spec.num_records = 50;
+  spec.num_struct_features = 10;
+  spec.image_size = 16;
+  auto data = GenerateMultimodal(spec);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->t_str.size(), 50u);
+  EXPECT_EQ(data->t_img.size(), 50u);
+  // Struct table: label + 10 features, no image.
+  EXPECT_EQ(data->t_str[0].struct_features.size(), 11u);
+  EXPECT_FALSE(data->t_str[0].has_image());
+  // Image table: image only.
+  EXPECT_TRUE(data->t_img[0].has_image());
+  EXPECT_EQ(data->t_img[0].image().shape(), (Shape{3, 16, 16}));
+  // Ids align.
+  for (size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(data->t_str[i].id, data->t_img[i].id);
+  }
+}
+
+TEST(SyntheticTest, Deterministic) {
+  MultimodalDatasetSpec spec;
+  spec.num_records = 20;
+  spec.image_size = 16;
+  auto a = GenerateMultimodal(spec);
+  auto b = GenerateMultimodal(spec);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(a->t_str[i].struct_features, b->t_str[i].struct_features);
+    EXPECT_TRUE(a->t_img[i].image().AllClose(b->t_img[i].image()));
+  }
+}
+
+TEST(SyntheticTest, LabelsRoughlyBalanced) {
+  MultimodalDatasetSpec spec;
+  spec.num_records = 2000;
+  spec.image_size = 8;
+  auto data = GenerateMultimodal(spec);
+  ASSERT_TRUE(data.ok());
+  int positives = 0;
+  for (const auto& r : data->t_str) {
+    if (LabelOf(r) > 0.5f) ++positives;
+  }
+  EXPECT_NEAR(positives / 2000.0, 0.5, 0.05);
+}
+
+TEST(SyntheticTest, StructuredSignalIsInformative) {
+  // Class-conditional means of the first informative feature must differ.
+  MultimodalDatasetSpec spec;
+  spec.num_records = 4000;
+  spec.image_size = 8;
+  spec.struct_signal = 1.0;
+  auto data = GenerateMultimodal(spec);
+  ASSERT_TRUE(data.ok());
+  double sum1 = 0, sum0 = 0;
+  int n1 = 0, n0 = 0;
+  for (const auto& r : data->t_str) {
+    if (LabelOf(r) > 0.5f) {
+      sum1 += r.struct_features[1];
+      ++n1;
+    } else {
+      sum0 += r.struct_features[1];
+      ++n0;
+    }
+  }
+  EXPECT_GT(std::fabs(sum1 / n1 - sum0 / n0), 0.5);
+}
+
+TEST(SyntheticTest, ImagesCarryClassSignalInColor) {
+  MultimodalDatasetSpec spec;
+  spec.num_records = 600;
+  spec.image_size = 16;
+  auto data = GenerateMultimodal(spec);
+  ASSERT_TRUE(data.ok());
+  // Mean red-channel value should separate the classes (weak tint).
+  double red1 = 0, red0 = 0;
+  int n1 = 0, n0 = 0;
+  for (size_t i = 0; i < data->t_img.size(); ++i) {
+    const Tensor& img = data->t_img[i].image();
+    double mean = 0;
+    const int64_t hw = 16 * 16;
+    for (int64_t p = 0; p < hw; ++p) mean += img.data()[p];
+    mean /= hw;
+    if (LabelOf(data->t_str[i]) > 0.5f) {
+      red1 += mean;
+      ++n1;
+    } else {
+      red0 += mean;
+      ++n0;
+    }
+  }
+  EXPECT_GT(red1 / n1, red0 / n0);
+}
+
+TEST(SyntheticTest, PaperSpecsMatchPublishedSizes) {
+  EXPECT_EQ(FoodsSpec().num_records, 20000);
+  EXPECT_EQ(FoodsSpec().num_struct_features, 130);
+  EXPECT_EQ(FoodsSpec().image_size, 227);
+  EXPECT_EQ(AmazonSpec().num_records, 200000);
+  EXPECT_EQ(AmazonSpec().num_struct_features, 200);
+}
+
+TEST(SyntheticTest, RejectsBadSpecs) {
+  MultimodalDatasetSpec spec;
+  spec.num_records = 0;
+  EXPECT_FALSE(GenerateMultimodal(spec).ok());
+  spec = MultimodalDatasetSpec{};
+  spec.num_informative_struct = spec.num_struct_features + 1;
+  EXPECT_FALSE(GenerateMultimodal(spec).ok());
+}
+
+
+TEST(SyntheticTest, MultipleImagesPerRecord) {
+  MultimodalDatasetSpec spec;
+  spec.num_records = 30;
+  spec.image_size = 16;
+  spec.images_per_record = 3;
+  auto data = GenerateMultimodal(spec);
+  ASSERT_TRUE(data.ok());
+  for (const auto& r : data->t_img) {
+    ASSERT_EQ(r.images.size(), 3u);
+    // Same class, different noise: images differ from each other.
+    EXPECT_FALSE(r.images[0].AllClose(r.images[1]));
+  }
+  spec.images_per_record = 0;
+  EXPECT_FALSE(GenerateMultimodal(spec).ok());
+}
+
+TEST(SplitTest, TestFractionApproximatelyRespected) {
+  int test_count = 0;
+  const int n = 10000;
+  for (int64_t id = 0; id < n; ++id) {
+    if (IsTestId(id, 0.2)) ++test_count;
+  }
+  EXPECT_NEAR(test_count / static_cast<double>(n), 0.2, 0.02);
+}
+
+TEST(SplitTest, DeterministicPerId) {
+  for (int64_t id = 0; id < 100; ++id) {
+    EXPECT_EQ(IsTestId(id, 0.3), IsTestId(id, 0.3));
+  }
+}
+
+}  // namespace
+}  // namespace vista::feat

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "tensor/gemm.h"
+#include "tensor/ops.h"
+
+namespace vista {
+namespace {
+
+TEST(MatMulTest, HandComputed) {
+  Tensor a(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b(Shape{3, 2}, {7, 8, 9, 10, 11, 12});
+  auto c = MatMul(a, b);
+  ASSERT_TRUE(c.ok());
+  ASSERT_EQ(c->shape(), (Shape{2, 2}));
+  EXPECT_FLOAT_EQ(c->at(0), 58);
+  EXPECT_FLOAT_EQ(c->at(1), 64);
+  EXPECT_FLOAT_EQ(c->at(2), 139);
+  EXPECT_FLOAT_EQ(c->at(3), 154);
+}
+
+TEST(MatMulTest, IdentityIsNeutral) {
+  Rng rng(1);
+  Tensor a = Tensor::RandomGaussian(Shape{4, 4}, &rng);
+  Tensor eye(Shape{4, 4});
+  for (int i = 0; i < 4; ++i) eye.set(i * 4 + i, 1.0f);
+  auto c = MatMul(a, eye);
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(c->AllClose(a, 1e-5f));
+}
+
+TEST(MatMulTest, RejectsBadShapes) {
+  EXPECT_FALSE(MatMul(Tensor(Shape{2, 3}), Tensor(Shape{2, 3})).ok());
+  EXPECT_FALSE(MatMul(Tensor(Shape{4}), Tensor(Shape{4, 2})).ok());
+}
+
+TEST(Im2ColTest, UnitKernelIsReshape) {
+  Tensor input(Shape{2, 2, 2}, {1, 2, 3, 4, 5, 6, 7, 8});
+  auto cols = Im2Col(input, 1, 1, 0, 1);
+  ASSERT_TRUE(cols.ok());
+  EXPECT_EQ(cols->shape(), (Shape{1, 2, 4}));
+  for (int64_t i = 0; i < 8; ++i) {
+    EXPECT_FLOAT_EQ(cols->at(i), static_cast<float>(i + 1));
+  }
+}
+
+TEST(Im2ColTest, PaddingZeroFills) {
+  Tensor input = Tensor::Full(Shape{1, 2, 2}, 1.0f);
+  auto cols = Im2Col(input, 3, 1, 1, 1);
+  ASSERT_TRUE(cols.ok());
+  // 3x3 kernel over a padded 2x2: center patch entries present, corners 0.
+  EXPECT_EQ(cols->shape(), (Shape{1, 9, 4}));
+  float sum = 0;
+  for (int64_t i = 0; i < cols->num_elements(); ++i) sum += cols->at(i);
+  EXPECT_FLOAT_EQ(sum, 16.0f);  // Each of 4 input pixels appears 4 times.
+}
+
+// Differential testing: the GEMM path must agree with the direct loops on
+// random configurations, including strides, padding, and groups.
+struct ConvCase {
+  int channels, size, filters, kernel, stride, pad, groups;
+};
+
+class ConvDifferentialTest : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvDifferentialTest, GemmMatchesDirect) {
+  const ConvCase c = GetParam();
+  Rng rng(c.channels * 131 + c.kernel * 17 + c.stride);
+  Tensor input =
+      Tensor::RandomGaussian(Shape{c.channels, c.size, c.size}, &rng);
+  Tensor w = Tensor::RandomGaussian(
+      Shape{c.filters, c.channels / c.groups, c.kernel, c.kernel}, &rng);
+  Tensor b = Tensor::RandomGaussian(Shape{c.filters}, &rng);
+  auto direct = Conv2D(input, w, b, c.stride, c.pad, c.groups);
+  auto gemm = Conv2DGemm(input, w, b, c.stride, c.pad, c.groups);
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(gemm.ok());
+  EXPECT_EQ(direct->shape(), gemm->shape());
+  EXPECT_TRUE(direct->AllClose(*gemm, 1e-3f));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ConvDifferentialTest,
+    ::testing::Values(ConvCase{1, 5, 1, 3, 1, 0, 1},
+                      ConvCase{3, 8, 4, 3, 1, 1, 1},
+                      ConvCase{4, 9, 6, 5, 2, 2, 1},
+                      ConvCase{2, 7, 2, 1, 1, 0, 1},
+                      ConvCase{4, 8, 8, 3, 1, 1, 2},
+                      ConvCase{6, 11, 9, 3, 2, 1, 3},
+                      ConvCase{8, 6, 8, 2, 2, 0, 4},
+                      ConvCase{3, 16, 12, 7, 4, 3, 1}));
+
+TEST(Conv2DGemmTest, RejectsBadConfigs) {
+  Tensor input(Shape{3, 8, 8});
+  Tensor w(Shape{4, 3, 3, 3});
+  Tensor b(Shape{4});
+  // Non-square kernel.
+  EXPECT_FALSE(
+      Conv2DGemm(input, Tensor(Shape{4, 3, 3, 2}), b, 1, 1).ok());
+  // Groups not dividing channels.
+  EXPECT_FALSE(Conv2DGemm(input, w, b, 1, 1, 2).ok());
+  // Bias mismatch.
+  EXPECT_FALSE(Conv2DGemm(input, w, Tensor(Shape{5}), 1, 1).ok());
+}
+
+}  // namespace
+}  // namespace vista

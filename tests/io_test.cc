@@ -1,0 +1,172 @@
+#include <algorithm>
+#include <cstdio>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "dataflow/io.h"
+
+namespace vista::df {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  std::string Path(const std::string& name) {
+    return "/tmp/vista_io_test_" + name;
+  }
+  void TearDown() override {
+    for (const auto& f : files_) std::remove(f.c_str());
+  }
+  std::string Track(const std::string& name) {
+    files_.push_back(Path(name));
+    return files_.back();
+  }
+  std::vector<std::string> files_;
+};
+
+std::vector<Record> StructRecords(int n) {
+  std::vector<Record> records;
+  for (int i = 0; i < n; ++i) {
+    Record r;
+    r.id = i * 3;
+    r.struct_features = {static_cast<float>(i), 0.5f, -2.25f};
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+TEST_F(IoTest, CsvRoundTrip) {
+  const std::string path = Track("a.csv");
+  auto records = StructRecords(20);
+  ASSERT_TRUE(WriteStructCsv(records, path).ok());
+  auto back = ReadStructCsv(path);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), 20u);
+  for (size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ((*back)[i].id, records[i].id);
+    EXPECT_EQ((*back)[i].struct_features, records[i].struct_features);
+  }
+}
+
+TEST_F(IoTest, CsvRejectsTensorFields) {
+  Record r;
+  r.id = 1;
+  r.features.Append(Tensor(Shape{3}));
+  EXPECT_FALSE(WriteStructCsv({r}, Track("b.csv")).ok());
+}
+
+TEST_F(IoTest, CsvRejectsRaggedRows) {
+  Record a, b;
+  a.id = 1;
+  a.struct_features = {1, 2};
+  b.id = 2;
+  b.struct_features = {1};
+  EXPECT_FALSE(WriteStructCsv({a, b}, Track("c.csv")).ok());
+}
+
+TEST_F(IoTest, CsvRejectsGarbage) {
+  const std::string path = Track("d.csv");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("id,f0\n7,not_a_number\n", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(ReadStructCsv(path).ok());
+  EXPECT_FALSE(ReadStructCsv(Path("missing.csv")).ok());
+}
+
+TEST_F(IoTest, TableFileRoundTripWithTensors) {
+  const std::string path = Track("t.vtbl");
+  EngineConfig config;
+  Engine engine(config);
+  Rng rng(1);
+  std::vector<Record> records;
+  for (int i = 0; i < 40; ++i) {
+    Record r;
+    r.id = i;
+    r.struct_features = {static_cast<float>(i)};
+    r.set_image(Tensor::RandomGaussian(Shape{3, 4, 4}, &rng));
+    Tensor sparse(Shape{64});
+    sparse.set(i % 64, 1.0f);
+    r.features.Append(std::move(sparse));
+    records.push_back(std::move(r));
+  }
+  auto table = engine.MakeTable(records, 5);
+  ASSERT_TRUE(table.ok());
+  ASSERT_TRUE(WriteTableFile(*table, path).ok());
+
+  auto back = ReadTableFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_partitions(), 5);
+  EXPECT_EQ(back->num_records(), 40);
+  auto orig_rows = engine.Collect(*table);
+  auto back_rows = engine.Collect(*back);
+  ASSERT_TRUE(orig_rows.ok());
+  ASSERT_TRUE(back_rows.ok());
+  auto by_id = [](const Record& a, const Record& b) { return a.id < b.id; };
+  std::sort(orig_rows->begin(), orig_rows->end(), by_id);
+  std::sort(back_rows->begin(), back_rows->end(), by_id);
+  for (size_t i = 0; i < orig_rows->size(); ++i) {
+    EXPECT_TRUE((*back_rows)[i].image().AllClose((*orig_rows)[i].image()));
+    EXPECT_TRUE((*back_rows)[i].features.at(0).AllClose(
+        (*orig_rows)[i].features.at(0)));
+  }
+}
+
+TEST_F(IoTest, TableFileRejectsCorruptHeader) {
+  const std::string path = Track("bad.vtbl");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    std::fputs("NOTVISTA", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(ReadTableFile(path).ok());
+}
+
+TEST_F(IoTest, TableFileRejectsTruncation) {
+  const std::string path = Track("trunc.vtbl");
+  Engine engine{EngineConfig{}};
+  auto table = engine.MakeTable(StructRecords(10), 2);
+  ASSERT_TRUE(WriteTableFile(*table, path).ok());
+  // Truncate the file in half.
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
+  EXPECT_FALSE(ReadTableFile(path).ok());
+}
+
+TEST_F(IoTest, PpmRoundTrip) {
+  const std::string path = Track("img.ppm");
+  Tensor image(Shape{3, 4, 6});
+  float* data = image.mutable_data();
+  for (int64_t i = 0; i < image.num_elements(); ++i) {
+    data[i] = static_cast<float>(i % 17) / 16.0f;
+  }
+  ASSERT_TRUE(WriteImagePpm(image, path).ok());
+  auto back = ReadImagePpm(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->shape(), image.shape());
+  // 8-bit quantization: within 1/255.
+  EXPECT_TRUE(back->AllClose(image, 1.0f / 254.0f));
+}
+
+TEST_F(IoTest, PpmGrayscaleReplicates) {
+  const std::string path = Track("gray.ppm");
+  Tensor gray = Tensor::Full(Shape{1, 2, 2}, 0.5f);
+  ASSERT_TRUE(WriteImagePpm(gray, path).ok());
+  auto back = ReadImagePpm(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->shape(), (Shape{3, 2, 2}));
+  EXPECT_NEAR(back->at3(0, 0, 0), back->at3(2, 0, 0), 1e-6f);
+}
+
+TEST_F(IoTest, PpmRejectsBadShapes) {
+  EXPECT_FALSE(WriteImagePpm(Tensor(Shape{2, 4, 4}), Track("x.ppm")).ok());
+  EXPECT_FALSE(WriteImagePpm(Tensor(Shape{16}), Track("y.ppm")).ok());
+}
+
+}  // namespace
+}  // namespace vista::df

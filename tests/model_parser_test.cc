@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "dl/model_parser.h"
+#include "dl/model_zoo.h"
+#include "vista/estimator.h"
+#include "vista/optimizer.h"
+
+namespace vista::dl {
+namespace {
+
+constexpr char kTinySpec[] = R"(
+# A small custom CNN.
+cnn TinyNet input 3x32x32
+layer conv1
+  conv filters=8 kernel=3 stride=1 pad=1
+  maxpool window=2 stride=2
+layer block1
+  bottleneck mid=4 out=16 stride=2 project=true
+layer head
+  gap
+  fc units=10 relu=false
+)";
+
+TEST(ModelParserTest, ParsesValidSpec) {
+  auto arch = ParseCnnSpec(kTinySpec);
+  ASSERT_TRUE(arch.ok()) << arch.status().ToString();
+  EXPECT_EQ(arch->name(), "TinyNet");
+  EXPECT_EQ(arch->input_shape(), (Shape{3, 32, 32}));
+  EXPECT_EQ(arch->num_layers(), 3);
+  EXPECT_EQ(arch->layer(0).name, "conv1");
+  EXPECT_EQ(arch->layer(0).output_shape, (Shape{8, 16, 16}));
+  EXPECT_EQ(arch->layer(1).output_shape, (Shape{16, 8, 8}));
+  EXPECT_EQ(arch->layer(2).output_shape, (Shape{10}));
+}
+
+TEST(ModelParserTest, ParsedModelRuns) {
+  auto arch = ParseCnnSpec(kTinySpec);
+  ASSERT_TRUE(arch.ok());
+  auto model = CnnModel::Instantiate(*arch, 3);
+  ASSERT_TRUE(model.ok());
+  Rng rng(4);
+  Tensor img = Tensor::RandomGaussian(Shape{3, 32, 32}, &rng);
+  auto out = model->Run(img);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->shape(), (Shape{10}));
+}
+
+TEST(ModelParserTest, RoundTripsThroughSpecFormat) {
+  for (auto build : {AlexNetArch, Vgg16Arch, ResNet50Arch,
+                     MicroResNet50Arch}) {
+    auto original = build();
+    ASSERT_TRUE(original.ok());
+    const std::string spec = CnnSpecToString(*original);
+    auto parsed = ParseCnnSpec(spec);
+    ASSERT_TRUE(parsed.ok()) << spec;
+    ASSERT_EQ(parsed->num_layers(), original->num_layers());
+    for (int i = 0; i < parsed->num_layers(); ++i) {
+      EXPECT_EQ(parsed->layer(i).name, original->layer(i).name);
+      EXPECT_EQ(parsed->layer(i).output_shape,
+                original->layer(i).output_shape);
+      EXPECT_EQ(parsed->layer(i).flops, original->layer(i).flops);
+      EXPECT_EQ(parsed->layer(i).param_count,
+                original->layer(i).param_count);
+    }
+  }
+}
+
+TEST(ModelParserTest, DefaultsApplied) {
+  auto arch = ParseCnnSpec(
+      "cnn D input 3x8x8\nlayer l1\n  conv filters=4 kernel=3\n");
+  ASSERT_TRUE(arch.ok());
+  // stride defaults to 1, pad to 0: 8 -> 6.
+  EXPECT_EQ(arch->layer(0).output_shape, (Shape{4, 6, 6}));
+}
+
+TEST(ModelParserTest, GroupedConvParses) {
+  auto arch = ParseCnnSpec(
+      "cnn G input 4x8x8\nlayer l1\n"
+      "  conv filters=8 kernel=3 pad=1 groups=2\n");
+  ASSERT_TRUE(arch.ok());
+  EXPECT_EQ(arch->layer(0).param_count, 8 * 2 * 9 + 8);
+}
+
+TEST(ModelParserTest, ErrorsCarryLineNumbers) {
+  struct Case {
+    const char* spec;
+    const char* want;
+  };
+  const Case cases[] = {
+      {"layer l1\n", "must start with a 'cnn' header"},
+      {"cnn X input 3x8\n", "CxHxW"},
+      {"cnn X input 3x8x8\n  conv filters=2 kernel=1\n",
+       "before any 'layer'"},
+      {"cnn X input 3x8x8\nlayer l\n  conv kernel=3\n", "filters"},
+      {"cnn X input 3x8x8\nlayer l\n  conv filters=a kernel=3\n",
+       "bad integer"},
+      {"cnn X input 3x8x8\nlayer l\n  warp factor=9\n", "unknown op"},
+      {"cnn X input 3x8x8\nlayer l\n  conv filters=2 kernel=3 bogus=1\n",
+       "unknown argument"},
+      {"cnn X input 3x8x8\nlayer l\n  fc units=4 relu=maybe\n",
+       "true/false"},
+      {"cnn X input 3x8x8\ncnn Y input 3x8x8\n", "duplicate"},
+      {"", "empty"},
+  };
+  for (const Case& c : cases) {
+    auto arch = ParseCnnSpec(c.spec);
+    ASSERT_FALSE(arch.ok()) << c.spec;
+    EXPECT_NE(arch.status().message().find(c.want), std::string::npos)
+        << "spec: " << c.spec << "\ngot: " << arch.status().ToString();
+  }
+}
+
+TEST(ModelParserTest, ShapeValidationCatchesImpossibleNets) {
+  // Pooling below 1x1.
+  auto arch = ParseCnnSpec(
+      "cnn X input 3x4x4\nlayer l\n  maxpool window=8 stride=8\n");
+  EXPECT_FALSE(arch.ok());
+}
+
+}  // namespace
+}  // namespace vista::dl
+
+namespace vista {
+namespace {
+
+TEST(RosterRegisterTest, RegisterAndOptimizeCustomCnn) {
+  auto roster = Roster::Default();
+  ASSERT_TRUE(roster.ok());
+  auto arch = dl::ParseCnnSpec(
+      "cnn CustomNet input 3x224x224\n"
+      "layer conv1\n  conv filters=32 kernel=7 stride=2 pad=3\n"
+      "  maxpool window=3 stride=2 pad=1\n"
+      "layer conv2\n  conv filters=64 kernel=3 stride=2 pad=1\n"
+      "layer head\n  gap\n  fc units=100 relu=false\n");
+  ASSERT_TRUE(arch.ok());
+  ASSERT_TRUE(roster->Register(*arch).ok());
+
+  auto entry = roster->LookupByName("CustomNet");
+  ASSERT_TRUE(entry.ok());
+  EXPECT_FALSE((*entry)->cnn.has_value());
+  EXPECT_GT((*entry)->memory.runtime_cpu_bytes, 0);
+
+  // The optimizer works on the custom entry like any roster CNN.
+  TransferWorkload workload;
+  workload.layers = (*entry)->arch.TopLayers(2).value();
+  DataStats stats;
+  stats.num_records = 20000;
+  stats.num_struct_features = 130;
+  auto decisions =
+      OptimizeFeatureTransfer(SystemEnv{}, **entry, workload, stats);
+  ASSERT_TRUE(decisions.ok());
+  EXPECT_GE(decisions->cpu, 1);
+}
+
+TEST(RosterRegisterTest, DuplicateNameRejected) {
+  auto roster = Roster::Default();
+  ASSERT_TRUE(roster.ok());
+  auto arch = dl::AlexNetArch();
+  ASSERT_TRUE(arch.ok());
+  auto st = roster->Register(*arch);
+  EXPECT_EQ(st.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(RosterRegisterTest, BuiltinsFoundByName) {
+  auto roster = Roster::Default();
+  ASSERT_TRUE(roster.ok());
+  for (const char* name : {"AlexNet", "VGG16", "ResNet50"}) {
+    EXPECT_TRUE(roster->LookupByName(name).ok()) << name;
+  }
+  EXPECT_FALSE(roster->LookupByName("LeNet").ok());
+}
+
+}  // namespace
+}  // namespace vista

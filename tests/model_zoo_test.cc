@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "dl/model_zoo.h"
+
+namespace vista::dl {
+namespace {
+
+TEST(ModelZooTest, AlexNetMatchesPublishedStatistics) {
+  auto arch = AlexNetArch();
+  ASSERT_TRUE(arch.ok());
+  EXPECT_EQ(arch->num_layers(), 8);
+  EXPECT_EQ(arch->input_shape(), (Shape{3, 227, 227}));
+  // Published layer shapes.
+  auto shape_of = [&](const char* name) {
+    return arch->layer(arch->FindLayer(name).value()).output_shape;
+  };
+  EXPECT_EQ(shape_of("conv1"), (Shape{96, 27, 27}));
+  EXPECT_EQ(shape_of("conv2"), (Shape{256, 13, 13}));
+  EXPECT_EQ(shape_of("conv5"), (Shape{256, 6, 6}));
+  EXPECT_EQ(shape_of("fc6"), (Shape{4096}));
+  EXPECT_EQ(shape_of("fc8"), (Shape{1000}));
+  // ~61M parameters.
+  EXPECT_NEAR(static_cast<double>(arch->total_params()), 61e6, 2e6);
+  // ~1.45 GFLOPs (2 FLOPs per MAC ~= 727M MACs).
+  EXPECT_NEAR(static_cast<double>(arch->total_flops()), 1.45e9, 0.2e9);
+}
+
+TEST(ModelZooTest, Vgg16MatchesPublishedStatistics) {
+  auto arch = Vgg16Arch();
+  ASSERT_TRUE(arch.ok());
+  EXPECT_EQ(arch->num_layers(), 8);
+  auto shape_of = [&](const char* name) {
+    return arch->layer(arch->FindLayer(name).value()).output_shape;
+  };
+  EXPECT_EQ(shape_of("conv5"), (Shape{512, 7, 7}));
+  EXPECT_EQ(shape_of("fc6"), (Shape{4096}));
+  // ~138M parameters; ~30.9 GFLOPs (15.5 GMACs).
+  EXPECT_NEAR(static_cast<double>(arch->total_params()), 138e6, 3e6);
+  EXPECT_NEAR(static_cast<double>(arch->total_flops()), 30.9e9, 2e9);
+}
+
+TEST(ModelZooTest, ResNet50MatchesPublishedStatistics) {
+  auto arch = ResNet50Arch();
+  ASSERT_TRUE(arch.ok());
+  // 1 stem + 3 + 4 + 6 + 3 blocks + 1 head = 18 logical layers.
+  EXPECT_EQ(arch->num_layers(), 18);
+  auto shape_of = [&](const char* name) {
+    return arch->layer(arch->FindLayer(name).value()).output_shape;
+  };
+  EXPECT_EQ(shape_of("conv1"), (Shape{64, 56, 56}));
+  EXPECT_EQ(shape_of("conv2_3"), (Shape{256, 56, 56}));
+  EXPECT_EQ(shape_of("conv3_4"), (Shape{512, 28, 28}));
+  EXPECT_EQ(shape_of("conv4_6"), (Shape{1024, 14, 14}));
+  EXPECT_EQ(shape_of("conv5_3"), (Shape{2048, 7, 7}));
+  EXPECT_EQ(shape_of("fc6"), (Shape{1000}));
+  // ~25.5M parameters; ~7.7 GFLOPs (3.9 GMACs).
+  EXPECT_NEAR(static_cast<double>(arch->total_params()), 25.5e6, 1.5e6);
+  EXPECT_NEAR(static_cast<double>(arch->total_flops()), 7.7e9, 1e9);
+}
+
+TEST(ModelZooTest, PaperLayerOfResNetIs784KB) {
+  // Section 1.1: "one of ResNet50's layers is 784KB but the image is only
+  // 14KB" — conv4_6 output: 1024 x 14 x 14 floats.
+  auto arch = ResNet50Arch();
+  ASSERT_TRUE(arch.ok());
+  const int idx = arch->FindLayer("conv4_6").value();
+  EXPECT_EQ(arch->layer(idx).output_shape.num_bytes(), 802816);
+}
+
+TEST(ModelZooTest, TopFiveResNetLayersMatchFigure8) {
+  auto arch = ResNet50Arch();
+  ASSERT_TRUE(arch.ok());
+  auto top = arch->TopLayers(5);
+  ASSERT_TRUE(top.ok());
+  std::vector<std::string> names;
+  for (int i : *top) names.push_back(arch->layer(i).name);
+  EXPECT_EQ(names, (std::vector<std::string>{"conv4_6", "conv5_1", "conv5_2",
+                                             "conv5_3", "fc6"}));
+}
+
+TEST(ModelZooTest, AlexNetTopFourLayersMatchSection5) {
+  auto arch = AlexNetArch();
+  ASSERT_TRUE(arch.ok());
+  auto top = arch->TopLayers(4);
+  ASSERT_TRUE(top.ok());
+  std::vector<std::string> names;
+  for (int i : *top) names.push_back(arch->layer(i).name);
+  EXPECT_EQ(names,
+            (std::vector<std::string>{"conv5", "fc6", "fc7", "fc8"}));
+}
+
+TEST(ModelZooTest, LazyRedundancyOfAlexNetFc8OverFc7) {
+  // Section 4.2.1: extracting fc7 independently of fc8 incurs ~99%
+  // redundant computations, because fc8 adds only ~4M MACs on top of fc7.
+  auto arch = AlexNetArch();
+  ASSERT_TRUE(arch.ok());
+  const auto& fc7 = arch->layer(arch->FindLayer("fc7").value());
+  const auto& fc8 = arch->layer(arch->FindLayer("fc8").value());
+  const double redundant = static_cast<double>(fc7.cumulative_flops) /
+                           static_cast<double>(fc8.cumulative_flops);
+  EXPECT_GT(redundant, 0.99);
+}
+
+TEST(ModelZooTest, SerializedSizesMatchKnownModelFiles) {
+  // AlexNet ~233 MB, VGG16 ~528 MB, ResNet50 ~98 MB of float32 weights.
+  auto alex = AlexNetArch();
+  auto vgg = Vgg16Arch();
+  auto resnet = ResNet50Arch();
+  ASSERT_TRUE(alex.ok());
+  ASSERT_TRUE(vgg.ok());
+  ASSERT_TRUE(resnet.ok());
+  EXPECT_NEAR(static_cast<double>(alex->serialized_bytes()), 233e6, 20e6);
+  EXPECT_NEAR(static_cast<double>(vgg->serialized_bytes()), 553e6, 30e6);
+  EXPECT_NEAR(static_cast<double>(resnet->serialized_bytes()), 102e6, 10e6);
+}
+
+TEST(ModelZooTest, RosterRoundTripNames) {
+  for (KnownCnn cnn : {KnownCnn::kAlexNet, KnownCnn::kVgg16,
+                       KnownCnn::kResNet50}) {
+    auto parsed = KnownCnnFromString(KnownCnnToString(cnn));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, cnn);
+  }
+  EXPECT_FALSE(KnownCnnFromString("LeNet").ok());
+}
+
+TEST(ModelZooTest, MemoryStatsAvailableForRoster) {
+  for (KnownCnn cnn : {KnownCnn::kAlexNet, KnownCnn::kVgg16,
+                       KnownCnn::kResNet50}) {
+    auto stats = LookupMemoryStats(cnn);
+    ASSERT_TRUE(stats.ok());
+    EXPECT_GT(stats->serialized_bytes, 0);
+    EXPECT_GT(stats->runtime_cpu_bytes, 0);
+    EXPECT_GT(stats->runtime_gpu_bytes, 0);
+  }
+}
+
+TEST(ModelZooTest, MicroVariantsMirrorLayerNames) {
+  for (KnownCnn cnn : {KnownCnn::kAlexNet, KnownCnn::kVgg16,
+                       KnownCnn::kResNet50}) {
+    auto full = BuildArch(cnn);
+    auto micro = BuildMicroArch(cnn);
+    ASSERT_TRUE(full.ok());
+    ASSERT_TRUE(micro.ok());
+    // The micro top layers use the same names as the full model tops.
+    EXPECT_EQ(micro->layer(micro->num_layers() - 1).name,
+              full->layer(full->num_layers() - 1).name);
+    EXPECT_LT(micro->total_flops(), full->total_flops() / 100);
+  }
+}
+
+TEST(ModelZooTest, MicroModelsRunEndToEnd) {
+  Rng rng(3);
+  Tensor img = Tensor::RandomGaussian(Shape{3, 32, 32}, &rng);
+  for (KnownCnn cnn : {KnownCnn::kAlexNet, KnownCnn::kVgg16,
+                       KnownCnn::kResNet50}) {
+    auto arch = BuildMicroArch(cnn);
+    ASSERT_TRUE(arch.ok());
+    auto model = CnnModel::Instantiate(*arch, 17);
+    ASSERT_TRUE(model.ok()) << KnownCnnToString(cnn);
+    auto out = model->Run(img);
+    ASSERT_TRUE(out.ok()) << KnownCnnToString(cnn);
+    EXPECT_EQ(out->shape().rank(), 1);
+  }
+}
+
+TEST(ModelZooTest, FullAlexNetSingleImageInference) {
+  // The only full-size model cheap enough to actually run in tests.
+  auto arch = AlexNetArch();
+  ASSERT_TRUE(arch.ok());
+  auto model = CnnModel::Instantiate(*arch, 5);
+  ASSERT_TRUE(model.ok());
+  Rng rng(9);
+  Tensor img = Tensor::RandomGaussian(Shape{3, 227, 227}, &rng, 0.2f);
+  auto out = model->Run(img);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->shape(), (Shape{1000}));
+}
+
+}  // namespace
+}  // namespace vista::dl

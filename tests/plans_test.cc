@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "vista/plans.h"
+
+namespace vista {
+namespace {
+
+TransferWorkload FourLayerWorkload() {
+  TransferWorkload w;
+  w.cnn = dl::KnownCnn::kAlexNet;
+  w.layers = {4, 5, 6, 7};  // conv5, fc6, fc7, fc8.
+  return w;
+}
+
+int CountKind(const CompiledPlan& plan, PlanStep::Kind kind) {
+  int n = 0;
+  for (const auto& s : plan.steps) {
+    if (s.kind == kind) ++n;
+  }
+  return n;
+}
+
+TEST(PlansTest, LazyHasOneInferenceAndJoinPerLayer) {
+  auto plan = CompilePlan(LogicalPlan::kLazy, FourLayerWorkload());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(CountKind(*plan, PlanStep::Kind::kInference), 4);
+  EXPECT_EQ(CountKind(*plan, PlanStep::Kind::kJoin), 4);
+  EXPECT_EQ(CountKind(*plan, PlanStep::Kind::kTrain), 4);
+  // Every lazy inference starts from the raw image: full redundancy.
+  for (const auto& s : plan->steps) {
+    if (s.kind == PlanStep::Kind::kInference) {
+      EXPECT_EQ(s.source_slot, -1);
+      EXPECT_EQ(s.produce_layers.size(), 1u);
+    }
+  }
+}
+
+TEST(PlansTest, LazyReorderedJoinsOnce) {
+  auto plan = CompilePlan(LogicalPlan::kLazyReordered, FourLayerWorkload());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(CountKind(*plan, PlanStep::Kind::kJoin), 1);
+  EXPECT_EQ(CountKind(*plan, PlanStep::Kind::kInference), 4);
+}
+
+TEST(PlansTest, EagerMaterializesAllLayersAtOnce) {
+  auto plan = CompilePlan(LogicalPlan::kEager, FourLayerWorkload());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(CountKind(*plan, PlanStep::Kind::kInference), 1);
+  EXPECT_EQ(CountKind(*plan, PlanStep::Kind::kJoin), 1);
+  EXPECT_EQ(CountKind(*plan, PlanStep::Kind::kTrain), 4);
+  for (const auto& s : plan->steps) {
+    if (s.kind == PlanStep::Kind::kInference) {
+      EXPECT_EQ(s.produce_layers, (std::vector<int>{4, 5, 6, 7}));
+    }
+  }
+  // Train steps address distinct TensorList slots.
+  std::vector<int> slots;
+  for (const auto& s : plan->steps) {
+    if (s.kind == PlanStep::Kind::kTrain) slots.push_back(s.feature_slot);
+  }
+  EXPECT_EQ(slots, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(PlansTest, StagedChainsPartialInference) {
+  auto plan = CompilePlan(LogicalPlan::kStaged, FourLayerWorkload());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(CountKind(*plan, PlanStep::Kind::kInference), 4);
+  EXPECT_EQ(CountKind(*plan, PlanStep::Kind::kJoin), 1);
+  // First hop reads the raw image; later hops read the previous layer.
+  std::vector<const PlanStep*> inference;
+  for (const auto& s : plan->steps) {
+    if (s.kind == PlanStep::Kind::kInference) inference.push_back(&s);
+  }
+  EXPECT_EQ(inference[0]->source_slot, -1);
+  EXPECT_EQ(inference[1]->source_slot, 0);
+  EXPECT_EQ(inference[1]->source_layer, 4);
+  EXPECT_EQ(inference[1]->produce_layers, (std::vector<int>{5}));
+  EXPECT_EQ(inference[3]->source_layer, 6);
+}
+
+TEST(PlansTest, StagedReleasesPreviousStage) {
+  auto plan = CompilePlan(LogicalPlan::kStaged, FourLayerWorkload());
+  ASSERT_TRUE(plan.ok());
+  // Every intermediate t_i except the last is released before the end.
+  EXPECT_GE(CountKind(*plan, PlanStep::Kind::kRelease), 4);
+}
+
+TEST(PlansTest, StagedReorderedJoinsFirst) {
+  auto plan =
+      CompilePlan(LogicalPlan::kStagedReordered, FourLayerWorkload());
+  ASSERT_TRUE(plan.ok());
+  // The join appears before any inference step.
+  int join_pos = -1, first_inference_pos = -1;
+  for (size_t i = 0; i < plan->steps.size(); ++i) {
+    if (plan->steps[i].kind == PlanStep::Kind::kJoin && join_pos < 0) {
+      join_pos = static_cast<int>(i);
+    }
+    if (plan->steps[i].kind == PlanStep::Kind::kInference &&
+        first_inference_pos < 0) {
+      first_inference_pos = static_cast<int>(i);
+    }
+  }
+  EXPECT_LT(join_pos, first_inference_pos);
+}
+
+TEST(PlansTest, PreMaterializedBaseSkipsFirstInference) {
+  auto plan =
+      CompilePlan(LogicalPlan::kLazy, FourLayerWorkload(), true);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->pre_materialized_base);
+  // The first layer's inference step is a pass-through (source == target).
+  for (const auto& s : plan->steps) {
+    if (s.kind == PlanStep::Kind::kInference) {
+      EXPECT_EQ(s.source_slot, 0);
+      EXPECT_EQ(s.source_layer, 4);
+    }
+  }
+}
+
+TEST(PlansTest, RejectsEmptyOrUnsortedLayers) {
+  TransferWorkload w = FourLayerWorkload();
+  w.layers = {};
+  EXPECT_FALSE(CompilePlan(LogicalPlan::kStaged, w).ok());
+  w.layers = {5, 4};
+  EXPECT_FALSE(CompilePlan(LogicalPlan::kStaged, w).ok());
+  w.layers = {4, 4};
+  EXPECT_FALSE(CompilePlan(LogicalPlan::kStaged, w).ok());
+}
+
+TEST(PlansTest, SingleLayerPlansDegenerate) {
+  TransferWorkload w = FourLayerWorkload();
+  w.layers = {7};
+  for (LogicalPlan p : {LogicalPlan::kLazy, LogicalPlan::kEager,
+                        LogicalPlan::kStaged}) {
+    auto plan = CompilePlan(p, w);
+    ASSERT_TRUE(plan.ok()) << LogicalPlanToString(p);
+    EXPECT_EQ(CountKind(*plan, PlanStep::Kind::kInference), 1);
+    EXPECT_EQ(CountKind(*plan, PlanStep::Kind::kTrain), 1);
+  }
+}
+
+TEST(PlansTest, ToStringListsSteps) {
+  auto plan = CompilePlan(LogicalPlan::kStaged, FourLayerWorkload());
+  ASSERT_TRUE(plan.ok());
+  const std::string s = plan->ToString();
+  EXPECT_NE(s.find("Staged/AJ"), std::string::npos);
+  EXPECT_NE(s.find("Inference"), std::string::npos);
+  EXPECT_NE(s.find("Train"), std::string::npos);
+}
+
+// Parameterized: every plan compiles for every |L| from 1 to 5.
+class PlanCompileTest
+    : public ::testing::TestWithParam<std::tuple<LogicalPlan, int>> {};
+
+TEST_P(PlanCompileTest, CompilesAndBalancesPersistRelease) {
+  const auto [logical, k] = GetParam();
+  TransferWorkload w;
+  w.cnn = dl::KnownCnn::kResNet50;
+  for (int i = 0; i < k; ++i) w.layers.push_back(13 + i);
+  auto plan = CompilePlan(logical, w);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(CountKind(*plan, PlanStep::Kind::kTrain), k);
+  // Every persisted table is eventually released.
+  for (size_t i = 0; i < plan->steps.size(); ++i) {
+    if (plan->steps[i].kind != PlanStep::Kind::kPersist) continue;
+    bool released = false;
+    for (size_t j = i + 1; j < plan->steps.size(); ++j) {
+      if (plan->steps[j].kind == PlanStep::Kind::kRelease &&
+          plan->steps[j].input == plan->steps[i].input) {
+        released = true;
+      }
+    }
+    EXPECT_TRUE(released) << plan->steps[i].input;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPlans, PlanCompileTest,
+    ::testing::Combine(
+        ::testing::Values(LogicalPlan::kLazy, LogicalPlan::kLazyReordered,
+                          LogicalPlan::kEager, LogicalPlan::kEagerReordered,
+                          LogicalPlan::kStaged,
+                          LogicalPlan::kStagedReordered),
+        ::testing::Values(1, 2, 3, 4, 5)));
+
+}  // namespace
+}  // namespace vista

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "dataflow/record.h"
+
+namespace vista::df {
+namespace {
+
+Record MakeRecord(int64_t id, bool with_image, int num_features) {
+  Record r;
+  r.id = id;
+  r.struct_features = {1.0f, 2.5f, -3.0f};
+  if (with_image) {
+    Rng rng(id);
+    r.set_image(Tensor::RandomGaussian(Shape{3, 4, 4}, &rng));
+  }
+  for (int i = 0; i < num_features; ++i) {
+    Tensor t(Shape{8});
+    t.set(i % 8, 1.5f);
+    r.features.Append(std::move(t));
+  }
+  return r;
+}
+
+TEST(RecordTest, RoundTripPlain) {
+  Record r = MakeRecord(42, false, 0);
+  std::vector<uint8_t> buf;
+  SerializeRecord(r, &buf);
+  size_t offset = 0;
+  auto back = DeserializeRecord(buf, &offset);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(offset, buf.size());
+  EXPECT_EQ(back->id, 42);
+  EXPECT_EQ(back->struct_features, r.struct_features);
+  EXPECT_FALSE(back->has_image());
+  EXPECT_EQ(back->features.size(), 0);
+}
+
+TEST(RecordTest, RoundTripWithImageAndFeatures) {
+  Record r = MakeRecord(7, true, 3);
+  std::vector<uint8_t> buf;
+  SerializeRecord(r, &buf);
+  size_t offset = 0;
+  auto back = DeserializeRecord(buf, &offset);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->has_image());
+  EXPECT_TRUE(back->image().AllClose(r.image()));
+  ASSERT_EQ(back->features.size(), 3);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(back->features.at(i).AllClose(r.features.at(i)));
+  }
+}
+
+TEST(RecordTest, MultipleRecordsInOneBuffer) {
+  std::vector<uint8_t> buf;
+  for (int i = 0; i < 5; ++i) SerializeRecord(MakeRecord(i, i % 2, i), &buf);
+  size_t offset = 0;
+  for (int i = 0; i < 5; ++i) {
+    auto r = DeserializeRecord(buf, &offset);
+    ASSERT_TRUE(r.ok()) << "record " << i;
+    EXPECT_EQ(r->id, i);
+  }
+  EXPECT_EQ(offset, buf.size());
+}
+
+TEST(RecordTest, SparseTensorsEncodeSmaller) {
+  // A mostly-zero feature tensor must serialize smaller than a dense one.
+  Record sparse;
+  sparse.id = 1;
+  Tensor t(Shape{1000});
+  t.set(3, 1.0f);
+  t.set(500, 2.0f);
+  sparse.features.Append(t);
+
+  Record dense;
+  dense.id = 2;
+  Rng rng(5);
+  dense.features.Append(Tensor::RandomGaussian(Shape{1000}, &rng));
+
+  std::vector<uint8_t> sparse_buf, dense_buf;
+  SerializeRecord(sparse, &sparse_buf);
+  SerializeRecord(dense, &dense_buf);
+  EXPECT_LT(sparse_buf.size(), dense_buf.size() / 10);
+
+  // And still round-trips exactly.
+  size_t offset = 0;
+  auto back = DeserializeRecord(sparse_buf, &offset);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->features.at(0).AllClose(t));
+}
+
+TEST(RecordTest, TruncatedBufferFails) {
+  Record r = MakeRecord(9, true, 2);
+  std::vector<uint8_t> buf;
+  SerializeRecord(r, &buf);
+  for (size_t cut : {size_t{0}, size_t{4}, buf.size() / 2, buf.size() - 1}) {
+    std::vector<uint8_t> truncated(buf.begin(), buf.begin() + cut);
+    size_t offset = 0;
+    EXPECT_FALSE(DeserializeRecord(truncated, &offset).ok())
+        << "cut=" << cut;
+  }
+}
+
+TEST(RecordTest, EstimateBytesFollowsTungstenLayout) {
+  Record r;
+  r.id = 1;
+  r.struct_features = {1, 2, 3, 4};
+  // 8 key + 8 bitmap + (8 header + 16 payload).
+  EXPECT_EQ(EstimateRecordBytes(r), 8 + 8 + 8 + 16);
+  r.features.Append(Tensor(Shape{10}));
+  EXPECT_EQ(EstimateRecordBytes(r), 8 + 8 + 8 + 16 + 8 + 40);
+}
+
+// Property sweep: round-trips hold across feature densities.
+class RecordDensityTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RecordDensityTest, RoundTripAtDensity) {
+  const double density = GetParam();
+  Rng rng(static_cast<uint64_t>(density * 1000));
+  Record r;
+  r.id = 77;
+  r.struct_features = {0.5f};
+  Tensor t(Shape{256});
+  for (int64_t i = 0; i < 256; ++i) {
+    if (rng.NextBool(density)) {
+      t.set(i, static_cast<float>(rng.NextGaussian()));
+    }
+  }
+  r.features.Append(t);
+  std::vector<uint8_t> buf;
+  SerializeRecord(r, &buf);
+  size_t offset = 0;
+  auto back = DeserializeRecord(buf, &offset);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->features.at(0).AllClose(t));
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, RecordDensityTest,
+                         ::testing::Values(0.0, 0.1, 0.13, 0.36, 0.5, 0.9,
+                                           1.0));
+
+}  // namespace
+}  // namespace vista::df

@@ -1,0 +1,349 @@
+#include <gtest/gtest.h>
+
+#include "vista/experiments.h"
+
+namespace vista {
+namespace {
+
+ExperimentSetup MakeSetup(PdSystem pd, dl::KnownCnn cnn, bool amazon = false) {
+  ExperimentSetup setup;
+  setup.pd = pd;
+  setup.cnn = cnn;
+  setup.num_layers = PaperNumLayers(cnn);
+  setup.data = amazon ? AmazonDataStats() : FoodsDataStats();
+  return setup;
+}
+
+double Minutes(const ApproachResult& r) {
+  return (r.result.total_seconds + r.pre_mat_seconds) / 60.0;
+}
+
+TEST(SimExecutorTest, StagesFollowThePlan) {
+  ExperimentSetup setup = MakeSetup(PdSystem::kSparkLike,
+                                dl::KnownCnn::kAlexNet);
+  auto roster = Roster::Default();
+  ASSERT_TRUE(roster.ok());
+  auto entry = roster->Lookup(dl::KnownCnn::kAlexNet);
+  ASSERT_TRUE(entry.ok());
+  auto workload =
+      TransferWorkload::TopLayers(*roster, dl::KnownCnn::kAlexNet, 4);
+  ASSERT_TRUE(workload.ok());
+  auto plan = CompilePlan(LogicalPlan::kStaged, *workload);
+  ASSERT_TRUE(plan.ok());
+
+  SimExecutorConfig config;
+  config.env = setup.env;
+  config.node = setup.node;
+  config.profile = SparkDefaultProfile(setup.env, 4);
+  SimExecutor executor(*entry);
+  auto stages = executor.BuildStages(*plan, *workload, setup.data, config);
+  ASSERT_TRUE(stages.ok());
+  // Staged/AJ over 4 layers: read x2, 4 inference, 1 join, 4 train, plus
+  // persists/releases.
+  int inference = 0, join = 0, train = 0;
+  for (const auto& s : *stages) {
+    if (s.name.rfind("inference:", 0) == 0) ++inference;
+    if (s.name.rfind("join:", 0) == 0) ++join;
+    if (s.name.rfind("train:", 0) == 0) ++train;
+    if (s.name.rfind("inference:", 0) == 0) {
+      EXPECT_TRUE(s.uses_dl);
+      EXPECT_GT(s.dl_mem_per_thread, 0);
+    }
+  }
+  EXPECT_EQ(inference, 4);
+  EXPECT_EQ(join, 1);
+  EXPECT_EQ(train, 4);
+}
+
+TEST(SimExecutorTest, LazySimulatesRedundantFlops) {
+  ExperimentSetup setup = MakeSetup(PdSystem::kSparkLike,
+                                dl::KnownCnn::kAlexNet);
+  DrillDownConfig lazy;
+  lazy.plan = LogicalPlan::kLazy;
+  DrillDownConfig staged;
+  staged.plan = LogicalPlan::kStaged;
+  auto lazy_result = RunDrillDown(setup, lazy);
+  auto staged_result = RunDrillDown(setup, staged);
+  ASSERT_TRUE(lazy_result.ok());
+  ASSERT_TRUE(staged_result.ok());
+  ASSERT_FALSE(lazy_result->crashed());
+  ASSERT_FALSE(staged_result->crashed());
+  EXPECT_GT(lazy_result->total_seconds, staged_result->total_seconds * 1.5);
+}
+
+// ---- The Figure 6 crash matrix (Section 5.1).
+
+TEST(Figure6Test, SparkOnlyVggLazyCrashes) {
+  for (bool amazon : {false, true}) {
+    for (auto cnn : {dl::KnownCnn::kAlexNet, dl::KnownCnn::kVgg16,
+                     dl::KnownCnn::kResNet50}) {
+      ExperimentSetup setup = MakeSetup(PdSystem::kSparkLike, cnn, amazon);
+      for (const char* approach : {"Lazy-5", "Lazy-7"}) {
+        auto r = RunApproach(setup, approach);
+        ASSERT_TRUE(r.ok());
+        if (cnn == dl::KnownCnn::kVgg16) {
+          EXPECT_TRUE(r->result.crashed())
+              << approach << " " << dl::KnownCnnToString(cnn);
+          EXPECT_EQ(r->result.crash, sim::CrashScenario::kDlMemoryBlowup);
+        } else {
+          EXPECT_FALSE(r->result.crashed())
+              << approach << " " << dl::KnownCnnToString(cnn);
+        }
+      }
+      // Lazy-1 never crashes on Spark.
+      auto lazy1 = RunApproach(setup, "Lazy-1");
+      ASSERT_TRUE(lazy1.ok());
+      EXPECT_FALSE(lazy1->result.crashed());
+    }
+  }
+}
+
+TEST(Figure6Test, IgniteLazy7CrashesForAllCnnsOnAmazon) {
+  for (auto cnn : {dl::KnownCnn::kAlexNet, dl::KnownCnn::kVgg16,
+                   dl::KnownCnn::kResNet50}) {
+    ExperimentSetup setup = MakeSetup(PdSystem::kIgniteLike, cnn, true);
+    auto r = RunApproach(setup, "Lazy-7");
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r->result.crashed()) << dl::KnownCnnToString(cnn);
+  }
+}
+
+TEST(Figure6Test, IgniteResNetLazy7CrashesOnFoodsToo) {
+  auto r = RunApproach(MakeSetup(PdSystem::kIgniteLike, dl::KnownCnn::kResNet50),
+                       "Lazy-7");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->result.crashed());
+  EXPECT_EQ(r->result.crash, sim::CrashScenario::kDlMemoryBlowup);
+  // Lazy-5 and AlexNet Lazy-7 survive on Foods/Ignite.
+  auto lazy5 = RunApproach(
+      MakeSetup(PdSystem::kIgniteLike, dl::KnownCnn::kResNet50), "Lazy-5");
+  ASSERT_TRUE(lazy5.ok());
+  EXPECT_FALSE(lazy5->result.crashed());
+  auto alex = RunApproach(
+      MakeSetup(PdSystem::kIgniteLike, dl::KnownCnn::kAlexNet), "Lazy-7");
+  ASSERT_TRUE(alex.ok());
+  EXPECT_FALSE(alex->result.crashed());
+}
+
+TEST(Figure6Test, EagerCrashesOnIgniteAmazonResNet) {
+  // Intermediate data exhausts total memory in memory-only mode.
+  auto r = RunApproach(
+      MakeSetup(PdSystem::kIgniteLike, dl::KnownCnn::kResNet50, true), "Eager");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->result.crashed());
+  EXPECT_EQ(r->result.crash, sim::CrashScenario::kStorageExhausted);
+}
+
+TEST(Figure6Test, EagerSpillsHeavilyOnSparkAmazonResNet) {
+  ExperimentSetup setup =
+      MakeSetup(PdSystem::kSparkLike, dl::KnownCnn::kResNet50, true);
+  auto eager = RunApproach(setup, "Eager");
+  auto vista = RunApproach(setup, "Vista");
+  ASSERT_TRUE(eager.ok());
+  ASSERT_TRUE(vista.ok());
+  ASSERT_FALSE(eager->result.crashed());
+  ASSERT_FALSE(vista->result.crashed());
+  // Eager pays for disk spills of the all-layers table (Section 5.1).
+  EXPECT_GT(eager->result.spill_bytes_written,
+            10 * vista->result.spill_bytes_written);
+  EXPECT_GT(eager->result.total_seconds, 2 * vista->result.total_seconds);
+}
+
+TEST(Figure6Test, EagerComparableToVistaWhenDataFits) {
+  // "When Eager does not crash and the intermediate data fits in memory,
+  // its efficiency is comparable to Vista" (Section 5.1).
+  ExperimentSetup setup =
+      MakeSetup(PdSystem::kSparkLike, dl::KnownCnn::kAlexNet);
+  auto eager = RunApproach(setup, "Eager");
+  auto vista = RunApproach(setup, "Vista");
+  ASSERT_TRUE(eager.ok());
+  ASSERT_TRUE(vista.ok());
+  EXPECT_LT(Minutes(*eager), Minutes(*vista) * 1.5);
+  EXPECT_GT(Minutes(*eager), Minutes(*vista) * 0.7);
+}
+
+TEST(Figure6Test, VistaNeverCrashesAndBeatsLazy) {
+  // The headline: Vista completes everywhere and is 58%-92% faster than
+  // the Lazy baselines that complete.
+  for (auto pd : {PdSystem::kSparkLike, PdSystem::kIgniteLike}) {
+    for (bool amazon : {false, true}) {
+      for (auto cnn : {dl::KnownCnn::kAlexNet, dl::KnownCnn::kVgg16,
+                       dl::KnownCnn::kResNet50}) {
+        ExperimentSetup setup = MakeSetup(pd, cnn, amazon);
+        auto vista = RunApproach(setup, "Vista");
+        ASSERT_TRUE(vista.ok()) << dl::KnownCnnToString(cnn);
+        EXPECT_FALSE(vista->result.crashed())
+            << PdSystemToString(pd) << " " << dl::KnownCnnToString(cnn)
+            << (amazon ? " Amazon" : " Foods") << ": "
+            << vista->result.status.ToString();
+        auto lazy1 = RunApproach(setup, "Lazy-1");
+        ASSERT_TRUE(lazy1.ok());
+        if (!lazy1->result.crashed()) {
+          const double reduction = 1.0 - Minutes(*vista) / Minutes(*lazy1);
+          EXPECT_GT(reduction, 0.55)
+              << PdSystemToString(pd) << " " << dl::KnownCnnToString(cnn);
+          EXPECT_LT(reduction, 0.95);
+        }
+      }
+    }
+  }
+}
+
+TEST(Figure6Test, PreMatDoesNotCrashButIsSlowerThanVista) {
+  for (auto cnn : {dl::KnownCnn::kAlexNet, dl::KnownCnn::kResNet50}) {
+    ExperimentSetup setup = MakeSetup(PdSystem::kSparkLike, cnn);
+    auto pre = RunApproach(setup, "Lazy-5+Pre-mat");
+    auto vista = RunApproach(setup, "Vista");
+    ASSERT_TRUE(pre.ok());
+    ASSERT_TRUE(vista.ok());
+    EXPECT_FALSE(pre->result.crashed());
+    EXPECT_GT(pre->pre_mat_seconds, 0);
+    EXPECT_GT(Minutes(*pre), Minutes(*vista));
+  }
+}
+
+// ---- Figure 7(A): single-node GPU.
+
+ExperimentSetup GpuSetup(dl::KnownCnn cnn) {
+  ExperimentSetup setup = MakeSetup(PdSystem::kSparkLike, cnn);
+  setup.env.num_nodes = 1;
+  setup.env.gpu_memory_bytes = GiB(12);
+  setup.node.gpu_memory_bytes = GiB(12);
+  setup.node.disk_read_mbps = 500;  // SSD in the GPU box.
+  setup.node.disk_write_mbps = 450;
+  setup.use_gpu = true;
+  return setup;
+}
+
+TEST(Figure7Test, GpuVggLazyCrashesOthersSurvive) {
+  for (auto cnn : {dl::KnownCnn::kAlexNet, dl::KnownCnn::kVgg16,
+                   dl::KnownCnn::kResNet50}) {
+    for (const char* approach : {"Lazy-5", "Lazy-7"}) {
+      auto r = RunApproach(GpuSetup(cnn), approach);
+      ASSERT_TRUE(r.ok());
+      EXPECT_EQ(r->result.crashed(), cnn == dl::KnownCnn::kVgg16)
+          << approach << " " << dl::KnownCnnToString(cnn);
+    }
+  }
+}
+
+TEST(Figure7Test, GpuVistaNeverCrashes) {
+  for (auto cnn : {dl::KnownCnn::kAlexNet, dl::KnownCnn::kVgg16,
+                   dl::KnownCnn::kResNet50}) {
+    auto r = RunApproach(GpuSetup(cnn), "Vista");
+    ASSERT_TRUE(r.ok()) << dl::KnownCnnToString(cnn);
+    EXPECT_FALSE(r->result.crashed()) << dl::KnownCnnToString(cnn);
+  }
+}
+
+// ---- Figure 9 shapes: logical plans vs scale.
+
+TEST(Figure9Test, EagerDegradesAtScaleStagedDoesNot) {
+  ExperimentSetup setup =
+      MakeSetup(PdSystem::kSparkLike, dl::KnownCnn::kResNet50);
+  setup.data = FoodsDataStats(8.0);  // 8X drill-down scale.
+  DrillDownConfig eager;
+  eager.plan = LogicalPlan::kEager;
+  DrillDownConfig staged;
+  staged.plan = LogicalPlan::kStaged;
+  auto e = RunDrillDown(setup, eager);
+  auto s = RunDrillDown(setup, staged);
+  ASSERT_TRUE(e.ok());
+  ASSERT_TRUE(s.ok());
+  ASSERT_FALSE(s->crashed());
+  if (!e->crashed()) {
+    // Eager's all-layer table spills; staged stays ahead (Fig. 9(4)).
+    EXPECT_GT(e->total_seconds, 1.5 * s->total_seconds);
+    EXPECT_GT(e->spill_bytes_written, s->spill_bytes_written);
+  }
+}
+
+TEST(Figure9Test, PlansComparableAtSmallScale) {
+  ExperimentSetup setup =
+      MakeSetup(PdSystem::kSparkLike, dl::KnownCnn::kAlexNet);
+  DrillDownConfig eager;
+  eager.plan = LogicalPlan::kEager;
+  DrillDownConfig staged;
+  staged.plan = LogicalPlan::kStaged;
+  auto e = RunDrillDown(setup, eager);
+  auto s = RunDrillDown(setup, staged);
+  ASSERT_TRUE(e.ok());
+  ASSERT_TRUE(s.ok());
+  EXPECT_LT(std::abs(e->total_seconds - s->total_seconds),
+            0.3 * s->total_seconds);
+}
+
+// ---- Figure 10 shapes: physical plans.
+
+TEST(Figure10Test, BroadcastCrashesWithManyStructFeatures) {
+  ExperimentSetup setup =
+      MakeSetup(PdSystem::kSparkLike, dl::KnownCnn::kAlexNet);
+  setup.data = FoodsDataStats(8.0);
+  setup.data.num_struct_features = 10000;  // Fig. 10(3) rightmost point.
+  DrillDownConfig broadcast;
+  broadcast.join = df::JoinStrategy::kBroadcast;
+  auto b = RunDrillDown(setup, broadcast);
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(b->crashed());
+  DrillDownConfig shuffle;
+  shuffle.join = df::JoinStrategy::kShuffleHash;
+  auto s = RunDrillDown(setup, shuffle);
+  ASSERT_TRUE(s.ok());
+  EXPECT_FALSE(s->crashed());
+}
+
+TEST(Figure10Test, SerializedHelpsWhenSpilling) {
+  ExperimentSetup setup =
+      MakeSetup(PdSystem::kSparkLike, dl::KnownCnn::kResNet50);
+  setup.data = FoodsDataStats(8.0);
+  DrillDownConfig deser;
+  deser.persistence = df::PersistenceFormat::kDeserialized;
+  DrillDownConfig ser;
+  ser.persistence = df::PersistenceFormat::kSerialized;
+  auto d = RunDrillDown(setup, deser);
+  auto s = RunDrillDown(setup, ser);
+  ASSERT_TRUE(d.ok());
+  ASSERT_TRUE(s.ok());
+  ASSERT_FALSE(s->crashed());
+  if (!d->crashed()) {
+    EXPECT_LE(s->spill_bytes_written, d->spill_bytes_written);
+  }
+}
+
+// ---- Figure 12 shapes: scalability.
+
+TEST(Figure12Test, NearLinearSpeedupForHeavyCnns) {
+  DrillDownConfig config;
+  auto minutes_at = [&](int nodes) {
+    ExperimentSetup setup =
+        MakeSetup(PdSystem::kSparkLike, dl::KnownCnn::kResNet50);
+    setup.env.num_nodes = nodes;
+    auto r = RunDrillDown(setup, config);
+    EXPECT_TRUE(r.ok());
+    return r->total_seconds;
+  };
+  const double t1 = minutes_at(1);
+  const double t8 = minutes_at(8);
+  const double speedup = t1 / t8;
+  EXPECT_GT(speedup, 5.5);
+  EXPECT_LT(speedup, 13.0);  // Appendix C: ResNet50 is slightly super-linear (single-node spills).
+}
+
+TEST(Figure12Test, ScaleupStaysFlat) {
+  DrillDownConfig config;
+  auto seconds = [&](int nodes, double scale) {
+    ExperimentSetup setup =
+        MakeSetup(PdSystem::kSparkLike, dl::KnownCnn::kResNet50);
+    setup.env.num_nodes = nodes;
+    setup.data = FoodsDataStats(scale);
+    auto r = RunDrillDown(setup, config);
+    EXPECT_TRUE(r.ok());
+    return r->total_seconds;
+  };
+  const double t1 = seconds(1, 1.0);
+  const double t8 = seconds(8, 8.0);
+  EXPECT_NEAR(t8 / t1, 1.0, 0.35);
+}
+
+}  // namespace
+}  // namespace vista

@@ -1,0 +1,287 @@
+#include <gtest/gtest.h>
+
+#include "sim/cluster.h"
+
+namespace vista::sim {
+namespace {
+
+NodeResources DefaultNode() { return NodeResources{}; }
+
+WorkerMemoryModel RoomyMemory() {
+  WorkerMemoryModel m;
+  m.cpus = 4;
+  return m;
+}
+
+SimStage ComputeStage(double total_gflops, int tasks, bool uses_dl = false) {
+  SimStage stage;
+  stage.name = "compute";
+  stage.uses_dl = uses_dl;
+  stage.tasks.resize(tasks);
+  for (auto& t : stage.tasks) {
+    t.flops = total_gflops * 1e9 / tasks;
+  }
+  return stage;
+}
+
+TEST(ClusterSimTest, DlCoreScalingSaturates) {
+  const double s1 = ClusterSim::DlCoreScaling(1);
+  const double s4 = ClusterSim::DlCoreScaling(4);
+  const double s8 = ClusterSim::DlCoreScaling(8);
+  EXPECT_LT(s1, s4);
+  EXPECT_LT(s4, s8);
+  EXPECT_NEAR(s8, 1.0, 1e-9);
+  // Plateau: going 4 -> 8 gains much less than 1 -> 4.
+  EXPECT_GT(s4 / s1, 2.0);
+  EXPECT_LT(s8 / s4, 1.3);
+}
+
+TEST(ClusterSimTest, MoreNodesReduceComputeTime) {
+  std::vector<SimStage> stages = {ComputeStage(1000.0, 64, true)};
+  ClusterSim one(1, DefaultNode(), RoomyMemory());
+  ClusterSim eight(8, DefaultNode(), RoomyMemory());
+  auto r1 = one.Run(stages);
+  auto r8 = eight.Run(stages);
+  ASSERT_FALSE(r1.crashed());
+  ASSERT_FALSE(r8.crashed());
+  EXPECT_GT(r1.total_seconds, r8.total_seconds * 6);
+}
+
+TEST(ClusterSimTest, DlStagesSaturateWithCpus) {
+  std::vector<SimStage> stages = {ComputeStage(1000.0, 64, true)};
+  WorkerMemoryModel m1 = RoomyMemory();
+  m1.cpus = 1;
+  WorkerMemoryModel m4 = RoomyMemory();
+  m4.cpus = 4;
+  WorkerMemoryModel m8 = RoomyMemory();
+  m8.cpus = 8;
+  auto t = [&](const WorkerMemoryModel& m) {
+    ClusterSim sim(2, DefaultNode(), m);
+    return sim.Run(stages).total_seconds;
+  };
+  EXPECT_GT(t(m1), t(m4));
+  EXPECT_GT(t(m4), t(m8));
+  EXPECT_LT(t(m4) / t(m8), 1.5);  // Plateau.
+}
+
+TEST(ClusterSimTest, DiskAndNetworkCosts) {
+  SimStage stage;
+  stage.name = "io";
+  stage.tasks.resize(8);
+  for (auto& t : stage.tasks) {
+    t.disk_read_bytes = GiB(1) / 8;
+    t.shuffle_bytes = GiB(1) / 8;
+  }
+  ClusterSim sim(1, DefaultNode(), RoomyMemory());
+  auto r = sim.Run({stage});
+  ASSERT_FALSE(r.crashed());
+  // 1 GiB at 140 MB/s disk + 1 GiB at 110 MB/s network ~= 17.4 s.
+  EXPECT_NEAR(r.total_seconds, GiB(1) / (140e6) + GiB(1) / (110e6), 2.0);
+}
+
+TEST(ClusterSimTest, DlMemoryBlowupCrashes) {
+  SimStage stage = ComputeStage(10, 8, /*uses_dl=*/true);
+  stage.dl_mem_per_thread = GiB(6);
+  WorkerMemoryModel m = RoomyMemory();
+  m.cpus = 7;  // 42 GB of replicas on a 32 GB node.
+  ClusterSim sim(2, DefaultNode(), m);
+  auto r = sim.Run({stage});
+  EXPECT_TRUE(r.crashed());
+  EXPECT_EQ(r.crash, CrashScenario::kDlMemoryBlowup);
+  EXPECT_TRUE(r.status.IsResourceExhausted());
+}
+
+TEST(ClusterSimTest, SameStageFitsWithFewerThreads) {
+  SimStage stage = ComputeStage(10, 8, true);
+  stage.dl_mem_per_thread = GiB(6);
+  WorkerMemoryModel m = RoomyMemory();
+  m.cpus = 1;
+  ClusterSim sim(2, DefaultNode(), m);
+  EXPECT_FALSE(sim.Run({stage}).crashed());
+}
+
+TEST(ClusterSimTest, InsufficientUserMemoryCrashes) {
+  SimStage stage = ComputeStage(10, 8);
+  stage.user_mem_per_task = GiB(4);
+  WorkerMemoryModel m = RoomyMemory();
+  m.user_bytes = GiB(10);
+  m.cpus = 4;  // Needs 16 GB of user memory.
+  ClusterSim sim(1, DefaultNode(), m);
+  auto r = sim.Run({stage});
+  EXPECT_TRUE(r.crashed());
+  EXPECT_EQ(r.crash, CrashScenario::kInsufficientUserMemory);
+}
+
+TEST(ClusterSimTest, OversizedPartitionsCrashWithoutEvictableStorage) {
+  SimStage stage = ComputeStage(10, 8);
+  stage.core_mem_per_task = GiB(4);
+  WorkerMemoryModel m = RoomyMemory();
+  m.core_bytes = GiB(2);
+  m.cpus = 4;
+  ClusterSim sim(1, DefaultNode(), m);
+  auto r = sim.Run({stage});
+  EXPECT_TRUE(r.crashed());
+  EXPECT_EQ(r.crash, CrashScenario::kOversizedPartitions);
+}
+
+TEST(ClusterSimTest, CoreBorrowsFromStorageByEvicting) {
+  // Cache some data first, then demand Core beyond its budget: Spark-like
+  // borrowing evicts cached partitions (spills) instead of crashing.
+  SimStage cache_stage;
+  cache_stage.name = "cache";
+  cache_stage.cache_insert_bytes = GiB(8);
+  SimStage join_stage = ComputeStage(10, 8);
+  join_stage.core_mem_per_task = GiB(1);  // 4 GB needed, 2.4 GB budget.
+  WorkerMemoryModel m = RoomyMemory();
+  m.cpus = 4;
+  ClusterSim sim(1, DefaultNode(), m);
+  auto r = sim.Run({cache_stage, join_stage});
+  EXPECT_FALSE(r.crashed());
+  EXPECT_GT(r.spill_bytes_written, 0);
+}
+
+TEST(ClusterSimTest, StaticOffheapCannotBorrow) {
+  SimStage stage = ComputeStage(10, 8);
+  stage.core_mem_per_task = GiB(1);
+  WorkerMemoryModel m = RoomyMemory();
+  m.cpus = 4;
+  m.offheap_static = true;
+  m.core_bytes = GiB(1);
+  m.user_bytes = GiB(1);
+  ClusterSim sim(1, DefaultNode(), m);
+  auto r = sim.Run({stage});
+  EXPECT_TRUE(r.crashed());
+  EXPECT_EQ(r.crash, CrashScenario::kOversizedPartitions);
+}
+
+TEST(ClusterSimTest, DriverMemoryCrash) {
+  SimStage stage = ComputeStage(1, 4);
+  stage.driver_collect_bytes = GiB(16);
+  WorkerMemoryModel m = RoomyMemory();
+  m.driver_memory_bytes = GiB(8);
+  ClusterSim sim(1, DefaultNode(), m);
+  auto r = sim.Run({stage});
+  EXPECT_TRUE(r.crashed());
+  EXPECT_EQ(r.crash, CrashScenario::kInsufficientDriverMemory);
+}
+
+TEST(ClusterSimTest, StorageOverflowSpillsWhenAllowed) {
+  SimStage stage;
+  stage.name = "cache-too-much";
+  stage.cache_insert_bytes = GiB(100);
+  WorkerMemoryModel m = RoomyMemory();
+  m.storage_bytes = GiB(10);
+  ClusterSim sim(2, DefaultNode(), m);  // 20 GB capacity.
+  auto r = sim.Run({stage});
+  ASSERT_FALSE(r.crashed());
+  EXPECT_EQ(r.spill_bytes_written, GiB(80));
+  EXPECT_GT(r.total_seconds, 10.0);  // 40 GB per node at ~110 MB/s.
+}
+
+TEST(ClusterSimTest, StorageOverflowCrashesMemoryOnly) {
+  SimStage stage;
+  stage.name = "cache-too-much";
+  stage.cache_insert_bytes = GiB(100);
+  WorkerMemoryModel m = RoomyMemory();
+  m.storage_bytes = GiB(10);
+  m.allow_disk_spill = false;
+  ClusterSim sim(2, DefaultNode(), m);
+  auto r = sim.Run({stage});
+  EXPECT_TRUE(r.crashed());
+  EXPECT_EQ(r.crash, CrashScenario::kStorageExhausted);
+}
+
+TEST(ClusterSimTest, SpilledCacheReadsPayDiskCosts) {
+  SimStage fill;
+  fill.name = "fill";
+  fill.cache_insert_bytes = GiB(30);
+  SimStage read;
+  read.name = "read";
+  read.cache_read_bytes = GiB(30);
+  read.tasks.resize(4);
+  WorkerMemoryModel m = RoomyMemory();
+  m.storage_bytes = GiB(10);
+  ClusterSim sim(1, DefaultNode(), m);
+  auto r = sim.Run({fill, read});
+  ASSERT_FALSE(r.crashed());
+  EXPECT_GT(r.spill_bytes_read, GiB(15));
+  // Versus a run whose cache fits: far less time.
+  WorkerMemoryModel roomy = RoomyMemory();
+  roomy.storage_bytes = GiB(64);
+  ClusterSim fits(1, DefaultNode(), roomy);
+  auto r2 = fits.Run({fill, read});
+  EXPECT_LT(r2.total_seconds, r.total_seconds / 2);
+}
+
+TEST(ClusterSimTest, ReleaseFreesStorage) {
+  SimStage fill;
+  fill.name = "fill";
+  fill.cache_insert_bytes = GiB(9);
+  SimStage release;
+  release.name = "release";
+  release.cache_release_bytes = GiB(9);
+  SimStage fill2 = fill;
+  fill2.name = "fill2";
+  WorkerMemoryModel m = RoomyMemory();
+  m.storage_bytes = GiB(10);
+  ClusterSim sim(1, DefaultNode(), m);
+  auto r = sim.Run({fill, release, fill2});
+  ASSERT_FALSE(r.crashed());
+  EXPECT_EQ(r.spill_bytes_written, 0);
+}
+
+TEST(ClusterSimTest, ManyTasksIncurSchedulingOverhead) {
+  // Past ~2000 tasks, per-task overheads jump (Section 5.3's np effect).
+  auto runtime_with_tasks = [&](int tasks) {
+    ClusterSim sim(8, DefaultNode(), RoomyMemory());
+    return sim.Run({ComputeStage(0.001, tasks)}).total_seconds;
+  };
+  const double few = runtime_with_tasks(256);
+  const double many = runtime_with_tasks(4096);
+  EXPECT_GT(many, few * 5);
+}
+
+TEST(ClusterSimTest, GpuConstraintEnforced) {
+  NodeResources node = DefaultNode();
+  node.gpu_memory_bytes = GiB(12);
+  SimStage stage = ComputeStage(100, 8, true);
+  stage.dl_mem_per_thread = MiB(500);
+  stage.dl_gpu_mem_per_thread = GiB(4);
+  WorkerMemoryModel m = RoomyMemory();
+  m.cpus = 5;  // 20 GB of GPU demand on a 12 GB card.
+  ClusterSim sim(1, node, m, /*use_gpu=*/true);
+  auto r = sim.Run({stage});
+  EXPECT_TRUE(r.crashed());
+  EXPECT_EQ(r.crash, CrashScenario::kDlMemoryBlowup);
+  m.cpus = 2;
+  ClusterSim fits(1, node, m, true);
+  EXPECT_FALSE(fits.Run({stage}).crashed());
+}
+
+TEST(ClusterSimTest, GpuFasterThanCpuForInference) {
+  NodeResources node = DefaultNode();
+  node.gpu_memory_bytes = GiB(12);
+  SimStage stage = ComputeStage(5000, 64, true);
+  stage.dl_gpu_mem_per_thread = GiB(1);
+  WorkerMemoryModel m = RoomyMemory();
+  ClusterSim cpu(1, node, m, false);
+  ClusterSim gpu(1, node, m, true);
+  EXPECT_GT(cpu.Run({stage}).total_seconds,
+            gpu.Run({stage}).total_seconds * 3);
+}
+
+TEST(ClusterSimTest, CrashReportsStageName) {
+  SimStage ok = ComputeStage(1, 4);
+  ok.name = "fine";
+  SimStage bad = ComputeStage(1, 4);
+  bad.name = "the-culprit";
+  bad.user_mem_per_task = GiB(100);
+  ClusterSim sim(1, DefaultNode(), RoomyMemory());
+  auto r = sim.Run({ok, bad});
+  ASSERT_TRUE(r.crashed());
+  EXPECT_EQ(r.crashed_stage, "the-culprit");
+  EXPECT_EQ(r.stages.size(), 2u);
+}
+
+}  // namespace
+}  // namespace vista::sim

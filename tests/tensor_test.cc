@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "tensor/shape.h"
+#include "tensor/tensor.h"
+
+namespace vista {
+namespace {
+
+TEST(ShapeTest, Basics) {
+  Shape s{3, 227, 227};
+  EXPECT_EQ(s.rank(), 3);
+  EXPECT_EQ(s.dim(0), 3);
+  EXPECT_EQ(s.num_elements(), 3 * 227 * 227);
+  EXPECT_EQ(s.num_bytes(), 3 * 227 * 227 * 4);
+  EXPECT_EQ(s.ToString(), "(3, 227, 227)");
+}
+
+TEST(ShapeTest, ScalarShape) {
+  Shape s;
+  EXPECT_EQ(s.rank(), 0);
+  EXPECT_EQ(s.num_elements(), 1);
+  EXPECT_EQ(s.ToString(), "()");
+}
+
+TEST(ShapeTest, Equality) {
+  EXPECT_EQ((Shape{2, 3}), (Shape{2, 3}));
+  EXPECT_NE((Shape{2, 3}), (Shape{3, 2}));
+  EXPECT_NE((Shape{2}), (Shape{2, 1}));
+}
+
+TEST(TensorTest, ZeroInitialized) {
+  Tensor t(Shape{2, 3});
+  EXPECT_EQ(t.num_elements(), 6);
+  for (int64_t i = 0; i < 6; ++i) EXPECT_EQ(t.at(i), 0.0f);
+}
+
+TEST(TensorTest, FromValues) {
+  Tensor t(Shape{2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t.at(0), 1.0f);
+  EXPECT_EQ(t.at(3), 4.0f);
+}
+
+TEST(TensorTest, Full) {
+  Tensor t = Tensor::Full(Shape{5}, 2.5f);
+  for (int64_t i = 0; i < 5; ++i) EXPECT_EQ(t.at(i), 2.5f);
+}
+
+TEST(TensorTest, CopySharesBuffer) {
+  Tensor a(Shape{3}, {1, 2, 3});
+  Tensor b = a;
+  b.set(0, 9.0f);
+  // Copies alias the same buffer by design (Arrow-style).
+  EXPECT_EQ(a.at(0), 9.0f);
+}
+
+TEST(TensorTest, CloneIsDeep) {
+  Tensor a(Shape{3}, {1, 2, 3});
+  Tensor b = a.Clone();
+  b.set(0, 9.0f);
+  EXPECT_EQ(a.at(0), 1.0f);
+  EXPECT_EQ(b.at(0), 9.0f);
+}
+
+TEST(TensorTest, FlattenPreservesValues) {
+  Tensor a(Shape{2, 2}, {1, 2, 3, 4});
+  Tensor f = a.Flatten();
+  EXPECT_EQ(f.shape(), (Shape{4}));
+  EXPECT_EQ(f.at(2), 3.0f);
+}
+
+TEST(TensorTest, At3Indexing) {
+  Tensor t(Shape{2, 2, 2}, {0, 1, 2, 3, 4, 5, 6, 7});
+  EXPECT_EQ(t.at3(0, 0, 0), 0.0f);
+  EXPECT_EQ(t.at3(0, 1, 1), 3.0f);
+  EXPECT_EQ(t.at3(1, 0, 1), 5.0f);
+  EXPECT_EQ(t.at3(1, 1, 0), 6.0f);
+}
+
+TEST(TensorTest, AllClose) {
+  Tensor a(Shape{2}, {1.0f, 2.0f});
+  Tensor b(Shape{2}, {1.0f, 2.0f + 1e-7f});
+  Tensor c(Shape{2}, {1.0f, 2.1f});
+  EXPECT_TRUE(a.AllClose(b));
+  EXPECT_FALSE(a.AllClose(c));
+  EXPECT_FALSE(a.AllClose(Tensor(Shape{3})));
+}
+
+TEST(TensorTest, RandomGaussianDeterministic) {
+  Rng r1(42), r2(42);
+  Tensor a = Tensor::RandomGaussian(Shape{100}, &r1, 0.5f);
+  Tensor b = Tensor::RandomGaussian(Shape{100}, &r2, 0.5f);
+  EXPECT_TRUE(a.AllClose(b));
+}
+
+TEST(TensorListTest, AppendAndSizes) {
+  TensorList list;
+  EXPECT_TRUE(list.empty());
+  list.Append(Tensor(Shape{4}));
+  list.Append(Tensor(Shape{2, 3}));
+  EXPECT_EQ(list.size(), 2);
+  EXPECT_EQ(list.num_bytes(), 4 * 4 + 6 * 4);
+  EXPECT_EQ(list.at(1).shape(), (Shape{2, 3}));
+}
+
+}  // namespace
+}  // namespace vista

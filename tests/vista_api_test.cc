@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "dl/model_zoo.h"
+#include "features/synthetic.h"
+#include "vista/vista.h"
+
+namespace vista {
+namespace {
+
+Vista::Options FoodsOptions(dl::KnownCnn cnn = dl::KnownCnn::kResNet50) {
+  Vista::Options options;
+  options.cnn = cnn;
+  options.num_layers = cnn == dl::KnownCnn::kVgg16 ? 3 : 5;
+  options.data.num_records = 20000;
+  options.data.num_struct_features = 130;
+  return options;
+}
+
+TEST(VistaApiTest, CreateRunsOptimizer) {
+  auto vista = Vista::Create(FoodsOptions());
+  ASSERT_TRUE(vista.ok());
+  EXPECT_EQ(vista->decisions().cpu, 7);
+  EXPECT_GT(vista->decisions().mem_storage, 0);
+  EXPECT_EQ(vista->workload().layers.size(), 5u);
+  EXPECT_EQ(vista->entry().name(), "ResNet50");
+  EXPECT_GT(vista->estimates().s_single, 0);
+}
+
+TEST(VistaApiTest, PlanIsStaged) {
+  auto vista = Vista::Create(FoodsOptions());
+  ASSERT_TRUE(vista.ok());
+  auto plan = vista->Plan();
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->logical, LogicalPlan::kStaged);
+}
+
+TEST(VistaApiTest, InfeasibleEnvironmentIsReported) {
+  Vista::Options options = FoodsOptions(dl::KnownCnn::kVgg16);
+  options.env.node_memory_bytes = GiB(8);
+  auto vista = Vista::Create(options);
+  ASSERT_FALSE(vista.ok());
+  EXPECT_TRUE(vista.status().IsResourceExhausted());
+  EXPECT_NE(vista.status().message().find("provision"), std::string::npos);
+}
+
+TEST(VistaApiTest, ExecuteSimulatedOnBothPdSystems) {
+  auto vista = Vista::Create(FoodsOptions());
+  ASSERT_TRUE(vista.ok());
+  for (PdSystem pd : {PdSystem::kSparkLike, PdSystem::kIgniteLike}) {
+    auto result = vista->ExecuteSimulated(pd, sim::NodeResources{});
+    ASSERT_TRUE(result.ok()) << PdSystemToString(pd);
+    EXPECT_FALSE(result->crashed()) << PdSystemToString(pd);
+    EXPECT_GT(result->total_seconds, 0);
+    EXPECT_FALSE(result->stages.empty());
+  }
+}
+
+TEST(VistaApiTest, ExecuteRealWithMicroModel) {
+  Vista::Options options = FoodsOptions(dl::KnownCnn::kAlexNet);
+  options.num_layers = 3;
+  options.training_iterations = 4;
+  auto vista = Vista::Create(options);
+  ASSERT_TRUE(vista.ok());
+
+  df::EngineConfig engine_config;
+  engine_config.cpus_per_worker = 4;
+  df::Engine engine(engine_config);
+  auto arch = dl::BuildMicroArch(dl::KnownCnn::kAlexNet);
+  ASSERT_TRUE(arch.ok());
+  auto model = dl::CnnModel::Instantiate(*arch, 5);
+  ASSERT_TRUE(model.ok());
+
+  feat::MultimodalDatasetSpec spec;
+  spec.num_records = 200;
+  spec.num_struct_features = 10;
+  spec.image_size = 32;
+  auto data = feat::GenerateMultimodal(spec);
+  ASSERT_TRUE(data.ok());
+  auto t_str = engine.MakeTable(std::move(data->t_str), 4);
+  auto t_img = engine.MakeTable(std::move(data->t_img), 4);
+  ASSERT_TRUE(t_str.ok());
+  ASSERT_TRUE(t_img.ok());
+
+  auto result = vista->ExecuteReal(&engine, &*model, *t_str, *t_img, 4);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->per_layer.size(), 3u);
+  for (const auto& layer : result->per_layer) {
+    EXPECT_GT(layer.test_metrics.total(), 0);
+  }
+}
+
+TEST(VistaApiTest, MlpWorkloadAccountsModelInDlMemory) {
+  Vista::Options options = FoodsOptions(dl::KnownCnn::kAlexNet);
+  options.num_layers = 4;
+  options.model = DownstreamModel::kMlp;
+  auto vista = Vista::Create(options);
+  ASSERT_TRUE(vista.ok());
+  // DL execution memory covers max(CNN replicas, MLP replicas).
+  EXPECT_GE(vista->decisions().mem_dl,
+            vista->decisions().cpu *
+                vista->entry().memory.runtime_cpu_bytes);
+}
+
+TEST(VistaApiTest, DecisionsRespectGpuEnvironment) {
+  Vista::Options options = FoodsOptions(dl::KnownCnn::kVgg16);
+  options.env.gpu_memory_bytes = GiB(12);
+  auto vista = Vista::Create(options);
+  ASSERT_TRUE(vista.ok());
+  EXPECT_LT(vista->decisions().cpu *
+                vista->entry().memory.runtime_gpu_bytes,
+            GiB(12));
+}
+
+
+TEST(VistaApiTest, ExplainReportsEverything) {
+  auto vista = Vista::Create(FoodsOptions());
+  ASSERT_TRUE(vista.ok());
+  auto report = vista->Explain();
+  ASSERT_TRUE(report.ok());
+  // The report must cover workload, estimates, decisions, plan, timeline.
+  for (const char* needle :
+       {"Vista EXPLAIN", "ResNet50", "conv4_6", "size estimates",
+        "s_single", "optimizer decisions", "cpu=7", "Staged/AJ",
+        "predicted timeline", "predicted total"}) {
+    EXPECT_NE(report->find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(VistaApiTest, ExplainPredictsSpillsWhenOversized) {
+  Vista::Options options = FoodsOptions();
+  options.data.num_records = 200000;  // Amazon scale.
+  options.data.num_struct_features = 200;
+  auto vista = Vista::Create(options);
+  ASSERT_TRUE(vista.ok());
+  auto report = vista->Explain();
+  ASSERT_TRUE(report.ok());
+  EXPECT_NE(report->find("spilling"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vista

@@ -1,0 +1,118 @@
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "dl/model_zoo.h"
+#include "dl/weights_io.h"
+
+namespace vista::dl {
+namespace {
+
+TEST(WeightsIoTest, RoundTripIsBitIdentical) {
+  for (KnownCnn cnn : {KnownCnn::kAlexNet, KnownCnn::kVgg16,
+                       KnownCnn::kResNet50}) {
+    auto arch = BuildMicroArch(cnn);
+    ASSERT_TRUE(arch.ok());
+    auto model =
+        CnnModel::Instantiate(*arch, 42, WeightInit::kGaborFirstConv);
+    ASSERT_TRUE(model.ok());
+    auto blob = SerializeCnnModel(*model);
+    ASSERT_TRUE(blob.ok());
+    auto loaded = DeserializeCnnModel(*blob);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+    Rng rng(7);
+    Tensor img = Tensor::RandomGaussian(Shape{3, 32, 32}, &rng);
+    auto original = model->Run(img);
+    auto reloaded = loaded->Run(img);
+    ASSERT_TRUE(original.ok());
+    ASSERT_TRUE(reloaded.ok());
+    EXPECT_TRUE(original->AllClose(*reloaded, 0.0f))
+        << KnownCnnToString(cnn);  // Exact, not approximate.
+  }
+}
+
+TEST(WeightsIoTest, FileRoundTrip) {
+  const std::string path = "/tmp/vista_weights_test.vcnn";
+  auto arch = MicroAlexNetArch();
+  ASSERT_TRUE(arch.ok());
+  auto model = CnnModel::Instantiate(*arch, 3);
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(SaveCnnModel(*model, path).ok());
+  auto loaded = LoadCnnModel(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->arch().name(), "MicroAlexNet");
+  EXPECT_EQ(loaded->arch().num_layers(), model->arch().num_layers());
+  std::remove(path.c_str());
+}
+
+TEST(WeightsIoTest, PartialInferenceSurvivesReload) {
+  // The whole point: "pretrained" weights drive the same staged execution
+  // after reload.
+  auto arch = MicroAlexNetArch();
+  ASSERT_TRUE(arch.ok());
+  auto model = CnnModel::Instantiate(*arch, 11);
+  ASSERT_TRUE(model.ok());
+  auto blob = SerializeCnnModel(*model);
+  ASSERT_TRUE(blob.ok());
+  auto loaded = DeserializeCnnModel(*blob);
+  ASSERT_TRUE(loaded.ok());
+
+  Rng rng(5);
+  Tensor img = Tensor::RandomGaussian(Shape{3, 32, 32}, &rng);
+  auto half = model->RunTo(img, 4);
+  ASSERT_TRUE(half.ok());
+  auto rest_original = model->RunRange(*half, 5, 7);
+  auto rest_reloaded = loaded->RunRange(*half, 5, 7);
+  ASSERT_TRUE(rest_original.ok());
+  ASSERT_TRUE(rest_reloaded.ok());
+  EXPECT_TRUE(rest_original->AllClose(*rest_reloaded, 0.0f));
+}
+
+TEST(WeightsIoTest, RejectsCorruptBlobs) {
+  auto arch = MicroAlexNetArch();
+  auto model = CnnModel::Instantiate(*arch, 3);
+  auto blob = SerializeCnnModel(*model);
+  ASSERT_TRUE(blob.ok());
+  // Bad magic.
+  std::vector<uint8_t> bad = *blob;
+  bad[0] = 'X';
+  EXPECT_FALSE(DeserializeCnnModel(bad).ok());
+  // Truncations at several points.
+  for (size_t cut : {size_t{4}, size_t{20}, blob->size() / 2,
+                     blob->size() - 3}) {
+    std::vector<uint8_t> truncated(blob->begin(), blob->begin() + cut);
+    EXPECT_FALSE(DeserializeCnnModel(truncated).ok()) << "cut=" << cut;
+  }
+  // Trailing garbage.
+  std::vector<uint8_t> extended = *blob;
+  extended.push_back(0);
+  EXPECT_FALSE(DeserializeCnnModel(extended).ok());
+}
+
+TEST(WeightsIoTest, SetWeightsValidatesShapesAndCount) {
+  auto arch = MicroAlexNetArch();
+  auto model = CnnModel::Instantiate(*arch, 3);
+  ASSERT_TRUE(model.ok());
+  const auto tensors = model->weight_tensors();
+  ASSERT_FALSE(tensors.empty());
+  // Too few.
+  EXPECT_FALSE(model->SetWeights({}).ok());
+  // Wrong shape in the first slot.
+  std::vector<Tensor> wrong;
+  wrong.push_back(Tensor(Shape{1}));
+  for (size_t i = 1; i < tensors.size(); ++i) {
+    wrong.push_back(*tensors[i]);
+  }
+  EXPECT_FALSE(model->SetWeights(wrong).ok());
+}
+
+TEST(WeightsIoTest, MissingFileIsIoError) {
+  auto loaded = LoadCnnModel("/tmp/definitely_missing_weights.vcnn");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace vista::dl

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_size_estimates.dir/bench_fig15_size_estimates.cc.o"
+  "CMakeFiles/bench_fig15_size_estimates.dir/bench_fig15_size_estimates.cc.o.d"
+  "bench_fig15_size_estimates"
+  "bench_fig15_size_estimates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_size_estimates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7b_tft_beam.dir/bench_fig7b_tft_beam.cc.o"
+  "CMakeFiles/bench_fig7b_tft_beam.dir/bench_fig7b_tft_beam.cc.o.d"
+  "bench_fig7b_tft_beam"
+  "bench_fig7b_tft_beam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7b_tft_beam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dag_feature_transfer.dir/dag_feature_transfer.cpp.o"
+  "CMakeFiles/dag_feature_transfer.dir/dag_feature_transfer.cpp.o.d"
+  "dag_feature_transfer"
+  "dag_feature_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dag_feature_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/product_recommender.dir/product_recommender.cpp.o"
+  "CMakeFiles/product_recommender.dir/product_recommender.cpp.o.d"
+  "product_recommender"
+  "product_recommender.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/product_recommender.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vista_cli.dir/vista_cli.cpp.o"
+  "CMakeFiles/vista_cli.dir/vista_cli.cpp.o.d"
+  "vista_cli"
+  "vista_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vista_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vista_common.dir/bytes.cc.o"
+  "CMakeFiles/vista_common.dir/bytes.cc.o.d"
+  "CMakeFiles/vista_common.dir/logging.cc.o"
+  "CMakeFiles/vista_common.dir/logging.cc.o.d"
+  "CMakeFiles/vista_common.dir/status.cc.o"
+  "CMakeFiles/vista_common.dir/status.cc.o.d"
+  "CMakeFiles/vista_common.dir/thread_pool.cc.o"
+  "CMakeFiles/vista_common.dir/thread_pool.cc.o.d"
+  "libvista_common.a"
+  "libvista_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vista_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataflow/cache.cc" "src/dataflow/CMakeFiles/vista_dataflow.dir/cache.cc.o" "gcc" "src/dataflow/CMakeFiles/vista_dataflow.dir/cache.cc.o.d"
+  "/root/repo/src/dataflow/engine.cc" "src/dataflow/CMakeFiles/vista_dataflow.dir/engine.cc.o" "gcc" "src/dataflow/CMakeFiles/vista_dataflow.dir/engine.cc.o.d"
+  "/root/repo/src/dataflow/io.cc" "src/dataflow/CMakeFiles/vista_dataflow.dir/io.cc.o" "gcc" "src/dataflow/CMakeFiles/vista_dataflow.dir/io.cc.o.d"
+  "/root/repo/src/dataflow/memory.cc" "src/dataflow/CMakeFiles/vista_dataflow.dir/memory.cc.o" "gcc" "src/dataflow/CMakeFiles/vista_dataflow.dir/memory.cc.o.d"
+  "/root/repo/src/dataflow/partition.cc" "src/dataflow/CMakeFiles/vista_dataflow.dir/partition.cc.o" "gcc" "src/dataflow/CMakeFiles/vista_dataflow.dir/partition.cc.o.d"
+  "/root/repo/src/dataflow/record.cc" "src/dataflow/CMakeFiles/vista_dataflow.dir/record.cc.o" "gcc" "src/dataflow/CMakeFiles/vista_dataflow.dir/record.cc.o.d"
+  "/root/repo/src/dataflow/spill.cc" "src/dataflow/CMakeFiles/vista_dataflow.dir/spill.cc.o" "gcc" "src/dataflow/CMakeFiles/vista_dataflow.dir/spill.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/vista_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vista_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

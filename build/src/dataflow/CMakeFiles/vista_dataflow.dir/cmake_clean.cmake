@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vista_dataflow.dir/cache.cc.o"
+  "CMakeFiles/vista_dataflow.dir/cache.cc.o.d"
+  "CMakeFiles/vista_dataflow.dir/engine.cc.o"
+  "CMakeFiles/vista_dataflow.dir/engine.cc.o.d"
+  "CMakeFiles/vista_dataflow.dir/io.cc.o"
+  "CMakeFiles/vista_dataflow.dir/io.cc.o.d"
+  "CMakeFiles/vista_dataflow.dir/memory.cc.o"
+  "CMakeFiles/vista_dataflow.dir/memory.cc.o.d"
+  "CMakeFiles/vista_dataflow.dir/partition.cc.o"
+  "CMakeFiles/vista_dataflow.dir/partition.cc.o.d"
+  "CMakeFiles/vista_dataflow.dir/record.cc.o"
+  "CMakeFiles/vista_dataflow.dir/record.cc.o.d"
+  "CMakeFiles/vista_dataflow.dir/spill.cc.o"
+  "CMakeFiles/vista_dataflow.dir/spill.cc.o.d"
+  "libvista_dataflow.a"
+  "libvista_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vista_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dl/cnn.cc" "src/dl/CMakeFiles/vista_dl.dir/cnn.cc.o" "gcc" "src/dl/CMakeFiles/vista_dl.dir/cnn.cc.o.d"
+  "/root/repo/src/dl/dag.cc" "src/dl/CMakeFiles/vista_dl.dir/dag.cc.o" "gcc" "src/dl/CMakeFiles/vista_dl.dir/dag.cc.o.d"
+  "/root/repo/src/dl/model_parser.cc" "src/dl/CMakeFiles/vista_dl.dir/model_parser.cc.o" "gcc" "src/dl/CMakeFiles/vista_dl.dir/model_parser.cc.o.d"
+  "/root/repo/src/dl/model_zoo.cc" "src/dl/CMakeFiles/vista_dl.dir/model_zoo.cc.o" "gcc" "src/dl/CMakeFiles/vista_dl.dir/model_zoo.cc.o.d"
+  "/root/repo/src/dl/op_spec.cc" "src/dl/CMakeFiles/vista_dl.dir/op_spec.cc.o" "gcc" "src/dl/CMakeFiles/vista_dl.dir/op_spec.cc.o.d"
+  "/root/repo/src/dl/primitive.cc" "src/dl/CMakeFiles/vista_dl.dir/primitive.cc.o" "gcc" "src/dl/CMakeFiles/vista_dl.dir/primitive.cc.o.d"
+  "/root/repo/src/dl/weights_io.cc" "src/dl/CMakeFiles/vista_dl.dir/weights_io.cc.o" "gcc" "src/dl/CMakeFiles/vista_dl.dir/weights_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/vista_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vista_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

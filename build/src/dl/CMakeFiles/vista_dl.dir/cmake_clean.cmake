@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vista_dl.dir/cnn.cc.o"
+  "CMakeFiles/vista_dl.dir/cnn.cc.o.d"
+  "CMakeFiles/vista_dl.dir/dag.cc.o"
+  "CMakeFiles/vista_dl.dir/dag.cc.o.d"
+  "CMakeFiles/vista_dl.dir/model_parser.cc.o"
+  "CMakeFiles/vista_dl.dir/model_parser.cc.o.d"
+  "CMakeFiles/vista_dl.dir/model_zoo.cc.o"
+  "CMakeFiles/vista_dl.dir/model_zoo.cc.o.d"
+  "CMakeFiles/vista_dl.dir/op_spec.cc.o"
+  "CMakeFiles/vista_dl.dir/op_spec.cc.o.d"
+  "CMakeFiles/vista_dl.dir/primitive.cc.o"
+  "CMakeFiles/vista_dl.dir/primitive.cc.o.d"
+  "CMakeFiles/vista_dl.dir/weights_io.cc.o"
+  "CMakeFiles/vista_dl.dir/weights_io.cc.o.d"
+  "libvista_dl.a"
+  "libvista_dl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vista_dl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

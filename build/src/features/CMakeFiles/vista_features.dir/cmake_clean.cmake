@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vista_features.dir/hog.cc.o"
+  "CMakeFiles/vista_features.dir/hog.cc.o.d"
+  "CMakeFiles/vista_features.dir/synthetic.cc.o"
+  "CMakeFiles/vista_features.dir/synthetic.cc.o.d"
+  "libvista_features.a"
+  "libvista_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vista_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vista_ml.dir/decision_tree.cc.o"
+  "CMakeFiles/vista_ml.dir/decision_tree.cc.o.d"
+  "CMakeFiles/vista_ml.dir/logistic_regression.cc.o"
+  "CMakeFiles/vista_ml.dir/logistic_regression.cc.o.d"
+  "CMakeFiles/vista_ml.dir/metrics.cc.o"
+  "CMakeFiles/vista_ml.dir/metrics.cc.o.d"
+  "CMakeFiles/vista_ml.dir/mlp.cc.o"
+  "CMakeFiles/vista_ml.dir/mlp.cc.o.d"
+  "CMakeFiles/vista_ml.dir/scaler.cc.o"
+  "CMakeFiles/vista_ml.dir/scaler.cc.o.d"
+  "libvista_ml.a"
+  "libvista_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vista_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

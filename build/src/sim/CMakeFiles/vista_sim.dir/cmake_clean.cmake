@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vista_sim.dir/cluster.cc.o"
+  "CMakeFiles/vista_sim.dir/cluster.cc.o.d"
+  "libvista_sim.a"
+  "libvista_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vista_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

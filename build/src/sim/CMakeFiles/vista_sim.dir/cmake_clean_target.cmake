@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvista_sim.a"
+)

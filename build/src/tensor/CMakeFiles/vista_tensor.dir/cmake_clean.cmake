@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vista_tensor.dir/gemm.cc.o"
+  "CMakeFiles/vista_tensor.dir/gemm.cc.o.d"
+  "CMakeFiles/vista_tensor.dir/ops.cc.o"
+  "CMakeFiles/vista_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/vista_tensor.dir/shape.cc.o"
+  "CMakeFiles/vista_tensor.dir/shape.cc.o.d"
+  "CMakeFiles/vista_tensor.dir/tensor.cc.o"
+  "CMakeFiles/vista_tensor.dir/tensor.cc.o.d"
+  "libvista_tensor.a"
+  "libvista_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vista_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

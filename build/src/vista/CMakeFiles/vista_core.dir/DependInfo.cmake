@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vista/dag_executor.cc" "src/vista/CMakeFiles/vista_core.dir/dag_executor.cc.o" "gcc" "src/vista/CMakeFiles/vista_core.dir/dag_executor.cc.o.d"
+  "/root/repo/src/vista/estimator.cc" "src/vista/CMakeFiles/vista_core.dir/estimator.cc.o" "gcc" "src/vista/CMakeFiles/vista_core.dir/estimator.cc.o.d"
+  "/root/repo/src/vista/experiments.cc" "src/vista/CMakeFiles/vista_core.dir/experiments.cc.o" "gcc" "src/vista/CMakeFiles/vista_core.dir/experiments.cc.o.d"
+  "/root/repo/src/vista/optimizer.cc" "src/vista/CMakeFiles/vista_core.dir/optimizer.cc.o" "gcc" "src/vista/CMakeFiles/vista_core.dir/optimizer.cc.o.d"
+  "/root/repo/src/vista/plans.cc" "src/vista/CMakeFiles/vista_core.dir/plans.cc.o" "gcc" "src/vista/CMakeFiles/vista_core.dir/plans.cc.o.d"
+  "/root/repo/src/vista/profiles.cc" "src/vista/CMakeFiles/vista_core.dir/profiles.cc.o" "gcc" "src/vista/CMakeFiles/vista_core.dir/profiles.cc.o.d"
+  "/root/repo/src/vista/real_executor.cc" "src/vista/CMakeFiles/vista_core.dir/real_executor.cc.o" "gcc" "src/vista/CMakeFiles/vista_core.dir/real_executor.cc.o.d"
+  "/root/repo/src/vista/roster.cc" "src/vista/CMakeFiles/vista_core.dir/roster.cc.o" "gcc" "src/vista/CMakeFiles/vista_core.dir/roster.cc.o.d"
+  "/root/repo/src/vista/sim_executor.cc" "src/vista/CMakeFiles/vista_core.dir/sim_executor.cc.o" "gcc" "src/vista/CMakeFiles/vista_core.dir/sim_executor.cc.o.d"
+  "/root/repo/src/vista/vista.cc" "src/vista/CMakeFiles/vista_core.dir/vista.cc.o" "gcc" "src/vista/CMakeFiles/vista_core.dir/vista.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dl/CMakeFiles/vista_dl.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/vista_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/vista_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/vista_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vista_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/vista_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vista_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

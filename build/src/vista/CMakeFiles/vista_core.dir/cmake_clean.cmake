@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vista_core.dir/dag_executor.cc.o"
+  "CMakeFiles/vista_core.dir/dag_executor.cc.o.d"
+  "CMakeFiles/vista_core.dir/estimator.cc.o"
+  "CMakeFiles/vista_core.dir/estimator.cc.o.d"
+  "CMakeFiles/vista_core.dir/experiments.cc.o"
+  "CMakeFiles/vista_core.dir/experiments.cc.o.d"
+  "CMakeFiles/vista_core.dir/optimizer.cc.o"
+  "CMakeFiles/vista_core.dir/optimizer.cc.o.d"
+  "CMakeFiles/vista_core.dir/plans.cc.o"
+  "CMakeFiles/vista_core.dir/plans.cc.o.d"
+  "CMakeFiles/vista_core.dir/profiles.cc.o"
+  "CMakeFiles/vista_core.dir/profiles.cc.o.d"
+  "CMakeFiles/vista_core.dir/real_executor.cc.o"
+  "CMakeFiles/vista_core.dir/real_executor.cc.o.d"
+  "CMakeFiles/vista_core.dir/roster.cc.o"
+  "CMakeFiles/vista_core.dir/roster.cc.o.d"
+  "CMakeFiles/vista_core.dir/sim_executor.cc.o"
+  "CMakeFiles/vista_core.dir/sim_executor.cc.o.d"
+  "CMakeFiles/vista_core.dir/vista.cc.o"
+  "CMakeFiles/vista_core.dir/vista.cc.o.d"
+  "libvista_core.a"
+  "libvista_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vista_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

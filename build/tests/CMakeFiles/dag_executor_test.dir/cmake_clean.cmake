@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dag_executor_test.dir/dag_executor_test.cc.o"
+  "CMakeFiles/dag_executor_test.dir/dag_executor_test.cc.o.d"
+  "dag_executor_test"
+  "dag_executor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dag_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

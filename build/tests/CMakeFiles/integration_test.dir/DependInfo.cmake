@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/integration_test.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vista/CMakeFiles/vista_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dl/CMakeFiles/vista_dl.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/vista_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/vista_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/vista_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vista_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/vista_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vista_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_parser_test.dir/model_parser_test.cc.o"
+  "CMakeFiles/model_parser_test.dir/model_parser_test.cc.o.d"
+  "model_parser_test"
+  "model_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

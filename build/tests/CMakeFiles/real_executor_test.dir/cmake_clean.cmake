@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/real_executor_test.dir/real_executor_test.cc.o"
+  "CMakeFiles/real_executor_test.dir/real_executor_test.cc.o.d"
+  "real_executor_test"
+  "real_executor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/real_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

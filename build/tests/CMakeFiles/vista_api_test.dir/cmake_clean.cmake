@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vista_api_test.dir/vista_api_test.cc.o"
+  "CMakeFiles/vista_api_test.dir/vista_api_test.cc.o.d"
+  "vista_api_test"
+  "vista_api_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vista_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weights_io_test.dir/weights_io_test.cc.o"
+  "CMakeFiles/weights_io_test.dir/weights_io_test.cc.o.d"
+  "weights_io_test"
+  "weights_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weights_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

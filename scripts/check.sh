@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Runs the tier-1 test suite under AddressSanitizer + UBSan.
+#
+#   scripts/check.sh            # ASan/UBSan (default)
+#   PRESET=tsan scripts/check.sh  # ThreadSanitizer instead
+#
+# Uses the CMake presets in CMakePresets.json; build trees land in
+# build-<preset>/ and are gitignored.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+PRESET="${PRESET:-asan}"
+JOBS="${JOBS:-$(nproc)}"
+
+cmake --preset "$PRESET"
+cmake --build --preset "$PRESET" -j "$JOBS"
+ctest --preset "$PRESET" -j "$JOBS"

@@ -1,0 +1,87 @@
+#include "common/fault_injector.h"
+
+namespace vista {
+namespace {
+
+uint64_t Mix64(uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+const char* FaultSiteToString(FaultSite site) {
+  switch (site) {
+    case FaultSite::kMapTask:
+      return "map-task";
+    case FaultSite::kShuffleSend:
+      return "shuffle-send";
+    case FaultSite::kSpillWrite:
+      return "spill-write";
+    case FaultSite::kSpillRead:
+      return "spill-read";
+    case FaultSite::kMemorySpike:
+      return "memory-spike";
+  }
+  return "?";
+}
+
+double FaultInjectorConfig::Rate(FaultSite site) const {
+  switch (site) {
+    case FaultSite::kMapTask:
+      return map_task_failure_rate;
+    case FaultSite::kShuffleSend:
+      return shuffle_failure_rate;
+    case FaultSite::kSpillWrite:
+      return spill_write_failure_rate;
+    case FaultSite::kSpillRead:
+      return spill_read_failure_rate;
+    case FaultSite::kMemorySpike:
+      return memory_spike_rate;
+  }
+  return 0;
+}
+
+FaultInjector::FaultInjector(FaultInjectorConfig config)
+    : config_(config) {
+  for (auto& c : counts_) c.store(0);
+}
+
+bool FaultInjector::ShouldInject(FaultSite site, uint64_t key) const {
+  const double rate = config_.Rate(site);
+  if (rate <= 0) return false;
+  if (rate >= 1.0) return true;
+  // Independent stable draw per (seed, site, key).
+  const uint64_t h = Mix64(config_.seed ^ Mix64(
+      key * 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(site)));
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return u < rate;
+}
+
+Status FaultInjector::MaybeFail(FaultSite site, uint64_t key,
+                                const std::string& detail) {
+  if (!ShouldInject(site, key)) return Status::OK();
+  counts_[static_cast<int>(site)].fetch_add(1);
+  const std::string msg = std::string("injected ") + FaultSiteToString(site) +
+                          " fault" + (detail.empty() ? "" : " (" + detail + ")");
+  switch (site) {
+    case FaultSite::kSpillWrite:
+    case FaultSite::kSpillRead:
+      return Status::IOError(msg);
+    case FaultSite::kMapTask:
+    case FaultSite::kShuffleSend:
+    case FaultSite::kMemorySpike:
+      return Status::Unavailable(msg);
+  }
+  return Status::Unavailable(msg);
+}
+
+int64_t FaultInjector::total_injected() const {
+  int64_t total = 0;
+  for (const auto& c : counts_) total += c.load();
+  return total;
+}
+
+}  // namespace vista

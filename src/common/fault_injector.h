@@ -1,0 +1,91 @@
+#ifndef VISTA_COMMON_FAULT_INJECTOR_H_
+#define VISTA_COMMON_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace vista {
+
+/// Where a fault can be injected into the dataflow stack.
+enum class FaultSite : int {
+  /// A map-partitions task fails before producing output (lost executor).
+  kMapTask = 0,
+  /// A shuffle-side partition read fails (lost shuffle block).
+  kShuffleSend = 1,
+  /// A spill-file write fails (disk full / flaky volume).
+  kSpillWrite = 2,
+  /// A spill-file read-back fails (corrupt or lost spill block).
+  kSpillRead = 3,
+  /// A transient memory spike rejects a cache insert this instant.
+  kMemorySpike = 4,
+};
+
+inline constexpr int kNumFaultSites = 5;
+
+const char* FaultSiteToString(FaultSite site);
+
+/// Per-site injection probabilities, all in [0, 1]. Zero everywhere (the
+/// default) makes the injector inert and free on the hot path.
+struct FaultInjectorConfig {
+  uint64_t seed = 0;
+  double map_task_failure_rate = 0;
+  double shuffle_failure_rate = 0;
+  double spill_write_failure_rate = 0;
+  double spill_read_failure_rate = 0;
+  double memory_spike_rate = 0;
+
+  double Rate(FaultSite site) const;
+};
+
+/// Deterministic, seeded fault injection.
+///
+/// Every decision is a pure function of (seed, site, key): callers pass a
+/// stable key identifying the unit of work (partition index, spill key)
+/// combined with the attempt number, so the failure schedule is identical
+/// across runs and independent of thread interleaving. That makes every
+/// failure path in Engine, SpillManager, and StorageCache testable and the
+/// recovery counters exactly reproducible.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultInjectorConfig config = {});
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  const FaultInjectorConfig& config() const { return config_; }
+
+  /// Replaces the rates/seed. Counters are preserved. Not thread-safe
+  /// against concurrent ShouldInject calls; reconfigure between engine ops
+  /// (tests flip rates on a quiesced engine).
+  void Configure(const FaultInjectorConfig& config) { config_ = config; }
+
+  /// Pure decision: does the fault at (site, key) fire? Does not count.
+  bool ShouldInject(FaultSite site, uint64_t key) const;
+
+  /// Returns the injected failure Status for `site` if (site, key) fires
+  /// (incrementing the site's counter), OK otherwise. `detail` is appended
+  /// to the error message.
+  Status MaybeFail(FaultSite site, uint64_t key, const std::string& detail);
+
+  int64_t injected(FaultSite site) const {
+    return counts_[static_cast<int>(site)].load();
+  }
+  int64_t total_injected() const;
+
+  /// Combines a unit-of-work id with an attempt number into a decision key,
+  /// so each retry of the same task draws an independent fault decision.
+  static uint64_t TaskKey(uint64_t unit, int attempt) {
+    return unit * 1000003ULL + static_cast<uint64_t>(attempt);
+  }
+
+ private:
+  FaultInjectorConfig config_;
+  std::atomic<int64_t> counts_[kNumFaultSites];
+};
+
+}  // namespace vista
+
+#endif  // VISTA_COMMON_FAULT_INJECTOR_H_

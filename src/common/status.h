@@ -27,6 +27,10 @@ enum class StatusCode : int {
   kUnimplemented = 7,
   kInternal = 8,
   kIOError = 9,
+  /// Transient failure (lost task, flaky I/O, injected fault): the operation
+  /// is expected to succeed on retry. The retry layer (common/retry.h)
+  /// treats this code as retryable by default.
+  kUnavailable = 10,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "OutOfMemory").
@@ -82,6 +86,9 @@ class Status {
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
@@ -98,6 +105,8 @@ class Status {
     return code() == StatusCode::kInvalidArgument;
   }
   bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
 
   /// Renders "OK" or "<Code>: <message>".
   std::string ToString() const;

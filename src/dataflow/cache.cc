@@ -3,8 +3,11 @@
 namespace vista::df {
 
 StorageCache::StorageCache(MemoryManager* memory, SpillManager* spill,
-                           bool allow_spill)
-    : memory_(memory), spill_(spill), allow_spill_(allow_spill) {}
+                           bool allow_spill, FaultInjector* injector)
+    : memory_(memory),
+      spill_(spill),
+      allow_spill_(allow_spill),
+      injector_(injector) {}
 
 Status StorageCache::EvictUntilAvailable(int64_t bytes) {
   for (;;) {
@@ -43,6 +46,13 @@ Status StorageCache::Insert(const std::shared_ptr<Partition>& partition) {
   std::lock_guard<std::mutex> lock(mu_);
   if (entries_.count(partition.get()) > 0) {
     return Status::OK();  // Already managed.
+  }
+  if (injector_ != nullptr) {
+    // A transient memory spike rejects this insert attempt; the engine's
+    // retry loop re-tries it (with a fresh draw) rather than crashing.
+    VISTA_RETURN_IF_ERROR(injector_->MaybeFail(
+        FaultSite::kMemorySpike, static_cast<uint64_t>(insert_seq_++),
+        "cache insert"));
   }
   Entry entry;
   entry.key = next_key_++;

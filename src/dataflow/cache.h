@@ -7,6 +7,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "common/fault_injector.h"
 #include "common/status.h"
 #include "dataflow/memory.h"
 #include "dataflow/partition.h"
@@ -23,7 +24,11 @@ namespace vista::df {
 /// exactly the paper's Eager-on-Ignite crash mode.
 class StorageCache {
  public:
-  StorageCache(MemoryManager* memory, SpillManager* spill, bool allow_spill);
+  /// `injector` (optional, may be null) lets seeded transient memory
+  /// spikes reject inserts: Insert returns Unavailable, which the engine's
+  /// retry policy treats as retryable — unlike a genuine budget violation.
+  StorageCache(MemoryManager* memory, SpillManager* spill, bool allow_spill,
+               FaultInjector* injector = nullptr);
 
   StorageCache(const StorageCache&) = delete;
   StorageCache& operator=(const StorageCache&) = delete;
@@ -66,12 +71,16 @@ class StorageCache {
   MemoryManager* memory_;
   SpillManager* spill_;
   bool allow_spill_;
+  FaultInjector* injector_;
 
   mutable std::mutex mu_;
   std::unordered_map<Partition*, Entry> entries_;
   /// Most-recently-used at the front.
   std::list<Partition*> lru_;
   int64_t next_key_ = 0;
+  /// Monotone per-Insert-call sequence seeding memory-spike draws: each
+  /// retry of a rejected insert gets a fresh, deterministic draw.
+  int64_t insert_seq_ = 0;
 };
 
 }  // namespace vista::df

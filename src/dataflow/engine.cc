@@ -55,14 +55,18 @@ Engine::Engine(EngineConfig config) : config_(std::move(config)) {
   VISTA_CHECK_GE(config_.num_workers, 1);
   VISTA_CHECK_GE(config_.cpus_per_worker, 1);
   memory_ = std::make_unique<MemoryManager>(config_.budgets);
+  injector_ = std::make_unique<FaultInjector>(config_.faults);
   if (config_.spill_dir.empty()) {
     config_.spill_dir =
         "/tmp/vista_spill_" + std::to_string(::getpid()) + "_" +
         std::to_string(reinterpret_cast<uintptr_t>(this));
   }
   spill_ = std::make_unique<SpillManager>(config_.spill_dir);
+  spill_->set_fault_injector(injector_.get());
+  spill_->set_retry_policy(config_.retry);
   cache_ = std::make_unique<StorageCache>(memory_.get(), spill_.get(),
-                                          config_.allow_spill);
+                                          config_.allow_spill,
+                                          injector_.get());
   pool_ = std::make_unique<ThreadPool>(config_.num_workers *
                                        config_.cpus_per_worker);
 }
@@ -74,6 +78,9 @@ EngineStats Engine::stats() const {
   s.spill_bytes_written = spill_->bytes_written();
   s.spill_bytes_read = spill_->bytes_read();
   s.num_spills = spill_->num_spills();
+  s.recovery.retries = task_retries_.load() + spill_->io_retries();
+  s.recovery.recomputed_partitions = recomputed_partitions_.load();
+  s.recovery.injected_faults = injector_->total_injected();
   return s;
 }
 
@@ -94,32 +101,94 @@ Result<Table> Engine::MakeTable(std::vector<Record> records,
 
 Result<std::vector<Record>> Engine::ReadPartition(
     const std::shared_ptr<Partition>& p) {
-  return cache_->ReadThrough(p);
+  auto records = cache_->ReadThrough(p);
+  if (records.ok() || p->lineage() == nullptr) return records;
+  const Status& st = records.status();
+  if (!st.IsIOError() && !st.IsNotFound() && !st.IsUnavailable()) {
+    return records;
+  }
+  // The partition's data is gone (lost or corrupt spill block): rebuild it
+  // from the parent by re-applying the lineage UDF — Spark-style
+  // recomputation instead of job failure. Deterministic UDFs make the
+  // rebuilt records bit-identical to the originals.
+  const Lineage* lineage = p->lineage();
+  VISTA_ASSIGN_OR_RETURN(std::vector<Record> parent_records,
+                         ReadPartition(lineage->parent));
+  VISTA_ASSIGN_OR_RETURN(std::vector<Record> rebuilt,
+                         lineage->fn(std::move(parent_records)));
+  recomputed_partitions_.fetch_add(1);
+  return rebuilt;
+}
+
+Result<std::vector<Record>> Engine::ReadPartitionWithRetry(
+    const std::shared_ptr<Partition>& p, uint64_t unit, const char* what) {
+  const RetryPolicy& policy = config_.retry;
+  for (int attempt = 0;; ++attempt) {
+    Status st = injector_->MaybeFail(FaultSite::kShuffleSend,
+                                     FaultInjector::TaskKey(unit, attempt),
+                                     what);
+    if (st.ok()) {
+      auto records = ReadPartition(p);
+      if (records.ok()) return records;
+      st = records.status();
+    }
+    if (attempt + 1 >= policy.max_attempts || !IsRetryable(policy, st)) {
+      return st;
+    }
+    task_retries_.fetch_add(1);
+    SleepForBackoff(policy, unit, attempt);
+  }
 }
 
 Result<Table> Engine::MapPartitions(const Table& input,
                                     const MapPartitionsFn& fn) {
   const int np = input.num_partitions();
+  const uint64_t op = NextOpSeq();
   std::vector<std::shared_ptr<Partition>> outputs(np);
   std::vector<Status> statuses(np);
   pool_->ParallelFor(np, [&](int64_t i) {
-    auto records = ReadPartition(input.partitions[i]);
-    if (!records.ok()) {
-      statuses[i] = records.status();
-      return;
+    const RetryPolicy& policy = config_.retry;
+    const uint64_t unit = (op << 16) | static_cast<uint64_t>(i);
+    for (int attempt = 0;; ++attempt) {
+      // The injected failure fires before the UDF runs, modelling a lost
+      // task; a retried task re-reads its input and re-runs the UDF from
+      // scratch, so partial work never leaks into the output.
+      Status st = injector_->MaybeFail(FaultSite::kMapTask,
+                                       FaultInjector::TaskKey(unit, attempt),
+                                       "partition " + std::to_string(i));
+      if (st.ok()) {
+        auto records = ReadPartition(input.partitions[i]);
+        if (records.ok()) {
+          auto mapped = fn(std::move(records).value());
+          if (mapped.ok()) {
+            outputs[i] =
+                std::make_shared<Partition>(std::move(mapped).value());
+            return;
+          }
+          st = mapped.status();
+        } else {
+          st = records.status();
+        }
+      }
+      if (attempt + 1 >= policy.max_attempts || !IsRetryable(policy, st)) {
+        statuses[i] = st;
+        return;
+      }
+      task_retries_.fetch_add(1);
+      SleepForBackoff(policy, unit, attempt);
     }
-    auto mapped = fn(std::move(records).value());
-    if (!mapped.ok()) {
-      statuses[i] = mapped.status();
-      return;
-    }
-    outputs[i] = std::make_shared<Partition>(std::move(mapped).value());
   });
   for (const Status& st : statuses) {
     VISTA_RETURN_IF_ERROR(st);
   }
   Table out;
   out.partitions = std::move(outputs);
+  if (config_.enable_lineage) {
+    for (int i = 0; i < np; ++i) {
+      out.partitions[i]->set_lineage(std::make_shared<Lineage>(
+          Lineage{input.partitions[i], fn}));
+    }
+  }
   return out;
 }
 
@@ -128,9 +197,14 @@ Result<Table> Engine::Repartition(const Table& input, int num_partitions) {
     return Status::InvalidArgument("num_partitions must be >= 1");
   }
   // Gather-and-rebucket; metered as shuffle traffic.
+  const uint64_t op = NextOpSeq();
   std::vector<Record> all;
-  for (const auto& p : input.partitions) {
-    VISTA_ASSIGN_OR_RETURN(std::vector<Record> records, ReadPartition(p));
+  for (int i = 0; i < input.num_partitions(); ++i) {
+    VISTA_ASSIGN_OR_RETURN(
+        std::vector<Record> records,
+        ReadPartitionWithRetry(input.partitions[i],
+                               (op << 16) | static_cast<uint64_t>(i),
+                               "repartition read"));
     for (Record& r : records) {
       shuffle_bytes_.fetch_add(EstimateRecordBytes(r));
       all.push_back(std::move(r));
@@ -148,10 +222,15 @@ Result<Table> Engine::Join(const Table& left, const Table& right,
   if (strategy == JoinStrategy::kBroadcast) {
     // Build one hash table from the full right side; replicated per worker
     // in a real cluster, so Core memory is charged num_workers times.
+    const uint64_t op = NextOpSeq();
     std::vector<Record> small;
     int64_t small_bytes = 0;
-    for (const auto& p : right.partitions) {
-      VISTA_ASSIGN_OR_RETURN(std::vector<Record> records, ReadPartition(p));
+    for (int i = 0; i < right.num_partitions(); ++i) {
+      VISTA_ASSIGN_OR_RETURN(
+          std::vector<Record> records,
+          ReadPartitionWithRetry(right.partitions[i],
+                                 (op << 16) | static_cast<uint64_t>(i),
+                                 "broadcast gather"));
       for (Record& r : records) {
         small_bytes += EstimateRecordBytes(r);
         small.push_back(std::move(r));
@@ -195,19 +274,30 @@ Result<Table> Engine::Join(const Table& left, const Table& right,
   }
 
   // Shuffle-hash join: bucket both sides by id hash into the output
-  // partition count, then hash-join bucket pairs in parallel.
+  // partition count, then hash-join bucket pairs in parallel. Each
+  // shuffle-side read is a retryable "send" (lost shuffle block).
+  const uint64_t op = NextOpSeq();
   const int np = num_output_partitions;
   std::vector<std::vector<Record>> left_buckets(np);
   std::vector<std::vector<Record>> right_buckets(np);
-  for (const auto& p : left.partitions) {
-    VISTA_ASSIGN_OR_RETURN(std::vector<Record> records, ReadPartition(p));
+  for (int i = 0; i < left.num_partitions(); ++i) {
+    VISTA_ASSIGN_OR_RETURN(
+        std::vector<Record> records,
+        ReadPartitionWithRetry(left.partitions[i],
+                               (op << 16) | static_cast<uint64_t>(i),
+                               "shuffle send (left)"));
     for (Record& r : records) {
       shuffle_bytes_.fetch_add(EstimateRecordBytes(r));
       left_buckets[HashId(r.id) % np].push_back(std::move(r));
     }
   }
-  for (const auto& p : right.partitions) {
-    VISTA_ASSIGN_OR_RETURN(std::vector<Record> records, ReadPartition(p));
+  for (int i = 0; i < right.num_partitions(); ++i) {
+    VISTA_ASSIGN_OR_RETURN(
+        std::vector<Record> records,
+        ReadPartitionWithRetry(right.partitions[i],
+                               (op << 16) | static_cast<uint64_t>(
+                                   0x8000 + i),
+                               "shuffle send (right)"));
     for (Record& r : records) {
       shuffle_bytes_.fetch_add(EstimateRecordBytes(r));
       right_buckets[HashId(r.id) % np].push_back(std::move(r));
@@ -263,9 +353,11 @@ Result<Table> Engine::Join(const Table& left, const Table& right,
 
 Result<Table> Engine::Filter(
     const Table& input, const std::function<bool(const Record&)>& predicate) {
+  // Capture the predicate by value: the lambda outlives this call as the
+  // output table's lineage UDF.
   return MapPartitions(
       input,
-      [&predicate](std::vector<Record> records)
+      [predicate](std::vector<Record> records)
           -> Result<std::vector<Record>> {
         std::vector<Record> out;
         for (Record& r : records) {
@@ -282,12 +374,20 @@ Result<Table> Engine::Union(const Table& a, const Table& b) {
         std::to_string(a.num_partitions()) + " vs " +
         std::to_string(b.num_partitions()) + "); repartition first");
   }
+  const uint64_t op = NextOpSeq();
   Table out;
   for (int i = 0; i < a.num_partitions(); ++i) {
-    VISTA_ASSIGN_OR_RETURN(std::vector<Record> left,
-                           ReadPartition(a.partitions[i]));
-    VISTA_ASSIGN_OR_RETURN(std::vector<Record> right,
-                           ReadPartition(b.partitions[i]));
+    VISTA_ASSIGN_OR_RETURN(
+        std::vector<Record> left,
+        ReadPartitionWithRetry(a.partitions[i],
+                               (op << 16) | static_cast<uint64_t>(i),
+                               "union read (left)"));
+    VISTA_ASSIGN_OR_RETURN(
+        std::vector<Record> right,
+        ReadPartitionWithRetry(b.partitions[i],
+                               (op << 16) | static_cast<uint64_t>(
+                                   0x8000 + i),
+                               "union read (right)"));
     for (Record& r : right) left.push_back(std::move(r));
     out.partitions.push_back(std::make_shared<Partition>(std::move(left)));
   }
@@ -319,9 +419,16 @@ Result<Table> Engine::Sample(const Table& input, double fraction,
 }
 
 Status Engine::Persist(Table* table, PersistenceFormat format) {
-  for (auto& p : table->partitions) {
+  const uint64_t op = NextOpSeq();
+  for (size_t i = 0; i < table->partitions.size(); ++i) {
+    auto& p = table->partitions[i];
     VISTA_RETURN_IF_ERROR(p->ConvertTo(format));
-    VISTA_RETURN_IF_ERROR(cache_->Insert(p));
+    // Transient memory spikes (injected in the cache) reject individual
+    // insert attempts with Unavailable; retry them. Genuine budget
+    // violations are ResourceExhausted and fail through immediately.
+    VISTA_RETURN_IF_ERROR(RunWithRetry(
+        config_.retry, (op << 16) | i, [&] { return cache_->Insert(p); },
+        &task_retries_));
   }
   return Status::OK();
 }
@@ -332,10 +439,15 @@ void Engine::Unpersist(Table* table) {
 
 Result<std::vector<Record>> Engine::Collect(const Table& table,
                                             int64_t driver_memory_bytes) {
+  const uint64_t op = NextOpSeq();
   std::vector<Record> all;
   int64_t bytes = 0;
-  for (const auto& p : table.partitions) {
-    VISTA_ASSIGN_OR_RETURN(std::vector<Record> records, ReadPartition(p));
+  for (int i = 0; i < table.num_partitions(); ++i) {
+    VISTA_ASSIGN_OR_RETURN(
+        std::vector<Record> records,
+        ReadPartitionWithRetry(table.partitions[i],
+                               (op << 16) | static_cast<uint64_t>(i),
+                               "collect fetch"));
     for (Record& r : records) {
       bytes += EstimateRecordBytes(r);
       if (driver_memory_bytes >= 0 && bytes > driver_memory_bytes) {

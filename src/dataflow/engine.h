@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "common/fault_injector.h"
+#include "common/retry.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "dataflow/cache.h"
@@ -61,6 +63,18 @@ struct EngineConfig {
   bool allow_spill = true;
   /// Scratch directory for spills; auto-generated when empty.
   std::string spill_dir;
+  /// Seeded fault injection (inert by default). Failure decisions are pure
+  /// functions of (seed, site, key), so a given seed yields the same
+  /// failure schedule across runs regardless of thread interleaving.
+  FaultInjectorConfig faults;
+  /// Retry policy applied to map-partition tasks, shuffle-side partition
+  /// reads, spill I/O, and persist inserts.
+  RetryPolicy retry;
+  /// Attach lineage metadata to MapPartitions outputs so a partition whose
+  /// data is lost (failed spill read-back) is recomputed from its parent
+  /// instead of failing the job. Like Spark, recomputation re-runs the UDF,
+  /// so UDFs must be deterministic (all of Vista's are).
+  bool enable_lineage = true;
 };
 
 /// Counters the benches and tests inspect after running a plan.
@@ -70,6 +84,9 @@ struct EngineStats {
   int64_t spill_bytes_written = 0;
   int64_t spill_bytes_read = 0;
   int64_t num_spills = 0;
+  /// Retries, lineage recomputations, and injected faults since engine
+  /// construction (degradations are filled in by the executor layer).
+  RecoveryStats recovery;
 };
 
 /// The parallel-dataflow substrate: partitioned tables, UDF map-partitions,
@@ -90,6 +107,9 @@ class Engine {
   const EngineConfig& config() const { return config_; }
   MemoryManager& memory() { return *memory_; }
   StorageCache& cache() { return *cache_; }
+  /// The engine-owned injector; tests reconfigure rates between ops via
+  /// FaultInjector::Configure.
+  FaultInjector& fault_injector() { return *injector_; }
   EngineStats stats() const;
 
   /// Total execution threads (num_workers * cpus_per_worker).
@@ -141,16 +161,33 @@ class Engine {
 
  private:
   /// Reads a partition's records through the cache (faulting in spills).
+  /// When the data is unreadable (lost/corrupt spill) and the partition
+  /// carries lineage, rebuilds the records from the parent partition.
   Result<std::vector<Record>> ReadPartition(
       const std::shared_ptr<Partition>& p);
 
+  /// ReadPartition wrapped in the retry policy with shuffle-send fault
+  /// injection, for the gather side of shuffles/broadcasts/collects.
+  /// `unit` is a stable per-op task key.
+  Result<std::vector<Record>> ReadPartitionWithRetry(
+      const std::shared_ptr<Partition>& p, uint64_t unit,
+      const char* what);
+
+  /// Monotone per-engine-op sequence: ops are driver-sequential, so keys
+  /// derived from it are deterministic across runs.
+  uint64_t NextOpSeq() { return op_seq_.fetch_add(1); }
+
   EngineConfig config_;
   std::unique_ptr<MemoryManager> memory_;
+  std::unique_ptr<FaultInjector> injector_;
   std::unique_ptr<SpillManager> spill_;
   std::unique_ptr<StorageCache> cache_;
   std::unique_ptr<ThreadPool> pool_;
   std::atomic<int64_t> shuffle_bytes_{0};
   std::atomic<int64_t> broadcast_bytes_{0};
+  std::atomic<int64_t> task_retries_{0};
+  std::atomic<int64_t> recomputed_partitions_{0};
+  std::atomic<uint64_t> op_seq_{1};
 };
 
 /// Merges two joined records (documented on Engine::Join).

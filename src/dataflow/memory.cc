@@ -46,37 +46,32 @@ Status MemoryManager::TryReserve(MemoryRegion region, int64_t bytes) {
   if (bytes <= 0) return Status::OK();
   const int idx = static_cast<int>(region);
   const int64_t budget = budgets_.Get(region);
-  int64_t current = used_[idx].load(std::memory_order_relaxed);
-  for (;;) {
-    const int64_t proposed = current + bytes;
-    if (budget >= 0 && proposed > budget) {
-      return Status::ResourceExhausted(
-          std::string(MemoryRegionToString(region)) +
-          " memory exhausted: in use " + FormatBytes(current) +
-          ", requested " + FormatBytes(bytes) + ", budget " +
-          FormatBytes(budget));
-    }
-    if (used_[idx].compare_exchange_weak(current, proposed,
-                                         std::memory_order_relaxed)) {
-      // Update the high-water mark (racy max loop).
-      int64_t prev_peak = peak_[idx].load(std::memory_order_relaxed);
-      while (proposed > prev_peak &&
-             !peak_[idx].compare_exchange_weak(prev_peak, proposed,
-                                               std::memory_order_relaxed)) {
-      }
-      return Status::OK();
-    }
+  std::lock_guard<std::mutex> lock(region_mu_[idx]);
+  const int64_t current = used_[idx].load(std::memory_order_relaxed);
+  const int64_t proposed = current + bytes;
+  if (budget >= 0 && proposed > budget) {
+    return Status::ResourceExhausted(
+        std::string(MemoryRegionToString(region)) +
+        " memory exhausted: in use " + FormatBytes(current) +
+        ", requested " + FormatBytes(bytes) + ", budget " +
+        FormatBytes(budget));
   }
+  used_[idx].store(proposed, std::memory_order_relaxed);
+  if (proposed > peak_[idx].load(std::memory_order_relaxed)) {
+    peak_[idx].store(proposed, std::memory_order_relaxed);
+  }
+  return Status::OK();
 }
 
 void MemoryManager::Release(MemoryRegion region, int64_t bytes) {
   if (bytes <= 0) return;
   const int idx = static_cast<int>(region);
-  int64_t current = used_[idx].fetch_sub(bytes, std::memory_order_relaxed);
-  if (current - bytes < 0) {
-    // Defensive clamp; indicates an accounting bug upstream.
-    used_[idx].store(0, std::memory_order_relaxed);
-  }
+  std::lock_guard<std::mutex> lock(region_mu_[idx]);
+  const int64_t current = used_[idx].load(std::memory_order_relaxed);
+  // Defensive clamp at zero; going negative indicates an accounting bug
+  // upstream.
+  used_[idx].store(current >= bytes ? current - bytes : 0,
+                   std::memory_order_relaxed);
 }
 
 int64_t MemoryManager::Used(MemoryRegion region) const {

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 
 #include "common/status.h"
@@ -72,6 +73,10 @@ class MemoryManager {
 
  private:
   MemoryBudgets budgets_;
+  /// Reserve/release mutate used_ and peak_ as one step under the region's
+  /// mutex so the high-water mark can never record a stale value; the
+  /// atomics keep Used()/Peak()/Available() lock-free for readers.
+  mutable std::mutex region_mu_[kNumMemoryRegions];
   std::atomic<int64_t> used_[kNumMemoryRegions];
   std::atomic<int64_t> peak_[kNumMemoryRegions];
 };

@@ -2,6 +2,7 @@
 #define VISTA_DATAFLOW_PARTITION_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -9,6 +10,17 @@
 #include "dataflow/record.h"
 
 namespace vista::df {
+
+class Partition;
+
+/// Spark-style lineage: how to rebuild a partition's records from its
+/// parent when both its resident data and its spill file are unreadable.
+/// `fn` must be deterministic and re-runnable (it is re-applied verbatim on
+/// recovery, so recomputed partitions stay bit-identical to the originals).
+struct Lineage {
+  std::shared_ptr<Partition> parent;
+  std::function<Result<std::vector<Record>>(std::vector<Record>)> fn;
+};
 
 /// In-memory storage format of a cached partition (Section 4.2.3).
 enum class PersistenceFormat {
@@ -64,12 +76,20 @@ class Partition {
   /// Restores from a spilled blob in the given format.
   Status Restore(const std::vector<uint8_t>& blob, PersistenceFormat format);
 
+  /// Records how to rebuild this partition from its parent (set by the
+  /// engine on derived partitions). Null for base tables.
+  void set_lineage(std::shared_ptr<Lineage> lineage) {
+    lineage_ = std::move(lineage);
+  }
+  const Lineage* lineage() const { return lineage_.get(); }
+
  private:
   int64_t num_records_ = 0;
   PersistenceFormat format_ = PersistenceFormat::kDeserialized;
   bool resident_ = true;
   std::vector<Record> records_;
   std::vector<uint8_t> blob_;
+  std::shared_ptr<Lineage> lineage_;
   // Cached size estimates (valid while num_records_ is unchanged).
   mutable int64_t deserialized_bytes_ = -1;
   mutable int64_t serialized_bytes_ = -1;

@@ -24,6 +24,7 @@ void PutF32(float v, std::vector<uint8_t>* out) {
 }
 
 void PutFloats(const float* data, int64_t n, std::vector<uint8_t>* out) {
+  if (n <= 0) return;  // Empty vectors pass data() == nullptr (UB to memcpy).
   const size_t at = out->size();
   out->resize(at + static_cast<size_t>(n) * 4);
   std::memcpy(out->data() + at, data, static_cast<size_t>(n) * 4);
@@ -66,6 +67,7 @@ Status ReadFloats(const std::vector<uint8_t>& buf, size_t* offset, int64_t n,
   if (!CanRead(buf, *offset, static_cast<size_t>(n) * 4)) {
     return Status::InvalidArgument("record buffer truncated (float array)");
   }
+  if (n <= 0) return Status::OK();  // dst may be null for empty vectors.
   std::memcpy(dst, buf.data() + *offset, static_cast<size_t>(n) * 4);
   *offset += static_cast<size_t>(n) * 4;
   return Status::OK();

@@ -21,8 +21,8 @@ std::string SpillManager::PathFor(int64_t key) const {
   return dir_ + "/part-" + std::to_string(key) + ".spill";
 }
 
-Status SpillManager::Write(int64_t key, const std::vector<uint8_t>& blob) {
-  const std::string path = PathFor(key);
+Status SpillManager::WriteOnce(const std::string& path,
+                               const std::vector<uint8_t>& blob) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) {
     return Status::IOError("cannot open spill file " + path);
@@ -30,9 +30,35 @@ Status SpillManager::Write(int64_t key, const std::vector<uint8_t>& blob) {
   const size_t written = blob.empty()
                              ? 0
                              : std::fwrite(blob.data(), 1, blob.size(), f);
-  std::fclose(f);
-  if (written != blob.size()) {
-    return Status::IOError("short write to spill file " + path);
+  // fflush + fclose both report deferred errors (the fsync-class failures:
+  // ENOSPC, EIO at writeback); a short fwrite reports an immediate one.
+  const bool flushed = std::fflush(f) == 0;
+  const bool closed = std::fclose(f) == 0;
+  if (written != blob.size() || !flushed || !closed) {
+    std::error_code ec;
+    fs::remove(path, ec);  // Never leave a truncated spill behind.
+    return Status::IOError("short or failed write to spill file " + path);
+  }
+  return Status::OK();
+}
+
+Status SpillManager::Write(int64_t key, const std::vector<uint8_t>& blob) {
+  const std::string path = PathFor(key);
+  for (int attempt = 0;; ++attempt) {
+    Status st =
+        injector_ == nullptr
+            ? Status::OK()
+            : injector_->MaybeFail(FaultSite::kSpillWrite,
+                                   FaultInjector::TaskKey(
+                                       static_cast<uint64_t>(key), attempt),
+                                   "key " + std::to_string(key));
+    if (st.ok()) st = WriteOnce(path, blob);
+    if (st.ok()) break;
+    if (attempt + 1 >= retry_.max_attempts || !IsRetryable(retry_, st)) {
+      return st;
+    }
+    io_retries_.fetch_add(1);
+    SleepForBackoff(retry_, static_cast<uint64_t>(key), attempt);
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -41,6 +67,22 @@ Status SpillManager::Write(int64_t key, const std::vector<uint8_t>& blob) {
   bytes_written_.fetch_add(static_cast<int64_t>(blob.size()));
   num_spills_.fetch_add(1);
   return Status::OK();
+}
+
+Result<std::vector<uint8_t>> SpillManager::ReadOnce(const std::string& path,
+                                                    int64_t size) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open spill file " + path);
+  }
+  std::vector<uint8_t> blob(static_cast<size_t>(size));
+  const size_t read =
+      blob.empty() ? 0 : std::fread(blob.data(), 1, blob.size(), f);
+  std::fclose(f);
+  if (read != blob.size()) {
+    return Status::IOError("short read from spill file " + path);
+  }
+  return blob;
 }
 
 Result<std::vector<uint8_t>> SpillManager::Read(int64_t key) {
@@ -55,26 +97,33 @@ Result<std::vector<uint8_t>> SpillManager::Read(int64_t key) {
     size = it->second;
   }
   const std::string path = PathFor(key);
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    return Status::IOError("cannot open spill file " + path);
+  for (int attempt = 0;; ++attempt) {
+    Status st =
+        injector_ == nullptr
+            ? Status::OK()
+            : injector_->MaybeFail(FaultSite::kSpillRead,
+                                   FaultInjector::TaskKey(
+                                       static_cast<uint64_t>(key), attempt),
+                                   "key " + std::to_string(key));
+    Result<std::vector<uint8_t>> blob = st.ok() ? ReadOnce(path, size) : st;
+    if (blob.ok()) {
+      bytes_read_.fetch_add(size);
+      return blob;
+    }
+    if (attempt + 1 >= retry_.max_attempts ||
+        !IsRetryable(retry_, blob.status())) {
+      return blob;
+    }
+    io_retries_.fetch_add(1);
+    SleepForBackoff(retry_, static_cast<uint64_t>(key), attempt);
   }
-  std::vector<uint8_t> blob(static_cast<size_t>(size));
-  const size_t read =
-      blob.empty() ? 0 : std::fread(blob.data(), 1, blob.size(), f);
-  std::fclose(f);
-  if (read != blob.size()) {
-    return Status::IOError("short read from spill file " + path);
-  }
-  bytes_read_.fetch_add(size);
-  return blob;
 }
 
 void SpillManager::Remove(int64_t key) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    sizes_.erase(key);
-  }
+  // Erase the size entry and delete the file under the same lock so a
+  // concurrent Read cannot find the entry after the file is gone.
+  std::lock_guard<std::mutex> lock(mu_);
+  sizes_.erase(key);
   std::error_code ec;
   fs::remove(PathFor(key), ec);
 }

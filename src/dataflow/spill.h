@@ -8,6 +8,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/fault_injector.h"
+#include "common/retry.h"
 #include "common/status.h"
 
 namespace vista::df {
@@ -15,6 +17,13 @@ namespace vista::df {
 /// Writes evicted partition blobs to real files in a scratch directory and
 /// reads them back on demand. Disk spills are a first-class cost in the
 /// paper's trade-off space, so the engine both performs and meters them.
+///
+/// Spill I/O is where transient storage faults surface, so the manager owns
+/// its own retry loop: each Write/Read attempt first consults the optional
+/// FaultInjector (sites kSpillWrite / kSpillRead), then performs the real
+/// file operation; retryable failures are re-attempted under the
+/// RetryPolicy, and exhausted retries surface as IOError to the caller
+/// (where lineage recomputation can take over).
 class SpillManager {
  public:
   /// `dir` is created if missing; files are removed on destruction.
@@ -24,28 +33,46 @@ class SpillManager {
   SpillManager(const SpillManager&) = delete;
   SpillManager& operator=(const SpillManager&) = delete;
 
+  /// Optional deterministic fault injection; `injector` must outlive the
+  /// manager. Null disables injection.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
+
   /// Persists `blob` under `key` (overwrites any previous spill of `key`).
+  /// Short writes and flush/close-time errors are detected and reported;
+  /// the spill is recorded (size entry + counters) only after the file is
+  /// durably on disk.
   Status Write(int64_t key, const std::vector<uint8_t>& blob);
 
   /// Reads back the blob spilled under `key`.
   Result<std::vector<uint8_t>> Read(int64_t key);
 
-  /// Deletes the spill file for `key`, if any.
+  /// Deletes the spill file for `key`, if any. The size entry and the file
+  /// are removed under one lock so no reader can observe the entry without
+  /// the file.
   void Remove(int64_t key);
 
   int64_t bytes_written() const { return bytes_written_.load(); }
   int64_t bytes_read() const { return bytes_read_.load(); }
   int64_t num_spills() const { return num_spills_.load(); }
+  /// Failed spill I/O attempts that were retried.
+  int64_t io_retries() const { return io_retries_.load(); }
 
  private:
   std::string PathFor(int64_t key) const;
+  Status WriteOnce(const std::string& path, const std::vector<uint8_t>& blob);
+  Result<std::vector<uint8_t>> ReadOnce(const std::string& path,
+                                        int64_t size);
 
   std::string dir_;
+  FaultInjector* injector_ = nullptr;
+  RetryPolicy retry_;
   std::mutex mu_;
   std::unordered_map<int64_t, int64_t> sizes_;
   std::atomic<int64_t> bytes_written_{0};
   std::atomic<int64_t> bytes_read_{0};
   std::atomic<int64_t> num_spills_{0};
+  std::atomic<int64_t> io_retries_{0};
 };
 
 }  // namespace vista::df

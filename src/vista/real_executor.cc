@@ -266,14 +266,14 @@ Result<LayerRunResult> RealExecutor::RunTrain(
   return result;
 }
 
-Result<RealRunResult> RealExecutor::Run(const CompiledPlan& plan,
-                                        const TransferWorkload& workload,
-                                        const df::Table& t_str,
-                                        const df::Table& t_img,
-                                        const RealExecutorConfig& config) {
-  Stopwatch total_watch;
-  RealRunResult run;
-  std::map<std::string, TableState> tables;
+Status RealExecutor::RunSteps(const CompiledPlan& plan,
+                              const TransferWorkload& workload,
+                              const df::Table& t_str, const df::Table& t_img,
+                              const RealExecutorConfig& config,
+                              std::map<std::string, TableState>* tables_ptr,
+                              RealRunResult* run_ptr) {
+  std::map<std::string, TableState>& tables = *tables_ptr;
+  RealRunResult& run = *run_ptr;
 
   for (const PlanStep& step : plan.steps) {
     switch (step.kind) {
@@ -366,9 +366,12 @@ Result<RealRunResult> RealExecutor::Run(const CompiledPlan& plan,
         if (in == tables.end()) {
           return Status::Internal("persist references unknown table");
         }
+        // Mark before persisting: a Persist that fails partway leaves some
+        // partitions in the cache, and RunOnce's cleanup must release them
+        // (Unpersist is a no-op for partitions that never made it in).
+        in->second.persisted = true;
         VISTA_RETURN_IF_ERROR(
             engine_->Persist(&in->second.table, config.persistence));
-        in->second.persisted = true;
         break;
       }
       case PlanStep::Kind::kRelease: {
@@ -382,6 +385,25 @@ Result<RealRunResult> RealExecutor::Run(const CompiledPlan& plan,
       }
     }
   }
+  return Status::OK();
+}
+
+Result<RealRunResult> RealExecutor::RunOnce(const CompiledPlan& plan,
+                                            const TransferWorkload& workload,
+                                            const df::Table& t_str,
+                                            const df::Table& t_img,
+                                            const RealExecutorConfig& config) {
+  Stopwatch total_watch;
+  RealRunResult run;
+  std::map<std::string, TableState> tables;
+  Status st = RunSteps(plan, workload, t_str, t_img, config, &tables, &run);
+  // Unpersist whatever the attempt left in managed storage — on failure so
+  // a degraded re-run starts from clean Storage memory, on success so
+  // back-to-back runs on one engine don't accumulate pressure.
+  for (auto& [name, state] : tables) {
+    if (state.persisted) engine_->Unpersist(&state.table);
+  }
+  VISTA_RETURN_IF_ERROR(st);
 
   // Order per-layer results by layer index for stable reporting.
   std::sort(run.per_layer.begin(), run.per_layer.end(),
@@ -390,7 +412,59 @@ Result<RealRunResult> RealExecutor::Run(const CompiledPlan& plan,
             });
   run.total_seconds = total_watch.ElapsedSeconds();
   run.engine_stats = engine_->stats();
+  run.recovery = run.engine_stats.recovery;
   return run;
+}
+
+Result<RealRunResult> RealExecutor::Run(const CompiledPlan& plan,
+                                        const TransferWorkload& workload,
+                                        const df::Table& t_str,
+                                        const df::Table& t_img,
+                                        const RealExecutorConfig& config) {
+  if (!config.auto_degrade) {
+    return RunOnce(plan, workload, t_str, t_img, config);
+  }
+
+  // Degradation ladder (Section 4.4 as behavior): after a ResourceExhausted
+  // crash, step down to the next-cheaper physical choice and re-run. Every
+  // rung trades speed for a strictly smaller memory footprint, and the
+  // Staged plan is the paper's most-reliable endpoint, so the ladder either
+  // completes or proves that no configuration fits the budgets.
+  RealExecutorConfig cfg = config;
+  CompiledPlan current = plan;
+  std::vector<std::string> degradations;
+  for (;;) {
+    auto result = RunOnce(current, workload, t_str, t_img, cfg);
+    if (result.ok()) {
+      result->degradations = degradations;
+      result->recovery.degradations =
+          static_cast<int64_t>(degradations.size());
+      return result;
+    }
+    if (!result.status().IsResourceExhausted()) return result;
+    if (cfg.persistence == df::PersistenceFormat::kDeserialized) {
+      cfg.persistence = df::PersistenceFormat::kSerialized;
+      degradations.push_back("persistence: deserialized -> serialized");
+      continue;
+    }
+    if (cfg.join == df::JoinStrategy::kBroadcast) {
+      cfg.join = df::JoinStrategy::kShuffleHash;
+      degradations.push_back("join: broadcast -> shuffle");
+      continue;
+    }
+    if (current.logical != LogicalPlan::kStaged) {
+      auto staged = CompilePlan(LogicalPlan::kStaged, workload,
+                                current.pre_materialized_base);
+      if (staged.ok()) {
+        degradations.push_back(std::string("plan: ") +
+                               LogicalPlanToString(current.logical) +
+                               " -> Staged");
+        current = std::move(staged).value();
+        continue;
+      }
+    }
+    return result;  // Ladder exhausted: genuinely under-provisioned.
+  }
 }
 
 Result<df::Table> RealExecutor::PreMaterializeBase(

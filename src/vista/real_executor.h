@@ -34,6 +34,16 @@ struct RealExecutorConfig {
   ml::DecisionTreeConfig tree;
   /// Driver collect budget (-1 = unlimited).
   int64_t driver_memory_bytes = -1;
+  /// When a run fails with ResourceExhausted, automatically step the
+  /// physical plan down the degradation ladder and re-run instead of
+  /// surfacing the crash:
+  ///   1. persistence: deserialized -> serialized (smaller Storage footprint)
+  ///   2. join: broadcast -> shuffle (no replicated build table in Core)
+  ///   3. logical plan: Lazy/Eager/... -> Staged (one layer live at a time)
+  /// Steps taken are recorded in RealRunResult::degradations. This is the
+  /// paper's reliability claim (Section 4.4, Figure 11) — "Vista never
+  /// crashes where manual configs do" — as an executable behavior.
+  bool auto_degrade = false;
 };
 
 /// Per-layer outcome of a feature-transfer run.
@@ -54,6 +64,12 @@ struct RealRunResult {
   /// Sum of CNN FLOPs actually executed (quantifies Lazy's redundancy).
   int64_t inference_flops = 0;
   df::EngineStats engine_stats;
+  /// Degradation-ladder steps taken before the run completed (empty for a
+  /// clean first-attempt run), e.g. "persistence: deserialized -> serialized".
+  std::vector<std::string> degradations;
+  /// Recovery counters for this executor's engine (retries, lineage
+  /// recomputations, injected faults) plus the degradations taken above.
+  RecoveryStats recovery;
 };
 
 /// Executes compiled plans on the local dataflow engine with a real CNN —
@@ -86,6 +102,22 @@ class RealExecutor {
     std::vector<int> slots;
     bool persisted = false;
   };
+
+  /// One attempt at the plan (no degradation). Any table still persisted
+  /// when the attempt ends — success or failure — is unpersisted, so a
+  /// degraded re-run starts from clean engine storage.
+  Result<RealRunResult> RunOnce(const CompiledPlan& plan,
+                                const TransferWorkload& workload,
+                                const df::Table& t_str,
+                                const df::Table& t_img,
+                                const RealExecutorConfig& config);
+
+  /// Executes the plan's steps into `tables`/`run`.
+  Status RunSteps(const CompiledPlan& plan, const TransferWorkload& workload,
+                  const df::Table& t_str, const df::Table& t_img,
+                  const RealExecutorConfig& config,
+                  std::map<std::string, TableState>* tables,
+                  RealRunResult* run);
 
   /// Runs one inference step over `input`, producing the requested layers.
   Result<df::Table> RunInference(const PlanStep& step, const df::Table& input,

@@ -64,6 +64,10 @@ Result<RealRunResult> Vista::ExecuteReal(df::Engine* engine,
   config.join = decisions_.join;
   config.persistence = decisions_.persistence;
   config.num_partitions = num_partitions;
+  // The paper's reliability guarantee: if the optimizer's choices still hit
+  // memory pressure at runtime, degrade the physical plan and keep going
+  // rather than crash.
+  config.auto_degrade = true;
   RealExecutor executor(engine, model);
   return executor.Run(plan, workload, t_str, t_img, config);
 }

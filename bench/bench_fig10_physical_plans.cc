@@ -5,8 +5,14 @@
 // slightly once spills start (ResNet at 8X); Broadcast is marginally
 // faster than Shuffle but crashes when the broadcast table grows (many
 // structured features at 8X) — no single combination always dominates.
+//
+// `--smoke` shrinks the sweep (AlexNet/2L, scales 1-2X, 10/100 features)
+// and writes a machine-readable report (default BENCH_smoke_fig10.json,
+// override with `--out <path>`).
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "vista/experiments.h"
@@ -31,17 +37,22 @@ const PhysicalChoice kChoices[] = {
      df::PersistenceFormat::kSerialized},
 };
 
-void Run(const ExperimentSetup& base, const char* row_label) {
+void Run(const ExperimentSetup& base, const char* row_label,
+         const std::string& sweep_label, bench::BenchReporter* reporter) {
   std::printf("%-10s", row_label);
   for (const auto& choice : kChoices) {
     DrillDownConfig config;
     config.join = choice.join;
     config.persistence = choice.persistence;
+    const std::string label =
+        sweep_label + "/" + row_label + "/" + choice.label;
     auto r = RunDrillDown(base, config);
     if (!r.ok()) {
       std::printf(" | %-14s", "error");
+      if (reporter != nullptr) reporter->AddError(label, r.status());
       continue;
     }
+    if (reporter != nullptr) reporter->AddSimRun(label, *r);
     std::printf(" | %-14s", bench::Outcome(*r).c_str());
   }
   std::printf("\n");
@@ -53,48 +64,78 @@ void Header() {
   std::printf("\n");
 }
 
-void SweepScale(dl::KnownCnn cnn, int num_layers) {
+void SweepScale(dl::KnownCnn cnn, int num_layers,
+                const std::vector<double>& scales,
+                bench::BenchReporter* reporter) {
   std::printf("\n(%s/%dL) runtime vs data scale:\n",
               dl::KnownCnnToString(cnn), num_layers);
+  const std::string sweep = std::string(dl::KnownCnnToString(cnn)) + "/" +
+                            std::to_string(num_layers) + "L/scale";
   Header();
-  for (double scale : {1.0, 2.0, 4.0, 8.0}) {
+  for (double scale : scales) {
     ExperimentSetup setup;
     setup.cnn = cnn;
     setup.num_layers = num_layers;
     setup.data = FoodsDataStats(scale);
     char label[16];
     std::snprintf(label, sizeof(label), "%gX", scale);
-    Run(setup, label);
+    Run(setup, label, sweep, reporter);
   }
 }
 
-void SweepStructFeatures(dl::KnownCnn cnn, int num_layers) {
-  std::printf("\n(%s/%dL/8X) runtime vs #structured features:\n",
-              dl::KnownCnnToString(cnn), num_layers);
+void SweepStructFeatures(dl::KnownCnn cnn, int num_layers, double scale,
+                         const std::vector<int>& feature_counts,
+                         bench::BenchReporter* reporter) {
+  std::printf("\n(%s/%dL/%gX) runtime vs #structured features:\n",
+              dl::KnownCnnToString(cnn), num_layers, scale);
+  const std::string sweep = std::string(dl::KnownCnnToString(cnn)) + "/" +
+                            std::to_string(num_layers) + "L/features";
   Header();
-  for (int features : {10, 100, 1000, 10000}) {
+  for (int features : feature_counts) {
     ExperimentSetup setup;
     setup.cnn = cnn;
     setup.num_layers = num_layers;
-    setup.data = FoodsDataStats(8.0);
+    setup.data = FoodsDataStats(scale);
     setup.data.num_struct_features = features;
     char label[16];
     std::snprintf(label, sizeof(label), "%d", features);
-    Run(setup, label);
+    Run(setup, label, sweep, reporter);
   }
 }
 
 }  // namespace
 }  // namespace vista
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vista;
+  const bool smoke = bench::HasFlag(argc, argv, "--smoke");
   bench::Banner("Figure 10",
                 "Physical plan choices (Foods drill-down, Staged/AJ, cpu=4, "
                 "8 nodes)");
-  SweepScale(dl::KnownCnn::kAlexNet, 4);
-  SweepScale(dl::KnownCnn::kResNet50, 5);
-  SweepStructFeatures(dl::KnownCnn::kAlexNet, 4);
-  SweepStructFeatures(dl::KnownCnn::kResNet50, 5);
+  bench::BenchReporter reporter(
+      "fig10_physical_plans",
+      smoke ? "smoke: AlexNet/2L physical plan sweep, scales 1-2X"
+            : "physical plan sweep over scale and structured features");
+  if (smoke) {
+    SweepScale(dl::KnownCnn::kAlexNet, 2, {1.0, 2.0}, &reporter);
+    SweepStructFeatures(dl::KnownCnn::kAlexNet, 2, 2.0, {10, 100},
+                        &reporter);
+  } else {
+    SweepScale(dl::KnownCnn::kAlexNet, 4, {1.0, 2.0, 4.0, 8.0}, &reporter);
+    SweepScale(dl::KnownCnn::kResNet50, 5, {1.0, 2.0, 4.0, 8.0}, &reporter);
+    SweepStructFeatures(dl::KnownCnn::kAlexNet, 4, 8.0,
+                        {10, 100, 1000, 10000}, &reporter);
+    SweepStructFeatures(dl::KnownCnn::kResNet50, 5, 8.0,
+                        {10, 100, 1000, 10000}, &reporter);
+  }
+  const std::string out = bench::FlagValue(
+      argc, argv, "--out", smoke ? "BENCH_smoke_fig10.json" : "");
+  if (!out.empty()) {
+    Status st = reporter.Write(out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
   return 0;
 }

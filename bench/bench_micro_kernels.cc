@@ -7,6 +7,8 @@
 #include "common/random.h"
 #include "dataflow/engine.h"
 #include "dl/model_zoo.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 #include "dl/dag.h"
 #include "features/hog.h"
@@ -166,6 +168,64 @@ void BM_HogDescriptor(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_HogDescriptor);
+
+// Observability overhead: the per-event cost the instrumented hot paths
+// pay. Counter adds must stay in the nanoseconds; a ScopedSpan is a mutex
+// lock + clock reads, so it belongs on operators, not per-record loops.
+void BM_ObsCounterAdd(benchmark::State& state) {
+  obs::Registry registry;
+  obs::Counter* c = registry.counter("bench.counter");
+  for (auto _ : state) {
+    c->Add(1);
+  }
+  benchmark::DoNotOptimize(c);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsCounterAdd);
+
+void BM_ObsHistogramRecord(benchmark::State& state) {
+  obs::Registry registry;
+  obs::Histogram* h = registry.histogram("bench.latency_ms");
+  double v = 0.013;
+  for (auto _ : state) {
+    h->Record(v);
+    v = v * 1.37 + 0.001;
+    if (v > 1000.0) v = 0.013;
+  }
+  benchmark::DoNotOptimize(h);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsHistogramRecord);
+
+void BM_ObsScopedLatency(benchmark::State& state) {
+  obs::Registry registry;
+  obs::Histogram* h = registry.histogram("bench.scoped_ms");
+  for (auto _ : state) {
+    obs::ScopedLatency latency(h);
+    benchmark::DoNotOptimize(latency);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsScopedLatency);
+
+void BM_ObsScopedSpan(benchmark::State& state) {
+  obs::TraceCollector collector;
+  for (auto _ : state) {
+    obs::ScopedSpan span(&collector, "bench", "micro");
+    benchmark::DoNotOptimize(span);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsScopedSpan);
+
+void BM_ObsScopedSpanDisabled(benchmark::State& state) {
+  for (auto _ : state) {
+    obs::ScopedSpan span(nullptr, "bench", "micro");
+    benchmark::DoNotOptimize(span);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsScopedSpanDisabled);
 
 void BM_DagStagedPlanner(benchmark::State& state) {
   auto arch = dl::MicroDenseNetDag().value();

@@ -5,10 +5,15 @@
 // (inference from raw images); image reads speed up sub-linearly (HDFS
 // small-files); inference+training speeds up near-linearly (slightly
 // super-linear for ResNet50).
+//
+// `--smoke` runs a tiny configuration (AlexNet, 2 layers, 1-2 nodes) and
+// writes a machine-readable report (default BENCH_smoke.json, override with
+// `--out <path>`) — the CI smoke artifact.
 
 #include <cstdio>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "vista/experiments.h"
@@ -20,13 +25,15 @@ struct Breakdown {
   std::map<std::string, double> per_layer_seconds;  // layer name -> seconds.
   double read_images_seconds = 0;
   double total_seconds = 0;
+  sim::SimResult sim;
 };
 
-Result<Breakdown> Run(dl::KnownCnn cnn, int nodes) {
+Result<Breakdown> Run(dl::KnownCnn cnn, int num_layers, int nodes,
+                      double scale) {
   ExperimentSetup setup;
   setup.cnn = cnn;
-  setup.num_layers = PaperNumLayers(cnn);
-  setup.data = FoodsDataStats();
+  setup.num_layers = num_layers;
+  setup.data = FoodsDataStats(scale);
   setup.env.num_nodes = nodes;
   DrillDownConfig config;
   VISTA_ASSIGN_OR_RETURN(sim::SimResult r, RunDrillDown(setup, config));
@@ -42,68 +49,94 @@ Result<Breakdown> Run(dl::KnownCnn cnn, int nodes) {
           stage.seconds;
     }
   }
+  out.sim = std::move(r);
   return out;
 }
 
-void Table3(dl::KnownCnn cnn) {
+void Table3(dl::KnownCnn cnn, int num_layers, const std::vector<int>& nodes,
+            double scale, bench::BenchReporter* reporter) {
   std::printf("\n%s/%dL: per-layer time (CNN inference + downstream "
               "training), minutes:\n",
-              dl::KnownCnnToString(cnn), PaperNumLayers(cnn));
+              dl::KnownCnnToString(cnn), num_layers);
   std::map<int, Breakdown> runs;
-  for (int nodes : {1, 2, 4, 8}) {
-    auto r = Run(cnn, nodes);
+  for (int n : nodes) {
+    const std::string label = std::string(dl::KnownCnnToString(cnn)) + "/" +
+                              std::to_string(num_layers) + "L@" +
+                              std::to_string(n) + "nodes";
+    auto r = Run(cnn, num_layers, n, scale);
     if (!r.ok()) {
-      std::printf("  error at %d nodes: %s\n", nodes,
+      std::printf("  error at %d nodes: %s\n", n,
                   r.status().ToString().c_str());
+      if (reporter != nullptr) reporter->AddError(label, r.status());
       return;
     }
-    runs[nodes] = *r;
+    if (reporter != nullptr) reporter->AddSimRun(label, r->sim);
+    runs[n] = std::move(*r);
   }
   std::printf("%-12s", "layer");
-  for (int nodes : {1, 2, 4, 8}) std::printf(" | %5d node%s", nodes,
-                                             nodes == 1 ? " " : "s");
+  for (int n : nodes) std::printf(" | %5d node%s", n, n == 1 ? " " : "s");
   std::printf("\n");
-  for (const auto& [layer, seconds] : runs[1].per_layer_seconds) {
+  for (const auto& [layer, seconds] : runs[nodes.front()].per_layer_seconds) {
     (void)seconds;
     std::printf("%-12s", layer.c_str());
-    for (int nodes : {1, 2, 4, 8}) {
-      std::printf(" | %10.1f", runs[nodes].per_layer_seconds[layer] / 60.0);
+    for (int n : nodes) {
+      std::printf(" | %10.1f", runs[n].per_layer_seconds[layer] / 60.0);
     }
     std::printf("\n");
   }
   std::printf("%-12s", "total");
-  for (int nodes : {1, 2, 4, 8}) {
-    std::printf(" | %10.1f", runs[nodes].total_seconds / 60.0);
+  for (int n : nodes) {
+    std::printf(" | %10.1f", runs[n].total_seconds / 60.0);
   }
   std::printf("\n%-12s", "read images");
-  for (int nodes : {1, 2, 4, 8}) {
-    std::printf(" | %10.1f", runs[nodes].read_images_seconds / 60.0);
+  for (int n : nodes) {
+    std::printf(" | %10.1f", runs[n].read_images_seconds / 60.0);
   }
   std::printf("\n");
 
-  // Figure 17: component speedups at 8 nodes.
-  double compute1 = 0, compute8 = 0;
-  for (const auto& [layer, seconds] : runs[1].per_layer_seconds) {
-    compute1 += seconds;
-    compute8 += runs[8].per_layer_seconds[layer];
+  // Figure 17: component speedups from the smallest to the largest cluster.
+  const Breakdown& lo = runs[nodes.front()];
+  const Breakdown& hi = runs[nodes.back()];
+  double compute_lo = 0, compute_hi = 0;
+  for (const auto& [layer, seconds] : lo.per_layer_seconds) {
+    compute_lo += seconds;
+    compute_hi += runs[nodes.back()].per_layer_seconds[layer];
   }
-  std::printf("Fig 17 speedups @8 nodes: inference+train %.1fx, "
+  std::printf("Fig 17 speedups @%d nodes: inference+train %.1fx, "
               "read images %.1fx\n",
-              compute1 / compute8,
-              runs[1].read_images_seconds / runs[8].read_images_seconds);
+              nodes.back(), compute_lo / compute_hi,
+              lo.read_images_seconds / hi.read_images_seconds);
 }
 
 }  // namespace
 }  // namespace vista
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vista;
+  const bool smoke = bench::HasFlag(argc, argv, "--smoke");
   bench::Banner("Table 3 + Figure 17 (Appendix C)",
                 "Per-layer runtime breakdown and component speedups "
                 "(Foods, Staged/AJ)");
-  for (auto cnn : {dl::KnownCnn::kResNet50, dl::KnownCnn::kAlexNet,
-                   dl::KnownCnn::kVgg16}) {
-    Table3(cnn);
+  bench::BenchReporter reporter(
+      "table3_breakdown",
+      smoke ? "smoke: AlexNet/2L drill-down breakdown, 1-2 nodes"
+            : "per-layer drill-down breakdown, 1-8 nodes");
+  if (smoke) {
+    Table3(dl::KnownCnn::kAlexNet, 2, {1, 2}, 0.25, &reporter);
+  } else {
+    for (auto cnn : {dl::KnownCnn::kResNet50, dl::KnownCnn::kAlexNet,
+                     dl::KnownCnn::kVgg16}) {
+      Table3(cnn, PaperNumLayers(cnn), {1, 2, 4, 8}, 1.0, &reporter);
+    }
+  }
+  const std::string out = bench::FlagValue(
+      argc, argv, "--out", smoke ? "BENCH_smoke.json" : "");
+  if (!out.empty()) {
+    Status st = reporter.Write(out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
   }
   return 0;
 }

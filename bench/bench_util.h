@@ -2,10 +2,15 @@
 #define VISTA_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <utility>
 
 #include "common/bytes.h"
+#include "obs/export.h"
+#include "obs/json.h"
 #include "sim/cluster.h"
+#include "vista/sim_executor.h"
 
 namespace vista::bench {
 
@@ -34,6 +39,101 @@ inline std::string Outcome(const sim::SimResult& result,
                 (result.total_seconds + extra_seconds) / 60.0);
   return buf;
 }
+
+/// True if `flag` (e.g. "--smoke") appears in argv.
+inline bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+/// Value of "--flag value" or "--flag=value"; `def` when absent.
+inline std::string FlagValue(int argc, char** argv, const char* flag,
+                             std::string def) {
+  const size_t flag_len = std::strlen(flag);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
+      return argv[i + 1];
+    }
+    if (std::strncmp(argv[i], flag, flag_len) == 0 &&
+        argv[i][flag_len] == '=') {
+      return argv[i] + flag_len + 1;
+    }
+  }
+  return def;
+}
+
+/// Accumulates bench run outcomes and writes one machine-readable JSON
+/// report, replacing per-bench ad-hoc timing/printing code. Stage timings
+/// flow through the obs span aggregation so sim benches and real-executor
+/// runs produce the same report shape.
+class BenchReporter {
+ public:
+  BenchReporter(std::string bench_id, std::string description)
+      : bench_id_(std::move(bench_id)),
+        description_(std::move(description)) {}
+
+  /// Records one simulated run under `label` (e.g. "AlexNet/2L@1nodes").
+  void AddSimRun(const std::string& label, const sim::SimResult& result) {
+    obs::Json entry = obs::Json::Object();
+    entry.Set("crashed", obs::Json::Bool(result.crashed()));
+    if (result.crashed()) {
+      entry.Set("crash",
+                obs::Json::Str(sim::CrashScenarioToString(result.crash)));
+      entry.Set("crashed_stage", obs::Json::Str(result.crashed_stage));
+    }
+    entry.Set("total_seconds", obs::Json::Num(result.total_seconds));
+    entry.Set("spill_bytes_written",
+              obs::Json::Int(result.spill_bytes_written));
+    entry.Set("spill_bytes_read", obs::Json::Int(result.spill_bytes_read));
+    obs::Json stages = obs::Json::Object();
+    const std::vector<obs::Span> spans = SimResultSpans(result);
+    for (const auto& [name, seconds] :
+         obs::AggregateSpanSeconds(spans, "stage")) {
+      stages.Set(name, obs::Json::Num(seconds));
+    }
+    entry.Set("stage_seconds", std::move(stages));
+    runs_.Set(label, std::move(entry));
+    ++num_runs_;
+  }
+
+  /// Records a failed configuration so the report stays complete.
+  void AddError(const std::string& label, const Status& status) {
+    obs::Json entry = obs::Json::Object();
+    entry.Set("error", obs::Json::Str(status.ToString()));
+    runs_.Set(label, std::move(entry));
+    ++num_runs_;
+  }
+
+  /// Attaches an arbitrary extra section (e.g. an exported profile).
+  void AddSection(const std::string& key, obs::Json value) {
+    extras_.Set(key, std::move(value));
+    has_extras_ = true;
+  }
+
+  int num_runs() const { return num_runs_; }
+
+  /// Writes {bench, description, runs, ...extras} to `path`.
+  Status Write(const std::string& path) const {
+    obs::Json out = obs::Json::Object();
+    out.Set("bench", obs::Json::Str(bench_id_));
+    out.Set("description", obs::Json::Str(description_));
+    out.Set("runs", runs_);
+    if (has_extras_) out.Set("extras", extras_);
+    VISTA_RETURN_IF_ERROR(obs::WriteTextFile(path, out.Dump(2) + "\n"));
+    std::printf("wrote %s (%d runs)\n", path.c_str(), num_runs_);
+    return Status::OK();
+  }
+
+ private:
+  std::string bench_id_;
+  std::string description_;
+  obs::Json runs_ = obs::Json::Object();
+  obs::Json extras_ = obs::Json::Object();
+  bool has_extras_ = false;
+  int num_runs_ = 0;
+};
 
 }  // namespace vista::bench
 

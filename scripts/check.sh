@@ -1,17 +1,49 @@
 #!/usr/bin/env bash
-# Runs the tier-1 test suite under AddressSanitizer + UBSan.
+# Runs the tier-1 test suite under a sanitizer preset.
 #
-#   scripts/check.sh            # ASan/UBSan (default)
+#   scripts/check.sh              # ASan/UBSan (default)
 #   PRESET=tsan scripts/check.sh  # ThreadSanitizer instead
+#   PRESET=default scripts/check.sh  # plain RelWithDebInfo
 #
-# Uses the CMake presets in CMakePresets.json; build trees land in
-# build-<preset>/ and are gitignored.
+# Environment knobs:
+#   PRESET     CMake preset from CMakePresets.json (default: asan)
+#   JOBS       parallel build/test jobs (default: nproc)
+#   CMAKE_ARGS extra arguments appended to the configure step, e.g.
+#              "-DCMAKE_CXX_COMPILER_LAUNCHER=ccache"
+#   CTEST_OUTPUT_ON_FAILURE  exported through to ctest (default: 1)
+#
+# Build trees land in build/ or build-<preset>/ and are gitignored.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 PRESET="${PRESET:-asan}"
 JOBS="${JOBS:-$(nproc)}"
+export CTEST_OUTPUT_ON_FAILURE="${CTEST_OUTPUT_ON_FAILURE:-1}"
 
-cmake --preset "$PRESET"
+echo "check.sh: preset=${PRESET} jobs=${JOBS} source=$PWD"
+
+case "$PRESET" in
+  default) BINARY_DIR="build" ;;
+  *)       BINARY_DIR="build-${PRESET}" ;;
+esac
+
+# A build tree configured from a different source checkout (a moved or
+# copied repo, or a CI cache restored onto another path) makes CMake fail
+# with confusing errors deep into the build. Detect it up front.
+if [[ -f "${BINARY_DIR}/CMakeCache.txt" ]]; then
+  cached_home="$(sed -n 's/^CMAKE_HOME_DIRECTORY:INTERNAL=//p' \
+      "${BINARY_DIR}/CMakeCache.txt")"
+  if [[ -n "$cached_home" && "$cached_home" != "$PWD" ]]; then
+    echo "check.sh: ERROR: ${BINARY_DIR}/ was configured for" >&2
+    echo "  ${cached_home}" >&2
+    echo "but the source tree is now" >&2
+    echo "  ${PWD}" >&2
+    echo "Delete ${BINARY_DIR}/ (or restore the original path) and rerun." >&2
+    exit 2
+  fi
+fi
+
+# shellcheck disable=SC2086  # CMAKE_ARGS is intentionally word-split.
+cmake --preset "$PRESET" ${CMAKE_ARGS:-}
 cmake --build --preset "$PRESET" -j "$JOBS"
 ctest --preset "$PRESET" -j "$JOBS"

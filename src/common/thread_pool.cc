@@ -42,7 +42,7 @@ void ThreadPool::ParallelFor(int64_t n,
   if (n <= 0) return;
   std::atomic<int64_t> next{0};
   const int workers = num_threads();
-  std::atomic<int> done{0};
+  int done = 0;
   std::mutex done_mu;
   std::condition_variable done_cv;
   for (int w = 0; w < workers; ++w) {
@@ -50,14 +50,16 @@ void ThreadPool::ParallelFor(int64_t n,
       for (int64_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
         fn(i);
       }
-      if (done.fetch_add(1) + 1 == workers) {
-        std::lock_guard<std::mutex> lock(done_mu);
-        done_cv.notify_all();
-      }
+      // The ++done must be the worker's last touch of this frame and must
+      // happen under the mutex: once done == workers the waiter may return
+      // and destroy everything captured by reference, so no access — not
+      // even of `workers` — may follow outside the critical section.
+      std::lock_guard<std::mutex> lock(done_mu);
+      if (++done == workers) done_cv.notify_all();
     });
   }
   std::unique_lock<std::mutex> lock(done_mu);
-  done_cv.wait(lock, [&] { return done.load() == workers; });
+  done_cv.wait(lock, [&] { return done == workers; });
 }
 
 void ThreadPool::WorkerLoop() {

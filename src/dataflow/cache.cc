@@ -3,11 +3,20 @@
 namespace vista::df {
 
 StorageCache::StorageCache(MemoryManager* memory, SpillManager* spill,
-                           bool allow_spill, FaultInjector* injector)
+                           bool allow_spill, FaultInjector* injector,
+                           obs::Registry* metrics)
     : memory_(memory),
       spill_(spill),
       allow_spill_(allow_spill),
-      injector_(injector) {}
+      injector_(injector) {
+  if (metrics != nullptr) {
+    c_inserts_ = metrics->counter("cache.inserts");
+    c_read_hits_ = metrics->counter("cache.read_hits");
+    c_fault_ins_ = metrics->counter("cache.fault_ins");
+    c_evictions_ = metrics->counter("cache.evictions");
+    g_resident_bytes_ = metrics->gauge("cache.resident_bytes");
+  }
+}
 
 Status StorageCache::EvictUntilAvailable(int64_t bytes) {
   for (;;) {
@@ -36,6 +45,10 @@ Status StorageCache::EvictUntilAvailable(int64_t bytes) {
     VISTA_RETURN_IF_ERROR(spill_->Write(entry.key, blob));
     victim->Evict();
     memory_->Release(MemoryRegion::kStorage, entry.charged_bytes);
+    if (c_evictions_ != nullptr) {
+      c_evictions_->Add(1);
+      g_resident_bytes_->Add(-entry.charged_bytes);
+    }
     entry.charged_bytes = 0;
     lru_.pop_back();
     entry.in_lru = false;
@@ -67,6 +80,10 @@ Status StorageCache::Insert(const std::shared_ptr<Partition>& partition) {
       entry.lru_it = lru_.begin();
       entry.in_lru = true;
       entries_.emplace(partition.get(), std::move(entry));
+      if (c_inserts_ != nullptr) {
+        c_inserts_->Add(1);
+        g_resident_bytes_->Add(bytes);
+      }
       return Status::OK();
     }
     avail = reserve;
@@ -77,6 +94,7 @@ Status StorageCache::Insert(const std::shared_ptr<Partition>& partition) {
   VISTA_RETURN_IF_ERROR(spill_->Write(entry.key, blob));
   partition->Evict();
   entries_.emplace(partition.get(), std::move(entry));
+  if (c_inserts_ != nullptr) c_inserts_->Add(1);
   return Status::OK();
 }
 
@@ -98,6 +116,10 @@ Status StorageCache::FaultIn(Entry* entry) {
   lru_.push_front(p);
   entry->lru_it = lru_.begin();
   entry->in_lru = true;
+  if (c_fault_ins_ != nullptr) {
+    c_fault_ins_->Add(1);
+    g_resident_bytes_->Add(bytes);
+  }
   return Status::OK();
 }
 
@@ -116,6 +138,7 @@ Result<std::vector<Record>> StorageCache::ReadThrough(
     lru_.erase(entry.lru_it);
     lru_.push_front(partition.get());
     entry.lru_it = lru_.begin();
+    if (c_read_hits_ != nullptr) c_read_hits_->Add(1);
   }
   return partition->ReadRecords();
 }
@@ -127,6 +150,9 @@ void StorageCache::Remove(const std::shared_ptr<Partition>& partition) {
   Entry& entry = it->second;
   if (entry.in_lru) lru_.erase(entry.lru_it);
   memory_->Release(MemoryRegion::kStorage, entry.charged_bytes);
+  if (g_resident_bytes_ != nullptr && entry.charged_bytes > 0) {
+    g_resident_bytes_->Add(-entry.charged_bytes);
+  }
   spill_->Remove(entry.key);
   entries_.erase(it);
 }

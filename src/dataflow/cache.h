@@ -12,6 +12,7 @@
 #include "dataflow/memory.h"
 #include "dataflow/partition.h"
 #include "dataflow/spill.h"
+#include "obs/metrics.h"
 
 namespace vista::df {
 
@@ -27,8 +28,11 @@ class StorageCache {
   /// `injector` (optional, may be null) lets seeded transient memory
   /// spikes reject inserts: Insert returns Unavailable, which the engine's
   /// retry policy treats as retryable — unlike a genuine budget violation.
+  /// `metrics` (optional) receives "cache.*" counters and a resident-bytes
+  /// gauge; both must outlive the cache when given.
   StorageCache(MemoryManager* memory, SpillManager* spill, bool allow_spill,
-               FaultInjector* injector = nullptr);
+               FaultInjector* injector = nullptr,
+               obs::Registry* metrics = nullptr);
 
   StorageCache(const StorageCache&) = delete;
   StorageCache& operator=(const StorageCache&) = delete;
@@ -72,6 +76,12 @@ class StorageCache {
   SpillManager* spill_;
   bool allow_spill_;
   FaultInjector* injector_;
+  /// Obs instruments; all null when no registry was given.
+  obs::Counter* c_inserts_ = nullptr;
+  obs::Counter* c_read_hits_ = nullptr;
+  obs::Counter* c_fault_ins_ = nullptr;
+  obs::Counter* c_evictions_ = nullptr;
+  obs::Gauge* g_resident_bytes_ = nullptr;
 
   mutable std::mutex mu_;
   std::unordered_map<Partition*, Entry> entries_;

@@ -56,6 +56,26 @@ Engine::Engine(EngineConfig config) : config_(std::move(config)) {
   VISTA_CHECK_GE(config_.cpus_per_worker, 1);
   memory_ = std::make_unique<MemoryManager>(config_.budgets);
   injector_ = std::make_unique<FaultInjector>(config_.faults);
+  if (config_.metrics == nullptr) {
+    owned_metrics_ = std::make_unique<obs::Registry>();
+    metrics_ = owned_metrics_.get();
+  } else {
+    metrics_ = config_.metrics;
+  }
+  if (config_.tracer == nullptr) {
+    owned_tracer_ = std::make_unique<obs::TraceCollector>();
+    tracer_ = owned_tracer_.get();
+  } else {
+    tracer_ = config_.tracer;
+  }
+  c_shuffle_bytes_ = metrics_->counter("engine.shuffle_bytes");
+  c_broadcast_bytes_ = metrics_->counter("engine.broadcast_bytes");
+  c_map_tasks_ = metrics_->counter("engine.map_tasks");
+  c_partitions_read_ = metrics_->counter("engine.partitions_read");
+  c_records_out_ = metrics_->counter("engine.records_out");
+  c_join_ops_ = metrics_->counter("engine.join_ops");
+  h_map_task_ms_ = metrics_->histogram("engine.map_task_ms");
+  h_partition_read_ms_ = metrics_->histogram("engine.partition_read_ms");
   if (config_.spill_dir.empty()) {
     config_.spill_dir =
         "/tmp/vista_spill_" + std::to_string(::getpid()) + "_" +
@@ -64,17 +84,18 @@ Engine::Engine(EngineConfig config) : config_(std::move(config)) {
   spill_ = std::make_unique<SpillManager>(config_.spill_dir);
   spill_->set_fault_injector(injector_.get());
   spill_->set_retry_policy(config_.retry);
+  spill_->set_metrics(metrics_);
   cache_ = std::make_unique<StorageCache>(memory_.get(), spill_.get(),
                                           config_.allow_spill,
-                                          injector_.get());
+                                          injector_.get(), metrics_);
   pool_ = std::make_unique<ThreadPool>(config_.num_workers *
                                        config_.cpus_per_worker);
 }
 
 EngineStats Engine::stats() const {
   EngineStats s;
-  s.shuffle_bytes = shuffle_bytes_.load();
-  s.broadcast_bytes = broadcast_bytes_.load();
+  s.shuffle_bytes = c_shuffle_bytes_->value();
+  s.broadcast_bytes = c_broadcast_bytes_->value();
   s.spill_bytes_written = spill_->bytes_written();
   s.spill_bytes_read = spill_->bytes_read();
   s.num_spills = spill_->num_spills();
@@ -101,6 +122,8 @@ Result<Table> Engine::MakeTable(std::vector<Record> records,
 
 Result<std::vector<Record>> Engine::ReadPartition(
     const std::shared_ptr<Partition>& p) {
+  c_partitions_read_->Add(1);
+  obs::ScopedLatency latency(h_partition_read_ms_);
   auto records = cache_->ReadThrough(p);
   if (records.ok() || p->lineage() == nullptr) return records;
   const Status& st = records.status();
@@ -144,9 +167,12 @@ Result<Table> Engine::MapPartitions(const Table& input,
                                     const MapPartitionsFn& fn) {
   const int np = input.num_partitions();
   const uint64_t op = NextOpSeq();
+  obs::ScopedSpan span(tracer_, "map_partitions", "engine");
   std::vector<std::shared_ptr<Partition>> outputs(np);
   std::vector<Status> statuses(np);
   pool_->ParallelFor(np, [&](int64_t i) {
+    c_map_tasks_->Add(1);
+    obs::ScopedLatency task_latency(h_map_task_ms_);
     const RetryPolicy& policy = config_.retry;
     const uint64_t unit = (op << 16) | static_cast<uint64_t>(i);
     for (int attempt = 0;; ++attempt) {
@@ -161,6 +187,8 @@ Result<Table> Engine::MapPartitions(const Table& input,
         if (records.ok()) {
           auto mapped = fn(std::move(records).value());
           if (mapped.ok()) {
+            c_records_out_->Add(
+                static_cast<int64_t>(mapped.value().size()));
             outputs[i] =
                 std::make_shared<Partition>(std::move(mapped).value());
             return;
@@ -198,6 +226,7 @@ Result<Table> Engine::Repartition(const Table& input, int num_partitions) {
   }
   // Gather-and-rebucket; metered as shuffle traffic.
   const uint64_t op = NextOpSeq();
+  obs::ScopedSpan span(tracer_, "repartition", "engine");
   std::vector<Record> all;
   for (int i = 0; i < input.num_partitions(); ++i) {
     VISTA_ASSIGN_OR_RETURN(
@@ -206,7 +235,7 @@ Result<Table> Engine::Repartition(const Table& input, int num_partitions) {
                                (op << 16) | static_cast<uint64_t>(i),
                                "repartition read"));
     for (Record& r : records) {
-      shuffle_bytes_.fetch_add(EstimateRecordBytes(r));
+      c_shuffle_bytes_->Add(EstimateRecordBytes(r));
       all.push_back(std::move(r));
     }
   }
@@ -219,6 +248,11 @@ Result<Table> Engine::Join(const Table& left, const Table& right,
   if (num_output_partitions < 1) {
     return Status::InvalidArgument("num_output_partitions must be >= 1");
   }
+  c_join_ops_->Add(1);
+  obs::ScopedSpan span(
+      tracer_,
+      strategy == JoinStrategy::kBroadcast ? "join:broadcast" : "join:shuffle",
+      "engine");
   if (strategy == JoinStrategy::kBroadcast) {
     // Build one hash table from the full right side; replicated per worker
     // in a real cluster, so Core memory is charged num_workers times.
@@ -236,7 +270,7 @@ Result<Table> Engine::Join(const Table& left, const Table& right,
         small.push_back(std::move(r));
       }
     }
-    broadcast_bytes_.fetch_add(small_bytes * config_.num_workers);
+    c_broadcast_bytes_->Add(small_bytes * config_.num_workers);
     const int64_t charged = small_bytes * config_.num_workers;
     VISTA_RETURN_IF_ERROR(memory_->TryReserve(MemoryRegion::kCore, charged));
     std::unordered_map<int64_t, const Record*> hash_table;
@@ -287,7 +321,7 @@ Result<Table> Engine::Join(const Table& left, const Table& right,
                                (op << 16) | static_cast<uint64_t>(i),
                                "shuffle send (left)"));
     for (Record& r : records) {
-      shuffle_bytes_.fetch_add(EstimateRecordBytes(r));
+      c_shuffle_bytes_->Add(EstimateRecordBytes(r));
       left_buckets[HashId(r.id) % np].push_back(std::move(r));
     }
   }
@@ -299,7 +333,7 @@ Result<Table> Engine::Join(const Table& left, const Table& right,
                                    0x8000 + i),
                                "shuffle send (right)"));
     for (Record& r : records) {
-      shuffle_bytes_.fetch_add(EstimateRecordBytes(r));
+      c_shuffle_bytes_->Add(EstimateRecordBytes(r));
       right_buckets[HashId(r.id) % np].push_back(std::move(r));
     }
   }
@@ -375,6 +409,7 @@ Result<Table> Engine::Union(const Table& a, const Table& b) {
         std::to_string(b.num_partitions()) + "); repartition first");
   }
   const uint64_t op = NextOpSeq();
+  obs::ScopedSpan span(tracer_, "union", "engine");
   Table out;
   for (int i = 0; i < a.num_partitions(); ++i) {
     VISTA_ASSIGN_OR_RETURN(
@@ -420,6 +455,7 @@ Result<Table> Engine::Sample(const Table& input, double fraction,
 
 Status Engine::Persist(Table* table, PersistenceFormat format) {
   const uint64_t op = NextOpSeq();
+  obs::ScopedSpan span(tracer_, "persist", "engine");
   for (size_t i = 0; i < table->partitions.size(); ++i) {
     auto& p = table->partitions[i];
     VISTA_RETURN_IF_ERROR(p->ConvertTo(format));
@@ -440,6 +476,7 @@ void Engine::Unpersist(Table* table) {
 Result<std::vector<Record>> Engine::Collect(const Table& table,
                                             int64_t driver_memory_bytes) {
   const uint64_t op = NextOpSeq();
+  obs::ScopedSpan span(tracer_, "collect", "engine");
   std::vector<Record> all;
   int64_t bytes = 0;
   for (int i = 0; i < table.num_partitions(); ++i) {

@@ -16,6 +16,8 @@
 #include "dataflow/partition.h"
 #include "dataflow/record.h"
 #include "dataflow/spill.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace vista::df {
 
@@ -75,6 +77,12 @@ struct EngineConfig {
   /// instead of failing the job. Like Spark, recomputation re-runs the UDF,
   /// so UDFs must be deterministic (all of Vista's are).
   bool enable_lineage = true;
+  /// Metrics/trace sinks for the engine and its spill/cache components.
+  /// Null → the engine creates and owns private instances (tests stay
+  /// isolated); benches inject shared ones to aggregate several engines
+  /// into one exported profile.
+  obs::Registry* metrics = nullptr;
+  obs::TraceCollector* tracer = nullptr;
 };
 
 /// Counters the benches and tests inspect after running a plan.
@@ -111,6 +119,14 @@ class Engine {
   /// FaultInjector::Configure.
   FaultInjector& fault_injector() { return *injector_; }
   EngineStats stats() const;
+
+  /// The metrics registry and trace collector every engine component
+  /// reports into: op spans, task latency histograms, bytes-moved and
+  /// spill/cache counters. Engine-owned unless injected via EngineConfig.
+  obs::Registry& metrics() { return *metrics_; }
+  const obs::Registry& metrics() const { return *metrics_; }
+  obs::TraceCollector& tracer() { return *tracer_; }
+  const obs::TraceCollector& tracer() const { return *tracer_; }
 
   /// Total execution threads (num_workers * cpus_per_worker).
   int parallelism() const { return pool_->num_threads(); }
@@ -183,8 +199,20 @@ class Engine {
   std::unique_ptr<SpillManager> spill_;
   std::unique_ptr<StorageCache> cache_;
   std::unique_ptr<ThreadPool> pool_;
-  std::atomic<int64_t> shuffle_bytes_{0};
-  std::atomic<int64_t> broadcast_bytes_{0};
+  /// Backing instances when EngineConfig does not inject sinks.
+  std::unique_ptr<obs::Registry> owned_metrics_;
+  std::unique_ptr<obs::TraceCollector> owned_tracer_;
+  obs::Registry* metrics_ = nullptr;
+  obs::TraceCollector* tracer_ = nullptr;
+  /// Instruments are resolved once here; hot paths only touch atomics.
+  obs::Counter* c_shuffle_bytes_ = nullptr;
+  obs::Counter* c_broadcast_bytes_ = nullptr;
+  obs::Counter* c_map_tasks_ = nullptr;
+  obs::Counter* c_partitions_read_ = nullptr;
+  obs::Counter* c_records_out_ = nullptr;
+  obs::Counter* c_join_ops_ = nullptr;
+  obs::Histogram* h_map_task_ms_ = nullptr;
+  obs::Histogram* h_partition_read_ms_ = nullptr;
   std::atomic<int64_t> task_retries_{0};
   std::atomic<int64_t> recomputed_partitions_{0};
   std::atomic<uint64_t> op_seq_{1};

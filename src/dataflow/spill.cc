@@ -17,6 +17,17 @@ SpillManager::~SpillManager() {
   fs::remove_all(dir_, ec);
 }
 
+void SpillManager::set_metrics(obs::Registry* metrics) {
+  if (metrics == nullptr) return;
+  c_writes_ = metrics->counter("spill.writes");
+  c_reads_ = metrics->counter("spill.reads");
+  c_bytes_written_ = metrics->counter("spill.bytes_written");
+  c_bytes_read_ = metrics->counter("spill.bytes_read");
+  c_retries_ = metrics->counter("spill.io_retries");
+  h_write_ms_ = metrics->histogram("spill.write_ms");
+  h_read_ms_ = metrics->histogram("spill.read_ms");
+}
+
 std::string SpillManager::PathFor(int64_t key) const {
   return dir_ + "/part-" + std::to_string(key) + ".spill";
 }
@@ -44,6 +55,7 @@ Status SpillManager::WriteOnce(const std::string& path,
 
 Status SpillManager::Write(int64_t key, const std::vector<uint8_t>& blob) {
   const std::string path = PathFor(key);
+  obs::ScopedLatency latency(h_write_ms_);
   for (int attempt = 0;; ++attempt) {
     Status st =
         injector_ == nullptr
@@ -58,6 +70,7 @@ Status SpillManager::Write(int64_t key, const std::vector<uint8_t>& blob) {
       return st;
     }
     io_retries_.fetch_add(1);
+    if (c_retries_ != nullptr) c_retries_->Add(1);
     SleepForBackoff(retry_, static_cast<uint64_t>(key), attempt);
   }
   {
@@ -66,6 +79,10 @@ Status SpillManager::Write(int64_t key, const std::vector<uint8_t>& blob) {
   }
   bytes_written_.fetch_add(static_cast<int64_t>(blob.size()));
   num_spills_.fetch_add(1);
+  if (c_writes_ != nullptr) {
+    c_writes_->Add(1);
+    c_bytes_written_->Add(static_cast<int64_t>(blob.size()));
+  }
   return Status::OK();
 }
 
@@ -97,6 +114,7 @@ Result<std::vector<uint8_t>> SpillManager::Read(int64_t key) {
     size = it->second;
   }
   const std::string path = PathFor(key);
+  obs::ScopedLatency latency(h_read_ms_);
   for (int attempt = 0;; ++attempt) {
     Status st =
         injector_ == nullptr
@@ -108,6 +126,10 @@ Result<std::vector<uint8_t>> SpillManager::Read(int64_t key) {
     Result<std::vector<uint8_t>> blob = st.ok() ? ReadOnce(path, size) : st;
     if (blob.ok()) {
       bytes_read_.fetch_add(size);
+      if (c_reads_ != nullptr) {
+        c_reads_->Add(1);
+        c_bytes_read_->Add(size);
+      }
       return blob;
     }
     if (attempt + 1 >= retry_.max_attempts ||
@@ -115,6 +137,7 @@ Result<std::vector<uint8_t>> SpillManager::Read(int64_t key) {
       return blob;
     }
     io_retries_.fetch_add(1);
+    if (c_retries_ != nullptr) c_retries_->Add(1);
     SleepForBackoff(retry_, static_cast<uint64_t>(key), attempt);
   }
 }

@@ -11,6 +11,7 @@
 #include "common/fault_injector.h"
 #include "common/retry.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 
 namespace vista::df {
 
@@ -37,6 +38,11 @@ class SpillManager {
   /// manager. Null disables injection.
   void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
   void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
+
+  /// Reports spill counters and I/O latency histograms into `metrics`
+  /// ("spill.*" instruments, resolved once here). Null disables reporting;
+  /// the registry must outlive the manager.
+  void set_metrics(obs::Registry* metrics);
 
   /// Persists `blob` under `key` (overwrites any previous spill of `key`).
   /// Short writes and flush/close-time errors are detected and reported;
@@ -73,6 +79,14 @@ class SpillManager {
   std::atomic<int64_t> bytes_read_{0};
   std::atomic<int64_t> num_spills_{0};
   std::atomic<int64_t> io_retries_{0};
+  /// Obs instruments; all null until set_metrics is called.
+  obs::Counter* c_writes_ = nullptr;
+  obs::Counter* c_reads_ = nullptr;
+  obs::Counter* c_bytes_written_ = nullptr;
+  obs::Counter* c_bytes_read_ = nullptr;
+  obs::Counter* c_retries_ = nullptr;
+  obs::Histogram* h_write_ms_ = nullptr;
+  obs::Histogram* h_read_ms_ = nullptr;
 };
 
 }  // namespace vista::df

@@ -229,11 +229,23 @@ Result<Tensor> CnnModel::RunRange(const Tensor& input, int from,
                                         input.data(),
                                         input.data() + input.num_elements()));
   for (int li = from; li <= to; ++li) {
+    obs::ScopedLatency latency(
+        layer_forward_ms_.empty() ? nullptr : layer_forward_ms_[li]);
     for (const PrimitiveInstance& prim : layers_[li].primitives) {
       VISTA_ASSIGN_OR_RETURN(t, ApplyPrimitive(prim, t));
     }
   }
   return t;
+}
+
+void CnnModel::EnableProfiling(obs::Registry* registry) {
+  layer_forward_ms_.clear();
+  if (registry == nullptr) return;
+  layer_forward_ms_.reserve(arch_->num_layers());
+  for (int i = 0; i < arch_->num_layers(); ++i) {
+    layer_forward_ms_.push_back(registry->histogram(
+        "dl.forward_ms." + arch_->name() + "." + arch_->layer(i).name));
+  }
 }
 
 std::vector<const Tensor*> CnnModel::weight_tensors() const {

@@ -10,6 +10,7 @@
 #include "common/status.h"
 #include "dl/op_spec.h"
 #include "dl/primitive.h"
+#include "obs/metrics.h"
 #include "tensor/tensor.h"
 
 namespace vista::dl {
@@ -151,6 +152,13 @@ class CnnModel {
   /// models.
   Status SetWeights(const std::vector<Tensor>& weights);
 
+  /// Turns on per-layer forward-time profiling: every subsequent RunRange
+  /// records each logical layer's wall time into a
+  /// "dl.forward_ms.<arch>.<layer>" histogram in `registry` (instruments
+  /// resolved here, once). Null disables profiling again. The registry must
+  /// outlive the model.
+  void EnableProfiling(obs::Registry* registry);
+
  private:
   struct LayerInstance {
     std::vector<PrimitiveInstance> primitives;
@@ -158,6 +166,9 @@ class CnnModel {
 
   std::shared_ptr<const CnnArchitecture> arch_;
   std::vector<LayerInstance> layers_;
+  /// One histogram per logical layer when profiling is enabled; empty
+  /// otherwise (RunRange then skips all timing work).
+  std::vector<obs::Histogram*> layer_forward_ms_;
 };
 
 /// The paper's g_l ∘ (optional pooling): reduces a convolutional layer

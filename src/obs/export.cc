@@ -1,0 +1,118 @@
+#include "obs/export.h"
+
+#include <cstdio>
+
+namespace vista::obs {
+
+Json MetricsJson(const Registry& registry) {
+  Json counters = Json::Object();
+  for (const Counter* c : registry.counters()) {
+    counters.Set(c->name(), Json::Int(c->value()));
+  }
+  Json gauges = Json::Object();
+  for (const Gauge* g : registry.gauges()) {
+    Json entry = Json::Object();
+    entry.Set("value", Json::Int(g->value()));
+    entry.Set("max", Json::Int(g->max_value()));
+    gauges.Set(g->name(), std::move(entry));
+  }
+  Json histograms = Json::Object();
+  for (const Histogram* h : registry.histograms()) {
+    Json entry = Json::Object();
+    entry.Set("count", Json::Int(h->count()));
+    entry.Set("sum", Json::Num(h->sum()));
+    entry.Set("mean", Json::Num(h->mean()));
+    entry.Set("min", Json::Num(h->min_value()));
+    entry.Set("max", Json::Num(h->max_value()));
+    entry.Set("p50", Json::Num(h->Quantile(0.5)));
+    entry.Set("p95", Json::Num(h->Quantile(0.95)));
+    entry.Set("p99", Json::Num(h->Quantile(0.99)));
+    Json bounds = Json::Array();
+    for (double b : h->bounds()) bounds.Push(Json::Num(b));
+    entry.Set("bucket_bounds", std::move(bounds));
+    Json counts = Json::Array();
+    for (int64_t c : h->bucket_counts()) counts.Push(Json::Int(c));
+    entry.Set("bucket_counts", std::move(counts));
+    histograms.Set(h->name(), std::move(entry));
+  }
+  Json out = Json::Object();
+  out.Set("counters", std::move(counters));
+  out.Set("gauges", std::move(gauges));
+  out.Set("histograms", std::move(histograms));
+  return out;
+}
+
+Json SpansJson(const std::vector<Span>& spans) {
+  Json out = Json::Array();
+  for (const Span& s : spans) {
+    Json entry = Json::Object();
+    entry.Set("name", Json::Str(s.name));
+    entry.Set("category", Json::Str(s.category));
+    entry.Set("id", Json::Int(s.id));
+    entry.Set("parent_id", Json::Int(s.parent_id));
+    entry.Set("start_ns", Json::Int(s.start_ns));
+    entry.Set("end_ns", Json::Int(s.end_ns));
+    entry.Set("seconds", Json::Num(s.seconds()));
+    entry.Set("thread", Json::Int(static_cast<int64_t>(s.thread_id)));
+    out.Push(std::move(entry));
+  }
+  return out;
+}
+
+Json ProfileJson(const Registry* registry, const std::vector<Span>& spans) {
+  Json out = Json::Object();
+  Json stage_seconds = Json::Object();
+  for (const auto& [name, seconds] : AggregateSpanSeconds(spans, "stage")) {
+    stage_seconds.Set(name, Json::Num(seconds));
+  }
+  out.Set("stage_seconds", std::move(stage_seconds));
+  if (registry != nullptr) out.Set("metrics", MetricsJson(*registry));
+  out.Set("spans", SpansJson(spans));
+  return out;
+}
+
+Json ChromeTraceJson(const std::vector<Span>& spans) {
+  Json events = Json::Array();
+  for (const Span& s : spans) {
+    Json entry = Json::Object();
+    entry.Set("name", Json::Str(s.name));
+    entry.Set("cat", Json::Str(s.category.empty() ? "span" : s.category));
+    entry.Set("ph", Json::Str("X"));
+    entry.Set("ts", Json::Num(static_cast<double>(s.start_ns) / 1000.0));
+    entry.Set("dur",
+              Json::Num(static_cast<double>(s.end_ns - s.start_ns) / 1000.0));
+    entry.Set("pid", Json::Int(1));
+    entry.Set("tid", Json::Int(static_cast<int64_t>(s.thread_id % 100000)));
+    events.Push(std::move(entry));
+  }
+  Json out = Json::Object();
+  out.Set("traceEvents", std::move(events));
+  out.Set("displayTimeUnit", Json::Str("ms"));
+  return out;
+}
+
+std::map<std::string, double> AggregateSpanSeconds(
+    const std::vector<Span>& spans, const std::string& category) {
+  std::map<std::string, double> out;
+  for (const Span& s : spans) {
+    if (!category.empty() && s.category != category) continue;
+    out[s.name] += s.seconds();
+  }
+  return out;
+}
+
+Status WriteTextFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + path + " for writing");
+  }
+  const size_t written =
+      content.empty() ? 0 : std::fwrite(content.data(), 1, content.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != content.size() || !closed) {
+    return Status::IOError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace vista::obs

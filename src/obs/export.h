@@ -1,0 +1,41 @@
+#ifndef VISTA_OBS_EXPORT_H_
+#define VISTA_OBS_EXPORT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace vista::obs {
+
+/// JSON snapshot of every metric in `registry`:
+///   {"counters": {name: value}, "gauges": {...}, "histograms": {...}}
+Json MetricsJson(const Registry& registry);
+
+/// JSON array of span objects (name, category, ids, times in both ns and
+/// seconds).
+Json SpansJson(const std::vector<Span>& spans);
+
+/// One combined profile document — the machine-readable artifact benches
+/// and tests write. Either input may be null/empty.
+Json ProfileJson(const Registry* registry, const std::vector<Span>& spans);
+
+/// chrome://tracing ("trace event format") document: load the dumped file
+/// in chrome://tracing or Perfetto to see the per-thread span timeline.
+Json ChromeTraceJson(const std::vector<Span>& spans);
+
+/// Total seconds per span name, restricted to `category` (empty = all
+/// spans). The per-stage rollup Table 3-style reporting is built on.
+std::map<std::string, double> AggregateSpanSeconds(
+    const std::vector<Span>& spans, const std::string& category = "");
+
+/// Writes `content` to `path` (truncating), reporting I/O failures.
+Status WriteTextFile(const std::string& path, const std::string& content);
+
+}  // namespace vista::obs
+
+#endif  // VISTA_OBS_EXPORT_H_

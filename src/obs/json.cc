@@ -1,0 +1,191 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace vista::obs {
+
+Json Json::Object() {
+  Json j;
+  j.kind_ = Kind::kObject;
+  return j;
+}
+
+Json Json::Array() {
+  Json j;
+  j.kind_ = Kind::kArray;
+  return j;
+}
+
+Json Json::Str(std::string value) {
+  Json j;
+  j.kind_ = Kind::kStr;
+  j.str_ = std::move(value);
+  return j;
+}
+
+Json Json::Num(double value) {
+  Json j;
+  j.kind_ = Kind::kNum;
+  // NaN/inf are not representable in JSON; clamp to null-ish zero.
+  j.num_ = std::isfinite(value) ? value : 0.0;
+  return j;
+}
+
+Json Json::Int(int64_t value) {
+  Json j;
+  j.kind_ = Kind::kInt;
+  j.int_ = value;
+  return j;
+}
+
+Json Json::Bool(bool value) {
+  Json j;
+  j.kind_ = Kind::kBool;
+  j.bool_ = value;
+  return j;
+}
+
+Json Json::Null() { return Json(); }
+
+Json& Json::Set(std::string key, Json value) {
+  for (auto& [k, v] : members_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  members_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+Json& Json::Push(Json value) {
+  items_.push_back(std::move(value));
+  return *this;
+}
+
+size_t Json::size() const {
+  return kind_ == Kind::kObject ? members_.size() : items_.size();
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c) & 0xff);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void Json::DumpTo(std::string* out, int indent, int depth) const {
+  const std::string pad =
+      indent > 0 ? std::string(static_cast<size_t>(indent * (depth + 1)), ' ')
+                 : std::string();
+  const std::string close_pad =
+      indent > 0 ? std::string(static_cast<size_t>(indent * depth), ' ')
+                 : std::string();
+  const char* nl = indent > 0 ? "\n" : "";
+  const char* kv_sep = indent > 0 ? ": " : ":";
+  switch (kind_) {
+    case Kind::kNull:
+      *out += "null";
+      break;
+    case Kind::kBool:
+      *out += bool_ ? "true" : "false";
+      break;
+    case Kind::kInt: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%lld",
+                    static_cast<long long>(int_));
+      *out += buf;
+      break;
+    }
+    case Kind::kNum: {
+      char buf[40];
+      if (num_ == static_cast<double>(static_cast<int64_t>(num_))) {
+        std::snprintf(buf, sizeof(buf), "%lld.0",
+                      static_cast<long long>(num_));
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.9g", num_);
+      }
+      *out += buf;
+      break;
+    }
+    case Kind::kStr:
+      *out += '"';
+      *out += JsonEscape(str_);
+      *out += '"';
+      break;
+    case Kind::kArray: {
+      if (items_.empty()) {
+        *out += "[]";
+        break;
+      }
+      *out += '[';
+      *out += nl;
+      for (size_t i = 0; i < items_.size(); ++i) {
+        *out += pad;
+        items_[i].DumpTo(out, indent, depth + 1);
+        if (i + 1 < items_.size()) *out += ',';
+        *out += nl;
+      }
+      *out += close_pad;
+      *out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      if (members_.empty()) {
+        *out += "{}";
+        break;
+      }
+      *out += '{';
+      *out += nl;
+      for (size_t i = 0; i < members_.size(); ++i) {
+        *out += pad;
+        *out += '"';
+        *out += JsonEscape(members_[i].first);
+        *out += '"';
+        *out += kv_sep;
+        members_[i].second.DumpTo(out, indent, depth + 1);
+        if (i + 1 < members_.size()) *out += ',';
+        *out += nl;
+      }
+      *out += close_pad;
+      *out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+}  // namespace vista::obs

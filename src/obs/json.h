@@ -1,0 +1,57 @@
+#ifndef VISTA_OBS_JSON_H_
+#define VISTA_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vista::obs {
+
+/// Minimal ordered JSON document builder for the exporters and the bench
+/// reporters. Build-and-dump only (no parsing); object members keep
+/// insertion order so exports are stable and diffable.
+class Json {
+ public:
+  static Json Object();
+  static Json Array();
+  static Json Str(std::string value);
+  static Json Num(double value);
+  static Json Int(int64_t value);
+  static Json Bool(bool value);
+  static Json Null();
+
+  /// Adds/overwrites an object member. Requires an Object.
+  Json& Set(std::string key, Json value);
+  /// Appends an array element. Requires an Array.
+  Json& Push(Json value);
+
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  size_t size() const;
+
+  /// Serializes; indent 0 emits a single line, > 0 pretty-prints.
+  std::string Dump(int indent = 0) const;
+
+ private:
+  enum class Kind { kNull, kBool, kInt, kNum, kStr, kArray, kObject };
+
+  Json() = default;
+
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double num_ = 0;
+  std::string str_;
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+/// Escapes `s` for embedding in a JSON string literal (no quotes added).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace vista::obs
+
+#endif  // VISTA_OBS_JSON_H_

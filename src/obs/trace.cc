@@ -1,0 +1,91 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <functional>
+#include <thread>
+#include <utility>
+
+namespace vista::obs {
+
+namespace {
+
+/// Active-span stack of the current thread. Entries carry the owning
+/// collector so nested spans against different collectors do not adopt
+/// each other as parents.
+thread_local std::vector<std::pair<TraceCollector*, int64_t>> tl_span_stack;
+
+uint64_t CurrentThreadTag() {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id());
+}
+
+}  // namespace
+
+TraceCollector::TraceCollector() : epoch_(std::chrono::steady_clock::now()) {}
+
+int64_t TraceCollector::NowNs() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+int64_t TraceCollector::NextId() { return next_id_.fetch_add(1); }
+
+void TraceCollector::Add(Span span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(std::move(span));
+}
+
+size_t TraceCollector::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+std::vector<Span> TraceCollector::SpansSince(size_t first_index) const {
+  std::vector<Span> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (first_index < spans_.size()) {
+      out.assign(spans_.begin() + static_cast<int64_t>(first_index),
+                 spans_.end());
+    }
+  }
+  std::stable_sort(out.begin(), out.end(), [](const Span& a, const Span& b) {
+    return a.start_ns < b.start_ns;
+  });
+  return out;
+}
+
+ScopedSpan::ScopedSpan(TraceCollector* collector, std::string name,
+                       std::string category)
+    : collector_(collector) {
+  if (collector_ == nullptr) return;
+  span_.name = std::move(name);
+  span_.category = std::move(category);
+  span_.id = collector_->NextId();
+  span_.thread_id = CurrentThreadTag();
+  // Parent: innermost active span on this thread for the same collector.
+  for (auto it = tl_span_stack.rbegin(); it != tl_span_stack.rend(); ++it) {
+    if (it->first == collector_) {
+      span_.parent_id = it->second;
+      break;
+    }
+  }
+  tl_span_stack.emplace_back(collector_, span_.id);
+  span_.start_ns = collector_->NowNs();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (collector_ == nullptr) return;
+  span_.end_ns = collector_->NowNs();
+  // Normally our entry is the top of the stack; erase defensively so a
+  // non-LIFO destruction order cannot corrupt sibling entries.
+  for (auto it = tl_span_stack.rbegin(); it != tl_span_stack.rend(); ++it) {
+    if (it->first == collector_ && it->second == span_.id) {
+      tl_span_stack.erase(std::next(it).base());
+      break;
+    }
+  }
+  collector_->Add(std::move(span_));
+}
+
+}  // namespace vista::obs

@@ -1,0 +1,89 @@
+#ifndef VISTA_OBS_TRACE_H_
+#define VISTA_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace vista::obs {
+
+/// One completed trace span: a named, timed interval with parent/child
+/// nesting. Timestamps are nanoseconds since the owning collector's epoch,
+/// so spans from one collector are directly comparable and export cleanly
+/// to the chrome://tracing timeline.
+struct Span {
+  std::string name;
+  /// Coarse grouping for aggregation ("stage", "engine", "spill", ...).
+  std::string category;
+  int64_t id = 0;
+  /// 0 = root (no enclosing span on this thread for this collector).
+  int64_t parent_id = 0;
+  int64_t start_ns = 0;
+  int64_t end_ns = 0;
+  /// Stable per-thread tag (hash of std::thread::id).
+  uint64_t thread_id = 0;
+
+  double seconds() const {
+    return static_cast<double>(end_ns - start_ns) * 1e-9;
+  }
+};
+
+/// Thread-safe collector of completed spans. Span begin/end bookkeeping is
+/// thread-local; a collector mutex is taken once per span completion, which
+/// is orders of magnitude rarer than counter updates — cheap enough for
+/// per-operator instrumentation.
+class TraceCollector {
+ public:
+  TraceCollector();
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+  /// Number of completed spans so far. Use as a mark before a run, then
+  /// SpansSince(mark) to slice out just that run's spans.
+  size_t size() const;
+  /// Copy of spans [first_index, size()), ordered by start time.
+  std::vector<Span> SpansSince(size_t first_index) const;
+  /// Copy of all completed spans, ordered by start time.
+  std::vector<Span> spans() const { return SpansSince(0); }
+
+  /// Nanoseconds since this collector's construction.
+  int64_t NowNs() const;
+
+ private:
+  friend class ScopedSpan;
+  int64_t NextId();
+  void Add(Span span);
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<int64_t> next_id_{1};
+  mutable std::mutex mu_;
+  std::vector<Span> spans_;
+};
+
+/// RAII span: records begin at construction, completes and hands the span
+/// to the collector at destruction. Nesting is tracked per (thread,
+/// collector) so sibling collectors never see each other's parents. A null
+/// collector makes the whole object a no-op, letting instrumentation sites
+/// stay unconditional.
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceCollector* collector, std::string name,
+             std::string category = "");
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Id of this span (0 when disabled); usable as an explicit parent.
+  int64_t id() const { return span_.id; }
+
+ private:
+  TraceCollector* collector_;
+  Span span_;
+};
+
+}  // namespace vista::obs
+
+#endif  // VISTA_OBS_TRACE_H_

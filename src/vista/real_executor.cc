@@ -6,6 +6,7 @@
 
 #include "common/stopwatch.h"
 #include "features/synthetic.h"
+#include "obs/export.h"
 #include "tensor/ops.h"
 
 namespace vista {
@@ -278,10 +279,12 @@ Status RealExecutor::RunSteps(const CompiledPlan& plan,
   for (const PlanStep& step : plan.steps) {
     switch (step.kind) {
       case PlanStep::Kind::kReadStruct: {
+        obs::ScopedSpan span(&engine_->tracer(), "read", "stage");
         tables[step.output] = TableState{t_str, {}, false};
         break;
       }
       case PlanStep::Kind::kReadImages: {
+        obs::ScopedSpan span(&engine_->tracer(), "read", "stage");
         TableState state;
         state.table = t_img;
         if (plan.pre_materialized_base) {
@@ -296,6 +299,7 @@ Status RealExecutor::RunSteps(const CompiledPlan& plan,
         if (left == tables.end() || right == tables.end()) {
           return Status::Internal("join references unknown table");
         }
+        obs::ScopedSpan span(&engine_->tracer(), "join", "stage");
         VISTA_ASSIGN_OR_RETURN(
             df::Table joined,
             engine_->Join(left->second.table, right->second.table,
@@ -311,6 +315,7 @@ Status RealExecutor::RunSteps(const CompiledPlan& plan,
         if (in == tables.end()) {
           return Status::Internal("inference references unknown table");
         }
+        obs::ScopedSpan span(&engine_->tracer(), "inference", "stage");
         Stopwatch watch;
         int64_t flops = 0;
         VISTA_ASSIGN_OR_RETURN(
@@ -344,6 +349,7 @@ Status RealExecutor::RunSteps(const CompiledPlan& plan,
         if (in == tables.end()) {
           return Status::Internal("train references unknown table");
         }
+        obs::ScopedSpan span(&engine_->tracer(), "train", "stage");
         VISTA_ASSIGN_OR_RETURN(
             LayerRunResult lr,
             RunTrain(step, workload, in->second.table, config));
@@ -366,6 +372,7 @@ Status RealExecutor::RunSteps(const CompiledPlan& plan,
         if (in == tables.end()) {
           return Status::Internal("persist references unknown table");
         }
+        obs::ScopedSpan span(&engine_->tracer(), "persistence", "stage");
         // Mark before persisting: a Persist that fails partway leaves some
         // partitions in the cache, and RunOnce's cleanup must release them
         // (Unpersist is a no-op for partitions that never made it in).
@@ -396,6 +403,8 @@ Result<RealRunResult> RealExecutor::RunOnce(const CompiledPlan& plan,
   Stopwatch total_watch;
   RealRunResult run;
   std::map<std::string, TableState> tables;
+  // Slice this attempt's spans out of the (possibly shared) collector.
+  const size_t span_mark = engine_->tracer().size();
   Status st = RunSteps(plan, workload, t_str, t_img, config, &tables, &run);
   // Unpersist whatever the attempt left in managed storage — on failure so
   // a degraded re-run starts from clean Storage memory, on success so
@@ -413,6 +422,8 @@ Result<RealRunResult> RealExecutor::RunOnce(const CompiledPlan& plan,
   run.total_seconds = total_watch.ElapsedSeconds();
   run.engine_stats = engine_->stats();
   run.recovery = run.engine_stats.recovery;
+  run.spans = engine_->tracer().SpansSince(span_mark);
+  run.stage_seconds = obs::AggregateSpanSeconds(run.spans, "stage");
   return run;
 }
 

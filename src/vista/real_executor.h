@@ -8,6 +8,7 @@
 #include "common/status.h"
 #include "dataflow/engine.h"
 #include "dl/cnn.h"
+#include "obs/trace.h"
 #include "ml/decision_tree.h"
 #include "ml/logistic_regression.h"
 #include "ml/metrics.h"
@@ -70,6 +71,14 @@ struct RealRunResult {
   /// Recovery counters for this executor's engine (retries, lineage
   /// recomputations, injected faults) plus the degradations taken above.
   RecoveryStats recovery;
+  /// Wall seconds per pipeline stage ("read", "join", "inference",
+  /// "persistence", "train"), aggregated from the stage spans below — the
+  /// paper's Table 3 drill-down measured on the real executor.
+  std::map<std::string, double> stage_seconds;
+  /// Trace spans recorded during this run (the successful attempt only,
+  /// when auto-degradation re-ran the plan). Feed to obs::ProfileJson or
+  /// obs::ChromeTraceJson to export.
+  std::vector<obs::Span> spans;
 };
 
 /// Executes compiled plans on the local dataflow engine with a real CNN —

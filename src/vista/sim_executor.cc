@@ -379,4 +379,51 @@ Result<sim::SimResult> SimExecutor::SimulatePreMaterialization(
   return cluster.Run(stages);
 }
 
+std::vector<obs::Span> SimResultSpans(const sim::SimResult& result) {
+  std::vector<obs::Span> spans;
+  spans.reserve(result.stages.size() * 6);
+  int64_t next_id = 1;
+  int64_t cursor_ns = 0;
+  for (const sim::StageResult& stage : result.stages) {
+    obs::Span s;
+    s.name = stage.name;
+    s.category = "stage";
+    s.id = next_id++;
+    s.start_ns = cursor_ns;
+    s.end_ns = cursor_ns + static_cast<int64_t>(stage.seconds * 1e9);
+    const struct {
+      const char* name;
+      double seconds;
+    } components[] = {
+        {"compute", stage.compute_seconds},
+        {"disk", stage.disk_seconds},
+        {"network", stage.network_seconds},
+        {"spill", stage.spill_seconds},
+        {"overhead", stage.overhead_seconds},
+    };
+    // Components are laid end to end inside the stage; the barrier model
+    // makes them sequential anyway.
+    int64_t child_cursor = s.start_ns;
+    for (const auto& c : components) {
+      if (c.seconds <= 0) continue;
+      obs::Span child;
+      child.name = c.name;
+      child.category = "component";
+      child.id = next_id++;
+      child.parent_id = s.id;
+      child.start_ns = child_cursor;
+      child.end_ns = child_cursor + static_cast<int64_t>(c.seconds * 1e9);
+      child_cursor = child.end_ns;
+      spans.push_back(std::move(child));
+    }
+    cursor_ns = s.end_ns;
+    spans.push_back(std::move(s));
+  }
+  std::sort(spans.begin(), spans.end(),
+            [](const obs::Span& a, const obs::Span& b) {
+              return a.start_ns < b.start_ns;
+            });
+  return spans;
+}
+
 }  // namespace vista

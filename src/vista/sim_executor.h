@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "obs/trace.h"
 #include "sim/cluster.h"
 #include "vista/estimator.h"
 #include "vista/plans.h"
@@ -60,6 +61,13 @@ class SimExecutor {
  private:
   const RosterEntry* entry_;
 };
+
+/// Converts a simulated run's stage results into synthetic sequential trace
+/// spans: one "stage"-category span per stage laid end to end on the
+/// simulated timeline, with "component" child spans for the compute / disk /
+/// network / spill / overhead cost slices. Lets sim-based benches feed the
+/// same obs exporters (ProfileJson, ChromeTraceJson) as real runs.
+std::vector<obs::Span> SimResultSpans(const sim::SimResult& result);
 
 }  // namespace vista
 

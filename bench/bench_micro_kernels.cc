@@ -1,18 +1,34 @@
 // Microbenchmarks (google-benchmark) for the performance-critical kernels:
 // convolution, partial inference, join operators, record serialization,
 // and the Vista optimizer itself.
+//
+// `--smoke` skips google-benchmark and runs the kernel smoke suite
+// instead: naive-vs-packed GEMM on a conv-shaped 256x1152x196 problem,
+// batched-inference thread scaling, and the scratch-arena reuse counters,
+// written as a machine-readable report (default BENCH_smoke_kernels.json,
+// override with `--out <path>`) — the input to the CI bench-regression
+// gate (scripts/bench_regression.py).
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <thread>
+
+#include "bench/bench_util.h"
 #include "common/random.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "dataflow/engine.h"
 #include "dl/model_zoo.h"
+#include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "tensor/ops.h"
 #include "dl/dag.h"
 #include "features/hog.h"
 #include "tensor/gemm.h"
+#include "tensor/gemm_kernel.h"
+#include "tensor/scratch.h"
 #include "vista/optimizer.h"
 
 namespace vista {
@@ -236,7 +252,150 @@ void BM_DagStagedPlanner(benchmark::State& state) {
 }
 BENCHMARK(BM_DagStagedPlanner);
 
+/// Median-of-reps wall time of `fn`, in milliseconds.
+template <typename Fn>
+double TimeMs(int reps, Fn&& fn) {
+  std::vector<double> times;
+  times.reserve(reps);
+  for (int i = 0; i < reps; ++i) {
+    Stopwatch watch;
+    fn();
+    times.push_back(watch.ElapsedSeconds() * 1e3);
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+/// The kernel smoke suite. Latency numbers are machine-dependent and only
+/// reported; the regression gate compares the machine-independent ratios
+/// (speedup, efficiency) so a slower CI runner does not fail the build.
+int RunKernelSmoke(int argc, char** argv) {
+  bench::Banner("kernels", "packed GEMM and batched inference smoke suite");
+  bench::BenchReporter reporter(
+      "micro_kernels",
+      "smoke: naive vs packed GEMM (256x1152x196), batched inference "
+      "scaling, scratch arena reuse");
+  obs::Registry registry;
+
+  // --- Packed vs naive GEMM on the conv-shaped problem: 256 filters over
+  // a 128-channel 3x3 patch matrix (k = 1152) at 14x14 output (n = 196).
+  {
+    const int64_t m = 256, k = 1152, n = 196;
+    Rng rng(1);
+    Tensor a = Tensor::RandomGaussian(Shape{m, k}, &rng);
+    Tensor b = Tensor::RandomGaussian(Shape{k, n}, &rng);
+    (void)MatMulReference(a, b);  // Warm-up (page-in, arena growth).
+    (void)MatMul(a, b);
+    const double naive_ms =
+        TimeMs(5, [&] { benchmark::DoNotOptimize(MatMulReference(a, b)); });
+    const int64_t flops_before = GemmFlopsTotal();
+    const double packed_ms =
+        TimeMs(15, [&] { benchmark::DoNotOptimize(MatMul(a, b)); });
+    const int64_t flops_per_call = 2 * m * n * k;
+    const double gflops = static_cast<double>(flops_per_call) /
+                          (packed_ms * 1e-3) / 1e9;
+    const double speedup = naive_ms / packed_ms;
+    registry.gauge("gemm_gflops")->Set(static_cast<int64_t>(gflops));
+    (void)flops_before;
+
+    obs::Json gemm = obs::Json::Object();
+    gemm.Set("m", obs::Json::Int(m));
+    gemm.Set("k", obs::Json::Int(k));
+    gemm.Set("n", obs::Json::Int(n));
+    gemm.Set("naive_ms", obs::Json::Num(naive_ms));
+    gemm.Set("packed_ms", obs::Json::Num(packed_ms));
+    gemm.Set("speedup", obs::Json::Num(speedup));
+    gemm.Set("gflops", obs::Json::Num(gflops));
+    reporter.AddSection("gemm_256x1152x196", std::move(gemm));
+    std::printf("gemm 256x1152x196: naive %.2f ms, packed %.2f ms "
+                "(%.2fx, %.1f GFLOP/s)\n",
+                naive_ms, packed_ms, speedup, gflops);
+  }
+
+  // --- Batched partial inference: 8 images through MicroAlexNet, serial
+  // vs a 4-thread pool in inter-image mode. Efficiency is reported both
+  // raw (speedup / threads) and normalized to the cores actually available
+  // — on a 1-2 core CI runner the raw number cannot approach 1 no matter
+  // how good the scheduling is.
+  {
+    auto arch = dl::MicroAlexNetArch();
+    auto model = dl::CnnModel::Instantiate(*arch, 3);
+    model->EnableProfiling(&registry);  // dl.forward_ms.* + dl.flops.*
+    Rng rng(2);
+    std::vector<Tensor> images;
+    for (int i = 0; i < 8; ++i) {
+      images.push_back(Tensor::RandomGaussian(Shape{3, 32, 32}, &rng));
+    }
+    const int last = arch->num_layers() - 1;
+    (void)model->RunRangeBatch(images, 0, last);  // Warm-up.
+    const double serial_ms = TimeMs(5, [&] {
+      benchmark::DoNotOptimize(model->RunRangeBatch(images, 0, last));
+    });
+    const int threads = 4;
+    ThreadPool pool(threads);
+    dl::CnnOptions opts;
+    opts.pool = &pool;
+    opts.parallelism = dl::CnnParallelism::kInterImage;
+    (void)model->RunRangeBatch(images, 0, last, opts);
+    const double parallel_ms = TimeMs(5, [&] {
+      benchmark::DoNotOptimize(model->RunRangeBatch(images, 0, last, opts));
+    });
+    const double speedup = serial_ms / parallel_ms;
+    const int available =
+        std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+    const int effective = std::min(threads, available);
+    obs::Json batched = obs::Json::Object();
+    batched.Set("images", obs::Json::Int(8));
+    batched.Set("threads", obs::Json::Int(threads));
+    batched.Set("available_cores", obs::Json::Int(available));
+    batched.Set("serial_ms", obs::Json::Num(serial_ms));
+    batched.Set("parallel_ms", obs::Json::Num(parallel_ms));
+    batched.Set("speedup", obs::Json::Num(speedup));
+    batched.Set("efficiency_raw", obs::Json::Num(speedup / threads));
+    batched.Set("efficiency_normalized",
+                obs::Json::Num(speedup / effective));
+    reporter.AddSection("batched_inference", std::move(batched));
+    std::printf("batched inference x8: serial %.2f ms, %d threads %.2f ms "
+                "(%.2fx, efficiency %.2f raw / %.2f over %d cores)\n",
+                serial_ms, threads, parallel_ms, speedup, speedup / threads,
+                speedup / effective, effective);
+  }
+
+  // --- Scratch arena: after the runs above every kernel call must be
+  // served from the warm arena (the zero-alloc contract gemm_test asserts).
+  {
+    KernelScratch& scratch = KernelScratch::ThreadLocal();
+    obs::Json arena = obs::Json::Object();
+    arena.Set("allocations", obs::Json::Int(scratch.allocations()));
+    arena.Set("reuses", obs::Json::Int(scratch.reuses()));
+    arena.Set("capacity_floats", obs::Json::Int(scratch.capacity_floats()));
+    reporter.AddSection("scratch_arena", std::move(arena));
+  }
+
+  // Full metrics snapshot: the gemm_gflops gauge plus the per-layer
+  // dl.forward_ms histograms and dl.flops counters from profiling.
+  reporter.AddSection("metrics", obs::MetricsJson(registry));
+
+  const std::string out =
+      bench::FlagValue(argc, argv, "--out", "BENCH_smoke_kernels.json");
+  const Status written = reporter.Write(out);
+  if (!written.ok()) {
+    std::fprintf(stderr, "error: %s\n", written.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace vista
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  if (vista::bench::HasFlag(argc, argv, "--smoke")) {
+    return vista::RunKernelSmoke(argc, argv);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Kernel bench regression gate.
+
+Compares a fresh BENCH_smoke_kernels.json (bench_micro_kernels --smoke)
+against the committed baseline and fails when a tracked metric regresses
+by more than the tolerance (default 25%).
+
+Only machine-independent *ratio* metrics are compared — speedup and
+efficiency — never raw milliseconds: CI runners differ wildly in clock
+speed and core count, so absolute timings would gate on the hardware
+lottery instead of the code. Raw latencies from both files are printed
+for humans.
+
+Usage:
+    scripts/bench_regression.py CURRENT.json [--baseline PATH]
+                                [--tolerance 0.25] [--update]
+
+On the first run (no baseline file) the current report is written as the
+baseline and the gate passes; commit the generated file. `--update`
+forces rewriting the baseline.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+DEFAULT_BASELINE = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), os.pardir, "bench",
+    "baselines", "bench_kernels_baseline.json")
+
+# (section, key) pairs gated on: higher is better for all of them.
+TRACKED = [
+    ("gemm_256x1152x196", "speedup"),
+    ("batched_inference", "efficiency_normalized"),
+]
+
+# Informational only (printed, never gated): machine-dependent.
+INFORMATIONAL = [
+    ("gemm_256x1152x196", "naive_ms"),
+    ("gemm_256x1152x196", "packed_ms"),
+    ("gemm_256x1152x196", "gflops"),
+    ("batched_inference", "serial_ms"),
+    ("batched_inference", "parallel_ms"),
+    ("batched_inference", "efficiency_raw"),
+]
+
+
+def metric(report, section, key):
+    try:
+        return float(report["extras"][section][key])
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="fresh BENCH_smoke_kernels.json")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE)
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional regression (default 0.25)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from the current report")
+    args = parser.parse_args()
+
+    with open(args.current) as f:
+        current = json.load(f)
+
+    if args.update or not os.path.exists(args.baseline):
+        os.makedirs(os.path.dirname(args.baseline), exist_ok=True)
+        with open(args.baseline, "w") as f:
+            json.dump(current, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"baseline written to {args.baseline}; commit it")
+        return 0
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+
+    print(f"{'metric':45s} {'baseline':>10s} {'current':>10s} {'ratio':>7s}")
+    for section, key in INFORMATIONAL:
+        base, cur = (metric(r, section, key) for r in (baseline, current))
+        if base is None or cur is None:
+            continue
+        ratio = cur / base if base else float("inf")
+        print(f"  [info] {section}.{key:30s} {base:10.3f} {cur:10.3f} "
+              f"{ratio:6.2f}x")
+
+    failures = []
+    for section, key in TRACKED:
+        name = f"{section}.{key}"
+        base = metric(baseline, section, key)
+        cur = metric(current, section, key)
+        if base is None:
+            print(f"  [skip] {name}: not in baseline")
+            continue
+        if cur is None:
+            failures.append(f"{name}: missing from current report")
+            continue
+        floor = base * (1.0 - args.tolerance)
+        status = "ok" if cur >= floor else "REGRESSED"
+        print(f"  [{status:>4s}] {name:36s} {base:10.3f} {cur:10.3f} "
+              f"(floor {floor:.3f})")
+        if cur < floor:
+            failures.append(
+                f"{name}: {cur:.3f} < {floor:.3f} "
+                f"({args.tolerance:.0%} below baseline {base:.3f})")
+
+    if failures:
+        print("\nbench regression gate FAILED:", file=sys.stderr)
+        for f_ in failures:
+            print(f"  - {f_}", file=sys.stderr)
+        print("(if intentional, refresh with --update and commit the "
+              "new baseline)", file=sys.stderr)
+        return 1
+    print("\nbench regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

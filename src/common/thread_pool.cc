@@ -1,6 +1,8 @@
 #include "common/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
+#include <memory>
 
 #include "common/logging.h"
 
@@ -40,26 +42,55 @@ void ThreadPool::WaitIdle() {
 void ThreadPool::ParallelFor(int64_t n,
                              const std::function<void(int64_t)>& fn) {
   if (n <= 0) return;
-  std::atomic<int64_t> next{0};
-  const int workers = num_threads();
-  int done = 0;
-  std::mutex done_mu;
-  std::condition_variable done_cv;
-  for (int w = 0; w < workers; ++w) {
-    Submit([&] {
-      for (int64_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
-        fn(i);
+  if (n == 1) {
+    // Single iteration: run inline, skip all coordination.
+    fn(0);
+    return;
+  }
+  // Shared loop state outlives this frame via shared_ptr: helper tasks that
+  // only start after the loop has finished (the caller drained it alone)
+  // still observe next >= n through valid memory and return without ever
+  // touching `fn`, which is only dereferenced for claims made before the
+  // caller's exit condition (next >= n and in_flight == 0) became true.
+  struct LoopState {
+    explicit LoopState(int64_t n, const std::function<void(int64_t)>& fn)
+        : n(n), fn(&fn) {}
+    const int64_t n;
+    const std::function<void(int64_t)>* fn;
+    std::atomic<int64_t> next{0};
+    std::atomic<int> in_flight{0};
+    std::mutex mu;
+    std::condition_variable done;
+  };
+  auto state = std::make_shared<LoopState>(n, fn);
+  // The caller participates too, so submit at most enough helpers to fill
+  // the rest of the pool (and never more than the remaining iterations).
+  const int64_t helpers = std::min<int64_t>(num_threads() - 1, n - 1);
+  for (int64_t w = 0; w < helpers; ++w) {
+    Submit([state] {
+      // All loop-state atomics are seq_cst: the caller's exit check below
+      // relies on the total order (register-before-claim here implies
+      // visible-at-wait there) to never return while a claim is running.
+      state->in_flight.fetch_add(1);
+      for (int64_t i = state->next.fetch_add(1); i < state->n;
+           i = state->next.fetch_add(1)) {
+        (*state->fn)(i);
       }
-      // The ++done must be the worker's last touch of this frame and must
-      // happen under the mutex: once done == workers the waiter may return
-      // and destroy everything captured by reference, so no access — not
-      // even of `workers` — may follow outside the critical section.
-      std::lock_guard<std::mutex> lock(done_mu);
-      if (++done == workers) done_cv.notify_all();
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (state->in_flight.fetch_sub(1) == 1) {
+        state->done.notify_all();
+      }
     });
   }
-  std::unique_lock<std::mutex> lock(done_mu);
-  done_cv.wait(lock, [&] { return done == workers; });
+  // Caller-inclusive claim loop: guarantees forward progress even when all
+  // workers are blocked in nested ParallelFor calls of their own.
+  for (int64_t i = state->next.fetch_add(1); i < n;
+       i = state->next.fetch_add(1)) {
+    fn(i);
+  }
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done.wait(lock,
+                   [&] { return state->in_flight.load() == 0; });
 }
 
 void ThreadPool::WorkerLoop() {

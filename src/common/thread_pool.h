@@ -32,6 +32,12 @@ class ThreadPool {
   int num_threads() const { return static_cast<int>(threads_.size()); }
 
   /// Runs `fn(i)` for i in [0, n) across the pool and waits for completion.
+  ///
+  /// Caller-inclusive: the calling thread claims iterations alongside the
+  /// workers, so nested calls from inside a pool task always make progress
+  /// even when every worker is busy — kernels may parallelize inside engine
+  /// map tasks without deadlock. Iterations are claimed from a shared
+  /// atomic counter (self-balancing for skewed per-iteration cost).
   void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn);
 
  private:

@@ -131,6 +131,11 @@ class Engine {
   /// Total execution threads (num_workers * cpus_per_worker).
   int parallelism() const { return pool_->num_threads(); }
 
+  /// The engine's worker pool, for UDFs that parallelize internally (e.g.
+  /// batched CNN inference). ParallelFor is caller-inclusive, so nesting it
+  /// inside an engine map task cannot deadlock; see thread_pool.h.
+  ThreadPool* pool() { return pool_.get(); }
+
   /// Hash-partitions `records` by id into `num_partitions` partitions.
   Result<Table> MakeTable(std::vector<Record> records, int num_partitions);
 

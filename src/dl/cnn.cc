@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/thread_pool.h"
 #include "tensor/gemm.h"
 #include "tensor/ops.h"
 
@@ -204,8 +205,8 @@ Result<Tensor> CnnModel::Run(const Tensor& image) const {
   return RunRange(image, 0, arch_->num_layers() - 1);
 }
 
-Result<Tensor> CnnModel::RunRange(const Tensor& input, int from,
-                                  int to) const {
+Result<Tensor> CnnModel::RunRange(const Tensor& input, int from, int to,
+                                  ThreadPool* pool) const {
   if (from < 0 || to >= arch_->num_layers() || from > to) {
     return Status::InvalidArgument(
         "RunRange: bad layer range [" + std::to_string(from) + ", " +
@@ -231,20 +232,58 @@ Result<Tensor> CnnModel::RunRange(const Tensor& input, int from,
   for (int li = from; li <= to; ++li) {
     obs::ScopedLatency latency(
         layer_forward_ms_.empty() ? nullptr : layer_forward_ms_[li]);
+    if (!layer_flops_.empty()) layer_flops_[li]->Add(arch_->layer(li).flops);
     for (const PrimitiveInstance& prim : layers_[li].primitives) {
-      VISTA_ASSIGN_OR_RETURN(t, ApplyPrimitive(prim, t));
+      VISTA_ASSIGN_OR_RETURN(t, ApplyPrimitive(prim, t, pool));
     }
   }
   return t;
 }
 
+Result<std::vector<Tensor>> CnnModel::RunRangeBatch(
+    const std::vector<Tensor>& inputs, int from, int to,
+    const CnnOptions& opts) const {
+  std::vector<Tensor> out(inputs.size());
+  if (inputs.empty()) return out;
+  ThreadPool* pool = opts.pool;
+  const bool inter = opts.parallelism == CnnParallelism::kInterImage &&
+                     pool != nullptr && pool->num_threads() > 1 &&
+                     inputs.size() > 1;
+  if (!inter) {
+    // Serial over images; a non-null pool is spent inside each kernel.
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      VISTA_ASSIGN_OR_RETURN(out[i], RunRange(inputs[i], from, to, pool));
+    }
+    return out;
+  }
+  // One task per image, each with serial kernels; failures land in
+  // per-image Status slots (pool tasks must not throw).
+  std::vector<Status> statuses(inputs.size());
+  pool->ParallelFor(static_cast<int64_t>(inputs.size()), [&](int64_t i) {
+    auto run = RunRange(inputs[i], from, to, /*pool=*/nullptr);
+    if (run.ok()) {
+      out[i] = std::move(run).value();
+    } else {
+      statuses[i] = run.status();
+    }
+  });
+  for (const Status& s : statuses) {
+    VISTA_RETURN_IF_ERROR(s);
+  }
+  return out;
+}
+
 void CnnModel::EnableProfiling(obs::Registry* registry) {
   layer_forward_ms_.clear();
+  layer_flops_.clear();
   if (registry == nullptr) return;
   layer_forward_ms_.reserve(arch_->num_layers());
+  layer_flops_.reserve(arch_->num_layers());
   for (int i = 0; i < arch_->num_layers(); ++i) {
-    layer_forward_ms_.push_back(registry->histogram(
-        "dl.forward_ms." + arch_->name() + "." + arch_->layer(i).name));
+    const std::string suffix = arch_->name() + "." + arch_->layer(i).name;
+    layer_forward_ms_.push_back(
+        registry->histogram("dl.forward_ms." + suffix));
+    layer_flops_.push_back(registry->counter("dl.flops." + suffix));
   }
 }
 

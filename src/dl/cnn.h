@@ -13,7 +13,28 @@
 #include "obs/metrics.h"
 #include "tensor/tensor.h"
 
+namespace vista {
+class ThreadPool;
+}
+
 namespace vista::dl {
+
+/// How batched partial inference spends a thread pool (the engine's `cpu`
+/// knob, spent one of two ways).
+enum class CnnParallelism {
+  /// One task per image; each image's kernels run single-threaded. Best
+  /// throughput when the batch is at least as wide as the pool.
+  kInterImage,
+  /// Images run in order; each convolution parallelizes its GEMM row tiles
+  /// across the pool. Best latency for small batches or huge layers.
+  kIntraImage,
+};
+
+/// Threading choices for RunRangeBatch. Null pool = serial everything.
+struct CnnOptions {
+  ThreadPool* pool = nullptr;
+  CnnParallelism parallelism = CnnParallelism::kInterImage;
+};
 
 /// Analytic statistics of one logical layer (a paper-sense CNN layer f_i).
 struct LayerStat {
@@ -135,8 +156,19 @@ class CnnModel {
 
   /// Partial inference f̂_{from→to}: `input` must be the output of logical
   /// layer `from - 1` (or the raw image iff from == 0); runs logical layers
-  /// [from, to] inclusive.
-  Result<Tensor> RunRange(const Tensor& input, int from, int to) const;
+  /// [from, to] inclusive. A non-null `pool` parallelizes each convolution
+  /// across its GEMM row tiles (intra-image parallelism).
+  Result<Tensor> RunRange(const Tensor& input, int from, int to,
+                          ThreadPool* pool = nullptr) const;
+
+  /// Batched partial inference: RunRange over every tensor in `inputs`,
+  /// spending `opts.pool` per `opts.parallelism` — either one pool task per
+  /// image (kInterImage) or pool-parallel kernels inside each image in turn
+  /// (kIntraImage). Results are positionally aligned with `inputs`; the
+  /// first per-image failure aborts the batch.
+  Result<std::vector<Tensor>> RunRangeBatch(const std::vector<Tensor>& inputs,
+                                            int from, int to,
+                                            const CnnOptions& opts = {}) const;
 
   /// f̂_l: raw image through logical layer `to`.
   Result<Tensor> RunTo(const Tensor& image, int to) const {
@@ -152,11 +184,13 @@ class CnnModel {
   /// models.
   Status SetWeights(const std::vector<Tensor>& weights);
 
-  /// Turns on per-layer forward-time profiling: every subsequent RunRange
+  /// Turns on per-layer forward profiling: every subsequent RunRange
   /// records each logical layer's wall time into a
-  /// "dl.forward_ms.<arch>.<layer>" histogram in `registry` (instruments
-  /// resolved here, once). Null disables profiling again. The registry must
-  /// outlive the model.
+  /// "dl.forward_ms.<arch>.<layer>" histogram and adds the layer's analytic
+  /// FLOPs to a "dl.flops.<arch>.<layer>" counter in `registry`
+  /// (instruments resolved here, once) — the counters divide into the
+  /// histograms for achieved per-layer GFLOP/s. Null disables profiling
+  /// again. The registry must outlive the model.
   void EnableProfiling(obs::Registry* registry);
 
  private:
@@ -166,9 +200,10 @@ class CnnModel {
 
   std::shared_ptr<const CnnArchitecture> arch_;
   std::vector<LayerInstance> layers_;
-  /// One histogram per logical layer when profiling is enabled; empty
-  /// otherwise (RunRange then skips all timing work).
+  /// One histogram + FLOP counter per logical layer when profiling is
+  /// enabled; empty otherwise (RunRange then skips all timing work).
   std::vector<obs::Histogram*> layer_forward_ms_;
+  std::vector<obs::Counter*> layer_flops_;
 };
 
 /// The paper's g_l ∘ (optional pooling): reduces a convolutional layer

@@ -213,7 +213,8 @@ Result<DagModel> DagModel::Instantiate(const DagArchitecture& arch,
   return model;
 }
 
-Result<Tensor> DagModel::EvalNode(int node, std::map<int, Tensor>* memo) const {
+Result<Tensor> DagModel::EvalNode(int node, std::map<int, Tensor>* memo,
+                                  ThreadPool* pool) const {
   auto it = memo->find(node);
   if (it != memo->end()) return it->second;
   const DagNodeSpec& spec = arch_->node_spec(node);
@@ -229,7 +230,7 @@ Result<Tensor> DagModel::EvalNode(int node, std::map<int, Tensor>* memo) const {
     inputs.push_back(raw->second);
   } else {
     for (int input : spec.inputs) {
-      VISTA_ASSIGN_OR_RETURN(Tensor value, EvalNode(input, memo));
+      VISTA_ASSIGN_OR_RETURN(Tensor value, EvalNode(input, memo, pool));
       inputs.push_back(std::move(value));
     }
   }
@@ -240,15 +241,15 @@ Result<Tensor> DagModel::EvalNode(int node, std::map<int, Tensor>* memo) const {
   VISTA_ASSIGN_OR_RETURN(Tensor value,
                          MergeTensors(inputs, spec.merge, merged_shape));
   for (const PrimitiveInstance& prim : nodes_[node].primitives) {
-    VISTA_ASSIGN_OR_RETURN(value, ApplyPrimitive(prim, value));
+    VISTA_ASSIGN_OR_RETURN(value, ApplyPrimitive(prim, value, pool));
   }
   memo->emplace(node, value);
   return value;
 }
 
 Result<std::map<int, Tensor>> DagModel::Compute(
-    const std::map<int, Tensor>& available,
-    const std::vector<int>& targets) const {
+    const std::map<int, Tensor>& available, const std::vector<int>& targets,
+    ThreadPool* pool) const {
   std::map<int, Tensor> memo = available;
   std::map<int, Tensor> out;
   for (int target : targets) {
@@ -256,17 +257,17 @@ Result<std::map<int, Tensor>> DagModel::Compute(
       return Status::InvalidArgument("bad DAG target index " +
                                      std::to_string(target));
     }
-    VISTA_ASSIGN_OR_RETURN(Tensor value, EvalNode(target, &memo));
+    VISTA_ASSIGN_OR_RETURN(Tensor value, EvalNode(target, &memo, pool));
     out.emplace(target, std::move(value));
   }
   return out;
 }
 
-Result<Tensor> DagModel::ComputeFromInput(const Tensor& input,
-                                          int target) const {
+Result<Tensor> DagModel::ComputeFromInput(const Tensor& input, int target,
+                                          ThreadPool* pool) const {
   std::map<int, Tensor> available;
   available.emplace(kRawInput, input);
-  VISTA_ASSIGN_OR_RETURN(auto values, Compute(available, {target}));
+  VISTA_ASSIGN_OR_RETURN(auto values, Compute(available, {target}, pool));
   return values.at(target);
 }
 

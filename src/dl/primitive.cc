@@ -124,17 +124,13 @@ Result<PrimitiveInstance> InstantiatePrimitive(const OpSpec& op,
 }
 
 Result<Tensor> ApplyPrimitive(const PrimitiveInstance& prim,
-                              const Tensor& input) {
+                              const Tensor& input, ThreadPool* pool) {
   const OpSpec& op = prim.spec;
   switch (op.kind) {
-    case OpKind::kConv: {
-      VISTA_ASSIGN_OR_RETURN(
-          Tensor out,
-          Conv2DGemm(input, prim.weights[0], prim.weights[1], op.stride,
-                     op.pad, std::max(1, op.groups)));
-      if (op.relu) out = Relu(out);
-      return out;
-    }
+    case OpKind::kConv:
+      // ReLU rides the GEMM epilogue: no separate output pass.
+      return Conv2DGemmEx(input, prim.weights[0], prim.weights[1], op.stride,
+                          op.pad, std::max(1, op.groups), op.relu, pool);
     case OpKind::kMaxPool:
       return MaxPool2D(input, op.window, op.stride, op.pad);
     case OpKind::kAvgPool:
@@ -155,20 +151,28 @@ Result<Tensor> ApplyPrimitive(const PrimitiveInstance& prim,
     case OpKind::kSoftmax:
       return Softmax(input);
     case OpKind::kBottleneck: {
+      // Batch norm follows each conv, so ReLU cannot be fused here; the
+      // pool still parallelizes the three (or four) GEMMs.
       const auto& w = prim.weights;
-      VISTA_ASSIGN_OR_RETURN(Tensor h1,
-                             Conv2DGemm(input, w[0], w[1], op.stride, 0));
+      VISTA_ASSIGN_OR_RETURN(
+          Tensor h1, Conv2DGemmEx(input, w[0], w[1], op.stride, 0, 1,
+                                  /*relu=*/false, pool));
       VISTA_ASSIGN_OR_RETURN(h1, BatchNormInference(h1, w[2], w[3]));
       h1 = Relu(h1);
-      VISTA_ASSIGN_OR_RETURN(Tensor h2, Conv2DGemm(h1, w[4], w[5], 1, 1));
+      VISTA_ASSIGN_OR_RETURN(
+          Tensor h2,
+          Conv2DGemmEx(h1, w[4], w[5], 1, 1, 1, /*relu=*/false, pool));
       VISTA_ASSIGN_OR_RETURN(h2, BatchNormInference(h2, w[6], w[7]));
       h2 = Relu(h2);
-      VISTA_ASSIGN_OR_RETURN(Tensor h3, Conv2DGemm(h2, w[8], w[9], 1, 0));
+      VISTA_ASSIGN_OR_RETURN(
+          Tensor h3,
+          Conv2DGemmEx(h2, w[8], w[9], 1, 0, 1, /*relu=*/false, pool));
       VISTA_ASSIGN_OR_RETURN(h3, BatchNormInference(h3, w[10], w[11]));
       Tensor skip = input;
       if (op.project) {
-        VISTA_ASSIGN_OR_RETURN(skip,
-                               Conv2DGemm(input, w[12], w[13], op.stride, 0));
+        VISTA_ASSIGN_OR_RETURN(
+            skip, Conv2DGemmEx(input, w[12], w[13], op.stride, 0, 1,
+                               /*relu=*/false, pool));
         VISTA_ASSIGN_OR_RETURN(skip, BatchNormInference(skip, w[14], w[15]));
       }
       VISTA_ASSIGN_OR_RETURN(Tensor sum, Add(h3, skip));

@@ -8,6 +8,10 @@
 #include "dl/op_spec.h"
 #include "tensor/tensor.h"
 
+namespace vista {
+class ThreadPool;
+}
+
 namespace vista::dl {
 
 /// Weight initialization schemes for instantiated models.
@@ -40,9 +44,13 @@ Result<PrimitiveInstance> InstantiatePrimitive(const OpSpec& op,
                                                bool* first_conv);
 
 /// Executes one primitive on `input`. The input must be shape-compatible
-/// with the shape the primitive was instantiated for.
+/// with the shape the primitive was instantiated for. A non-null `pool`
+/// parallelizes the convolution GEMMs across their row tiles (intra-image
+/// parallelism); convolution ReLUs are fused into the GEMM epilogue either
+/// way.
 Result<Tensor> ApplyPrimitive(const PrimitiveInstance& prim,
-                              const Tensor& input);
+                              const Tensor& input,
+                              ThreadPool* pool = nullptr);
 
 }  // namespace vista::dl
 

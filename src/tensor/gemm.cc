@@ -3,34 +3,90 @@
 #include <algorithm>
 #include <cstring>
 
-namespace vista {
+#include "tensor/gemm_kernel.h"
+#include "tensor/scratch.h"
 
-Result<Tensor> MatMul(const Tensor& a, const Tensor& b) {
+namespace vista {
+namespace {
+
+Status CheckMatMulShapes(const Tensor& a, const Tensor& b) {
   if (a.shape().rank() != 2 || b.shape().rank() != 2) {
     return Status::InvalidArgument("MatMul expects rank-2 tensors, got " +
                                    a.shape().ToString() + " x " +
                                    b.shape().ToString());
   }
-  const int64_t m = a.shape().dim(0);
-  const int64_t k = a.shape().dim(1);
-  const int64_t n = b.shape().dim(1);
-  if (b.shape().dim(0) != k) {
+  if (b.shape().dim(0) != a.shape().dim(1)) {
     return Status::InvalidArgument("MatMul inner dimensions mismatch: " +
                                    a.shape().ToString() + " x " +
                                    b.shape().ToString());
   }
+  return Status::OK();
+}
+
+/// Writes the im2col expansion of `in` (CHW, dims c/h/w) into `out`, which
+/// must hold groups * (c/groups * kernel * kernel) * (h_out * w_out)
+/// floats. Row/column layout matches Im2Col's documented tensor layout.
+void Im2ColInto(const float* in, int64_t c, int64_t h, int64_t w, int kernel,
+                int stride, int pad, int groups, int64_t h_out,
+                int64_t w_out, float* out) {
+  const int64_t c_per_group = c / groups;
+  const int64_t rows = c_per_group * kernel * kernel;
+  const int64_t cols = h_out * w_out;
+  for (int64_t g = 0; g < groups; ++g) {
+    float* og = out + g * rows * cols;
+    for (int64_t cc = 0; cc < c_per_group; ++cc) {
+      const float* in_c = in + (g * c_per_group + cc) * h * w;
+      for (int ky = 0; ky < kernel; ++ky) {
+        for (int kx = 0; kx < kernel; ++kx) {
+          float* row = og + ((cc * kernel + ky) * kernel + kx) * cols;
+          for (int64_t oy = 0; oy < h_out; ++oy) {
+            const int64_t iy = oy * stride - pad + ky;
+            float* dst = row + oy * w_out;
+            if (iy < 0 || iy >= h) {
+              std::memset(dst, 0, sizeof(float) * w_out);
+              continue;
+            }
+            const float* src_row = in_c + iy * w;
+            for (int64_t ox = 0; ox < w_out; ++ox) {
+              const int64_t ix = ox * stride - pad + kx;
+              dst[ox] = (ix < 0 || ix >= w) ? 0.0f : src_row[ix];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Result<Tensor> MatMul(const Tensor& a, const Tensor& b) {
+  VISTA_RETURN_IF_ERROR(CheckMatMulShapes(a, b));
+  const int64_t m = a.shape().dim(0);
+  const int64_t k = a.shape().dim(1);
+  const int64_t n = b.shape().dim(1);
+  Tensor c(Shape{m, n});
+  GemmPacked(m, n, k, a.data(), k, b.data(), n, c.mutable_data(), n,
+             GemmEpilogue{}, &KernelScratch::ThreadLocal());
+  return c;
+}
+
+Result<Tensor> MatMulReference(const Tensor& a, const Tensor& b) {
+  VISTA_RETURN_IF_ERROR(CheckMatMulShapes(a, b));
+  const int64_t m = a.shape().dim(0);
+  const int64_t k = a.shape().dim(1);
+  const int64_t n = b.shape().dim(1);
   Tensor c(Shape{m, n});
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.mutable_data();
-  // i-k-j loop order with the inner loop over contiguous rows of B and C:
-  // auto-vectorizes well and touches memory sequentially.
+  // i-k-j loop order with the inner loop over contiguous rows of B and C.
+  // No data-dependent skips: every IEEE special value flows through.
   for (int64_t i = 0; i < m; ++i) {
     float* c_row = pc + i * n;
     const float* a_row = pa + i * k;
     for (int64_t kk = 0; kk < k; ++kk) {
       const float av = a_row[kk];
-      if (av == 0.0f) continue;  // im2col matrices are often padded-sparse.
       const float* b_row = pb + kk * n;
       for (int64_t j = 0; j < n; ++j) {
         c_row[j] += av * b_row[j];
@@ -66,39 +122,21 @@ Result<Tensor> Im2Col(const Tensor& input, int kernel, int stride, int pad,
   const int64_t rows = c_per_group * kernel * kernel;
   const int64_t cols = h_out * w_out;
   Tensor out(Shape{groups, rows, cols});
-  float* o = out.mutable_data();
-  const float* in = input.data();
-  for (int64_t g = 0; g < groups; ++g) {
-    float* og = o + g * rows * cols;
-    for (int64_t cc = 0; cc < c_per_group; ++cc) {
-      const float* in_c = in + (g * c_per_group + cc) * h * w;
-      for (int ky = 0; ky < kernel; ++ky) {
-        for (int kx = 0; kx < kernel; ++kx) {
-          float* row =
-              og + ((cc * kernel + ky) * kernel + kx) * cols;
-          for (int64_t oy = 0; oy < h_out; ++oy) {
-            const int64_t iy = oy * stride - pad + ky;
-            float* dst = row + oy * w_out;
-            if (iy < 0 || iy >= h) {
-              std::memset(dst, 0, sizeof(float) * w_out);
-              continue;
-            }
-            const float* src_row = in_c + iy * w;
-            for (int64_t ox = 0; ox < w_out; ++ox) {
-              const int64_t ix = ox * stride - pad + kx;
-              dst[ox] = (ix < 0 || ix >= w) ? 0.0f : src_row[ix];
-            }
-          }
-        }
-      }
-    }
-  }
+  Im2ColInto(input.data(), c, h, w, kernel, stride, pad, groups, h_out,
+             w_out, out.mutable_data());
   return out;
 }
 
 Result<Tensor> Conv2DGemm(const Tensor& input, const Tensor& weights,
                           const Tensor& bias, int stride, int pad,
                           int groups) {
+  return Conv2DGemmEx(input, weights, bias, stride, pad, groups,
+                      /*relu=*/false, /*pool=*/nullptr);
+}
+
+Result<Tensor> Conv2DGemmEx(const Tensor& input, const Tensor& weights,
+                            const Tensor& bias, int stride, int pad,
+                            int groups, bool relu, ThreadPool* pool) {
   if (weights.shape().rank() != 4 || bias.shape().rank() != 1) {
     return Status::InvalidArgument("Conv2DGemm: bad weights/bias rank");
   }
@@ -107,7 +145,8 @@ Result<Tensor> Conv2DGemm(const Tensor& input, const Tensor& weights,
   if (weights.shape().dim(2) != weights.shape().dim(3)) {
     return Status::InvalidArgument("Conv2DGemm: non-square kernel");
   }
-  if (k_total % groups != 0 || bias.shape().dim(0) != k_total) {
+  if (groups < 1 || k_total % groups != 0 ||
+      bias.shape().dim(0) != k_total) {
     return Status::InvalidArgument("Conv2DGemm: filters/groups mismatch");
   }
   const int64_t c = input.shape().dim(0);
@@ -116,37 +155,54 @@ Result<Tensor> Conv2DGemm(const Tensor& input, const Tensor& weights,
     return Status::InvalidArgument(
         "Conv2DGemm: input channels incompatible with weights/groups");
   }
-  VISTA_ASSIGN_OR_RETURN(Tensor cols,
-                         Im2Col(input, kernel, stride, pad, groups));
-  const int64_t rows = cols.shape().dim(1);
-  const int64_t spatial = cols.shape().dim(2);
+  if (kernel < 1 || stride < 1 || pad < 0) {
+    return Status::InvalidArgument("Conv2DGemm: bad kernel/stride/pad");
+  }
   const int64_t h = input.shape().dim(1);
   const int64_t w = input.shape().dim(2);
+  if (kernel > h + 2 * pad || kernel > w + 2 * pad) {
+    return Status::InvalidArgument(
+        "Conv2DGemm: kernel larger than padded input");
+  }
   const int64_t h_out = (h + 2 * pad - kernel) / stride + 1;
   const int64_t w_out = (w + 2 * pad - kernel) / stride + 1;
+  if (h_out <= 0 || w_out <= 0) {
+    return Status::InvalidArgument("Conv2DGemm: empty output");
+  }
+  const int64_t c_per_group = c / groups;
+  const int64_t rows = c_per_group * kernel * kernel;
+  const int64_t spatial = h_out * w_out;
   const int64_t k_per_group = k_total / groups;
+
+  // im2col into the thread-local arena: reused across layers and images,
+  // so a warmed-up convolution performs no scratch allocation.
+  KernelScratch& scratch = KernelScratch::ThreadLocal();
+  float* cols = scratch.Acquire(
+      KernelScratch::Slot::kIm2Col,
+      static_cast<size_t>(groups * rows * spatial));
+  Im2ColInto(input.data(), c, h, w, kernel, stride, pad, groups, h_out,
+             w_out, cols);
 
   Tensor out(Shape{k_total, h_out, w_out});
   float* o = out.mutable_data();
   const float* wt = weights.data();
   const float* b = bias.data();
   for (int64_t g = 0; g < groups; ++g) {
-    // Filter matrix for this group: (k_per_group x rows), a contiguous
-    // slice of the weight tensor.
-    Tensor filter(Shape{k_per_group, rows},
-                  std::vector<float>(wt + g * k_per_group * rows,
-                                     wt + (g + 1) * k_per_group * rows));
-    Tensor patch(Shape{rows, spatial},
-                 std::vector<float>(
-                     cols.data() + g * rows * spatial,
-                     cols.data() + (g + 1) * rows * spatial));
-    VISTA_ASSIGN_OR_RETURN(Tensor product, MatMul(filter, patch));
-    const float* p = product.data();
-    for (int64_t f = 0; f < k_per_group; ++f) {
-      float* dst = o + (g * k_per_group + f) * spatial;
-      const float bf = b[g * k_per_group + f];
-      const float* src = p + f * spatial;
-      for (int64_t i = 0; i < spatial; ++i) dst[i] = src[i] + bf;
+    // Zero-copy group views: the group's filter matrix (k_per_group x rows)
+    // and patch matrix (rows x spatial) are contiguous slices addressed by
+    // pointer + stride, never materialized as tensors.
+    GemmEpilogue epilogue;
+    epilogue.bias = b + g * k_per_group;
+    epilogue.relu = relu;
+    const float* a_g = wt + g * k_per_group * rows;
+    const float* b_g = cols + g * rows * spatial;
+    float* c_g = o + g * k_per_group * spatial;
+    if (pool != nullptr) {
+      GemmPackedParallel(k_per_group, spatial, rows, a_g, rows, b_g, spatial,
+                         c_g, spatial, epilogue, pool);
+    } else {
+      GemmPacked(k_per_group, spatial, rows, a_g, rows, b_g, spatial, c_g,
+                 spatial, epilogue, &scratch);
     }
   }
   return out;

@@ -8,10 +8,20 @@
 
 namespace vista {
 
+class ThreadPool;
+
 /// Dense single-precision matrix multiply: C = A (m x k) * B (k x n),
-/// row-major, written into a fresh tensor. Blocked for cache friendliness;
-/// this is the compute core of the im2col convolution path.
+/// row-major, written into a fresh tensor. Runs on the blocked, packed
+/// GEMM core (tensor/gemm_kernel.h): register micro-tiling, cache
+/// blocking, and panel packing into the calling thread's scratch arena.
+/// No data-dependent branching, so NaN/Inf propagate exactly as IEEE
+/// arithmetic dictates.
 Result<Tensor> MatMul(const Tensor& a, const Tensor& b);
+
+/// The naive i-k-j triple loop kept as the correctness oracle for the
+/// packed kernel (tests compare against it on random shapes) and as the
+/// baseline the micro benches measure speedup against.
+Result<Tensor> MatMulReference(const Tensor& a, const Tensor& b);
 
 /// im2col expansion of a CHW input for a (kernel x kernel, stride, pad)
 /// convolution over `groups` channel groups: produces, for group `g`, a
@@ -23,11 +33,22 @@ Result<Tensor> Im2Col(const Tensor& input, int kernel, int stride, int pad,
 
 /// Convolution via im2col + GEMM — an independent implementation of
 /// tensor/ops.h's Conv2D with identical semantics (including groups),
-/// differential-tested against the direct loops. Roughly 2-4x faster for
-/// the shapes the micro CNNs use; CnnModel uses this path.
+/// differential-tested against the direct loops. The im2col expansion goes
+/// into the thread-local scratch arena and each group's GEMM reads strided
+/// views of the weight and column buffers, so a warmed-up call performs no
+/// scratch allocation and no per-group copies; bias is fused into the GEMM
+/// epilogue. CnnModel uses this path.
 Result<Tensor> Conv2DGemm(const Tensor& input, const Tensor& weights,
                           const Tensor& bias, int stride, int pad,
                           int groups = 1);
+
+/// Conv2DGemm with the full fused epilogue and optional intra-op
+/// parallelism: `relu` folds max(0, x) into the GEMM's output pass, and a
+/// non-null `pool` distributes each group's GEMM row tiles with
+/// ThreadPool::ParallelFor (safe under nesting; see thread_pool.h).
+Result<Tensor> Conv2DGemmEx(const Tensor& input, const Tensor& weights,
+                            const Tensor& bias, int stride, int pad,
+                            int groups, bool relu, ThreadPool* pool);
 
 }  // namespace vista
 

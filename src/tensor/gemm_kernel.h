@@ -1,0 +1,65 @@
+#ifndef VISTA_TENSOR_GEMM_KERNEL_H_
+#define VISTA_TENSOR_GEMM_KERNEL_H_
+
+#include <cstdint>
+
+#include "tensor/scratch.h"
+
+namespace vista {
+
+class ThreadPool;
+
+/// Blocked, packed single-precision GEMM — the compute core under MatMul
+/// and Conv2DGemm (BLIS-style: register micro-tile, L1/L2 cache blocking,
+/// panel packing into a reusable scratch arena).
+///
+/// Register micro-tile: each micro-kernel invocation accumulates a
+/// kGemmMR x kGemmNR block of C in local accumulators; the inner loops are
+/// fixed-trip so the compiler keeps the block in vector registers.
+inline constexpr int64_t kGemmMR = 6;
+inline constexpr int64_t kGemmNR = 16;
+/// Cache blocking: a kGemmKC x kGemmNR B-strip stays L1-resident across one
+/// row of micro-tiles; the packed kGemmMC x kGemmKC A panel targets L2.
+/// kGemmMC is a multiple of kGemmMR and kGemmNC a multiple of kGemmNR.
+inline constexpr int64_t kGemmMC = 96;
+inline constexpr int64_t kGemmKC = 256;
+inline constexpr int64_t kGemmNC = 2048;
+
+/// Optional fused output transform applied as C is written on the last
+/// K-panel, saving a second pass over the output.
+struct GemmEpilogue {
+  /// Per-row addend of length m (a convolution's per-filter bias); null
+  /// skips the add.
+  const float* bias = nullptr;
+  /// Applies max(0, x) after the bias add (a convolution's fused ReLU).
+  bool relu = false;
+};
+
+/// C (m x n, row stride ldc) = A (m x k, row stride lda) * B (k x n, row
+/// stride ldb), overwriting C, then applies `epilogue`. The row strides
+/// admit strided views into larger tensors, which is what makes grouped
+/// convolution zero-copy. Pack buffers come from `scratch` (slots kPackA /
+/// kPackB), so steady-state calls allocate nothing.
+void GemmPacked(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda,
+                const float* b, int64_t ldb, float* c, int64_t ldc,
+                const GemmEpilogue& epilogue, KernelScratch* scratch);
+
+/// GemmPacked with row-tile (M-dimension) parallelism across `pool`: the B
+/// panel is packed once by the caller, then the M blocks are distributed
+/// with ThreadPool::ParallelFor (caller-inclusive, so this is safe to call
+/// from inside a pool task). Each participating thread packs its own A
+/// panels into its thread-local arena. Falls back to the serial kernel when
+/// `pool` is null or the problem is too small to amortize dispatch.
+void GemmPackedParallel(int64_t m, int64_t n, int64_t k, const float* a,
+                        int64_t lda, const float* b, int64_t ldb, float* c,
+                        int64_t ldc, const GemmEpilogue& epilogue,
+                        ThreadPool* pool);
+
+/// Cumulative FLOPs executed by the packed GEMM in this process
+/// (2*m*n*k per call, relaxed-atomic). Benches compute achieved GFLOP/s
+/// from deltas around a timed region; see obs gauge "tensor.gemm_gflops".
+int64_t GemmFlopsTotal();
+
+}  // namespace vista
+
+#endif  // VISTA_TENSOR_GEMM_KERNEL_H_

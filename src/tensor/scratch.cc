@@ -1,0 +1,56 @@
+#include "tensor/scratch.h"
+
+#include <algorithm>
+#include <new>
+
+namespace vista {
+
+namespace {
+constexpr size_t kAlignment = 64;
+}  // namespace
+
+KernelScratch::~KernelScratch() { Release(); }
+
+float* KernelScratch::Acquire(Slot slot, size_t num_floats) {
+  Buffer& buf = buffers_[static_cast<int>(slot)];
+  if (num_floats <= buf.capacity) {
+    ++reuses_;
+    return buf.data;
+  }
+  // Grow geometrically so alternating layer shapes converge to the largest
+  // request instead of reallocating on every size change.
+  const size_t capacity = std::max(num_floats, buf.capacity * 2);
+  if (buf.data != nullptr) {
+    ::operator delete[](buf.data, std::align_val_t(kAlignment));
+  }
+  buf.data = static_cast<float*>(::operator new[](
+      capacity * sizeof(float), std::align_val_t(kAlignment)));
+  buf.capacity = capacity;
+  ++allocations_;
+  return buf.data;
+}
+
+void KernelScratch::Release() {
+  for (Buffer& buf : buffers_) {
+    if (buf.data != nullptr) {
+      ::operator delete[](buf.data, std::align_val_t(kAlignment));
+      buf.data = nullptr;
+      buf.capacity = 0;
+    }
+  }
+}
+
+int64_t KernelScratch::capacity_floats() const {
+  int64_t n = 0;
+  for (const Buffer& buf : buffers_) {
+    n += static_cast<int64_t>(buf.capacity);
+  }
+  return n;
+}
+
+KernelScratch& KernelScratch::ThreadLocal() {
+  thread_local KernelScratch scratch;
+  return scratch;
+}
+
+}  // namespace vista

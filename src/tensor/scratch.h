@@ -1,0 +1,73 @@
+#ifndef VISTA_TENSOR_SCRATCH_H_
+#define VISTA_TENSOR_SCRATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace vista {
+
+/// Reusable, cache-line-aligned scratch buffers for the tensor kernels.
+///
+/// A KernelScratch owns one growable buffer per slot (im2col expansion,
+/// packed A panel, packed B panel). Acquire() returns a pointer with at
+/// least the requested capacity, growing geometrically on miss and reusing
+/// the existing allocation on hit — so a CNN forward pass performs a fixed
+/// number of allocations on the first image (the warm-up) and zero on every
+/// image after it. The alloc/reuse counters make that claim testable.
+///
+/// Thread-safety contract: a KernelScratch is single-threaded state. Kernels
+/// never share one across threads; each thread uses its own arena via
+/// ThreadLocal(). Buffers returned by Acquire() stay valid until the next
+/// Acquire() of the *same* slot (a grow may reallocate), so a kernel may
+/// hold the im2col buffer while packing panels.
+class KernelScratch {
+ public:
+  enum class Slot : int {
+    kIm2Col = 0,
+    kPackA = 1,
+    kPackB = 2,
+    kNumSlots = 3,
+  };
+
+  KernelScratch() = default;
+  ~KernelScratch();
+
+  KernelScratch(const KernelScratch&) = delete;
+  KernelScratch& operator=(const KernelScratch&) = delete;
+
+  /// Returns a 64-byte-aligned buffer holding at least `num_floats` floats.
+  /// Contents are unspecified (kernels fully overwrite what they use).
+  float* Acquire(Slot slot, size_t num_floats);
+
+  /// Frees every slot (counters are kept). Mainly for tests that measure
+  /// cold-start behavior.
+  void Release();
+
+  /// Number of Acquire() calls that had to (re)allocate.
+  int64_t allocations() const { return allocations_; }
+  /// Number of Acquire() calls served entirely from an existing buffer.
+  int64_t reuses() const { return reuses_; }
+  /// Total float capacity currently held across slots.
+  int64_t capacity_floats() const;
+
+  /// The calling thread's arena. One arena per thread for the process
+  /// lifetime: im2col/pack buffers are reused across layers, images, and
+  /// engine map tasks scheduled on the same worker thread.
+  static KernelScratch& ThreadLocal();
+
+ private:
+  static constexpr int kNumSlots = static_cast<int>(Slot::kNumSlots);
+
+  struct Buffer {
+    float* data = nullptr;
+    size_t capacity = 0;  // In floats.
+  };
+
+  Buffer buffers_[kNumSlots];
+  int64_t allocations_ = 0;
+  int64_t reuses_ = 0;
+};
+
+}  // namespace vista
+
+#endif  // VISTA_TENSOR_SCRATCH_H_

@@ -58,7 +58,6 @@ Result<df::Table> RealExecutor::RunInference(const PlanStep& step,
                                              const df::Table& input,
                                              const RealExecutorConfig& config,
                                              int64_t* flops) {
-  (void)config;
   const dl::CnnArchitecture& arch = model_->arch();
   const int source_layer = step.source_layer;
   const int source_slot = step.source_slot;
@@ -76,10 +75,19 @@ Result<df::Table> RealExecutor::RunInference(const PlanStep& step,
   }
   *flops += per_record_flops * input.num_records();
 
+  // Inference threading: the engine already runs partitions in parallel;
+  // within a partition the pool is spent per the config knob (one task per
+  // image, or parallel GEMM row tiles inside each image). ParallelFor is
+  // caller-inclusive, so this nesting cannot deadlock.
+  dl::CnnOptions opts;
+  opts.pool = engine_->pool();
+  opts.parallelism = config.inference_parallelism;
+
   df::MemoryManager& memory = engine_->memory();
   return engine_->MapPartitions(
       input,
-      [&, source_layer, source_slot, produce](std::vector<df::Record> records)
+      [&, source_layer, source_slot, produce,
+       opts](std::vector<df::Record> records)
           -> Result<std::vector<df::Record>> {
         // Per-partition feature buffer charge against User memory: the
         // produced tensors of every record in the partition are live at
@@ -96,66 +104,76 @@ Result<df::Table> RealExecutor::RunInference(const PlanStep& step,
           memory.Release(df::MemoryRegion::kUser, buffer_bytes);
         };
 
-        std::vector<df::Record> out;
-        out.reserve(records.size());
-        for (df::Record& r : records) {
-          // Multi-image records: each image flows through the chain
-          // independently; per-layer outputs are aggregated element-wise
-          // (mean), the multiple-images-per-record extension.
-          std::vector<Tensor> currents;
+        // Gather every record's in-flight tensors (raw images or the
+        // source slot) once; the whole partition then advances together
+        // through the layer chain as one batch per hop. Multi-image
+        // records: each image flows through the chain independently and
+        // per-layer outputs are aggregated element-wise (mean), the
+        // multiple-images-per-record extension.
+        std::vector<std::vector<Tensor>> currents(records.size());
+        std::vector<df::Record> out(records.size());
+        for (size_t ri = 0; ri < records.size(); ++ri) {
+          df::Record& r = records[ri];
           if (source_slot < 0) {
             if (!r.has_image()) {
               release();
               return Status::InvalidArgument(
                   "inference from raw image but record has no image");
             }
-            currents = r.images;
+            currents[ri] = r.images;
           } else {
             if (source_slot >= r.features.size()) {
               release();
               return Status::InvalidArgument(
                   "inference source slot missing in record");
             }
-            currents = {r.features.at(source_slot)};
+            currents[ri] = {r.features.at(source_slot)};
           }
+          out[ri].id = r.id;
+          out[ri].struct_features = r.struct_features;
+        }
 
-          df::Record result;
-          result.id = r.id;
-          result.struct_features = r.struct_features;
-          int from = source_layer;
-          for (int target : produce) {
-            if (target == from) {
-              // Pass-through (pre-materialized base layer).
-              result.features.Append(currents.front());
-              continue;
+        int from = source_layer;
+        for (int target : produce) {
+          if (target == from) {
+            // Pass-through (pre-materialized base layer).
+            for (size_t ri = 0; ri < records.size(); ++ri) {
+              out[ri].features.Append(currents[ri].front());
             }
-            for (Tensor& current : currents) {
-              auto run = model_->RunRange(current, from + 1, target);
-              if (!run.ok()) {
-                release();
-                return run.status();
-              }
-              current = std::move(run).value();
-            }
-            Tensor aggregated = currents.front();
-            if (currents.size() > 1) {
-              aggregated = currents.front().Clone();
+            continue;
+          }
+          std::vector<Tensor> batch;
+          for (std::vector<Tensor>& imgs : currents) {
+            for (Tensor& t : imgs) batch.push_back(std::move(t));
+          }
+          auto run = model_->RunRangeBatch(batch, from + 1, target, opts);
+          if (!run.ok()) {
+            release();
+            return run.status();
+          }
+          std::vector<Tensor> advanced = std::move(run).value();
+          size_t at = 0;
+          for (size_t ri = 0; ri < records.size(); ++ri) {
+            for (Tensor& t : currents[ri]) t = std::move(advanced[at++]);
+            Tensor aggregated = currents[ri].front();
+            if (currents[ri].size() > 1) {
+              aggregated = currents[ri].front().Clone();
               float* acc = aggregated.mutable_data();
-              for (size_t i = 1; i < currents.size(); ++i) {
-                const float* src = currents[i].data();
+              for (size_t i = 1; i < currents[ri].size(); ++i) {
+                const float* src = currents[ri][i].data();
                 for (int64_t j = 0; j < aggregated.num_elements(); ++j) {
                   acc[j] += src[j];
                 }
               }
-              const float inv = 1.0f / static_cast<float>(currents.size());
+              const float inv =
+                  1.0f / static_cast<float>(currents[ri].size());
               for (int64_t j = 0; j < aggregated.num_elements(); ++j) {
                 acc[j] *= inv;
               }
             }
-            result.features.Append(aggregated);
-            from = target;
+            out[ri].features.Append(aggregated);
           }
-          out.push_back(std::move(result));
+          from = target;
         }
         release();
         return out;

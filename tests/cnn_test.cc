@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/thread_pool.h"
 #include "dl/cnn.h"
 #include "dl/op_spec.h"
 #include "tensor/ops.h"
@@ -264,6 +265,96 @@ TEST(TransferFeaturizeTest, VectorOutputsPassThrough) {
   auto g = TransferFeaturize(fc_out, 2);
   ASSERT_TRUE(g.ok());
   EXPECT_EQ(g->shape(), (Shape{10}));
+}
+
+// Both parallelism modes run the same arithmetic per image as a serial
+// RunRange (inter-image tasks run serial kernels; intra-image row-tile
+// splits pack identically per block), so batched results are bit-identical
+// to the one-image-at-a-time path.
+TEST(CnnModelTest, RunRangeBatchMatchesSerialBothModes) {
+  auto arch = TinyArch();
+  ASSERT_TRUE(arch.ok());
+  auto model = CnnModel::Instantiate(*arch, 21);
+  ASSERT_TRUE(model.ok());
+  Rng rng(9);
+  std::vector<Tensor> images;
+  for (int i = 0; i < 5; ++i) {
+    images.push_back(Tensor::RandomGaussian(Shape{3, 16, 16}, &rng));
+  }
+  std::vector<Tensor> expected;
+  for (const Tensor& img : images) {
+    auto out = model->RunRange(img, 0, arch->num_layers() - 1);
+    ASSERT_TRUE(out.ok());
+    expected.push_back(std::move(out).value());
+  }
+
+  ThreadPool pool(4);
+  for (CnnParallelism mode :
+       {CnnParallelism::kInterImage, CnnParallelism::kIntraImage}) {
+    CnnOptions opts;
+    opts.pool = &pool;
+    opts.parallelism = mode;
+    auto batch =
+        model->RunRangeBatch(images, 0, arch->num_layers() - 1, opts);
+    ASSERT_TRUE(batch.ok());
+    ASSERT_EQ(batch->size(), images.size());
+    for (size_t i = 0; i < images.size(); ++i) {
+      ASSERT_EQ(expected[i].shape(), (*batch)[i].shape());
+      for (int64_t j = 0; j < expected[i].num_elements(); ++j) {
+        ASSERT_EQ(expected[i].at(j), (*batch)[i].at(j))
+            << "mode=" << static_cast<int>(mode) << " image " << i
+            << " elem " << j;
+      }
+    }
+  }
+}
+
+TEST(CnnModelTest, RunRangeBatchWithoutPoolIsSerial) {
+  auto arch = TinyArch();
+  ASSERT_TRUE(arch.ok());
+  auto model = CnnModel::Instantiate(*arch, 22);
+  ASSERT_TRUE(model.ok());
+  Rng rng(10);
+  std::vector<Tensor> images = {
+      Tensor::RandomGaussian(Shape{3, 16, 16}, &rng),
+      Tensor::RandomGaussian(Shape{3, 16, 16}, &rng)};
+  auto batch = model->RunRangeBatch(images, 0, 1);
+  ASSERT_TRUE(batch.ok());
+  auto single = model->RunRange(images[1], 0, 1);
+  ASSERT_TRUE(single.ok());
+  EXPECT_TRUE((*batch)[1].AllClose(*single));
+}
+
+TEST(CnnModelTest, RunRangeBatchSurfacesPerImageFailure) {
+  auto arch = TinyArch();
+  ASSERT_TRUE(arch.ok());
+  auto model = CnnModel::Instantiate(*arch, 23);
+  ASSERT_TRUE(model.ok());
+  Rng rng(11);
+  ThreadPool pool(2);
+  CnnOptions opts;
+  opts.pool = &pool;
+  std::vector<Tensor> images = {
+      Tensor::RandomGaussian(Shape{3, 16, 16}, &rng),
+      Tensor::RandomGaussian(Shape{3, 4, 4}, &rng)};  // Wrong shape.
+  auto batch = model->RunRangeBatch(images, 0, 1, opts);
+  EXPECT_FALSE(batch.ok());
+}
+
+TEST(CnnModelTest, ProfilingRecordsPerLayerFlops) {
+  auto arch = TinyArch();
+  ASSERT_TRUE(arch.ok());
+  auto model = CnnModel::Instantiate(*arch, 24);
+  ASSERT_TRUE(model.ok());
+  obs::Registry registry;
+  model->EnableProfiling(&registry);
+  Rng rng(12);
+  Tensor img = Tensor::RandomGaussian(Shape{3, 16, 16}, &rng);
+  ASSERT_TRUE(model->Run(img).ok());
+  ASSERT_TRUE(model->Run(img).ok());
+  obs::Counter* conv1 = registry.counter("dl.flops.Tiny.conv1");
+  EXPECT_EQ(conv1->value(), 2 * arch->layer(0).flops);
+  model->EnableProfiling(nullptr);
 }
 
 TEST(CnnModelTest, ResidualBlockRuns) {

@@ -200,6 +200,44 @@ TEST(ThreadPoolTest, WaitIdleOnEmptyPool) {
   pool.WaitIdle();  // Must not hang.
 }
 
+// Nested ParallelFor: every worker blocks inside an outer iteration that
+// itself calls ParallelFor. Caller-inclusive claiming must drain the inner
+// loops even though no pool thread is ever free to help — the deadlock
+// scenario of a parallel kernel inside an engine map task.
+TEST(ThreadPoolTest, NestedParallelForMakesProgress) {
+  ThreadPool pool(3);
+  constexpr int kOuter = 8;
+  constexpr int kInner = 16;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  pool.ParallelFor(kOuter, [&](int64_t o) {
+    pool.ParallelFor(kInner, [&](int64_t i) {
+      hits[o * kInner + i].fetch_add(1);
+    });
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+// ParallelFor from a Submit()ed task (the engine's map path) while the
+// caller thread also runs its own loop.
+TEST(ThreadPoolTest, ParallelForInsideSubmittedTask) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&] {
+    pool.ParallelFor(32, [&](int64_t) { count.fetch_add(1); });
+  });
+  pool.ParallelFor(32, [&](int64_t) { count.fetch_add(1); });
+  pool.WaitIdle();
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPoolTest, ParallelForSingleIterationRunsInline) {
+  ThreadPool pool(4);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id ran_on;
+  pool.ParallelFor(1, [&](int64_t) { ran_on = std::this_thread::get_id(); });
+  EXPECT_EQ(ran_on, caller);
+}
+
 TEST(StopwatchTest, MeasuresElapsed) {
   Stopwatch w;
   const double t0 = w.ElapsedSeconds();

@@ -1,11 +1,34 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "common/random.h"
+#include "common/thread_pool.h"
 #include "tensor/gemm.h"
+#include "tensor/gemm_kernel.h"
 #include "tensor/ops.h"
+#include "tensor/scratch.h"
 
 namespace vista {
 namespace {
+
+/// FMA contraction and the packed kernel's reordered summation differ from
+/// the naive oracle by ~eps per accumulated term, which on catastrophic
+/// cancellation (results near zero built from large terms) dwarfs any pure
+/// relative bound. Tolerance is therefore mixed: 1e-4 relative plus an
+/// absolute term scaled by the accumulation length.
+void ExpectGemmClose(const Tensor& ref, const Tensor& got, int64_t k) {
+  ASSERT_EQ(ref.shape(), got.shape());
+  const float abs_tol =
+      1e-5f * static_cast<float>(std::sqrt(static_cast<double>(k))) + 1e-5f;
+  for (int64_t i = 0; i < ref.num_elements(); ++i) {
+    const float r = ref.at(i);
+    const float g = got.at(i);
+    ASSERT_LE(std::abs(g - r), abs_tol + 1e-4f * std::abs(r))
+        << "at " << i << ": ref=" << r << " got=" << g;
+  }
+}
 
 TEST(MatMulTest, HandComputed) {
   Tensor a(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
@@ -89,6 +112,172 @@ INSTANTIATE_TEST_SUITE_P(
                       ConvCase{6, 11, 9, 3, 2, 1, 3},
                       ConvCase{8, 6, 8, 2, 2, 0, 4},
                       ConvCase{3, 16, 12, 7, 4, 3, 1}));
+
+// Reference-vs-optimized harness: the packed kernel must agree with the
+// naive oracle across shapes chosen to hit every tiling edge — sub-tile
+// matrices, exact multiples of MR/NR/KC/MC, and off-by-one tails of each.
+struct GemmShape {
+  int64_t m, n, k;
+};
+
+class GemmDifferentialTest : public ::testing::TestWithParam<GemmShape> {};
+
+TEST_P(GemmDifferentialTest, PackedMatchesReference) {
+  const GemmShape s = GetParam();
+  Rng rng(s.m * 7919 + s.n * 131 + s.k);
+  Tensor a = Tensor::RandomGaussian(Shape{s.m, s.k}, &rng);
+  Tensor b = Tensor::RandomGaussian(Shape{s.k, s.n}, &rng);
+  auto ref = MatMulReference(a, b);
+  auto got = MatMul(a, b);
+  ASSERT_TRUE(ref.ok());
+  ASSERT_TRUE(got.ok());
+  ExpectGemmClose(*ref, *got, s.k);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmDifferentialTest,
+    ::testing::Values(GemmShape{1, 1, 1},       // degenerate
+                      GemmShape{5, 7, 3},       // below one micro-tile
+                      GemmShape{6, 16, 8},      // exactly one micro-tile
+                      GemmShape{7, 17, 9},      // micro-tile + 1 tails
+                      GemmShape{12, 32, 64},    // tile multiples
+                      GemmShape{13, 33, 65},    // tile multiples + 1
+                      GemmShape{96, 48, 256},   // exactly MC and KC
+                      GemmShape{97, 49, 257},   // MC/KC + 1 tails
+                      GemmShape{101, 203, 307}, // primes
+                      GemmShape{1, 2048, 300},  // single row, full NC
+                      GemmShape{200, 1, 300},   // single column
+                      GemmShape{128, 196, 320}));
+
+// Regression for the old kernel's `av == 0.0f` skip: 0 * inf must produce
+// NaN, and NaN/Inf in either operand must propagate, exactly as the
+// branch-free IEEE arithmetic dictates.
+TEST(MatMulTest, NanAndInfPropagation) {
+  const float inf = std::numeric_limits<float>::infinity();
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+
+  // Row [0, 1] x column [inf, 1]: 0 * inf = NaN, so the sum is NaN. The
+  // skip-on-zero kernel returned 1 here.
+  Tensor a(Shape{1, 2}, {0.0f, 1.0f});
+  Tensor b(Shape{2, 1}, {inf, 1.0f});
+  auto c = MatMul(a, b);
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(std::isnan(c->at(0)));
+
+  // NaN in A poisons its whole output row, and only that row.
+  Tensor a2(Shape{2, 2}, {nan, 1.0f, 1.0f, 1.0f});
+  Tensor b2(Shape{2, 2}, {1.0f, 2.0f, 3.0f, 4.0f});
+  auto c2 = MatMul(a2, b2);
+  ASSERT_TRUE(c2.ok());
+  EXPECT_TRUE(std::isnan(c2->at(0)));
+  EXPECT_TRUE(std::isnan(c2->at(1)));
+  EXPECT_FLOAT_EQ(c2->at(2), 4.0f);
+  EXPECT_FLOAT_EQ(c2->at(3), 6.0f);
+
+  // Inf times a positive row stays inf.
+  Tensor a3(Shape{1, 1}, {2.0f});
+  Tensor b3(Shape{1, 3}, {inf, -inf, 1.0f});
+  auto c3 = MatMul(a3, b3);
+  ASSERT_TRUE(c3.ok());
+  EXPECT_TRUE(std::isinf(c3->at(0)));
+  EXPECT_TRUE(std::isinf(c3->at(1)));
+  EXPECT_LT(c3->at(1), 0.0f);
+  EXPECT_FLOAT_EQ(c3->at(2), 2.0f);
+}
+
+// The reference oracle itself must propagate specials too (it exists to
+// catch data-dependent shortcuts in the optimized path).
+TEST(MatMulTest, ReferenceOracleHasNoZeroSkip) {
+  const float inf = std::numeric_limits<float>::infinity();
+  Tensor a(Shape{1, 2}, {0.0f, 1.0f});
+  Tensor b(Shape{2, 1}, {inf, 1.0f});
+  auto c = MatMulReference(a, b);
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(std::isnan(c->at(0)));
+}
+
+// The fused-ReLU epilogue must agree exactly with conv-then-ReLU: the
+// arithmetic is identical, only the output pass is fused away.
+TEST(Conv2DGemmExTest, FusedReluMatchesSeparateRelu) {
+  Rng rng(42);
+  Tensor input = Tensor::RandomGaussian(Shape{6, 12, 12}, &rng);
+  Tensor w = Tensor::RandomGaussian(Shape{9, 2, 3, 3}, &rng);
+  Tensor b = Tensor::RandomGaussian(Shape{9}, &rng);
+  auto plain = Conv2DGemm(input, w, b, 1, 1, 3);
+  auto fused = Conv2DGemmEx(input, w, b, 1, 1, 3, /*relu=*/true,
+                            /*pool=*/nullptr);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(fused.ok());
+  Tensor expected = Relu(*plain);
+  ASSERT_EQ(expected.shape(), fused->shape());
+  for (int64_t i = 0; i < expected.num_elements(); ++i) {
+    ASSERT_EQ(expected.at(i), fused->at(i)) << "at " << i;
+  }
+}
+
+// Intra-GEMM parallelism partitions work by row blocks but performs the
+// same packing and micro-kernel arithmetic per block, so the result must
+// be bit-identical to the serial kernel.
+TEST(GemmPackedParallelTest, BitIdenticalToSerial) {
+  Rng rng(7);
+  const int64_t m = 256, n = 200, k = 64;
+  Tensor a = Tensor::RandomGaussian(Shape{m, k}, &rng);
+  Tensor b = Tensor::RandomGaussian(Shape{k, n}, &rng);
+  Tensor bias = Tensor::RandomGaussian(Shape{m}, &rng);
+  GemmEpilogue epilogue;
+  epilogue.bias = bias.data();
+  epilogue.relu = true;
+
+  Tensor serial(Shape{m, n});
+  GemmPacked(m, n, k, a.data(), k, b.data(), n, serial.mutable_data(), n,
+             epilogue, &KernelScratch::ThreadLocal());
+
+  ThreadPool pool(4);
+  Tensor parallel(Shape{m, n});
+  GemmPackedParallel(m, n, k, a.data(), k, b.data(), n,
+                     parallel.mutable_data(), n, epilogue, &pool);
+  for (int64_t i = 0; i < serial.num_elements(); ++i) {
+    ASSERT_EQ(serial.at(i), parallel.at(i)) << "at " << i;
+  }
+}
+
+// The zero-allocations-after-warm-up contract: once a convolution shape
+// has been seen, repeating it (or running anything smaller) acquires every
+// scratch buffer from the arena without touching the heap.
+TEST(KernelScratchTest, NoAllocationsAfterWarmup) {
+  Rng rng(3);
+  Tensor input = Tensor::RandomGaussian(Shape{8, 14, 14}, &rng);
+  Tensor w = Tensor::RandomGaussian(Shape{16, 8, 3, 3}, &rng);
+  Tensor b = Tensor::RandomGaussian(Shape{16}, &rng);
+
+  // Warm-up: grows the arena to this shape's high-water mark.
+  ASSERT_TRUE(Conv2DGemm(input, w, b, 1, 1, 1).ok());
+
+  KernelScratch& scratch = KernelScratch::ThreadLocal();
+  const int64_t allocs_after_warmup = scratch.allocations();
+  const int64_t reuses_before = scratch.reuses();
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(Conv2DGemm(input, w, b, 1, 1, 1).ok());
+  }
+  EXPECT_EQ(scratch.allocations(), allocs_after_warmup)
+      << "warmed-up convolutions must not allocate scratch";
+  EXPECT_GT(scratch.reuses(), reuses_before);
+}
+
+TEST(KernelScratchTest, GrowsGeometricallyAndAligns) {
+  KernelScratch scratch;
+  float* p1 = scratch.Acquire(KernelScratch::Slot::kPackA, 100);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p1) % 64, 0u);
+  EXPECT_EQ(scratch.allocations(), 1);
+  // Same slot, smaller request: reused, not reallocated.
+  scratch.Acquire(KernelScratch::Slot::kPackA, 50);
+  EXPECT_EQ(scratch.allocations(), 1);
+  EXPECT_EQ(scratch.reuses(), 1);
+  // Larger request forces growth.
+  float* p2 = scratch.Acquire(KernelScratch::Slot::kPackA, 5000);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p2) % 64, 0u);
+  EXPECT_EQ(scratch.allocations(), 2);
+}
 
 TEST(Conv2DGemmTest, RejectsBadConfigs) {
   Tensor input(Shape{3, 8, 8});

@@ -1,15 +1,17 @@
 #!/usr/bin/env python3
-"""Kernel bench regression gate.
+"""Bench regression gate.
 
-Compares a fresh BENCH_smoke_kernels.json (bench_micro_kernels --smoke)
-against the committed baseline and fails when a tracked metric regresses
-by more than the tolerance (default 25%).
+Compares a fresh smoke-bench report (BENCH_smoke_kernels.json,
+BENCH_smoke_shuffle.json, ...) against its committed baseline and fails
+when a tracked metric regresses by more than the tolerance (default 25%).
+The report's "bench" id selects which metrics are gated and which
+baseline file is used, so one script serves every bench.
 
-Only machine-independent *ratio* metrics are compared — speedup and
-efficiency — never raw milliseconds: CI runners differ wildly in clock
-speed and core count, so absolute timings would gate on the hardware
-lottery instead of the code. Raw latencies from both files are printed
-for humans.
+Only machine-independent *ratio* metrics are compared — speedups,
+efficiency, throughput ratios — never raw milliseconds: CI runners
+differ wildly in clock speed and core count, so absolute timings would
+gate on the hardware lottery instead of the code. Raw latencies from
+both files are printed for humans.
 
 Usage:
     scripts/bench_regression.py CURRENT.json [--baseline PATH]
@@ -25,25 +27,45 @@ import json
 import os
 import sys
 
-DEFAULT_BASELINE = os.path.join(
+BASELINE_DIR = os.path.join(
     os.path.dirname(os.path.abspath(__file__)), os.pardir, "bench",
-    "baselines", "bench_kernels_baseline.json")
+    "baselines")
 
-# (section, key) pairs gated on: higher is better for all of them.
-TRACKED = [
-    ("gemm_256x1152x196", "speedup"),
-    ("batched_inference", "efficiency_normalized"),
-]
-
-# Informational only (printed, never gated): machine-dependent.
-INFORMATIONAL = [
-    ("gemm_256x1152x196", "naive_ms"),
-    ("gemm_256x1152x196", "packed_ms"),
-    ("gemm_256x1152x196", "gflops"),
-    ("batched_inference", "serial_ms"),
-    ("batched_inference", "parallel_ms"),
-    ("batched_inference", "efficiency_raw"),
-]
+# Per-bench gate configuration, keyed on the report's "bench" id.
+# "tracked" metrics gate the build (higher is better for all of them);
+# "informational" metrics are printed but never gated (machine-dependent).
+BENCHES = {
+    "micro_kernels": {
+        "baseline": "bench_kernels_baseline.json",
+        "tracked": [
+            ("gemm_256x1152x196", "speedup"),
+            ("batched_inference", "efficiency_normalized"),
+        ],
+        "informational": [
+            ("gemm_256x1152x196", "naive_ms"),
+            ("gemm_256x1152x196", "packed_ms"),
+            ("gemm_256x1152x196", "gflops"),
+            ("batched_inference", "serial_ms"),
+            ("batched_inference", "parallel_ms"),
+            ("batched_inference", "efficiency_raw"),
+        ],
+    },
+    "shuffle": {
+        "baseline": "bench_shuffle_baseline.json",
+        "tracked": [
+            ("shuffle_join", "speedup"),
+            ("serialize", "throughput_ratio"),
+        ],
+        "informational": [
+            ("shuffle_join", "serial_ms"),
+            ("shuffle_join", "parallel_ms"),
+            ("persist_overlap", "sync_reference_ms"),
+            ("persist_overlap", "async_persist_ms"),
+            ("persist_overlap", "queue_depth_peak"),
+            ("determinism", "bit_identical"),
+        ],
+    },
+}
 
 
 def metric(report, section, key):
@@ -55,8 +77,10 @@ def metric(report, section, key):
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("current", help="fresh BENCH_smoke_kernels.json")
-    parser.add_argument("--baseline", default=DEFAULT_BASELINE)
+    parser.add_argument("current", help="fresh smoke-bench report")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline path (default: per-bench file under "
+                             "bench/baselines/)")
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="allowed fractional regression (default 0.25)")
     parser.add_argument("--update", action="store_true",
@@ -66,19 +90,29 @@ def main():
     with open(args.current) as f:
         current = json.load(f)
 
-    if args.update or not os.path.exists(args.baseline):
-        os.makedirs(os.path.dirname(args.baseline), exist_ok=True)
-        with open(args.baseline, "w") as f:
+    bench_id = current.get("bench")
+    if bench_id not in BENCHES:
+        print(f"unknown bench id {bench_id!r}; known: "
+              f"{sorted(BENCHES)}", file=sys.stderr)
+        return 1
+    config = BENCHES[bench_id]
+    baseline_path = args.baseline or os.path.join(BASELINE_DIR,
+                                                  config["baseline"])
+
+    if args.update or not os.path.exists(baseline_path):
+        os.makedirs(os.path.dirname(baseline_path), exist_ok=True)
+        with open(baseline_path, "w") as f:
             json.dump(current, f, indent=2, sort_keys=True)
             f.write("\n")
-        print(f"baseline written to {args.baseline}; commit it")
+        print(f"baseline written to {baseline_path}; commit it")
         return 0
 
-    with open(args.baseline) as f:
+    with open(baseline_path) as f:
         baseline = json.load(f)
 
+    print(f"bench: {bench_id}")
     print(f"{'metric':45s} {'baseline':>10s} {'current':>10s} {'ratio':>7s}")
-    for section, key in INFORMATIONAL:
+    for section, key in config["informational"]:
         base, cur = (metric(r, section, key) for r in (baseline, current))
         if base is None or cur is None:
             continue
@@ -87,7 +121,7 @@ def main():
               f"{ratio:6.2f}x")
 
     failures = []
-    for section, key in TRACKED:
+    for section, key in config["tracked"]:
         name = f"{section}.{key}"
         base = metric(baseline, section, key)
         cur = metric(current, section, key)

@@ -1,0 +1,108 @@
+#ifndef VISTA_COMMON_FLAT_MAP_H_
+#define VISTA_COMMON_FLAT_MAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace vista {
+
+/// Open-addressing hash table from int64 keys to V with linear probing.
+///
+/// Purpose-built for the engine's join build sides, which are
+/// insert-then-probe-only: reserve once, emplace every build record, probe
+/// for every probe record, throw the table away. Compared to
+/// std::unordered_map this stores all slots in one contiguous allocation
+/// (no per-node heap traffic) and probes sequentially (cache-friendly), so
+/// both the build and the probe phases touch far fewer cache lines.
+///
+/// Semantics match the subset of unordered_map the joins use:
+///  - emplace keeps the first value inserted for a key (returns false on
+///    duplicates), like unordered_map::emplace;
+///  - find returns a pointer to the mapped value or nullptr.
+/// There is no erase. V must be default-constructible and movable.
+template <typename V>
+class FlatMap {
+ public:
+  FlatMap() = default;
+  explicit FlatMap(size_t expected) { reserve(expected); }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Grows capacity so `expected` insertions stay under the load factor.
+  void reserve(size_t expected) {
+    size_t cap = kMinCapacity;
+    while (cap * 7 < expected * 10) cap <<= 1;  // Load factor <= 0.7.
+    if (cap > slots_.size()) Rehash(cap);
+  }
+
+  /// Inserts (key, value) if the key is absent. Returns true when inserted,
+  /// false when the key was already present (first value wins).
+  bool emplace(int64_t key, V value) {
+    if ((size_ + 1) * 10 > slots_.size() * 7) {
+      Rehash(slots_.empty() ? kMinCapacity : slots_.size() * 2);
+    }
+    size_t i = Hash(key) & mask_;
+    while (used_[i]) {
+      if (slots_[i].first == key) return false;
+      i = (i + 1) & mask_;
+    }
+    used_[i] = 1;
+    slots_[i].first = key;
+    slots_[i].second = std::move(value);
+    ++size_;
+    return true;
+  }
+
+  /// Pointer to the value mapped to `key`, or nullptr. Stable until the
+  /// next emplace/reserve.
+  const V* find(int64_t key) const {
+    if (slots_.empty()) return nullptr;
+    size_t i = Hash(key) & mask_;
+    while (used_[i]) {
+      if (slots_[i].first == key) return &slots_[i].second;
+      i = (i + 1) & mask_;
+    }
+    return nullptr;
+  }
+
+ private:
+  static constexpr size_t kMinCapacity = 16;
+
+  /// splitmix64 finalizer: strong enough that linear probing stays O(1)
+  /// even on sequential ids.
+  static size_t Hash(int64_t key) {
+    uint64_t z = static_cast<uint64_t>(key) + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<size_t>(z ^ (z >> 31));
+  }
+
+  void Rehash(size_t cap) {
+    std::vector<std::pair<int64_t, V>> old_slots = std::move(slots_);
+    std::vector<uint8_t> old_used = std::move(used_);
+    slots_.clear();
+    slots_.resize(cap);
+    used_.assign(cap, 0);
+    mask_ = cap - 1;
+    size_ = 0;
+    for (size_t i = 0; i < old_slots.size(); ++i) {
+      if (old_used[i]) {
+        emplace(old_slots[i].first, std::move(old_slots[i].second));
+      }
+    }
+  }
+
+  std::vector<std::pair<int64_t, V>> slots_;
+  /// Occupancy bitmap, kept separate so probing scans densely even when V
+  /// is large.
+  std::vector<uint8_t> used_;
+  size_t mask_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace vista
+
+#endif  // VISTA_COMMON_FLAT_MAP_H_

@@ -41,8 +41,12 @@ Status StorageCache::EvictUntilAvailable(int64_t bytes) {
           "Storage memory exhausted and spilling is disabled "
           "(memory-only mode)");
     }
+    // Hand the blob to the background writer: the caller continues
+    // serializing/inserting while the disk write is in flight. A write
+    // that later fails surfaces at the engine's Flush (end of Persist) or
+    // as a NotFound read that lineage recomputation absorbs.
     VISTA_ASSIGN_OR_RETURN(std::vector<uint8_t> blob, victim->ToBlob());
-    VISTA_RETURN_IF_ERROR(spill_->Write(entry.key, blob));
+    VISTA_RETURN_IF_ERROR(spill_->WriteAsync(entry.key, std::move(blob)));
     victim->Evict();
     memory_->Release(MemoryRegion::kStorage, entry.charged_bytes);
     if (c_evictions_ != nullptr) {
@@ -91,7 +95,7 @@ Status StorageCache::Insert(const std::shared_ptr<Partition>& partition) {
   if (avail.IsResourceExhausted()) return avail;  // Memory-only crash.
   // Spill the incoming partition directly: it is managed but non-resident.
   VISTA_ASSIGN_OR_RETURN(std::vector<uint8_t> blob, partition->ToBlob());
-  VISTA_RETURN_IF_ERROR(spill_->Write(entry.key, blob));
+  VISTA_RETURN_IF_ERROR(spill_->WriteAsync(entry.key, std::move(blob)));
   partition->Evict();
   entries_.emplace(partition.get(), std::move(entry));
   if (c_inserts_ != nullptr) c_inserts_->Add(1);

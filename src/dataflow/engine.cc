@@ -1,32 +1,170 @@
 #include "dataflow/engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <unistd.h>
-#include <unordered_map>
 
+#include "common/flat_map.h"
 #include "common/logging.h"
 
 namespace vista::df {
 namespace {
 
-/// Stable hash of a record id for partitioning (splitmix64 finalizer).
-uint64_t HashId(int64_t id) {
-  uint64_t z = static_cast<uint64_t>(id) + 0x9e3779b97f4a7c15ULL;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
+/// Per-source destination buckets from the first shuffle phase:
+/// buckets[source][destination] -> records. A source whose read failed
+/// leaves its entry empty; the engine checks statuses before merging.
+using SourceBuckets = std::vector<std::vector<std::vector<Record>>>;
+
+/// Concatenates destination bucket `j` of every source, in source-index
+/// order. Sources were filled left-to-right by the serial gather this
+/// replaces, so fixing the merge order here makes the parallel shuffle's
+/// output bit-identical to the serial one at any thread count.
+std::vector<Record> MergeDestination(SourceBuckets* sources, int64_t j) {
+  size_t total = 0;
+  for (const auto& s : *sources) {
+    if (!s.empty()) total += s[j].size();
+  }
+  std::vector<Record> out;
+  out.reserve(total);
+  for (auto& s : *sources) {
+    if (s.empty()) continue;
+    for (Record& r : s[j]) out.push_back(std::move(r));
+    s[j].clear();
+    s[j].shrink_to_fit();
+  }
+  return out;
 }
 
 std::vector<std::vector<Record>> BucketByHash(std::vector<Record> records,
                                               int num_partitions) {
   std::vector<std::vector<Record>> buckets(num_partitions);
   for (Record& r : records) {
-    buckets[HashId(r.id) % num_partitions].push_back(std::move(r));
+    buckets[ShuffleHashId(r.id) % num_partitions].push_back(std::move(r));
   }
   return buckets;
 }
 
+// ---------------------------------------------------------------------------
+// Late-materialization shuffle. When every input partition is resident in
+// serialized form, the shuffle never decodes a record: sources are
+// header-scanned into byte-range views (ScanRecord), views are bucketed and
+// joined by id, and outputs are built by splicing the referenced byte
+// ranges — bit-identical to decode + MergeRecords + re-encode, at memcpy
+// speed and without materializing a single tensor.
+
+/// One serialized record in place: the blob that holds it plus its
+/// byte-range map. The blob pointer stays valid for the whole shuffle
+/// because the input Table keeps its partitions (and their blobs) alive.
+struct WireRef {
+  const std::vector<uint8_t>* blob;
+  SerializedRecordView view;
+};
+
+using WireSourceBuckets = std::vector<std::vector<std::vector<WireRef>>>;
+
+/// Wire-view analog of MergeDestination: destination bucket `j` of every
+/// source, concatenated in source-index order.
+std::vector<WireRef> MergeWireDestination(WireSourceBuckets* sources,
+                                          int64_t j) {
+  size_t total = 0;
+  for (const auto& s : *sources) {
+    if (!s.empty()) total += s[j].size();
+  }
+  std::vector<WireRef> out;
+  out.reserve(total);
+  for (auto& s : *sources) {
+    if (s.empty()) continue;
+    out.insert(out.end(), s[j].begin(), s[j].end());
+    s[j].clear();
+    s[j].shrink_to_fit();
+  }
+  return out;
+}
+
+/// True when the zero-decode shuffle can run: every partition holds its
+/// serialized blob in memory.
+bool AllSerializedResident(const Table& table) {
+  for (const auto& p : table.partitions) {
+    if (!p->resident() || p->format() != PersistenceFormat::kSerialized) {
+      return false;
+    }
+  }
+  return !table.partitions.empty();
+}
+
+/// Wire-view analog of Engine::ShuffleSources: header-scans every source
+/// blob in parallel (same retryable shuffle-send fault semantics, same task
+/// keys) and buckets the record views by destination hash. Wire bytes are
+/// the blob sizes — exact, and free to measure.
+Status ScanWireSources(ThreadPool* pool, FaultInjector* injector,
+                       const RetryPolicy& policy,
+                       std::atomic<int64_t>* task_retries, const Table& table,
+                       uint64_t op, int side, int num_destinations,
+                       const char* what, WireSourceBuckets* buckets_out,
+                       int64_t* wire_bytes_out) {
+  WireSourceBuckets& buckets = *buckets_out;
+  const int ns = table.num_partitions();
+  buckets.assign(ns, {});
+  std::vector<Status> statuses(ns);
+  std::atomic<int64_t> wire_bytes{0};
+  pool->ParallelFor(ns, [&](int64_t i) {
+    const uint64_t unit = ShuffleTaskUnit(op, side, i);
+    auto blob = table.partitions[i]->blob();
+    if (!blob.ok()) {
+      statuses[i] = blob.status();
+      return;
+    }
+    // An injected shuffle fault models a lost block: the whole source is
+    // re-scanned on retry, mirroring ReadPartitionWithRetry.
+    std::vector<WireRef> refs;
+    for (int attempt = 0;; ++attempt) {
+      Status st = injector->MaybeFail(FaultSite::kShuffleSend,
+                                      FaultInjector::TaskKey(unit, attempt),
+                                      what);
+      if (st.ok()) {
+        refs.clear();
+        refs.reserve(static_cast<size_t>(table.partitions[i]->num_records()));
+        size_t offset = 0;
+        while (st.ok() && offset < (*blob)->size()) {
+          auto view = ScanRecord(**blob, &offset);
+          if (view.ok()) {
+            refs.push_back(WireRef{*blob, *view});
+          } else {
+            st = view.status();
+          }
+        }
+        if (st.ok()) break;
+      }
+      if (attempt + 1 >= policy.max_attempts || !IsRetryable(policy, st)) {
+        statuses[i] = st;
+        return;
+      }
+      task_retries->fetch_add(1);
+      SleepForBackoff(policy, unit, attempt);
+    }
+    std::vector<std::vector<WireRef>>& dest = buckets[i];
+    dest.resize(num_destinations);
+    for (const WireRef& r : refs) {
+      dest[ShuffleHashId(r.view.id) % num_destinations].push_back(r);
+    }
+    wire_bytes.fetch_add(static_cast<int64_t>((*blob)->size()),
+                         std::memory_order_relaxed);
+  });
+  for (const Status& st : statuses) {
+    VISTA_RETURN_IF_ERROR(st);
+  }
+  *wire_bytes_out += wire_bytes.load();
+  return Status::OK();
+}
+
 }  // namespace
+
+uint64_t ShuffleHashId(int64_t id) {
+  uint64_t z = static_cast<uint64_t>(id) + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
 
 const char* JoinStrategyToString(JoinStrategy strategy) {
   switch (strategy) {
@@ -76,6 +214,9 @@ Engine::Engine(EngineConfig config) : config_(std::move(config)) {
   c_join_ops_ = metrics_->counter("engine.join_ops");
   h_map_task_ms_ = metrics_->histogram("engine.map_task_ms");
   h_partition_read_ms_ = metrics_->histogram("engine.partition_read_ms");
+  h_shuffle_ms_ = metrics_->histogram("engine.shuffle_ms");
+  h_serialize_ms_ = metrics_->histogram("engine.serialize_ms");
+  g_spill_queue_depth_ = metrics_->gauge("spill.queue_depth");
   if (config_.spill_dir.empty()) {
     config_.spill_dir =
         "/tmp/vista_spill_" + std::to_string(::getpid()) + "_" +
@@ -96,9 +237,12 @@ EngineStats Engine::stats() const {
   EngineStats s;
   s.shuffle_bytes = c_shuffle_bytes_->value();
   s.broadcast_bytes = c_broadcast_bytes_->value();
+  // The spill accessors drain any in-flight async writes first, so the
+  // totals below are settled.
   s.spill_bytes_written = spill_->bytes_written();
   s.spill_bytes_read = spill_->bytes_read();
   s.num_spills = spill_->num_spills();
+  s.spill_queue_depth_peak = g_spill_queue_depth_->max_value();
   s.recovery.retries = task_retries_.load() + spill_->io_retries();
   s.recovery.recomputed_partitions = recomputed_partitions_.load();
   s.recovery.injected_faults = injector_->total_injected();
@@ -174,7 +318,7 @@ Result<Table> Engine::MapPartitions(const Table& input,
     c_map_tasks_->Add(1);
     obs::ScopedLatency task_latency(h_map_task_ms_);
     const RetryPolicy& policy = config_.retry;
-    const uint64_t unit = (op << 16) | static_cast<uint64_t>(i);
+    const uint64_t unit = ShuffleTaskUnit(op, 0, i);
     for (int attempt = 0;; ++attempt) {
       // The injected failure fires before the UDF runs, modelling a lost
       // task; a retried task re-reads its input and re-runs the UDF from
@@ -220,26 +364,92 @@ Result<Table> Engine::MapPartitions(const Table& input,
   return out;
 }
 
+Status Engine::ShuffleSources(
+    const Table& table, uint64_t op, int side, int num_destinations,
+    const char* what,
+    std::vector<std::vector<std::vector<Record>>>* buckets_out) {
+  SourceBuckets& buckets = *buckets_out;
+  const int ns = table.num_partitions();
+  buckets.assign(ns, {});
+  std::vector<Status> statuses(ns);
+  std::atomic<int64_t> wire_bytes{0};
+  pool_->ParallelFor(ns, [&](int64_t i) {
+    auto records = ReadPartitionWithRetry(table.partitions[i],
+                                          ShuffleTaskUnit(op, side, i), what);
+    if (!records.ok()) {
+      statuses[i] = records.status();
+      return;
+    }
+    std::vector<std::vector<Record>>& dest = buckets[i];
+    dest.resize(num_destinations);
+    // Wire bytes: the source partition's cached serialized footprint (free
+    // for serialized-resident partitions); per-record fallback for spilled
+    // sources whose size is not measurable in place.
+    int64_t bytes = table.partitions[i]->memory_bytes_as(
+        PersistenceFormat::kSerialized);
+    if (bytes <= 0) {
+      for (const Record& r : *records) bytes += SerializedRecordBytes(r);
+    }
+    for (Record& r : *records) {
+      dest[ShuffleHashId(r.id) % num_destinations].push_back(std::move(r));
+    }
+    wire_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  });
+  for (const Status& st : statuses) {
+    VISTA_RETURN_IF_ERROR(st);
+  }
+  c_shuffle_bytes_->Add(wire_bytes.load());
+  return Status::OK();
+}
+
 Result<Table> Engine::Repartition(const Table& input, int num_partitions) {
   if (num_partitions < 1) {
     return Status::InvalidArgument("num_partitions must be >= 1");
   }
-  // Gather-and-rebucket; metered as shuffle traffic.
   const uint64_t op = NextOpSeq();
   obs::ScopedSpan span(tracer_, "repartition", "engine");
-  std::vector<Record> all;
-  for (int i = 0; i < input.num_partitions(); ++i) {
-    VISTA_ASSIGN_OR_RETURN(
-        std::vector<Record> records,
-        ReadPartitionWithRetry(input.partitions[i],
-                               (op << 16) | static_cast<uint64_t>(i),
-                               "repartition read"));
-    for (Record& r : records) {
-      c_shuffle_bytes_->Add(EstimateRecordBytes(r));
-      all.push_back(std::move(r));
-    }
+  obs::ScopedLatency shuffle_latency(h_shuffle_ms_);
+  // Zero-decode path: serialized-resident inputs are moved as byte ranges —
+  // header-scan each source, then concatenate each destination's record
+  // bytes in source order. No record is ever materialized.
+  if (AllSerializedResident(input)) {
+    WireSourceBuckets sources;
+    int64_t wire_bytes = 0;
+    VISTA_RETURN_IF_ERROR(ScanWireSources(
+        pool_.get(), injector_.get(), config_.retry, &task_retries_, input,
+        op, 0, num_partitions, "repartition read", &sources, &wire_bytes));
+    c_shuffle_bytes_->Add(wire_bytes);
+    Table table;
+    table.partitions.resize(num_partitions);
+    pool_->ParallelFor(num_partitions, [&](int64_t j) {
+      std::vector<WireRef> refs = MergeWireDestination(&sources, j);
+      size_t total = 0;
+      for (const WireRef& r : refs) total += r.view.wire_bytes();
+      std::vector<uint8_t> blob;
+      blob.reserve(total);
+      for (const WireRef& r : refs) {
+        blob.insert(blob.end(), r.blob->begin() + r.view.begin,
+                    r.blob->begin() + r.view.tensors_end);
+      }
+      table.partitions[j] = std::make_shared<Partition>(
+          std::move(blob), static_cast<int64_t>(refs.size()));
+    });
+    return table;
   }
-  return MakeTable(std::move(all), num_partitions);
+  // Two-phase parallel shuffle. Phase 1: every source partition buckets
+  // its own records by destination (thread-local, no shared state; metered
+  // as shuffle traffic at wire size). Phase 2: per-destination merges, in
+  // source order, run in parallel.
+  SourceBuckets sources;
+  VISTA_RETURN_IF_ERROR(ShuffleSources(input, op, 0, num_partitions,
+                                       "repartition read", &sources));
+  Table table;
+  table.partitions.resize(num_partitions);
+  pool_->ParallelFor(num_partitions, [&](int64_t j) {
+    table.partitions[j] =
+        std::make_shared<Partition>(MergeDestination(&sources, j));
+  });
+  return table;
 }
 
 Result<Table> Engine::Join(const Table& left, const Table& right,
@@ -253,28 +463,53 @@ Result<Table> Engine::Join(const Table& left, const Table& right,
       tracer_,
       strategy == JoinStrategy::kBroadcast ? "join:broadcast" : "join:shuffle",
       "engine");
+  obs::ScopedLatency shuffle_latency(h_shuffle_ms_);
   if (strategy == JoinStrategy::kBroadcast) {
-    // Build one hash table from the full right side; replicated per worker
-    // in a real cluster, so Core memory is charged num_workers times.
+    // Gather the full right side in parallel (per-source slots keep the
+    // build input order deterministic), then build one hash table from it.
+    // Replicated per worker in a real cluster, so Core memory is charged
+    // num_workers times; the wire counter meters actual serialized bytes.
     const uint64_t op = NextOpSeq();
+    const int nr = right.num_partitions();
+    std::vector<std::vector<Record>> gathered(nr);
+    std::vector<Status> gather_statuses(nr);
+    std::atomic<int64_t> wire_bytes{0};
+    pool_->ParallelFor(nr, [&](int64_t i) {
+      auto records = ReadPartitionWithRetry(right.partitions[i],
+                                            ShuffleTaskUnit(op, 1, i),
+                                            "broadcast gather");
+      if (!records.ok()) {
+        gather_statuses[i] = records.status();
+        return;
+      }
+      int64_t bytes = right.partitions[i]->memory_bytes_as(
+          PersistenceFormat::kSerialized);
+      if (bytes <= 0) {
+        for (const Record& r : *records) bytes += SerializedRecordBytes(r);
+      }
+      wire_bytes.fetch_add(bytes, std::memory_order_relaxed);
+      gathered[i] = std::move(records).value();
+    });
+    for (const Status& st : gather_statuses) {
+      VISTA_RETURN_IF_ERROR(st);
+    }
+    size_t total = 0;
+    for (const auto& g : gathered) total += g.size();
     std::vector<Record> small;
+    small.reserve(total);
     int64_t small_bytes = 0;
-    for (int i = 0; i < right.num_partitions(); ++i) {
-      VISTA_ASSIGN_OR_RETURN(
-          std::vector<Record> records,
-          ReadPartitionWithRetry(right.partitions[i],
-                                 (op << 16) | static_cast<uint64_t>(i),
-                                 "broadcast gather"));
-      for (Record& r : records) {
+    for (auto& g : gathered) {
+      for (Record& r : g) {
         small_bytes += EstimateRecordBytes(r);
         small.push_back(std::move(r));
       }
     }
-    c_broadcast_bytes_->Add(small_bytes * config_.num_workers);
+    c_broadcast_bytes_->Add(wire_bytes.load() * config_.num_workers);
+    // The replicated hash table holds deserialized records, so the Core
+    // charge stays at the in-memory estimate.
     const int64_t charged = small_bytes * config_.num_workers;
     VISTA_RETURN_IF_ERROR(memory_->TryReserve(MemoryRegion::kCore, charged));
-    std::unordered_map<int64_t, const Record*> hash_table;
-    hash_table.reserve(small.size());
+    FlatMap<const Record*> hash_table(small.size());
     for (const Record& r : small) hash_table.emplace(r.id, &r);
 
     const int np = left.num_partitions();
@@ -288,9 +523,9 @@ Result<Table> Engine::Join(const Table& left, const Table& right,
       }
       std::vector<Record> joined;
       for (const Record& l : *records) {
-        auto it = hash_table.find(l.id);
-        if (it != hash_table.end()) {
-          joined.push_back(MergeRecords(l, *it->second));
+        const Record* const* hit = hash_table.find(l.id);
+        if (hit != nullptr) {
+          joined.push_back(MergeRecords(l, **hit));
         }
       }
       outputs[i] = std::make_shared<Partition>(std::move(joined));
@@ -307,51 +542,42 @@ Result<Table> Engine::Join(const Table& left, const Table& right,
     return out;
   }
 
-  // Shuffle-hash join: bucket both sides by id hash into the output
-  // partition count, then hash-join bucket pairs in parallel. Each
-  // shuffle-side read is a retryable "send" (lost shuffle block).
+  // Shuffle-hash join, two-phase. Phase 1: both sides' source partitions
+  // bucket their records by destination hash in one parallel pass over
+  // nl + nr read tasks, each into thread-local per-source slots (no shared
+  // mutable state, no locks). Each shuffle-side read is a retryable "send"
+  // (lost shuffle block). Phase 2: per destination, merge the per-source
+  // buckets in fixed source order — making the output bit-identical to the
+  // old serial gather at any parallelism — then hash-join the bucket pair.
   const uint64_t op = NextOpSeq();
   const int np = num_output_partitions;
-  std::vector<std::vector<Record>> left_buckets(np);
-  std::vector<std::vector<Record>> right_buckets(np);
-  for (int i = 0; i < left.num_partitions(); ++i) {
-    VISTA_ASSIGN_OR_RETURN(
-        std::vector<Record> records,
-        ReadPartitionWithRetry(left.partitions[i],
-                               (op << 16) | static_cast<uint64_t>(i),
-                               "shuffle send (left)"));
-    for (Record& r : records) {
-      c_shuffle_bytes_->Add(EstimateRecordBytes(r));
-      left_buckets[HashId(r.id) % np].push_back(std::move(r));
-    }
+  // Zero-decode path: when both sides are resident serialized, shuffle and
+  // join the records as byte ranges and splice the outputs.
+  if (AllSerializedResident(left) && AllSerializedResident(right)) {
+    return SerializedShuffleJoin(left, right, op, np);
   }
-  for (int i = 0; i < right.num_partitions(); ++i) {
-    VISTA_ASSIGN_OR_RETURN(
-        std::vector<Record> records,
-        ReadPartitionWithRetry(right.partitions[i],
-                               (op << 16) | static_cast<uint64_t>(
-                                   0x8000 + i),
-                               "shuffle send (right)"));
-    for (Record& r : records) {
-      c_shuffle_bytes_->Add(EstimateRecordBytes(r));
-      right_buckets[HashId(r.id) % np].push_back(std::move(r));
-    }
-  }
+  SourceBuckets left_sources;
+  SourceBuckets right_sources;
+  VISTA_RETURN_IF_ERROR(
+      ShuffleSources(left, op, 0, np, "shuffle send (left)", &left_sources));
+  VISTA_RETURN_IF_ERROR(ShuffleSources(right, op, 1, np,
+                                       "shuffle send (right)",
+                                       &right_sources));
 
   std::vector<std::shared_ptr<Partition>> outputs(np);
   std::vector<Status> statuses(np);
   pool_->ParallelFor(np, [&](int64_t i) {
+    std::vector<Record> left_bucket = MergeDestination(&left_sources, i);
+    std::vector<Record> right_bucket = MergeDestination(&right_sources, i);
     // Build side: the smaller bucket. Charge its footprint to Core memory
     // for the duration of the probe (join working memory).
-    std::vector<Record>& build = right_buckets[i].size() <=
-                                         left_buckets[i].size()
-                                     ? right_buckets[i]
-                                     : left_buckets[i];
-    std::vector<Record>& probe = right_buckets[i].size() <=
-                                         left_buckets[i].size()
-                                     ? left_buckets[i]
-                                     : right_buckets[i];
-    const bool build_is_right = &build == &right_buckets[i];
+    std::vector<Record>& build = right_bucket.size() <= left_bucket.size()
+                                     ? right_bucket
+                                     : left_bucket;
+    std::vector<Record>& probe = right_bucket.size() <= left_bucket.size()
+                                     ? left_bucket
+                                     : right_bucket;
+    const bool build_is_right = &build == &right_bucket;
     int64_t build_bytes = 0;
     for (const Record& r : build) build_bytes += EstimateRecordBytes(r);
     Status reserve = memory_->TryReserve(MemoryRegion::kCore, build_bytes);
@@ -359,16 +585,16 @@ Result<Table> Engine::Join(const Table& left, const Table& right,
       statuses[i] = reserve;
       return;
     }
-    std::unordered_map<int64_t, const Record*> hash_table;
-    hash_table.reserve(build.size());
+    FlatMap<const Record*> hash_table(build.size());
     for (const Record& r : build) hash_table.emplace(r.id, &r);
     std::vector<Record> joined;
+    joined.reserve(std::min(build.size(), probe.size()));
     for (const Record& p : probe) {
-      auto it = hash_table.find(p.id);
-      if (it != hash_table.end()) {
+      const Record* const* hit = hash_table.find(p.id);
+      if (hit != nullptr) {
         // Keep (left, right) merge order regardless of build side.
-        joined.push_back(build_is_right ? MergeRecords(p, *it->second)
-                                        : MergeRecords(*it->second, p));
+        joined.push_back(build_is_right ? MergeRecords(p, **hit)
+                                        : MergeRecords(**hit, p));
       }
     }
     memory_->Release(MemoryRegion::kCore, build_bytes);
@@ -384,6 +610,81 @@ Result<Table> Engine::Join(const Table& left, const Table& right,
   return out;
 }
 
+Result<Table> Engine::SerializedShuffleJoin(const Table& left,
+                                            const Table& right, uint64_t op,
+                                            int num_output_partitions) {
+  const int np = num_output_partitions;
+  int64_t wire_bytes = 0;
+  WireSourceBuckets left_sources;
+  WireSourceBuckets right_sources;
+  VISTA_RETURN_IF_ERROR(ScanWireSources(
+      pool_.get(), injector_.get(), config_.retry, &task_retries_, left, op,
+      0, np, "shuffle send (left)", &left_sources, &wire_bytes));
+  VISTA_RETURN_IF_ERROR(ScanWireSources(
+      pool_.get(), injector_.get(), config_.retry, &task_retries_, right, op,
+      1, np, "shuffle send (right)", &right_sources, &wire_bytes));
+  c_shuffle_bytes_->Add(wire_bytes);
+
+  std::vector<std::shared_ptr<Partition>> outputs(np);
+  std::vector<Status> statuses(np);
+  pool_->ParallelFor(np, [&](int64_t i) {
+    std::vector<WireRef> left_bucket = MergeWireDestination(&left_sources, i);
+    std::vector<WireRef> right_bucket =
+        MergeWireDestination(&right_sources, i);
+    // Same build-side choice and merge order as the decoding path, so the
+    // spliced output is bit-identical to decode + MergeRecords + re-encode.
+    std::vector<WireRef>& build = right_bucket.size() <= left_bucket.size()
+                                      ? right_bucket
+                                      : left_bucket;
+    std::vector<WireRef>& probe = right_bucket.size() <= left_bucket.size()
+                                      ? left_bucket
+                                      : right_bucket;
+    const bool build_is_right = &build == &right_bucket;
+    // The hash build holds byte-range views, so the Core charge is the
+    // build side's wire footprint — what this path actually keeps resident,
+    // not the (larger, dense) deserialized estimate.
+    int64_t build_bytes = 0;
+    for (const WireRef& r : build) {
+      build_bytes += static_cast<int64_t>(r.view.wire_bytes());
+    }
+    Status reserve = memory_->TryReserve(MemoryRegion::kCore, build_bytes);
+    if (!reserve.ok()) {
+      statuses[i] = reserve;
+      return;
+    }
+    FlatMap<const WireRef*> hash_table(build.size());
+    for (const WireRef& r : build) hash_table.emplace(r.view.id, &r);
+    // Probe pass collects the matches (in probe order, (left, right)
+    // oriented) and sizes the output exactly; the splice pass then fills
+    // one flat allocation with straight memcpys.
+    std::vector<std::pair<const WireRef*, const WireRef*>> hits;
+    hits.reserve(std::min(build.size(), probe.size()));
+    size_t out_bytes = 0;
+    for (const WireRef& p : probe) {
+      const WireRef* const* hit = hash_table.find(p.view.id);
+      if (hit != nullptr) {
+        const WireRef* l = build_is_right ? &p : *hit;
+        const WireRef* r = build_is_right ? *hit : &p;
+        out_bytes += static_cast<size_t>(SplicedJoinBytes(l->view, r->view));
+        hits.emplace_back(l, r);
+      }
+    }
+    std::vector<uint8_t> blob;
+    blob.reserve(out_bytes);
+    for (const auto& [l, r] : hits) {
+      SpliceJoinedRecord(*l->blob, l->view, *r->blob, r->view, &blob);
+    }
+    memory_->Release(MemoryRegion::kCore, build_bytes);
+    outputs[i] = std::make_shared<Partition>(
+        std::move(blob), static_cast<int64_t>(hits.size()));
+  });
+  for (const Status& st : statuses) {
+    VISTA_RETURN_IF_ERROR(st);
+  }
+  Table out;
+  out.partitions = std::move(outputs);
+  return out;
+}
 
 Result<Table> Engine::Filter(
     const Table& input, const std::function<bool(const Record&)>& predicate) {
@@ -410,22 +711,36 @@ Result<Table> Engine::Union(const Table& a, const Table& b) {
   }
   const uint64_t op = NextOpSeq();
   obs::ScopedSpan span(tracer_, "union", "engine");
-  Table out;
-  for (int i = 0; i < a.num_partitions(); ++i) {
-    VISTA_ASSIGN_OR_RETURN(
-        std::vector<Record> left,
-        ReadPartitionWithRetry(a.partitions[i],
-                               (op << 16) | static_cast<uint64_t>(i),
-                               "union read (left)"));
-    VISTA_ASSIGN_OR_RETURN(
-        std::vector<Record> right,
-        ReadPartitionWithRetry(b.partitions[i],
-                               (op << 16) | static_cast<uint64_t>(
-                                   0x8000 + i),
-                               "union read (right)"));
-    for (Record& r : right) left.push_back(std::move(r));
-    out.partitions.push_back(std::make_shared<Partition>(std::move(left)));
+  obs::ScopedLatency shuffle_latency(h_shuffle_ms_);
+  const int np = a.num_partitions();
+  std::vector<std::shared_ptr<Partition>> outputs(np);
+  std::vector<Status> statuses(np);
+  pool_->ParallelFor(np, [&](int64_t i) {
+    auto left = ReadPartitionWithRetry(a.partitions[i],
+                                       ShuffleTaskUnit(op, 0, i),
+                                       "union read (left)");
+    if (!left.ok()) {
+      statuses[i] = left.status();
+      return;
+    }
+    auto right = ReadPartitionWithRetry(b.partitions[i],
+                                        ShuffleTaskUnit(op, 1, i),
+                                        "union read (right)");
+    if (!right.ok()) {
+      statuses[i] = right.status();
+      return;
+    }
+    std::vector<Record> merged = std::move(left).value();
+    std::vector<Record> tail = std::move(right).value();
+    merged.reserve(merged.size() + tail.size());
+    for (Record& r : tail) merged.push_back(std::move(r));
+    outputs[i] = std::make_shared<Partition>(std::move(merged));
+  });
+  for (const Status& st : statuses) {
+    VISTA_RETURN_IF_ERROR(st);
   }
+  Table out;
+  out.partitions = std::move(outputs);
   return out;
 }
 
@@ -456,17 +771,33 @@ Result<Table> Engine::Sample(const Table& input, double fraction,
 Status Engine::Persist(Table* table, PersistenceFormat format) {
   const uint64_t op = NextOpSeq();
   obs::ScopedSpan span(tracer_, "persist", "engine");
+  // Phase 1: per-partition format conversion in parallel — ConvertTo is
+  // pure CPU (encode/decode) and partitions are independent.
+  const int np = table->num_partitions();
+  std::vector<Status> statuses(np);
+  pool_->ParallelFor(np, [&](int64_t i) {
+    obs::ScopedLatency latency(h_serialize_ms_);
+    statuses[i] = table->partitions[i]->ConvertTo(format);
+  });
+  for (const Status& st : statuses) {
+    VISTA_RETURN_IF_ERROR(st);
+  }
+  // Phase 2: sequential inserts (memory-spike fault draws key off the
+  // cache's insert sequence, so ordering must stay deterministic). Any
+  // eviction they trigger hands its blob to the spill writer thread, which
+  // overlaps the disk I/O with the next insert's work.
   for (size_t i = 0; i < table->partitions.size(); ++i) {
-    auto& p = table->partitions[i];
-    VISTA_RETURN_IF_ERROR(p->ConvertTo(format));
     // Transient memory spikes (injected in the cache) reject individual
     // insert attempts with Unavailable; retry them. Genuine budget
     // violations are ResourceExhausted and fail through immediately.
     VISTA_RETURN_IF_ERROR(RunWithRetry(
-        config_.retry, (op << 16) | i, [&] { return cache_->Insert(p); },
+        config_.retry, ShuffleTaskUnit(op, 0, static_cast<int64_t>(i)),
+        [&] { return cache_->Insert(table->partitions[i]); },
         &task_retries_));
   }
-  return Status::OK();
+  // Ordered flush: async spill-write failures fail the Persist that
+  // caused them, not some unrelated later operation.
+  return spill_->Flush();
 }
 
 void Engine::Unpersist(Table* table) {
@@ -477,14 +808,15 @@ Result<std::vector<Record>> Engine::Collect(const Table& table,
                                             int64_t driver_memory_bytes) {
   const uint64_t op = NextOpSeq();
   obs::ScopedSpan span(tracer_, "collect", "engine");
+  // Stays serial: the driver-memory crash must trigger at a deterministic
+  // record, in table order, independent of thread scheduling.
   std::vector<Record> all;
   int64_t bytes = 0;
   for (int i = 0; i < table.num_partitions(); ++i) {
     VISTA_ASSIGN_OR_RETURN(
         std::vector<Record> records,
         ReadPartitionWithRetry(table.partitions[i],
-                               (op << 16) | static_cast<uint64_t>(i),
-                               "collect fetch"));
+                               ShuffleTaskUnit(op, 0, i), "collect fetch"));
     for (Record& r : records) {
       bytes += EstimateRecordBytes(r);
       if (driver_memory_bytes >= 0 && bytes > driver_memory_bytes) {

@@ -48,6 +48,20 @@ enum class JoinStrategy {
 
 const char* JoinStrategyToString(JoinStrategy strategy);
 
+/// Stable hash of a record id for partitioning (splitmix64 finalizer).
+/// Exported so tests and benches can reproduce the engine's bucketing.
+uint64_t ShuffleHashId(int64_t id);
+
+/// Packs (op sequence, side, partition index) into a unique fault-decision
+/// unit key: op in the high bits, one side bit, then 32 bits of index. The
+/// old packing reserved only 15 bits for the index (right side = 0x8000+i),
+/// so left and right keys collided once a table exceeded 0x8000 partitions
+/// and same-seed fault schedules silently overlapped.
+constexpr uint64_t ShuffleTaskUnit(uint64_t op, int side, int64_t index) {
+  return (op << 33) | (static_cast<uint64_t>(side & 1) << 32) |
+         (static_cast<uint64_t>(index) & 0xffffffffULL);
+}
+
 /// Configuration of the local dataflow engine.
 ///
 /// The engine executes in one process; `num_workers * cpus_per_worker`
@@ -92,6 +106,9 @@ struct EngineStats {
   int64_t spill_bytes_written = 0;
   int64_t spill_bytes_read = 0;
   int64_t num_spills = 0;
+  /// High-water mark of the async spill-writer queue. > 0 proves that
+  /// serialization and disk writes actually overlapped during this run.
+  int64_t spill_queue_depth_peak = 0;
   /// Retries, lineage recomputations, and injected faults since engine
   /// construction (degradations are filled in by the executor layer).
   RecoveryStats recovery;
@@ -194,6 +211,23 @@ class Engine {
       const std::shared_ptr<Partition>& p, uint64_t unit,
       const char* what);
 
+  /// Phase 1 of the two-phase parallel shuffle: reads every partition of
+  /// `table` in parallel (retryable shuffle sends keyed by
+  /// ShuffleTaskUnit(op, side, i)) and buckets its records into
+  /// (*buckets_out)[source][destination] — thread-local per source, so no
+  /// locks. Wire bytes are metered into the shuffle counter.
+  Status ShuffleSources(
+      const Table& table, uint64_t op, int side, int num_destinations,
+      const char* what,
+      std::vector<std::vector<std::vector<Record>>>* buckets_out);
+
+  /// Zero-decode shuffle-hash join for serialized-resident inputs: scans
+  /// record headers into byte-range views, hash-joins the views by id, and
+  /// splices output partitions directly in serialized form. Bit-identical
+  /// output (after ToBlob) to the decoding path at any thread count.
+  Result<Table> SerializedShuffleJoin(const Table& left, const Table& right,
+                                      uint64_t op, int num_output_partitions);
+
   /// Monotone per-engine-op sequence: ops are driver-sequential, so keys
   /// derived from it are deterministic across runs.
   uint64_t NextOpSeq() { return op_seq_.fetch_add(1); }
@@ -218,6 +252,11 @@ class Engine {
   obs::Counter* c_join_ops_ = nullptr;
   obs::Histogram* h_map_task_ms_ = nullptr;
   obs::Histogram* h_partition_read_ms_ = nullptr;
+  /// Wall-clock of each shuffle-moving op (Join/Repartition/Union) and of
+  /// each per-partition serialization task inside Persist.
+  obs::Histogram* h_shuffle_ms_ = nullptr;
+  obs::Histogram* h_serialize_ms_ = nullptr;
+  obs::Gauge* g_spill_queue_depth_ = nullptr;
   std::atomic<int64_t> task_retries_{0};
   std::atomic<int64_t> recomputed_partitions_{0};
   std::atomic<uint64_t> op_seq_{1};

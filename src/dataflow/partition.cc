@@ -16,6 +16,13 @@ Partition::Partition(std::vector<Record> records)
     : num_records_(static_cast<int64_t>(records.size())),
       records_(std::move(records)) {}
 
+Partition::Partition(std::vector<uint8_t> blob, int64_t num_records)
+    : num_records_(num_records),
+      format_(PersistenceFormat::kSerialized),
+      blob_(std::move(blob)) {
+  serialized_bytes_ = static_cast<int64_t>(blob_.size());
+}
+
 int64_t Partition::memory_bytes() const {
   if (!resident_) return 0;
   return memory_bytes_as(format_);
@@ -41,10 +48,14 @@ int64_t Partition::memory_bytes_as(PersistenceFormat format) const {
   if (serialized_bytes_ < 0) {
     if (resident_ && format_ == PersistenceFormat::kSerialized) {
       serialized_bytes_ = static_cast<int64_t>(blob_.size());
+    } else if (resident_) {
+      // Exact wire size without encoding anything (this used to build a
+      // throwaway blob just to measure it).
+      int64_t bytes = 0;
+      for (const Record& r : records_) bytes += SerializedRecordBytes(r);
+      serialized_bytes_ = bytes;
     } else {
-      auto blob = ToBlob();
-      if (!blob.ok()) return 0;
-      serialized_bytes_ = static_cast<int64_t>(blob->size());
+      return 0;  // Spilled: nothing to measure (matches old ToBlob failure).
     }
   }
   return serialized_bytes_;
@@ -101,12 +112,25 @@ Result<const std::vector<Record>*> Partition::records() const {
   return &records_;
 }
 
+Result<const std::vector<uint8_t>*> Partition::blob() const {
+  if (!resident_ || format_ != PersistenceFormat::kSerialized) {
+    return Status::FailedPrecondition(
+        "blob() requires a resident serialized partition");
+  }
+  return &blob_;
+}
+
 Result<std::vector<uint8_t>> Partition::ToBlob() const {
   if (!resident_) {
     return Status::FailedPrecondition("partition is spilled");
   }
   if (format_ == PersistenceFormat::kSerialized) return blob_;
+  // Exact-size reservation up front: SerializeRecord then appends through
+  // a raw cursor without ever reallocating the blob.
+  int64_t total = 0;
+  for (const Record& r : records_) total += SerializedRecordBytes(r);
   std::vector<uint8_t> blob;
+  blob.reserve(static_cast<size_t>(total));
   for (const Record& r : records_) SerializeRecord(r, &blob);
   return blob;
 }

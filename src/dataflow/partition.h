@@ -40,6 +40,11 @@ class Partition {
  public:
   explicit Partition(std::vector<Record> records);
 
+  /// Constructs a serialized-resident partition directly from an encoded
+  /// blob (the late-materialization shuffle produces these without ever
+  /// holding Record objects). `num_records` must match the blob's content.
+  Partition(std::vector<uint8_t> blob, int64_t num_records);
+
   Partition(const Partition&) = delete;
   Partition& operator=(const Partition&) = delete;
 
@@ -69,6 +74,10 @@ class Partition {
   /// Serialized blob of the partition's records regardless of the resident
   /// format (encodes on the fly if deserialized). Used for spilling.
   Result<std::vector<uint8_t>> ToBlob() const;
+
+  /// Direct access to the serialized blob (must be resident and
+  /// serialized). The zero-decode shuffle path scans this in place.
+  Result<const std::vector<uint8_t>*> blob() const;
 
   /// Drops in-memory data (after a successful spill).
   void Evict();

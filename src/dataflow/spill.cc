@@ -7,12 +7,22 @@ namespace vista::df {
 
 namespace fs = std::filesystem;
 
-SpillManager::SpillManager(std::string dir) : dir_(std::move(dir)) {
+SpillManager::SpillManager(std::string dir, int async_queue_capacity)
+    : dir_(std::move(dir)),
+      queue_capacity_(async_queue_capacity < 1
+                          ? 1
+                          : static_cast<size_t>(async_queue_capacity)) {
   std::error_code ec;
   fs::create_directories(dir_, ec);
 }
 
 SpillManager::~SpillManager() {
+  {
+    std::lock_guard<std::mutex> lock(qmu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  if (writer_.joinable()) writer_.join();  // Drains the queue first.
   std::error_code ec;
   fs::remove_all(dir_, ec);
 }
@@ -26,6 +36,7 @@ void SpillManager::set_metrics(obs::Registry* metrics) {
   c_retries_ = metrics->counter("spill.io_retries");
   h_write_ms_ = metrics->histogram("spill.write_ms");
   h_read_ms_ = metrics->histogram("spill.read_ms");
+  g_queue_depth_ = metrics->gauge("spill.queue_depth");
 }
 
 std::string SpillManager::PathFor(int64_t key) const {
@@ -53,7 +64,8 @@ Status SpillManager::WriteOnce(const std::string& path,
   return Status::OK();
 }
 
-Status SpillManager::Write(int64_t key, const std::vector<uint8_t>& blob) {
+Status SpillManager::WriteWithRetry(int64_t key,
+                                    const std::vector<uint8_t>& blob) {
   const std::string path = PathFor(key);
   obs::ScopedLatency latency(h_write_ms_);
   for (int attempt = 0;; ++attempt) {
@@ -86,6 +98,103 @@ Status SpillManager::Write(int64_t key, const std::vector<uint8_t>& blob) {
   return Status::OK();
 }
 
+Status SpillManager::Write(int64_t key, const std::vector<uint8_t>& blob) {
+  WaitForKey(key);  // Never race a pending async write of the same key.
+  return WriteWithRetry(key, blob);
+}
+
+Status SpillManager::WriteAsync(int64_t key, std::vector<uint8_t> blob) {
+  std::unique_lock<std::mutex> lock(qmu_);
+  if (!writer_started_) {
+    writer_started_ = true;
+    writer_ = std::thread([this] { WriterLoop(); });
+  }
+  // Bounded queue = double buffering with backpressure: the caller can
+  // serialize the next partition while the writer drains this one, but
+  // cannot run unboundedly ahead of the disk.
+  space_cv_.wait(lock, [&] { return queue_.size() < queue_capacity_; });
+  queue_.push_back(PendingWrite{key, std::move(blob)});
+  if (g_queue_depth_ != nullptr) {
+    g_queue_depth_->Set(static_cast<int64_t>(queue_.size()));
+  }
+  work_cv_.notify_one();
+  return Status::OK();
+}
+
+void SpillManager::WriterLoop() {
+  for (;;) {
+    PendingWrite item;
+    {
+      std::unique_lock<std::mutex> lock(qmu_);
+      work_cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // Shutdown with a drained queue.
+      item = std::move(queue_.front());
+      queue_.pop_front();
+      writing_ = true;
+      writing_key_ = item.key;
+      if (g_queue_depth_ != nullptr) {
+        g_queue_depth_->Set(static_cast<int64_t>(queue_.size()));
+      }
+      space_cv_.notify_all();
+    }
+    Status st = WriteWithRetry(item.key, item.blob);
+    {
+      std::lock_guard<std::mutex> lock(qmu_);
+      writing_ = false;
+      // First error wins; a failed write leaves no size entry, so readers
+      // see NotFound and lineage recomputation can take over.
+      if (!st.ok() && async_error_.ok()) async_error_ = st;
+    }
+    drained_cv_.notify_all();
+  }
+}
+
+bool SpillManager::KeyPendingLocked(int64_t key) const {
+  if (writing_ && writing_key_ == key) return true;
+  for (const PendingWrite& w : queue_) {
+    if (w.key == key) return true;
+  }
+  return false;
+}
+
+void SpillManager::WaitForKey(int64_t key) {
+  std::unique_lock<std::mutex> lock(qmu_);
+  drained_cv_.wait(lock, [&] { return !KeyPendingLocked(key); });
+}
+
+void SpillManager::WaitDrained() const {
+  std::unique_lock<std::mutex> lock(qmu_);
+  drained_cv_.wait(lock, [&] { return queue_.empty() && !writing_; });
+}
+
+Status SpillManager::Flush() {
+  std::unique_lock<std::mutex> lock(qmu_);
+  drained_cv_.wait(lock, [&] { return queue_.empty() && !writing_; });
+  Status st = async_error_;
+  async_error_ = Status::OK();
+  return st;
+}
+
+int64_t SpillManager::bytes_written() const {
+  WaitDrained();
+  return bytes_written_.load();
+}
+
+int64_t SpillManager::bytes_read() const {
+  WaitDrained();
+  return bytes_read_.load();
+}
+
+int64_t SpillManager::num_spills() const {
+  WaitDrained();
+  return num_spills_.load();
+}
+
+int64_t SpillManager::io_retries() const {
+  WaitDrained();
+  return io_retries_.load();
+}
+
 Result<std::vector<uint8_t>> SpillManager::ReadOnce(const std::string& path,
                                                     int64_t size) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
@@ -103,6 +212,7 @@ Result<std::vector<uint8_t>> SpillManager::ReadOnce(const std::string& path,
 }
 
 Result<std::vector<uint8_t>> SpillManager::Read(int64_t key) {
+  WaitForKey(key);  // Read-after-write ordering for async spills.
   int64_t size = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -143,6 +253,7 @@ Result<std::vector<uint8_t>> SpillManager::Read(int64_t key) {
 }
 
 void SpillManager::Remove(int64_t key) {
+  WaitForKey(key);  // Never delete out from under a pending async write.
   // Erase the size entry and delete the file under the same lock so a
   // concurrent Read cannot find the entry after the file is gone.
   std::lock_guard<std::mutex> lock(mu_);

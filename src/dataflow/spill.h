@@ -2,9 +2,12 @@
 #define VISTA_DATAFLOW_SPILL_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -25,10 +28,24 @@ namespace vista::df {
 /// file operation; retryable failures are re-attempted under the
 /// RetryPolicy, and exhausted retries surface as IOError to the caller
 /// (where lineage recomputation can take over).
+///
+/// Writes come in two flavors:
+///  - Write: synchronous — returns after the blob is durably on disk (or
+///    the retry budget is exhausted).
+///  - WriteAsync: hands the blob to a background writer thread through a
+///    bounded queue (double buffering), overlapping serialization on the
+///    caller with disk I/O. Errors are sticky and surface at the next
+///    Flush(); a key whose async write failed is simply absent from the
+///    size index, so a later Read returns NotFound and the engine's
+///    lineage recomputation takes over. Read/Remove/Write on a key with a
+///    pending async write first wait for that write to land, so
+///    read-after-write ordering is preserved per key.
 class SpillManager {
  public:
   /// `dir` is created if missing; files are removed on destruction.
-  explicit SpillManager(std::string dir);
+  /// `async_queue_capacity` bounds the writer queue (backpressure beyond
+  /// it): 2 gives classic double buffering.
+  explicit SpillManager(std::string dir, int async_queue_capacity = 2);
   ~SpillManager();
 
   SpillManager(const SpillManager&) = delete;
@@ -40,8 +57,11 @@ class SpillManager {
   void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
 
   /// Reports spill counters and I/O latency histograms into `metrics`
-  /// ("spill.*" instruments, resolved once here). Null disables reporting;
-  /// the registry must outlive the manager.
+  /// ("spill.*" instruments, resolved once here), plus a
+  /// "spill.queue_depth" gauge tracking the async queue (its max_value is
+  /// the high-water mark — > 0 proves serialization and disk I/O actually
+  /// overlapped). Null disables reporting; the registry must outlive the
+  /// manager.
   void set_metrics(obs::Registry* metrics);
 
   /// Persists `blob` under `key` (overwrites any previous spill of `key`).
@@ -49,6 +69,18 @@ class SpillManager {
   /// the spill is recorded (size entry + counters) only after the file is
   /// durably on disk.
   Status Write(int64_t key, const std::vector<uint8_t>& blob);
+
+  /// Enqueues `blob` for the background writer (started lazily on first
+  /// use). Blocks only when the bounded queue is full. The write itself
+  /// runs under the same fault-injection + retry loop as Write; failures
+  /// surface at Flush().
+  Status WriteAsync(int64_t key, std::vector<uint8_t> blob);
+
+  /// Waits until every queued async write has landed, then returns (and
+  /// clears) the first async write error since the previous Flush. The
+  /// engine calls this at the end of Persist so a failed spill fails the
+  /// operation that caused it.
+  Status Flush();
 
   /// Reads back the blob spilled under `key`.
   Result<std::vector<uint8_t>> Read(int64_t key);
@@ -58,17 +90,34 @@ class SpillManager {
   /// the file.
   void Remove(int64_t key);
 
-  int64_t bytes_written() const { return bytes_written_.load(); }
-  int64_t bytes_read() const { return bytes_read_.load(); }
-  int64_t num_spills() const { return num_spills_.load(); }
+  /// Counters. Accessors first drain any in-flight async writes so callers
+  /// always observe settled totals.
+  int64_t bytes_written() const;
+  int64_t bytes_read() const;
+  int64_t num_spills() const;
   /// Failed spill I/O attempts that were retried.
-  int64_t io_retries() const { return io_retries_.load(); }
+  int64_t io_retries() const;
 
  private:
+  struct PendingWrite {
+    int64_t key = 0;
+    std::vector<uint8_t> blob;
+  };
+
   std::string PathFor(int64_t key) const;
   Status WriteOnce(const std::string& path, const std::vector<uint8_t>& blob);
   Result<std::vector<uint8_t>> ReadOnce(const std::string& path,
                                         int64_t size);
+  /// The shared injection + retry + bookkeeping loop behind both Write
+  /// flavors. Thread-safe (called from the caller thread or the writer).
+  Status WriteWithRetry(int64_t key, const std::vector<uint8_t>& blob);
+  void WriterLoop();
+  /// True while `key` has a queued or in-flight async write. Requires qmu_.
+  bool KeyPendingLocked(int64_t key) const;
+  /// Blocks until no async write of `key` is pending.
+  void WaitForKey(int64_t key);
+  /// Blocks until the async queue is empty and the writer is idle.
+  void WaitDrained() const;
 
   std::string dir_;
   FaultInjector* injector_ = nullptr;
@@ -79,6 +128,23 @@ class SpillManager {
   std::atomic<int64_t> bytes_read_{0};
   std::atomic<int64_t> num_spills_{0};
   std::atomic<int64_t> io_retries_{0};
+
+  /// Async writer state, all guarded by qmu_. The writer thread starts
+  /// lazily on the first WriteAsync and is joined in the destructor (after
+  /// draining its queue).
+  mutable std::mutex qmu_;
+  mutable std::condition_variable work_cv_;
+  mutable std::condition_variable space_cv_;
+  mutable std::condition_variable drained_cv_;
+  std::deque<PendingWrite> queue_;
+  size_t queue_capacity_;
+  std::thread writer_;
+  bool writer_started_ = false;
+  bool shutdown_ = false;
+  bool writing_ = false;
+  int64_t writing_key_ = 0;
+  Status async_error_;
+
   /// Obs instruments; all null until set_metrics is called.
   obs::Counter* c_writes_ = nullptr;
   obs::Counter* c_reads_ = nullptr;
@@ -87,6 +153,7 @@ class SpillManager {
   obs::Counter* c_retries_ = nullptr;
   obs::Histogram* h_write_ms_ = nullptr;
   obs::Histogram* h_read_ms_ = nullptr;
+  obs::Gauge* g_queue_depth_ = nullptr;
 };
 
 }  // namespace vista::df

@@ -440,6 +440,9 @@ Result<RealRunResult> RealExecutor::RunOnce(const CompiledPlan& plan,
   run.total_seconds = total_watch.ElapsedSeconds();
   run.engine_stats = engine_->stats();
   run.recovery = run.engine_stats.recovery;
+  run.shuffle_ms = engine_->metrics().histogram("engine.shuffle_ms")->sum();
+  run.serialize_ms =
+      engine_->metrics().histogram("engine.serialize_ms")->sum();
   run.spans = engine_->tracer().SpansSince(span_mark);
   run.stage_seconds = obs::AggregateSpanSeconds(run.spans, "stage");
   return run;

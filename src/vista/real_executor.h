@@ -86,6 +86,13 @@ struct RealRunResult {
   /// when auto-degradation re-ran the plan). Feed to obs::ProfileJson or
   /// obs::ChromeTraceJson to export.
   std::vector<obs::Span> spans;
+  /// Data-movement-plane timings from the engine's histograms: total
+  /// wall-clock of shuffle-moving ops (Join/Repartition/Union) and of
+  /// per-partition serialization inside Persist. Cumulative over the
+  /// engine's lifetime, so across degraded re-runs on one engine these
+  /// include all attempts.
+  double shuffle_ms = 0;
+  double serialize_ms = 0;
 };
 
 /// Executes compiled plans on the local dataflow engine with a real CNN —

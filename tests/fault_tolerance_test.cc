@@ -298,14 +298,14 @@ TEST(EngineFaultTest, MapPartitionsRetriesAndStaysBitIdentical) {
     return std::make_pair(values, engine.stats().recovery);
   };
 
-  auto [values1, recovery1] = run_faulted(11);
+  auto [values1, recovery1] = run_faulted(13);
   EXPECT_EQ(values1, expected);  // Retried tasks reproduce exact output.
   EXPECT_GT(recovery1.retries, 0);
   EXPECT_GT(recovery1.injected_faults, 0);
 
   // Determinism: the same seed yields the same failure schedule and the
   // same recovery counters; a different seed yields a different schedule.
-  auto [values2, recovery2] = run_faulted(11);
+  auto [values2, recovery2] = run_faulted(13);
   EXPECT_EQ(values2, expected);
   EXPECT_EQ(recovery1.retries, recovery2.retries);
   EXPECT_EQ(recovery1.injected_faults, recovery2.injected_faults);

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "common/random.h"
+#include "dataflow/engine.h"
 #include "dataflow/record.h"
 
 namespace vista::df {
@@ -138,6 +141,319 @@ TEST_P(RecordDensityTest, RoundTripAtDensity) {
 INSTANTIATE_TEST_SUITE_P(Densities, RecordDensityTest,
                          ::testing::Values(0.0, 0.1, 0.13, 0.36, 0.5, 0.9,
                                            1.0));
+
+TEST(RecordTest, SerializedBytesMatchesActualWireSize) {
+  // SerializedRecordBytes must equal SerializeRecord's output exactly —
+  // it both meters shuffle traffic and sizes the one-allocation encoder —
+  // across empty, dense, sparse, and mixed records.
+  std::vector<Record> records;
+  records.push_back(Record{});
+  records.push_back(MakeRecord(1, false, 0));
+  records.push_back(MakeRecord(2, true, 3));
+  for (double density : {0.0, 0.1, 0.5, 0.9, 1.0}) {
+    Rng rng(static_cast<uint64_t>(density * 100) + 3);
+    Record r;
+    r.id = 50;
+    Tensor t(Shape{512});
+    for (int64_t i = 0; i < 512; ++i) {
+      if (rng.NextBool(density)) {
+        t.set(i, static_cast<float>(rng.NextGaussian()));
+      }
+    }
+    r.features.Append(std::move(t));
+    records.push_back(std::move(r));
+  }
+  for (const Record& r : records) {
+    std::vector<uint8_t> buf;
+    SerializeRecord(r, &buf);
+    EXPECT_EQ(static_cast<int64_t>(buf.size()), SerializedRecordBytes(r));
+  }
+}
+
+TEST(RecordTest, SerializedBytesDivergesFromTungstenEstimateWhenSparse) {
+  // The deserialized estimate ignores the sparse wire encoding by design;
+  // the wire-size function must not.
+  Record r;
+  r.id = 1;
+  Tensor t(Shape{1000});
+  t.set(5, 1.0f);
+  r.features.Append(std::move(t));
+  EXPECT_GT(EstimateRecordBytes(r), 4000);  // Dense in-memory footprint.
+  EXPECT_LT(SerializedRecordBytes(r), 100);  // One sparse pair on the wire.
+}
+
+TEST(RecordTest, EveryTruncatedPrefixIsRejectedCleanly) {
+  // Exhaustive truncation fuzz: a record with an image and sparse/dense
+  // features, cut at every possible byte — the decoder must fail (never
+  // crash, never "succeed" on partial data).
+  Record r = MakeRecord(123, true, 4);
+  Rng rng(9);
+  Tensor sparse(Shape{300});
+  for (int64_t i = 0; i < 300; ++i) {
+    if (rng.NextBool(0.2)) {
+      sparse.set(i, static_cast<float>(rng.NextGaussian()));
+    }
+  }
+  r.features.Append(std::move(sparse));
+  std::vector<uint8_t> buf;
+  SerializeRecord(r, &buf);
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    std::vector<uint8_t> prefix(buf.begin(), buf.begin() + cut);
+    size_t offset = 0;
+    EXPECT_FALSE(DeserializeRecord(prefix, &offset).ok()) << "cut=" << cut;
+  }
+}
+
+TEST(RecordTest, RandomByteFlipsNeverCrashTheDecoder) {
+  // Seeded corruption fuzz. Flipped bytes may land in float payloads (the
+  // decode then "succeeds" with different values) or in structure (clean
+  // failure); either way the decoder must stay inside the buffer.
+  Record r = MakeRecord(55, true, 3);
+  std::vector<uint8_t> clean;
+  SerializeRecord(r, &clean);
+  Rng rng(2024);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<uint8_t> buf = clean;
+    const int flips = 1 + static_cast<int>(rng.NextUint64(4));
+    for (int f = 0; f < flips; ++f) {
+      buf[rng.NextUint64(buf.size())] ^=
+          static_cast<uint8_t>(1 + rng.NextUint64(255));
+    }
+    size_t offset = 0;
+    auto result = DeserializeRecord(buf, &offset);
+    if (result.ok()) {
+      EXPECT_LE(offset, buf.size());
+    }
+  }
+}
+
+// Hand-crafted corrupt headers: declared sizes wildly beyond the buffer
+// must be rejected *before* any allocation is attempted (a corrupt tensor
+// dim used to drive a multi-GB allocation).
+class CorruptHeaderTest : public ::testing::Test {
+ protected:
+  void PutU32(uint32_t v) {
+    const size_t n = buf_.size();
+    buf_.resize(n + 4);
+    std::memcpy(buf_.data() + n, &v, 4);
+  }
+  void PutI64(int64_t v) {
+    const size_t n = buf_.size();
+    buf_.resize(n + 8);
+    std::memcpy(buf_.data() + n, &v, 8);
+  }
+  Status Decode() {
+    size_t offset = 0;
+    return DeserializeRecord(buf_, &offset).status();
+  }
+  std::vector<uint8_t> buf_;
+};
+
+TEST_F(CorruptHeaderTest, HugeTensorDimRejectedBeforeAllocation) {
+  PutI64(1);   // id
+  PutU32(0);   // n_struct
+  PutU32(1);   // n_images
+  PutU32(1);   // rank
+  PutI64(int64_t{1} << 40);  // ~4 TiB of floats if allocated
+  EXPECT_FALSE(Decode().ok());
+}
+
+TEST_F(CorruptHeaderTest, DimProductOverflowRejected) {
+  PutI64(1);
+  PutU32(0);
+  PutU32(1);
+  PutU32(3);               // rank 3
+  PutI64(int64_t{1} << 31);
+  PutI64(int64_t{1} << 31);
+  PutI64(int64_t{1} << 31);  // Product wraps uint64 without the guard.
+  EXPECT_FALSE(Decode().ok());
+}
+
+TEST_F(CorruptHeaderTest, HugeSparseNnzRejected) {
+  PutI64(1);
+  PutU32(0);
+  PutU32(1);
+  PutU32(1);   // rank
+  PutI64(64);  // Legitimate small tensor...
+  buf_.push_back(1);          // ...sparse encoding...
+  PutI64(int64_t{1} << 61);   // ...with an absurd nnz.
+  EXPECT_FALSE(Decode().ok());
+}
+
+TEST_F(CorruptHeaderTest, HugeStructCountRejectedBeforeAllocation) {
+  PutI64(1);
+  PutU32(0xFFFFFFFFu);  // 4 B count claiming ~16 GiB of floats.
+  EXPECT_FALSE(Decode().ok());
+}
+
+TEST_F(CorruptHeaderTest, HugeTensorCountRejected) {
+  PutI64(1);
+  PutU32(0);
+  PutU32(0);            // no images
+  PutU32(0xFFFFFFFFu);  // implausible tensor count
+  EXPECT_FALSE(Decode().ok());
+}
+
+TEST_F(CorruptHeaderTest, ScanRejectsSameHeadersAsDecode) {
+  // ScanRecord applies the decoder's validation without allocating; the
+  // same poisoned header must fail the scan too.
+  PutI64(1);
+  PutU32(0);
+  PutU32(1);
+  PutU32(1);                 // rank
+  PutI64(int64_t{1} << 40);  // absurd dim
+  size_t offset = 0;
+  EXPECT_FALSE(ScanRecord(buf_, &offset).ok());
+}
+
+TEST(ScanRecordTest, ViewsMatchSerializedLayout) {
+  // Scanning a multi-record buffer must walk the exact record boundaries:
+  // each view's byte range re-encodes to the record it covers, ranges
+  // tile the buffer with no gaps, and the counts match the decode.
+  std::vector<Record> records;
+  records.push_back(MakeRecord(10, true, 2));
+  records.push_back(MakeRecord(11, false, 0));
+  records.push_back(MakeRecord(12, false, 5));
+  Rng rng(31);
+  Record sparse;
+  sparse.id = 13;
+  Tensor t(Shape{400});
+  for (int64_t i = 0; i < 400; ++i) {
+    if (rng.NextBool(0.1)) t.set(i, static_cast<float>(rng.NextGaussian()));
+  }
+  sparse.features.Append(std::move(t));
+  records.push_back(std::move(sparse));
+
+  std::vector<uint8_t> buf;
+  for (const Record& r : records) SerializeRecord(r, &buf);
+
+  size_t offset = 0;
+  size_t expected_begin = 0;
+  for (const Record& r : records) {
+    auto view = ScanRecord(buf, &offset);
+    ASSERT_TRUE(view.ok());
+    EXPECT_EQ(view->id, r.id);
+    EXPECT_EQ(view->num_struct, r.struct_features.size());
+    EXPECT_EQ(view->num_images, r.images.size());
+    EXPECT_EQ(view->num_tensors, static_cast<uint32_t>(r.features.size()));
+    EXPECT_EQ(view->begin, expected_begin);
+    EXPECT_EQ(view->tensors_end, offset);
+    // The view's range is exactly this record's serialization.
+    std::vector<uint8_t> solo;
+    SerializeRecord(r, &solo);
+    ASSERT_EQ(view->wire_bytes(), solo.size());
+    EXPECT_EQ(std::memcmp(buf.data() + view->begin, solo.data(), solo.size()),
+              0);
+    expected_begin = offset;
+  }
+  EXPECT_EQ(offset, buf.size());
+}
+
+TEST(ScanRecordTest, EveryTruncatedPrefixIsRejectedCleanly) {
+  Record r = MakeRecord(99, true, 3);
+  std::vector<uint8_t> buf;
+  SerializeRecord(r, &buf);
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    std::vector<uint8_t> prefix(buf.begin(), buf.begin() + cut);
+    size_t offset = 0;
+    EXPECT_FALSE(ScanRecord(prefix, &offset).ok()) << "cut=" << cut;
+  }
+}
+
+TEST(ScanRecordTest, RandomByteFlipsNeverEscapeTheBuffer) {
+  Record r = MakeRecord(56, true, 3);
+  std::vector<uint8_t> clean;
+  SerializeRecord(r, &clean);
+  Rng rng(2025);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<uint8_t> buf = clean;
+    const int flips = 1 + static_cast<int>(rng.NextUint64(4));
+    for (int f = 0; f < flips; ++f) {
+      buf[rng.NextUint64(buf.size())] ^=
+          static_cast<uint8_t>(1 + rng.NextUint64(255));
+    }
+    size_t offset = 0;
+    auto view = ScanRecord(buf, &offset);
+    if (view.ok()) {
+      EXPECT_LE(offset, buf.size());
+      EXPECT_LE(view->tensors_end, buf.size());
+      EXPECT_GE(view->begin, size_t{0});
+    }
+  }
+}
+
+TEST(SpliceTest, MatchesMergeThenSerializeByteForByte) {
+  // The zero-decode shuffle's correctness hinges on this identity:
+  // splicing two serialized records is bit-identical to decoding them,
+  // MergeRecords, and re-encoding — across every image placement and
+  // feature-density combination.
+  struct Case {
+    bool left_image;
+    bool right_image;
+    int left_features;
+    int right_features;
+  };
+  const Case cases[] = {
+      {true, false, 0, 2}, {false, true, 1, 1}, {true, true, 2, 2},
+      {false, false, 0, 0}, {true, false, 3, 0},
+  };
+  for (const Case& c : cases) {
+    Record left = MakeRecord(7, c.left_image, c.left_features);
+    Record right = MakeRecord(7, c.right_image, c.right_features);
+    // Give the right side a sparse wide tensor so both encodings appear.
+    Rng rng(71);
+    Tensor t(Shape{600});
+    for (int64_t i = 0; i < 600; ++i) {
+      if (rng.NextBool(0.15)) t.set(i, static_cast<float>(rng.NextGaussian()));
+    }
+    right.features.Append(std::move(t));
+
+    std::vector<uint8_t> left_buf, right_buf;
+    SerializeRecord(left, &left_buf);
+    SerializeRecord(right, &right_buf);
+    size_t off = 0;
+    auto lv = ScanRecord(left_buf, &off);
+    ASSERT_TRUE(lv.ok());
+    off = 0;
+    auto rv = ScanRecord(right_buf, &off);
+    ASSERT_TRUE(rv.ok());
+
+    std::vector<uint8_t> spliced;
+    SpliceJoinedRecord(left_buf, *lv, right_buf, *rv, &spliced);
+    std::vector<uint8_t> merged;
+    SerializeRecord(MergeRecords(left, right), &merged);
+    EXPECT_EQ(spliced, merged)
+        << "left_image=" << c.left_image << " right_image=" << c.right_image;
+    EXPECT_EQ(static_cast<int64_t>(spliced.size()),
+              SplicedJoinBytes(*lv, *rv));
+  }
+}
+
+TEST(SpliceTest, AppendsAfterExistingBytes) {
+  // Splice appends to a partially-filled output blob (the per-destination
+  // splice loop reuses one buffer), leaving earlier bytes untouched.
+  Record left = MakeRecord(3, true, 1);
+  Record right = MakeRecord(3, false, 2);
+  std::vector<uint8_t> left_buf, right_buf;
+  SerializeRecord(left, &left_buf);
+  SerializeRecord(right, &right_buf);
+  size_t off = 0;
+  auto lv = ScanRecord(left_buf, &off);
+  off = 0;
+  auto rv = ScanRecord(right_buf, &off);
+  ASSERT_TRUE(lv.ok());
+  ASSERT_TRUE(rv.ok());
+
+  std::vector<uint8_t> out = {0xAB, 0xCD};
+  SpliceJoinedRecord(left_buf, *lv, right_buf, *rv, &out);
+  EXPECT_EQ(out[0], 0xAB);
+  EXPECT_EQ(out[1], 0xCD);
+  size_t offset = 2;
+  auto back = DeserializeRecord(out, &offset);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->id, 3);
+  EXPECT_EQ(offset, out.size());
+}
 
 }  // namespace
 }  // namespace vista::df

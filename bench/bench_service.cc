@@ -1,0 +1,310 @@
+// Serving-plane bench: the multi-tenant feature-transfer service with
+// cross-query view reuse against the same queries served cold.
+//
+// Sections in the JSON report ("extras"):
+//   cross_query   one tenant runs a transfer query cold (base layer
+//                 materialized from raw images), a second tenant then runs
+//                 the identical query: the view cache supplies the base
+//                 layer, so the second query executes strictly fewer CNN
+//                 FLOPs and finishes faster. flops_ratio (cold/warm) is
+//                 exact and machine-independent — the regression gate
+//                 tracks it.
+//   throughput    after a warming query, several client threads submit
+//                 overlapping queries from distinct tenants. Reports
+//                 queries/sec, the (deterministic, cache warmed) hit rate,
+//                 and the service's p50/p99 end-to-end latencies.
+//   admission     a one-worker service with a tiny queue is saturated while
+//                 its worker is parked; the shed/served split shows
+//                 backpressure engaging instead of unbounded queueing.
+//
+// The regression gate tracks cross_query.flops_ratio and
+// throughput.cache_hit_rate; latencies and qps are machine-dependent and
+// informational.
+
+#include <atomic>
+#include <cstdio>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "dl/model_zoo.h"
+#include "features/synthetic.h"
+#include "serve/service.h"
+
+namespace vista::bench {
+namespace {
+
+struct Deployment {
+  std::unique_ptr<df::Engine> engine;
+  std::unique_ptr<dl::CnnModel> model;
+  df::Table t_str;
+  df::Table t_img;
+  TransferWorkload workload;
+  std::unique_ptr<serve::FeatureTransferService> service;
+};
+
+Result<Deployment> MakeDeployment(int num_records, int num_workers) {
+  Deployment d;
+  df::EngineConfig ec;
+  ec.cpus_per_worker = 4;
+  d.engine = std::make_unique<df::Engine>(ec);
+  VISTA_ASSIGN_OR_RETURN(dl::CnnArchitecture arch,
+                         dl::BuildMicroArch(dl::KnownCnn::kAlexNet));
+  VISTA_ASSIGN_OR_RETURN(
+      dl::CnnModel model,
+      dl::CnnModel::Instantiate(arch, 21, dl::WeightInit::kGaborFirstConv));
+  d.model = std::make_unique<dl::CnnModel>(std::move(model));
+
+  feat::MultimodalDatasetSpec spec;
+  spec.num_records = num_records;
+  spec.num_struct_features = 12;
+  spec.image_size = 32;
+  spec.seed = 5;
+  VISTA_ASSIGN_OR_RETURN(feat::MultimodalDataset data,
+                         feat::GenerateMultimodal(spec));
+  VISTA_ASSIGN_OR_RETURN(d.t_str,
+                         d.engine->MakeTable(std::move(data.t_str), 6));
+  VISTA_ASSIGN_OR_RETURN(d.t_img,
+                         d.engine->MakeTable(std::move(data.t_img), 6));
+
+  d.workload.cnn = dl::KnownCnn::kAlexNet;
+  VISTA_ASSIGN_OR_RETURN(d.workload.layers, arch.TopLayers(3));
+  d.workload.model = DownstreamModel::kLogisticRegression;
+  d.workload.training_iterations = 5;
+
+  serve::ServiceConfig config;
+  config.num_workers = num_workers;
+  config.executor.num_partitions = 6;
+  config.executor.lr.iterations = 5;
+  VISTA_ASSIGN_OR_RETURN(
+      d.service, serve::FeatureTransferService::Create(d.engine.get(), config));
+  VISTA_RETURN_IF_ERROR(d.service->RegisterModel("alexnet", d.model.get()));
+  VISTA_RETURN_IF_ERROR(
+      d.service->RegisterDataset("foods", d.t_str, d.t_img));
+  return d;
+}
+
+serve::ServeRequest RequestFor(const Deployment& d,
+                               const std::string& tenant) {
+  serve::ServeRequest req;
+  req.tenant = tenant;
+  req.model = "alexnet";
+  req.dataset = "foods";
+  req.workload = d.workload;
+  return req;
+}
+
+int Main(int argc, char** argv) {
+  const bool smoke = HasFlag(argc, argv, "--smoke");
+  const std::string out =
+      FlagValue(argc, argv, "--out",
+                smoke ? "BENCH_smoke_service.json" : "BENCH_service.json");
+  Banner("service", "multi-tenant serving with cross-query feature reuse");
+  BenchReporter reporter(
+      "service",
+      "feature-transfer service: cross-query view reuse, multi-tenant "
+      "throughput, and admission-control backpressure");
+
+  const int num_records = smoke ? 200 : 600;
+  const int clients = 4;
+  const int queries_per_client = smoke ? 2 : 4;
+
+  auto deployment = MakeDeployment(num_records, /*num_workers=*/3);
+  if (!deployment.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n",
+                 deployment.status().ToString().c_str());
+    return 1;
+  }
+  Deployment& d = *deployment;
+
+  // --- Cross-query reuse: identical query cold, then warm.
+  {
+    Stopwatch cold_watch;
+    auto cold = d.service->Execute(RequestFor(d, "tenant_cold"));
+    const double cold_ms = cold_watch.ElapsedSeconds() * 1e3;
+    if (!cold.ok()) {
+      std::fprintf(stderr, "cold query failed: %s\n",
+                   cold.status().ToString().c_str());
+      return 1;
+    }
+    Stopwatch warm_watch;
+    auto warm = d.service->Execute(RequestFor(d, "tenant_warm"));
+    const double warm_ms = warm_watch.ElapsedSeconds() * 1e3;
+    if (!warm.ok()) {
+      std::fprintf(stderr, "warm query failed: %s\n",
+                   warm.status().ToString().c_str());
+      return 1;
+    }
+    if (cold->cache_hit || !warm->cache_hit ||
+        warm->inference_flops >= cold->inference_flops) {
+      std::fprintf(stderr,
+                   "cross-query reuse did not engage (hit %d/%d, flops "
+                   "%lld/%lld)\n",
+                   cold->cache_hit, warm->cache_hit,
+                   static_cast<long long>(cold->inference_flops),
+                   static_cast<long long>(warm->inference_flops));
+      return 1;
+    }
+    const double flops_ratio =
+        static_cast<double>(cold->inference_flops) /
+        static_cast<double>(warm->inference_flops);
+    std::printf(
+        "cross-query: cold %.1f ms / %lld FLOPs, warm %.1f ms / %lld FLOPs "
+        "(%.2fx FLOPs, %.2fx latency)\n",
+        cold_ms, static_cast<long long>(cold->inference_flops), warm_ms,
+        static_cast<long long>(warm->inference_flops), flops_ratio,
+        cold_ms / warm_ms);
+    obs::Json section = obs::Json::Object();
+    section.Set("records", obs::Json::Int(num_records));
+    section.Set("cold_ms", obs::Json::Num(cold_ms));
+    section.Set("warm_ms", obs::Json::Num(warm_ms));
+    section.Set("latency_speedup", obs::Json::Num(cold_ms / warm_ms));
+    section.Set("cold_flops", obs::Json::Int(cold->inference_flops));
+    section.Set("warm_flops", obs::Json::Int(warm->inference_flops));
+    section.Set("flops_ratio", obs::Json::Num(flops_ratio));
+    section.Set("resumed_from_layer",
+                obs::Json::Int(warm->resumed_from_layer));
+    reporter.AddSection("cross_query", std::move(section));
+  }
+
+  // --- Multi-tenant throughput over the warmed cache.
+  {
+    const int total = clients * queries_per_client;
+    std::atomic<int> hits{0};
+    std::atomic<int> failures{0};
+    Stopwatch watch;
+    std::vector<std::future<void>> futures;
+    for (int c = 0; c < clients; ++c) {
+      futures.push_back(std::async(std::launch::async, [&, c] {
+        for (int q = 0; q < queries_per_client; ++q) {
+          auto result = d.service->Execute(
+              RequestFor(d, "tenant_" + std::to_string(c)));
+          if (!result.ok()) {
+            ++failures;
+          } else if (result->cache_hit) {
+            ++hits;
+          }
+        }
+      }));
+    }
+    for (auto& f : futures) f.get();
+    const double wall_seconds = watch.ElapsedSeconds();
+    if (failures.load() != 0) {
+      std::fprintf(stderr, "%d concurrent queries failed\n", failures.load());
+      return 1;
+    }
+    const serve::ServiceStats stats = d.service->stats();
+    const double qps = total / wall_seconds;
+    const double hit_rate = static_cast<double>(hits.load()) / total;
+    std::printf(
+        "throughput: %d queries from %d tenants in %.2f s (%.2f q/s), hit "
+        "rate %.2f, p50 %.1f ms, p99 %.1f ms\n",
+        total, clients, wall_seconds, qps, hit_rate, stats.p50_latency_ms,
+        stats.p99_latency_ms);
+    obs::Json section = obs::Json::Object();
+    section.Set("queries", obs::Json::Int(total));
+    section.Set("clients", obs::Json::Int(clients));
+    section.Set("wall_seconds", obs::Json::Num(wall_seconds));
+    section.Set("qps", obs::Json::Num(qps));
+    section.Set("cache_hit_rate", obs::Json::Num(hit_rate));
+    section.Set("p50_ms", obs::Json::Num(stats.p50_latency_ms));
+    section.Set("p99_ms", obs::Json::Num(stats.p99_latency_ms));
+    section.Set("view_cache_resident_bytes",
+                obs::Json::Int(stats.view_cache_resident_bytes));
+    reporter.AddSection("throughput", std::move(section));
+  }
+
+  // --- Admission control under saturation (fresh deployment so its
+  // counters start from zero). The single worker is parked inside a
+  // completion callback while a burst arrives against a depth-2 queue.
+  {
+    auto burst_deployment = MakeDeployment(smoke ? 60 : 120,
+                                           /*num_workers=*/1);
+    if (!burst_deployment.ok()) {
+      std::fprintf(stderr, "admission setup failed: %s\n",
+                   burst_deployment.status().ToString().c_str());
+      return 1;
+    }
+    Deployment& b = *burst_deployment;
+    // Rebuild the service with a tiny queue.
+    serve::ServiceConfig config;
+    config.num_workers = 1;
+    config.max_queue_depth = 2;
+    config.max_queued_per_tenant = 1;
+    config.executor.num_partitions = 6;
+    config.executor.train_models = false;
+    b.service->Shutdown();
+    auto tight =
+        serve::FeatureTransferService::Create(b.engine.get(), config);
+    if (!tight.ok()) {
+      std::fprintf(stderr, "admission service failed: %s\n",
+                   tight.status().ToString().c_str());
+      return 1;
+    }
+    (void)(*tight)->RegisterModel("alexnet", b.model.get());
+    (void)(*tight)->RegisterDataset("foods", b.t_str, b.t_img);
+
+    std::promise<void> entered;
+    std::promise<void> release;
+    std::shared_future<void> release_future(release.get_future());
+    serve::ServeRequest blocker = RequestFor(b, "blocker");
+    blocker.train_models = false;
+    Status submitted = (*tight)->Submit(
+        blocker, [&entered, release_future](const serve::ServeResult&) {
+          entered.set_value();
+          release_future.wait();
+        });
+    if (!submitted.ok()) {
+      std::fprintf(stderr, "blocker submit failed\n");
+      return 1;
+    }
+    entered.get_future().wait();
+
+    const int burst = 8;
+    int accepted = 0, shed = 0;
+    for (int i = 0; i < burst; ++i) {
+      serve::ServeRequest req = RequestFor(b, "tenant_" + std::to_string(i));
+      req.train_models = false;
+      auto ticket = (*tight)->Submit(req);
+      if (ticket.ok()) {
+        ++accepted;
+      } else {
+        ++shed;
+      }
+    }
+    release.set_value();
+    (*tight)->Drain();
+    const serve::ServiceStats stats = (*tight)->stats();
+    std::printf(
+        "admission: burst of %d against depth-2 queue -> %d accepted, %d "
+        "shed; %lld completed, %lld rejects counted\n",
+        burst, accepted, shed,
+        static_cast<long long>(stats.queries_completed),
+        static_cast<long long>(stats.admission_rejects));
+    obs::Json section = obs::Json::Object();
+    section.Set("burst", obs::Json::Int(burst));
+    section.Set("accepted", obs::Json::Int(accepted));
+    section.Set("shed", obs::Json::Int(shed));
+    section.Set("completed", obs::Json::Int(stats.queries_completed));
+    section.Set("rejects", obs::Json::Int(stats.admission_rejects));
+    reporter.AddSection("admission", std::move(section));
+    if (shed == 0 || stats.queries_failed != 0) {
+      std::fprintf(stderr, "backpressure did not engage\n");
+      return 1;
+    }
+  }
+
+  Status st = reporter.Write(out);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace vista::bench
+
+int main(int argc, char** argv) { return vista::bench::Main(argc, argv); }

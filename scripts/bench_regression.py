@@ -65,6 +65,27 @@ BENCHES = {
             ("determinism", "bit_identical"),
         ],
     },
+    "service": {
+        "baseline": "bench_service_baseline.json",
+        "tracked": [
+            # Exact FLOP accounting: how much CNN work the warm query skips
+            # by resuming from the shared view cache.
+            ("cross_query", "flops_ratio"),
+            # Deterministic after the warming query: every concurrent query
+            # must hit the view cache.
+            ("throughput", "cache_hit_rate"),
+        ],
+        "informational": [
+            ("cross_query", "cold_ms"),
+            ("cross_query", "warm_ms"),
+            ("cross_query", "latency_speedup"),
+            ("throughput", "qps"),
+            ("throughput", "p50_ms"),
+            ("throughput", "p99_ms"),
+            ("admission", "shed"),
+            ("admission", "completed"),
+        ],
+    },
 }
 
 

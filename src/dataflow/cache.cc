@@ -12,6 +12,7 @@ StorageCache::StorageCache(MemoryManager* memory, SpillManager* spill,
   if (metrics != nullptr) {
     c_inserts_ = metrics->counter("cache.inserts");
     c_read_hits_ = metrics->counter("cache.read_hits");
+    c_read_misses_ = metrics->counter("cache.read_misses");
     c_fault_ins_ = metrics->counter("cache.fault_ins");
     c_evictions_ = metrics->counter("cache.evictions");
     g_resident_bytes_ = metrics->gauge("cache.resident_bytes");
@@ -137,6 +138,8 @@ Result<std::vector<Record>> StorageCache::ReadThrough(
   }
   Entry& entry = it->second;
   if (!partition->resident()) {
+    // A managed read that has to go to disk is the cache's miss case.
+    if (c_read_misses_ != nullptr) c_read_misses_->Add(1);
     VISTA_RETURN_IF_ERROR(FaultIn(&entry));
   } else if (entry.in_lru) {
     lru_.erase(entry.lru_it);

@@ -79,6 +79,7 @@ class StorageCache {
   /// Obs instruments; all null when no registry was given.
   obs::Counter* c_inserts_ = nullptr;
   obs::Counter* c_read_hits_ = nullptr;
+  obs::Counter* c_read_misses_ = nullptr;
   obs::Counter* c_fault_ins_ = nullptr;
   obs::Counter* c_evictions_ = nullptr;
   obs::Gauge* g_resident_bytes_ = nullptr;

@@ -243,6 +243,11 @@ EngineStats Engine::stats() const {
   s.spill_bytes_read = spill_->bytes_read();
   s.num_spills = spill_->num_spills();
   s.spill_queue_depth_peak = g_spill_queue_depth_->max_value();
+  s.cache_read_hits = metrics_->counter("cache.read_hits")->value();
+  s.cache_read_misses = metrics_->counter("cache.read_misses")->value();
+  s.cache_evictions = metrics_->counter("cache.evictions")->value();
+  s.cache_inserts = metrics_->counter("cache.inserts")->value();
+  s.cache_resident_bytes = metrics_->gauge("cache.resident_bytes")->value();
   s.recovery.retries = task_retries_.load() + spill_->io_retries();
   s.recovery.recomputed_partitions = recomputed_partitions_.load();
   s.recovery.injected_faults = injector_->total_injected();

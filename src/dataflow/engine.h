@@ -109,6 +109,15 @@ struct EngineStats {
   /// High-water mark of the async spill-writer queue. > 0 proves that
   /// serialization and disk writes actually overlapped during this run.
   int64_t spill_queue_depth_peak = 0;
+  /// StorageCache counters, read from the shared "cache.*" instruments so
+  /// engine-level stats and the obs registry agree by construction: resident
+  /// managed reads (hits), reads that had to fault in from disk (misses),
+  /// LRU evictions, inserts, and the current resident footprint.
+  int64_t cache_read_hits = 0;
+  int64_t cache_read_misses = 0;
+  int64_t cache_evictions = 0;
+  int64_t cache_inserts = 0;
+  int64_t cache_resident_bytes = 0;
   /// Retries, lineage recomputations, and injected faults since engine
   /// construction (degradations are filled in by the executor layer).
   RecoveryStats recovery;

@@ -24,6 +24,67 @@ int64_t RangeFlops(const dl::CnnArchitecture& arch, int from_layer,
 
 }  // namespace
 
+Status RealExecutorConfig::Validate() const {
+  if (num_partitions < 1) {
+    return Status::InvalidArgument("num_partitions must be >= 1, got " +
+                                   std::to_string(num_partitions));
+  }
+  if (pooling_grid < 1) {
+    return Status::InvalidArgument("pooling_grid must be >= 1, got " +
+                                   std::to_string(pooling_grid));
+  }
+  if (!(test_fraction >= 0.0 && test_fraction < 1.0)) {
+    return Status::InvalidArgument(
+        "test_fraction must be in [0, 1), got " +
+        std::to_string(test_fraction));
+  }
+  if (driver_memory_bytes < -1) {
+    return Status::InvalidArgument(
+        "driver_memory_bytes must be -1 (unlimited) or >= 0");
+  }
+  const int join_raw = static_cast<int>(join);
+  if (join_raw < static_cast<int>(df::JoinStrategy::kShuffleHash) ||
+      join_raw > static_cast<int>(df::JoinStrategy::kBroadcast)) {
+    return Status::InvalidArgument("join strategy out of range");
+  }
+  const int fmt_raw = static_cast<int>(persistence);
+  if (fmt_raw < static_cast<int>(df::PersistenceFormat::kDeserialized) ||
+      fmt_raw > static_cast<int>(df::PersistenceFormat::kSerialized)) {
+    return Status::InvalidArgument("persistence format out of range");
+  }
+  const int par_raw = static_cast<int>(inference_parallelism);
+  if (par_raw < static_cast<int>(dl::CnnParallelism::kInterImage) ||
+      par_raw > static_cast<int>(dl::CnnParallelism::kIntraImage)) {
+    return Status::InvalidArgument("inference_parallelism out of range");
+  }
+  if (train_models) {
+    if (lr.iterations < 0 || mlp.iterations < 0) {
+      return Status::InvalidArgument("training iterations must be >= 0");
+    }
+    if (lr.learning_rate <= 0.0 || mlp.learning_rate <= 0.0) {
+      return Status::InvalidArgument("learning rates must be > 0");
+    }
+    if (lr.reg_lambda < 0.0) {
+      return Status::InvalidArgument("lr.reg_lambda must be >= 0");
+    }
+    if (lr.elastic_net_alpha < 0.0 || lr.elastic_net_alpha > 1.0) {
+      return Status::InvalidArgument(
+          "lr.elastic_net_alpha must be in [0, 1]");
+    }
+    for (int64_t width : mlp.hidden_sizes) {
+      if (width < 1) {
+        return Status::InvalidArgument("mlp hidden sizes must be >= 1");
+      }
+    }
+    if (tree.max_depth < 1 || tree.min_samples_leaf < 1 ||
+        tree.num_thresholds < 1) {
+      return Status::InvalidArgument(
+          "decision tree config values must be >= 1");
+    }
+  }
+  return Status::OK();
+}
+
 ml::FeatureExtractor MakeTransferExtractor(int feature_slot,
                                            int pooling_grid) {
   return [feature_slot, pooling_grid](const df::Record& r,
@@ -453,6 +514,7 @@ Result<RealRunResult> RealExecutor::Run(const CompiledPlan& plan,
                                         const df::Table& t_str,
                                         const df::Table& t_img,
                                         const RealExecutorConfig& config) {
+  VISTA_RETURN_IF_ERROR(config.Validate());
   if (!config.auto_degrade) {
     return RunOnce(plan, workload, t_str, t_img, config);
   }
@@ -502,13 +564,34 @@ Result<RealRunResult> RealExecutor::Run(const CompiledPlan& plan,
 Result<df::Table> RealExecutor::PreMaterializeBase(
     const TransferWorkload& workload, const df::Table& t_img,
     const RealExecutorConfig& config) {
+  int64_t flops = 0;
+  return MaterializeLayer(t_img, -1, -1, workload.layers.front(), config,
+                          &flops);
+}
+
+Result<df::Table> RealExecutor::MaterializeLayer(
+    const df::Table& input, int source_slot, int source_layer,
+    int target_layer, const RealExecutorConfig& config, int64_t* flops) {
+  VISTA_RETURN_IF_ERROR(config.Validate());
+  if (target_layer < 0 || target_layer >= model_->arch().num_layers()) {
+    return Status::InvalidArgument("target layer out of range");
+  }
+  if (source_layer >= 0 && source_layer > target_layer) {
+    return Status::InvalidArgument(
+        "cannot materialize below the source layer (inference only runs "
+        "forward)");
+  }
   PlanStep step;
   step.kind = PlanStep::Kind::kInference;
-  step.source_slot = -1;
-  step.source_layer = -1;
-  step.produce_layers = {workload.layers.front()};
-  int64_t flops = 0;
-  return RunInference(step, t_img, config, &flops);
+  if (source_layer < 0) {
+    step.source_slot = -1;
+    step.source_layer = -1;
+  } else {
+    step.source_slot = source_slot;
+    step.source_layer = source_layer;
+  }
+  step.produce_layers = {target_layer};
+  return RunInference(step, input, config, flops);
 }
 
 }  // namespace vista

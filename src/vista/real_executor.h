@@ -52,6 +52,14 @@ struct RealExecutorConfig {
   /// paper's reliability claim (Section 4.4, Figure 11) — "Vista never
   /// crashes where manual configs do" — as an executable behavior.
   bool auto_degrade = false;
+
+  /// Rejects nonsensical configurations (zero partitions, out-of-range
+  /// fractions or enums, non-positive training hyper-parameters,
+  /// driver/memory budgets below the -1 "unlimited" sentinel) with
+  /// InvalidArgument before they become undefined behavior downstream.
+  /// Every executor entry point validates; long-running services validate
+  /// once at construction.
+  Status Validate() const;
 };
 
 /// Per-layer outcome of a feature-transfer run.
@@ -117,6 +125,20 @@ class RealExecutor {
   Result<df::Table> PreMaterializeBase(const TransferWorkload& workload,
                                        const df::Table& t_img,
                                        const RealExecutorConfig& config);
+
+  /// Materializes `target_layer` into TensorList slot 0 of a new table:
+  /// from raw images when `source_layer` < 0 (then `source_slot` is
+  /// ignored), otherwise resuming partial inference from `input`'s slot
+  /// `source_slot`, which must carry `source_layer`'s tensors. Passing
+  /// target_layer == source_layer copies the source slot through without
+  /// compute. This is the serving plane's resume primitive: a cached
+  /// f̂_{1→l} view satisfies any query whose base layer l' >= l by running
+  /// only f̂_{l→l'}. Per-record FLOPs actually executed accrue into
+  /// `*flops`.
+  Result<df::Table> MaterializeLayer(const df::Table& input, int source_slot,
+                                     int source_layer, int target_layer,
+                                     const RealExecutorConfig& config,
+                                     int64_t* flops);
 
  private:
   struct TableState {

@@ -194,6 +194,58 @@ TEST(StorageCacheTest, RemoveReleasesMemory) {
   EXPECT_EQ(mem.Used(MemoryRegion::kStorage), 0);
 }
 
+TEST(StorageCacheTest, ExportsCountersThroughRegistry) {
+  MemoryBudgets budgets;
+  budgets.storage = 2500;
+  MemoryManager mem(budgets);
+  SpillManager spill("/tmp/vista_test_spill_f");
+  obs::Registry metrics;
+  StorageCache cache(&mem, &spill, /*allow_spill=*/true, nullptr, &metrics);
+
+  std::vector<std::shared_ptr<Partition>> parts;
+  for (int i = 0; i < 6; ++i) {
+    auto p = std::make_shared<Partition>(MakeRecords(20));
+    ASSERT_TRUE(cache.Insert(p).ok()) << i;
+    parts.push_back(p);
+  }
+  for (auto& p : parts) {
+    ASSERT_TRUE(cache.ReadThrough(p).ok());
+  }
+
+  EXPECT_EQ(metrics.counter("cache.inserts")->value(), 6);
+  EXPECT_GT(metrics.counter("cache.evictions")->value(), 0);
+  // Every managed read is exactly one of: resident (hit) or fault-in
+  // (miss). Under this budget both cases occur.
+  const int64_t hits = metrics.counter("cache.read_hits")->value();
+  const int64_t misses = metrics.counter("cache.read_misses")->value();
+  EXPECT_GT(misses, 0);
+  EXPECT_EQ(hits + misses, 6);
+  EXPECT_EQ(metrics.gauge("cache.resident_bytes")->value(),
+            mem.Used(MemoryRegion::kStorage));
+}
+
+// EngineStats mirrors the same "cache.*" instruments, so engine-level and
+// registry-level cache accounting cannot drift apart.
+TEST(StorageCacheTest, EngineStatsMirrorsCacheCounters) {
+  EngineConfig config;
+  config.budgets.storage = 4000;
+  Engine engine(config);
+  auto table = engine.MakeTable(MakeRecords(120), 8);
+  ASSERT_TRUE(table.ok());
+  ASSERT_TRUE(
+      engine.Persist(&*table, PersistenceFormat::kSerialized).ok());
+  for (const auto& p : table->partitions) {
+    ASSERT_TRUE(engine.cache().ReadThrough(p).ok());
+  }
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.cache_inserts,
+            engine.metrics().counter("cache.inserts")->value());
+  EXPECT_EQ(stats.cache_read_hits + stats.cache_read_misses, 8);
+  EXPECT_EQ(stats.cache_resident_bytes,
+            engine.metrics().gauge("cache.resident_bytes")->value());
+  EXPECT_GT(stats.cache_inserts, 0);
+}
+
 // ----------------------------------------------------------------- Engine.
 
 EngineConfig SmallEngineConfig() {

@@ -47,3 +47,16 @@ fi
 cmake --preset "$PRESET" ${CMAKE_ARGS:-}
 cmake --build --preset "$PRESET" -j "$JOBS"
 ctest --preset "$PRESET" -j "$JOBS"
+
+# Optional corruption-chaos matrix: re-runs the seeded end-to-end chaos
+# test under each listed injector seed (CI runs seeds 1-5; locally e.g.
+#   CHAOS_SEEDS="1 2 3 4 5" scripts/check.sh
+# ). Each seed draws a different corruption schedule; the test asserts the
+# integrity counters match the injected fault counts exactly.
+if [[ -n "${CHAOS_SEEDS:-}" ]]; then
+  for seed in $CHAOS_SEEDS; do
+    echo "check.sh: corruption chaos seed=${seed}"
+    VISTA_CHAOS_SEED="$seed" "${BINARY_DIR}/tests/integrity_test" \
+      --gtest_filter='CorruptionChaosTest.*'
+  done
+fi

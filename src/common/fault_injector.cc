@@ -24,6 +24,14 @@ const char* FaultSiteToString(FaultSite site) {
       return "spill-read";
     case FaultSite::kMemorySpike:
       return "memory-spike";
+    case FaultSite::kSpillBitFlip:
+      return "spill-bit-flip";
+    case FaultSite::kSpillTornWrite:
+      return "spill-torn-write";
+    case FaultSite::kSpillStaleRead:
+      return "spill-stale-read";
+    case FaultSite::kSpillNoSpace:
+      return "spill-enospc";
   }
   return "?";
 }
@@ -40,6 +48,14 @@ double FaultInjectorConfig::Rate(FaultSite site) const {
       return spill_read_failure_rate;
     case FaultSite::kMemorySpike:
       return memory_spike_rate;
+    case FaultSite::kSpillBitFlip:
+      return spill_bit_flip_rate;
+    case FaultSite::kSpillTornWrite:
+      return spill_torn_write_rate;
+    case FaultSite::kSpillStaleRead:
+      return spill_stale_read_rate;
+    case FaultSite::kSpillNoSpace:
+      return spill_enospc_rate;
   }
   return 0;
 }
@@ -69,11 +85,18 @@ Status FaultInjector::MaybeFail(FaultSite site, uint64_t key,
   switch (site) {
     case FaultSite::kSpillWrite:
     case FaultSite::kSpillRead:
+    case FaultSite::kSpillNoSpace:
       return Status::IOError(msg);
     case FaultSite::kMapTask:
     case FaultSite::kShuffleSend:
     case FaultSite::kMemorySpike:
       return Status::Unavailable(msg);
+    case FaultSite::kSpillBitFlip:
+    case FaultSite::kSpillTornWrite:
+    case FaultSite::kSpillStaleRead:
+      // Mutation sites never fail the operation in-line; the corruption is
+      // applied to the bytes and surfaces later as kDataLoss on read.
+      return Status::DataLoss(msg);
   }
   return Status::Unavailable(msg);
 }

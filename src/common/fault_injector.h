@@ -21,9 +21,26 @@ enum class FaultSite : int {
   kSpillRead = 3,
   /// A transient memory spike rejects a cache insert this instant.
   kMemorySpike = 4,
+  /// Silent corruption: one payload bit of a durably-written spill block is
+  /// flipped on disk (bit rot). The write reports success; only
+  /// verify-on-read can catch it. Mutation site — applied by SpillManager,
+  /// counted via CountInjected.
+  kSpillBitFlip = 5,
+  /// Torn write: the block file is truncated mid-frame after the write
+  /// "succeeded" (a crash between write and durability outside the atomic
+  /// rename protocol). Mutation site.
+  kSpillTornWrite = 6,
+  /// Stale read-back: an overwrite never reaches the device, so reads
+  /// return the previous generation of the block (firmware/page-cache
+  /// lies). Modelled by framing the new payload under the old sequence
+  /// number. Mutation site; only fires on overwrites.
+  kSpillStaleRead = 7,
+  /// The device is out of space: the write attempt fails up front with
+  /// IOError (ENOSPC), before any bytes land. Retryable like other I/O.
+  kSpillNoSpace = 8,
 };
 
-inline constexpr int kNumFaultSites = 5;
+inline constexpr int kNumFaultSites = 9;
 
 const char* FaultSiteToString(FaultSite site);
 
@@ -36,6 +53,12 @@ struct FaultInjectorConfig {
   double spill_write_failure_rate = 0;
   double spill_read_failure_rate = 0;
   double memory_spike_rate = 0;
+  /// Integrity-fault rates (all durable-block mutations or write-time
+  /// errors; see the FaultSite docs above).
+  double spill_bit_flip_rate = 0;
+  double spill_torn_write_rate = 0;
+  double spill_stale_read_rate = 0;
+  double spill_enospc_rate = 0;
 
   double Rate(FaultSite site) const;
 };
@@ -69,6 +92,13 @@ class FaultInjector {
   /// (incrementing the site's counter), OK otherwise. `detail` is appended
   /// to the error message.
   Status MaybeFail(FaultSite site, uint64_t key, const std::string& detail);
+
+  /// For mutation sites (bit flip, torn write, stale read): the caller asks
+  /// ShouldInject, applies the mutation itself, then records it here so the
+  /// injected counters stay exact for the chaos suite's accounting.
+  void CountInjected(FaultSite site) {
+    counts_[static_cast<int>(site)].fetch_add(1);
+  }
 
   int64_t injected(FaultSite site) const {
     return counts_[static_cast<int>(site)].load();

@@ -19,6 +19,9 @@ uint64_t Mix64(uint64_t z) {
 }  // namespace
 
 bool DefaultRetryable(const Status& status) {
+  // kDataLoss is deliberately absent: a checksum-verified corrupt block
+  // stays corrupt on re-read, so the retry budget would be wasted — the
+  // engine routes data loss to lineage recomputation instead.
   return status.IsUnavailable() || status.IsIOError();
 }
 

@@ -16,6 +16,16 @@ namespace vista {
 /// `kOutOfMemory` (allocation-level) or `kResourceExhausted`
 /// (budget/apportioning-level) so that callers can distinguish a hard
 /// allocation failure from a planned-capacity violation.
+///
+/// Failure routing taxonomy (see DESIGN.md "Data integrity & durability"):
+///   - transient (kUnavailable, kIOError): retrying may succeed — the retry
+///     layer's bounded-backoff loop owns these.
+///   - data loss (kDataLoss): the bytes are provably wrong (checksum
+///     mismatch, torn frame, stale block). Retrying a corrupt read is
+///     wasted work, so this code is never retried; the only cure is
+///     lineage recomputation (or failing the query — never silent use).
+///   - caller error (kInvalidArgument): malformed input; neither retry nor
+///     recompute applies.
 enum class StatusCode : int {
   kOk = 0,
   kInvalidArgument = 1,
@@ -31,6 +41,13 @@ enum class StatusCode : int {
   /// is expected to succeed on retry. The retry layer (common/retry.h)
   /// treats this code as retryable by default.
   kUnavailable = 10,
+  /// Unrecoverable corruption detected by verify-on-read: checksum
+  /// mismatch, torn/truncated frame, or stale block. Non-retryable by
+  /// design — the engine routes it to lineage recomputation instead.
+  kDataLoss = 11,
+  /// The request's deadline elapsed before execution started; the work was
+  /// shed rather than run pointlessly.
+  kDeadlineExceeded = 12,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "OutOfMemory").
@@ -89,6 +106,12 @@ class Status {
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
@@ -107,6 +130,10 @@ class Status {
   bool IsNotFound() const { return code() == StatusCode::kNotFound; }
   bool IsIOError() const { return code() == StatusCode::kIOError; }
   bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsDataLoss() const { return code() == StatusCode::kDataLoss; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
 
   /// Renders "OK" or "<Code>: <message>".
   std::string ToString() const;

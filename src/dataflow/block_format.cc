@@ -1,0 +1,137 @@
+#include "dataflow/block_format.h"
+
+#include <cstring>
+
+#include "common/checksum.h"
+
+namespace vista::df {
+namespace {
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  out->push_back(static_cast<uint8_t>(v));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+  out->push_back(static_cast<uint8_t>(v >> 16));
+  out->push_back(static_cast<uint8_t>(v >> 24));
+}
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+  PutU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  return static_cast<uint64_t>(GetU32(p)) |
+         (static_cast<uint64_t>(GetU32(p + 4)) << 32);
+}
+
+Status Fail(BlockDefect d, BlockDefect* defect, const std::string& msg) {
+  if (defect != nullptr) *defect = d;
+  return Status::DataLoss("block frame " + std::string(BlockDefectToString(d)) +
+                          ": " + msg);
+}
+
+}  // namespace
+
+const char* BlockDefectToString(BlockDefect defect) {
+  switch (defect) {
+    case BlockDefect::kNone:
+      return "ok";
+    case BlockDefect::kTruncated:
+      return "truncated";
+    case BlockDefect::kBadMagic:
+      return "bad-magic";
+    case BlockDefect::kBadVersion:
+      return "bad-version";
+    case BlockDefect::kHeaderCorrupt:
+      return "header-corrupt";
+    case BlockDefect::kPayloadCorrupt:
+      return "payload-corrupt";
+    case BlockDefect::kBadFooter:
+      return "bad-footer";
+    case BlockDefect::kTrailingGarbage:
+      return "trailing-garbage";
+    case BlockDefect::kStale:
+      return "stale";
+  }
+  return "?";
+}
+
+void EncodeBlockFrame(const std::vector<uint8_t>& payload, uint64_t seq,
+                      std::vector<uint8_t>* out) {
+  out->reserve(out->size() + payload.size() + kBlockFrameOverhead);
+  const size_t header_begin = out->size();
+  PutU32(out, kBlockMagic);
+  PutU32(out, kBlockFormatVersion);
+  PutU64(out, seq);
+  PutU64(out, static_cast<uint64_t>(payload.size()));
+  PutU32(out, Crc32c(payload.data(), payload.size()));
+  PutU32(out, Crc32c(out->data() + header_begin, kBlockHeaderBytes - 4));
+  out->insert(out->end(), payload.begin(), payload.end());
+  PutU32(out, kBlockFooterMagic);
+}
+
+Result<DecodedBlock> DecodeBlockFrame(const uint8_t* data, size_t size,
+                                      int64_t expected_seq,
+                                      BlockDefect* defect) {
+  if (defect != nullptr) *defect = BlockDefect::kNone;
+  if (size < kBlockFrameOverhead) {
+    return Fail(BlockDefect::kTruncated, defect,
+                "frame is " + std::to_string(size) + " bytes, header+footer "
+                "alone need " + std::to_string(kBlockFrameOverhead));
+  }
+  if (GetU32(data) != kBlockMagic) {
+    return Fail(BlockDefect::kBadMagic, defect, "leading magic mismatch");
+  }
+  // The header CRC is checked before any header field is *used*, so a
+  // flipped bit in the length can never drive an out-of-bounds read.
+  const uint32_t header_crc = GetU32(data + kBlockHeaderBytes - 4);
+  if (Crc32c(data, kBlockHeaderBytes - 4) != header_crc) {
+    return Fail(BlockDefect::kHeaderCorrupt, defect, "header CRC mismatch");
+  }
+  const uint32_t version = GetU32(data + 4);
+  if (version != kBlockFormatVersion) {
+    return Fail(BlockDefect::kBadVersion, defect,
+                "version " + std::to_string(version));
+  }
+  const uint64_t seq = GetU64(data + 8);
+  const uint64_t payload_len = GetU64(data + 16);
+  // Exact-size equation, overflow-safe: compare against the span we have
+  // rather than computing header + payload + footer (which could wrap).
+  const uint64_t body_bytes = size - kBlockFrameOverhead;
+  if (payload_len > body_bytes) {
+    return Fail(BlockDefect::kTruncated, defect,
+                "declared payload " + std::to_string(payload_len) +
+                    " exceeds the " + std::to_string(body_bytes) +
+                    " bytes present");
+  }
+  if (payload_len < body_bytes) {
+    return Fail(BlockDefect::kTrailingGarbage, defect,
+                std::to_string(body_bytes - payload_len) +
+                    " bytes beyond the frame end");
+  }
+  const uint8_t* payload = data + kBlockHeaderBytes;
+  if (GetU32(payload + payload_len) != kBlockFooterMagic) {
+    return Fail(BlockDefect::kBadFooter, defect, "footer sentinel mismatch");
+  }
+  const uint32_t payload_crc = GetU32(data + 24);
+  if (Crc32c(payload, payload_len) != payload_crc) {
+    return Fail(BlockDefect::kPayloadCorrupt, defect, "payload CRC mismatch");
+  }
+  if (expected_seq >= 0 && seq != static_cast<uint64_t>(expected_seq)) {
+    return Fail(BlockDefect::kStale, defect,
+                "block generation " + std::to_string(seq) + ", expected " +
+                    std::to_string(expected_seq));
+  }
+  DecodedBlock block;
+  block.seq = seq;
+  block.payload.assign(payload, payload + payload_len);
+  return block;
+}
+
+}  // namespace vista::df

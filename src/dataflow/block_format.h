@@ -1,0 +1,94 @@
+#ifndef VISTA_DATAFLOW_BLOCK_FORMAT_H_
+#define VISTA_DATAFLOW_BLOCK_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace vista::df {
+
+/// The framed durable-block format every spilled partition blob is written
+/// in. Layout (all integers little-endian):
+///
+///   offset  size  field
+///   0       4     magic            0x564B4C42 ("BLKV")
+///   4       4     format version   (currently 1)
+///   8       8     sequence number  (monotone per spill key; stale-read
+///                                   detection)
+///   16      8     payload length   (bytes)
+///   24      4     payload CRC32C
+///   28      4     header CRC32C    (over bytes [0, 28))
+///   32      N     payload
+///   32+N    4     footer sentinel  0x4B4C4245 ("EBLK")
+///
+/// Every field is covered by a check: the header fields by the header CRC,
+/// the payload by the payload CRC, the tail by the footer sentinel, and the
+/// total length by the exact-size equation — so any single-bit flip,
+/// truncation, or trailing garbage decodes to kDataLoss, never to a
+/// "successful" wrong payload. The sequence number pins which generation of
+/// the block the caller expects, catching stale read-backs whose frame is
+/// internally consistent.
+inline constexpr uint32_t kBlockMagic = 0x564b4c42u;
+inline constexpr uint32_t kBlockFooterMagic = 0x4b4c4245u;
+inline constexpr uint32_t kBlockFormatVersion = 1;
+inline constexpr size_t kBlockHeaderBytes = 32;
+inline constexpr size_t kBlockFooterBytes = 4;
+inline constexpr size_t kBlockFrameOverhead =
+    kBlockHeaderBytes + kBlockFooterBytes;
+
+/// What DecodeBlockFrame found wrong, for the integrity counters: torn
+/// shapes (kTruncated / kBadFooter) are counted separately from content
+/// corruption because they indicate a crash-consistency hole rather than
+/// bit rot.
+enum class BlockDefect {
+  kNone = 0,
+  /// Frame shorter than its header + declared payload + footer.
+  kTruncated,
+  /// Leading magic is wrong (not a block, or its first bytes rotted).
+  kBadMagic,
+  /// Unknown format version (with an intact header CRC).
+  kBadVersion,
+  /// Header CRC mismatch: a header field (seq, length, payload CRC) rotted.
+  kHeaderCorrupt,
+  /// Payload CRC mismatch: payload bit rot.
+  kPayloadCorrupt,
+  /// Footer sentinel wrong with the right total length: a torn tail.
+  kBadFooter,
+  /// Bytes beyond the frame end: a partial overwrite left garbage behind.
+  kTrailingGarbage,
+  /// Frame valid but its sequence number is not the expected generation.
+  kStale,
+};
+
+const char* BlockDefectToString(BlockDefect defect);
+
+/// True for the defect shapes produced by interrupted writes (truncation,
+/// torn tail) as opposed to in-place bit rot.
+inline bool IsTornWriteDefect(BlockDefect defect) {
+  return defect == BlockDefect::kTruncated ||
+         defect == BlockDefect::kBadFooter;
+}
+
+/// Appends the frame for `payload` with sequence number `seq` to `out`.
+void EncodeBlockFrame(const std::vector<uint8_t>& payload, uint64_t seq,
+                      std::vector<uint8_t>* out);
+
+struct DecodedBlock {
+  std::vector<uint8_t> payload;
+  uint64_t seq = 0;
+};
+
+/// Validates and decodes one frame occupying exactly [data, data + size).
+/// On failure returns kDataLoss (never crashes, never returns a corrupt
+/// payload) and, when `defect` is non-null, classifies what was wrong.
+/// `expected_seq` >= 0 additionally requires the frame's sequence number to
+/// match (stale-read detection); pass -1 to accept any generation.
+Result<DecodedBlock> DecodeBlockFrame(const uint8_t* data, size_t size,
+                                      int64_t expected_seq = -1,
+                                      BlockDefect* defect = nullptr);
+
+}  // namespace vista::df
+
+#endif  // VISTA_DATAFLOW_BLOCK_FORMAT_H_

@@ -15,6 +15,8 @@ StorageCache::StorageCache(MemoryManager* memory, SpillManager* spill,
     c_read_misses_ = metrics->counter("cache.read_misses");
     c_fault_ins_ = metrics->counter("cache.fault_ins");
     c_evictions_ = metrics->counter("cache.evictions");
+    c_blocks_verified_ = metrics->counter("integrity.blocks_verified");
+    c_checksum_failures_ = metrics->counter("integrity.checksum_failures");
     g_resident_bytes_ = metrics->gauge("cache.resident_bytes");
   }
 }
@@ -128,12 +130,27 @@ Status StorageCache::FaultIn(Entry* entry) {
   return Status::OK();
 }
 
+Status StorageCache::VerifyResident(const Partition& partition) {
+  if (!partition.resident() ||
+      partition.format() != PersistenceFormat::kSerialized) {
+    return Status::OK();  // No serialized blob to check.
+  }
+  Status st = partition.VerifyBlob();
+  if (st.ok()) {
+    if (c_blocks_verified_ != nullptr) c_blocks_verified_->Add(1);
+  } else {
+    if (c_checksum_failures_ != nullptr) c_checksum_failures_->Add(1);
+  }
+  return st;
+}
+
 Result<std::vector<Record>> StorageCache::ReadThrough(
     const std::shared_ptr<Partition>& partition) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(partition.get());
   if (it == entries_.end()) {
-    // Unmanaged partition: plain read.
+    // Unmanaged partition: plain read — still verified before decode.
+    VISTA_RETURN_IF_ERROR(VerifyResident(*partition));
     return partition->ReadRecords();
   }
   Entry& entry = it->second;
@@ -147,6 +164,9 @@ Result<std::vector<Record>> StorageCache::ReadThrough(
     entry.lru_it = lru_.begin();
     if (c_read_hits_ != nullptr) c_read_hits_->Add(1);
   }
+  // Verify the serialized representation (restored from disk or long
+  // resident) before ReadRecords header-scans and decodes it.
+  VISTA_RETURN_IF_ERROR(VerifyResident(*partition));
   return partition->ReadRecords();
 }
 

@@ -44,7 +44,10 @@ class StorageCache {
 
   /// Reads the records of a managed partition, faulting it in from disk if
   /// it was spilled, and marks it most-recently-used. Also works for
-  /// partitions that are not under management (plain read).
+  /// partitions that are not under management (plain read). Serialized
+  /// resident blobs are CRC-verified before any record is decoded from
+  /// them; a mismatch returns kDataLoss (counted under "integrity.*") so
+  /// the engine recomputes from lineage instead of decoding rotted bytes.
   Result<std::vector<Record>> ReadThrough(
       const std::shared_ptr<Partition>& partition);
 
@@ -72,6 +75,10 @@ class StorageCache {
   /// Requires mu_ held.
   Status FaultIn(Entry* entry);
 
+  /// CRC-verifies `partition`'s resident serialized blob (no-op for other
+  /// representations), updating the integrity counters either way.
+  Status VerifyResident(const Partition& partition);
+
   MemoryManager* memory_;
   SpillManager* spill_;
   bool allow_spill_;
@@ -82,6 +89,8 @@ class StorageCache {
   obs::Counter* c_read_misses_ = nullptr;
   obs::Counter* c_fault_ins_ = nullptr;
   obs::Counter* c_evictions_ = nullptr;
+  obs::Counter* c_blocks_verified_ = nullptr;
+  obs::Counter* c_checksum_failures_ = nullptr;
   obs::Gauge* g_resident_bytes_ = nullptr;
 
   mutable std::mutex mu_;

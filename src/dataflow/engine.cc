@@ -101,7 +101,9 @@ Status ScanWireSources(ThreadPool* pool, FaultInjector* injector,
                        std::atomic<int64_t>* task_retries, const Table& table,
                        uint64_t op, int side, int num_destinations,
                        const char* what, WireSourceBuckets* buckets_out,
-                       int64_t* wire_bytes_out) {
+                       int64_t* wire_bytes_out,
+                       obs::Counter* c_blocks_verified,
+                       obs::Counter* c_checksum_failures) {
   WireSourceBuckets& buckets = *buckets_out;
   const int ns = table.num_partitions();
   buckets.assign(ns, {});
@@ -114,6 +116,17 @@ Status ScanWireSources(ThreadPool* pool, FaultInjector* injector,
       statuses[i] = blob.status();
       return;
     }
+    // Verify the blob's CRC before the header scan walks it: a rotted
+    // length field would otherwise let ScanRecord read out of bounds. A
+    // mismatch aborts this zero-decode pass with kDataLoss; the caller
+    // falls back to the record path, where lineage recomputation applies.
+    Status verified = table.partitions[i]->VerifyBlob();
+    if (!verified.ok()) {
+      if (c_checksum_failures != nullptr) c_checksum_failures->Add(1);
+      statuses[i] = verified;
+      return;
+    }
+    if (c_blocks_verified != nullptr) c_blocks_verified->Add(1);
     // An injected shuffle fault models a lost block: the whole source is
     // re-scanned on retry, mirroring ReadPartitionWithRetry.
     std::vector<WireRef> refs;
@@ -217,6 +230,9 @@ Engine::Engine(EngineConfig config) : config_(std::move(config)) {
   h_shuffle_ms_ = metrics_->histogram("engine.shuffle_ms");
   h_serialize_ms_ = metrics_->histogram("engine.serialize_ms");
   g_spill_queue_depth_ = metrics_->gauge("spill.queue_depth");
+  c_blocks_verified_ = metrics_->counter("integrity.blocks_verified");
+  c_checksum_failures_ = metrics_->counter("integrity.checksum_failures");
+  c_recomputes_ = metrics_->counter("integrity.recomputes_triggered");
   if (config_.spill_dir.empty()) {
     config_.spill_dir =
         "/tmp/vista_spill_" + std::to_string(::getpid()) + "_" +
@@ -251,6 +267,11 @@ EngineStats Engine::stats() const {
   s.recovery.retries = task_retries_.load() + spill_->io_retries();
   s.recovery.recomputed_partitions = recomputed_partitions_.load();
   s.recovery.injected_faults = injector_->total_injected();
+  s.integrity.blocks_verified = c_blocks_verified_->value();
+  s.integrity.checksum_failures = c_checksum_failures_->value();
+  s.integrity.torn_writes_detected =
+      metrics_->counter("integrity.torn_writes_detected")->value();
+  s.integrity.recomputes_triggered = c_recomputes_->value();
   return s;
 }
 
@@ -276,19 +297,24 @@ Result<std::vector<Record>> Engine::ReadPartition(
   auto records = cache_->ReadThrough(p);
   if (records.ok() || p->lineage() == nullptr) return records;
   const Status& st = records.status();
-  if (!st.IsIOError() && !st.IsNotFound() && !st.IsUnavailable()) {
+  if (!st.IsIOError() && !st.IsNotFound() && !st.IsUnavailable() &&
+      !st.IsDataLoss()) {
     return records;
   }
   // The partition's data is gone (lost or corrupt spill block): rebuild it
   // from the parent by re-applying the lineage UDF — Spark-style
   // recomputation instead of job failure. Deterministic UDFs make the
-  // rebuilt records bit-identical to the originals.
+  // rebuilt records bit-identical to the originals. kDataLoss lands here
+  // rather than in a retry loop because re-reading a corrupt block cannot
+  // help; recomputation is the only cure, and is metered separately.
+  const bool from_corruption = st.IsDataLoss();
   const Lineage* lineage = p->lineage();
   VISTA_ASSIGN_OR_RETURN(std::vector<Record> parent_records,
                          ReadPartition(lineage->parent));
   VISTA_ASSIGN_OR_RETURN(std::vector<Record> rebuilt,
                          lineage->fn(std::move(parent_records)));
   recomputed_partitions_.fetch_add(1);
+  if (from_corruption) c_recomputes_->Add(1);
   return rebuilt;
 }
 
@@ -420,26 +446,33 @@ Result<Table> Engine::Repartition(const Table& input, int num_partitions) {
   if (AllSerializedResident(input)) {
     WireSourceBuckets sources;
     int64_t wire_bytes = 0;
-    VISTA_RETURN_IF_ERROR(ScanWireSources(
+    Status scanned = ScanWireSources(
         pool_.get(), injector_.get(), config_.retry, &task_retries_, input,
-        op, 0, num_partitions, "repartition read", &sources, &wire_bytes));
-    c_shuffle_bytes_->Add(wire_bytes);
-    Table table;
-    table.partitions.resize(num_partitions);
-    pool_->ParallelFor(num_partitions, [&](int64_t j) {
-      std::vector<WireRef> refs = MergeWireDestination(&sources, j);
-      size_t total = 0;
-      for (const WireRef& r : refs) total += r.view.wire_bytes();
-      std::vector<uint8_t> blob;
-      blob.reserve(total);
-      for (const WireRef& r : refs) {
-        blob.insert(blob.end(), r.blob->begin() + r.view.begin,
-                    r.blob->begin() + r.view.tensors_end);
-      }
-      table.partitions[j] = std::make_shared<Partition>(
-          std::move(blob), static_cast<int64_t>(refs.size()));
-    });
-    return table;
+        op, 0, num_partitions, "repartition read", &sources, &wire_bytes,
+        c_blocks_verified_, c_checksum_failures_);
+    if (scanned.ok()) {
+      c_shuffle_bytes_->Add(wire_bytes);
+      Table table;
+      table.partitions.resize(num_partitions);
+      pool_->ParallelFor(num_partitions, [&](int64_t j) {
+        std::vector<WireRef> refs = MergeWireDestination(&sources, j);
+        size_t total = 0;
+        for (const WireRef& r : refs) total += r.view.wire_bytes();
+        std::vector<uint8_t> blob;
+        blob.reserve(total);
+        for (const WireRef& r : refs) {
+          blob.insert(blob.end(), r.blob->begin() + r.view.begin,
+                      r.blob->begin() + r.view.tensors_end);
+        }
+        table.partitions[j] = std::make_shared<Partition>(
+            std::move(blob), static_cast<int64_t>(refs.size()));
+      });
+      return table;
+    }
+    if (!scanned.IsDataLoss()) return scanned;
+    // A resident blob failed verification: fall through to the record
+    // path, whose cache-level verify + lineage recomputation can heal the
+    // partition instead of failing the op.
   }
   // Two-phase parallel shuffle. Phase 1: every source partition buckets
   // its own records by destination (thread-local, no shared state; metered
@@ -557,9 +590,12 @@ Result<Table> Engine::Join(const Table& left, const Table& right,
   const uint64_t op = NextOpSeq();
   const int np = num_output_partitions;
   // Zero-decode path: when both sides are resident serialized, shuffle and
-  // join the records as byte ranges and splice the outputs.
+  // join the records as byte ranges and splice the outputs. A blob that
+  // fails verification mid-scan drops to the decoding path below, where
+  // lineage recomputation can rebuild the corrupt partition.
   if (AllSerializedResident(left) && AllSerializedResident(right)) {
-    return SerializedShuffleJoin(left, right, op, np);
+    auto joined = SerializedShuffleJoin(left, right, op, np);
+    if (joined.ok() || !joined.status().IsDataLoss()) return joined;
   }
   SourceBuckets left_sources;
   SourceBuckets right_sources;
@@ -624,10 +660,12 @@ Result<Table> Engine::SerializedShuffleJoin(const Table& left,
   WireSourceBuckets right_sources;
   VISTA_RETURN_IF_ERROR(ScanWireSources(
       pool_.get(), injector_.get(), config_.retry, &task_retries_, left, op,
-      0, np, "shuffle send (left)", &left_sources, &wire_bytes));
+      0, np, "shuffle send (left)", &left_sources, &wire_bytes,
+      c_blocks_verified_, c_checksum_failures_));
   VISTA_RETURN_IF_ERROR(ScanWireSources(
       pool_.get(), injector_.get(), config_.retry, &task_retries_, right, op,
-      1, np, "shuffle send (right)", &right_sources, &wire_bytes));
+      1, np, "shuffle send (right)", &right_sources, &wire_bytes,
+      c_blocks_verified_, c_checksum_failures_));
   c_shuffle_bytes_->Add(wire_bytes);
 
   std::vector<std::shared_ptr<Partition>> outputs(np);

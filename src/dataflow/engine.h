@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/checksum.h"
 #include "common/fault_injector.h"
 #include "common/retry.h"
 #include "common/status.h"
@@ -121,6 +122,12 @@ struct EngineStats {
   /// Retries, lineage recomputations, and injected faults since engine
   /// construction (degradations are filled in by the executor layer).
   RecoveryStats recovery;
+  /// Verify-on-read outcomes, read from the shared "integrity.*"
+  /// instruments: every durable/serialized block checked before re-entering
+  /// the engine, checksum mismatches (including torn writes, also broken
+  /// out separately), and how many of those corruptions were healed by
+  /// lineage recomputation instead of failing the job.
+  IntegrityStats integrity;
 };
 
 /// The parallel-dataflow substrate: partitioned tables, UDF map-partitions,
@@ -242,14 +249,18 @@ class Engine {
   uint64_t NextOpSeq() { return op_seq_.fetch_add(1); }
 
   EngineConfig config_;
+  /// Backing instances when EngineConfig does not inject sinks. Declared
+  /// before every component that holds instrument pointers — most
+  /// importantly SpillManager, whose background writer thread bumps
+  /// registry-owned counters until ~SpillManager joins it — so reverse
+  /// destruction order keeps the registry alive past all of them.
+  std::unique_ptr<obs::Registry> owned_metrics_;
+  std::unique_ptr<obs::TraceCollector> owned_tracer_;
   std::unique_ptr<MemoryManager> memory_;
   std::unique_ptr<FaultInjector> injector_;
   std::unique_ptr<SpillManager> spill_;
   std::unique_ptr<StorageCache> cache_;
   std::unique_ptr<ThreadPool> pool_;
-  /// Backing instances when EngineConfig does not inject sinks.
-  std::unique_ptr<obs::Registry> owned_metrics_;
-  std::unique_ptr<obs::TraceCollector> owned_tracer_;
   obs::Registry* metrics_ = nullptr;
   obs::TraceCollector* tracer_ = nullptr;
   /// Instruments are resolved once here; hot paths only touch atomics.
@@ -266,6 +277,12 @@ class Engine {
   obs::Histogram* h_shuffle_ms_ = nullptr;
   obs::Histogram* h_serialize_ms_ = nullptr;
   obs::Gauge* g_spill_queue_depth_ = nullptr;
+  /// Shared "integrity.*" instruments (also fed by SpillManager and
+  /// StorageCache); the engine adds zero-decode scan verifies and
+  /// DataLoss-triggered lineage recomputes.
+  obs::Counter* c_blocks_verified_ = nullptr;
+  obs::Counter* c_checksum_failures_ = nullptr;
+  obs::Counter* c_recomputes_ = nullptr;
   std::atomic<int64_t> task_retries_{0};
   std::atomic<int64_t> recomputed_partitions_{0};
   std::atomic<uint64_t> op_seq_{1};

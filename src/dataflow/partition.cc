@@ -1,5 +1,7 @@
 #include "dataflow/partition.h"
 
+#include "common/checksum.h"
+
 namespace vista::df {
 
 const char* PersistenceFormatToString(PersistenceFormat format) {
@@ -21,6 +23,8 @@ Partition::Partition(std::vector<uint8_t> blob, int64_t num_records)
       format_(PersistenceFormat::kSerialized),
       blob_(std::move(blob)) {
   serialized_bytes_ = static_cast<int64_t>(blob_.size());
+  blob_crc_ = Crc32c(blob_.data(), blob_.size());
+  blob_crc_valid_ = true;
 }
 
 int64_t Partition::memory_bytes() const {
@@ -69,6 +73,8 @@ Status Partition::ConvertTo(PersistenceFormat format) {
   if (format == PersistenceFormat::kSerialized) {
     VISTA_ASSIGN_OR_RETURN(blob_, ToBlob());
     serialized_bytes_ = static_cast<int64_t>(blob_.size());
+    blob_crc_ = Crc32c(blob_.data(), blob_.size());
+    blob_crc_valid_ = true;
     records_.clear();
     records_.shrink_to_fit();
   } else {
@@ -82,6 +88,7 @@ Status Partition::ConvertTo(PersistenceFormat format) {
     records_ = std::move(records);
     blob_.clear();
     blob_.shrink_to_fit();
+    blob_crc_valid_ = false;
   }
   format_ = format;
   return Status::OK();
@@ -135,11 +142,24 @@ Result<std::vector<uint8_t>> Partition::ToBlob() const {
   return blob;
 }
 
+Status Partition::VerifyBlob() const {
+  if (!resident_ || format_ != PersistenceFormat::kSerialized ||
+      !blob_crc_valid_) {
+    return Status::OK();  // No serialized blob resident: nothing to check.
+  }
+  if (Crc32c(blob_.data(), blob_.size()) != blob_crc_) {
+    return Status::DataLoss(
+        "resident serialized blob failed CRC32C verification");
+  }
+  return Status::OK();
+}
+
 void Partition::Evict() {
   records_.clear();
   records_.shrink_to_fit();
   blob_.clear();
   blob_.shrink_to_fit();
+  blob_crc_valid_ = false;
   resident_ = false;
 }
 
@@ -149,6 +169,8 @@ Status Partition::Restore(const std::vector<uint8_t>& blob,
     return Status::FailedPrecondition("partition is already resident");
   }
   blob_ = blob;
+  blob_crc_ = Crc32c(blob_.data(), blob_.size());
+  blob_crc_valid_ = true;
   resident_ = true;
   format_ = PersistenceFormat::kSerialized;
   return ConvertTo(format);

@@ -79,6 +79,19 @@ class Partition {
   /// serialized). The zero-decode shuffle path scans this in place.
   Result<const std::vector<uint8_t>*> blob() const;
 
+  /// Integrity check on the resident serialized blob: recomputes its
+  /// CRC32C and compares against the checksum captured when the blob
+  /// became resident. Returns kDataLoss on mismatch (in-memory rot or a
+  /// stray write), OK otherwise — including when there is no blob to
+  /// verify (deserialized or spilled). Callers verify before header-scan
+  /// paths (ScanRecord / SpliceJoinedRecord) that walk the blob without
+  /// decoding it.
+  Status VerifyBlob() const;
+
+  /// Test hook: direct mutable access to the resident blob so integrity
+  /// tests can corrupt it in place. Never use outside tests.
+  std::vector<uint8_t>* mutable_blob_for_testing() { return &blob_; }
+
   /// Drops in-memory data (after a successful spill).
   void Evict();
 
@@ -98,6 +111,10 @@ class Partition {
   bool resident_ = true;
   std::vector<Record> records_;
   std::vector<uint8_t> blob_;
+  /// CRC32C of blob_, captured whenever a serialized blob becomes
+  /// resident; invalid while no serialized blob is resident.
+  uint32_t blob_crc_ = 0;
+  bool blob_crc_valid_ = false;
   std::shared_ptr<Lineage> lineage_;
   // Cached size estimates (valid while num_records_ is unchanged).
   mutable int64_t deserialized_bytes_ = -1;

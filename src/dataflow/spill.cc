@@ -3,9 +3,62 @@
 #include <cstdio>
 #include <filesystem>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define VISTA_SPILL_HAVE_FSYNC 1
+#else
+#define VISTA_SPILL_HAVE_FSYNC 0
+#endif
+
+#include "dataflow/block_format.h"
+
 namespace vista::df {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+/// splitmix64 finalizer (repo-wide stable hash): picks deterministic
+/// corruption offsets for the injected-mutation sites.
+uint64_t Mix64(uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// fsyncs the directory so a just-renamed file's directory entry is
+/// durable too (rename alone only orders the data, not the metadata).
+Status SyncDir(const std::string& dir) {
+#if VISTA_SPILL_HAVE_FSYNC
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::IOError("cannot open spill dir for fsync: " + dir);
+  }
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  if (!ok) return Status::IOError("fsync of spill dir failed: " + dir);
+#else
+  (void)dir;
+#endif
+  return Status::OK();
+}
+
+/// Flips one bit of the file at `path` (the injected bit-rot mutation).
+void FlipFileBit(const std::string& path, uint64_t offset, int bit) {
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  if (f == nullptr) return;
+  if (std::fseek(f, static_cast<long>(offset), SEEK_SET) == 0) {
+    const int c = std::fgetc(f);
+    if (c != EOF && std::fseek(f, static_cast<long>(offset), SEEK_SET) == 0) {
+      std::fputc(c ^ (1 << bit), f);
+    }
+  }
+  std::fclose(f);
+}
+
+}  // namespace
 
 SpillManager::SpillManager(std::string dir, int async_queue_capacity)
     : dir_(std::move(dir)),
@@ -34,6 +87,9 @@ void SpillManager::set_metrics(obs::Registry* metrics) {
   c_bytes_written_ = metrics->counter("spill.bytes_written");
   c_bytes_read_ = metrics->counter("spill.bytes_read");
   c_retries_ = metrics->counter("spill.io_retries");
+  c_blocks_verified_ = metrics->counter("integrity.blocks_verified");
+  c_checksum_failures_ = metrics->counter("integrity.checksum_failures");
+  c_torn_writes_ = metrics->counter("integrity.torn_writes_detected");
   h_write_ms_ = metrics->histogram("spill.write_ms");
   h_read_ms_ = metrics->histogram("spill.read_ms");
   g_queue_depth_ = metrics->gauge("spill.queue_depth");
@@ -44,39 +100,86 @@ std::string SpillManager::PathFor(int64_t key) const {
 }
 
 Status SpillManager::WriteOnce(const std::string& path,
-                               const std::vector<uint8_t>& blob) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
+                               const std::vector<uint8_t>& frame) {
+  // Crash-consistency protocol: never touch the final path until the new
+  // frame is durably complete in a temp file, then publish it with one
+  // atomic rename. A crash at any instant leaves either the old complete
+  // generation or the new complete generation — never a readable
+  // half-block.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) {
-    return Status::IOError("cannot open spill file " + path);
+    return Status::IOError("cannot open spill temp file " + tmp);
   }
-  const size_t written = blob.empty()
-                             ? 0
-                             : std::fwrite(blob.data(), 1, blob.size(), f);
-  // fflush + fclose both report deferred errors (the fsync-class failures:
-  // ENOSPC, EIO at writeback); a short fwrite reports an immediate one.
+  const size_t written =
+      frame.empty() ? 0 : std::fwrite(frame.data(), 1, frame.size(), f);
+  // fflush surfaces short-write errors; fsync forces the data to the
+  // device (the fsync-class failures: ENOSPC, EIO at writeback); fclose
+  // reports anything deferred past both.
   const bool flushed = std::fflush(f) == 0;
+#if VISTA_SPILL_HAVE_FSYNC
+  const bool synced = flushed && ::fsync(fileno(f)) == 0;
+#else
+  const bool synced = flushed;
+#endif
   const bool closed = std::fclose(f) == 0;
-  if (written != blob.size() || !flushed || !closed) {
+  if (written != frame.size() || !flushed || !synced || !closed) {
     std::error_code ec;
-    fs::remove(path, ec);  // Never leave a truncated spill behind.
-    return Status::IOError("short or failed write to spill file " + path);
+    fs::remove(tmp, ec);  // Never leave a truncated temp behind.
+    return Status::IOError("short or failed write to spill file " + tmp);
   }
-  return Status::OK();
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return Status::IOError("cannot publish spill file " + path + ": " +
+                           ec.message());
+  }
+  return SyncDir(dir_);
 }
 
 Status SpillManager::WriteWithRetry(int64_t key,
                                     const std::vector<uint8_t>& blob) {
   const std::string path = PathFor(key);
   obs::ScopedLatency latency(h_write_ms_);
+  uint64_t seq = 1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) seq = it->second.seq + 1;
+  }
+  // Integrity-fault decisions are drawn once per (key, generation), so the
+  // corruption schedule is independent of transient-write retries.
+  const uint64_t gen = FaultInjector::TaskKey(static_cast<uint64_t>(key),
+                                              static_cast<int>(seq));
+  const bool inject_flip =
+      injector_ != nullptr &&
+      injector_->ShouldInject(FaultSite::kSpillBitFlip, gen);
+  const bool inject_torn =
+      injector_ != nullptr &&
+      injector_->ShouldInject(FaultSite::kSpillTornWrite, gen);
+  // A stale read-back needs a previous generation to be stale relative to:
+  // the frame is written under the old sequence number, modelling an
+  // overwrite that never reached the device.
+  const bool inject_stale =
+      injector_ != nullptr && seq > 1 &&
+      injector_->ShouldInject(FaultSite::kSpillStaleRead, gen);
+  std::vector<uint8_t> frame;
+  EncodeBlockFrame(blob, inject_stale ? seq - 1 : seq, &frame);
+
   for (int attempt = 0;; ++attempt) {
-    Status st =
-        injector_ == nullptr
-            ? Status::OK()
-            : injector_->MaybeFail(FaultSite::kSpillWrite,
-                                   FaultInjector::TaskKey(
-                                       static_cast<uint64_t>(key), attempt),
-                                   "key " + std::to_string(key));
-    if (st.ok()) st = WriteOnce(path, blob);
+    Status st = Status::OK();
+    if (injector_ != nullptr) {
+      const uint64_t task = FaultInjector::TaskKey(
+          static_cast<uint64_t>(key), attempt);
+      st = injector_->MaybeFail(FaultSite::kSpillWrite, task,
+                                "key " + std::to_string(key));
+      if (st.ok()) {
+        st = injector_->MaybeFail(FaultSite::kSpillNoSpace, task,
+                                  "ENOSPC, key " + std::to_string(key));
+      }
+    }
+    if (st.ok()) st = WriteOnce(path, frame);
     if (st.ok()) break;
     if (attempt + 1 >= retry_.max_attempts || !IsRetryable(retry_, st)) {
       return st;
@@ -85,9 +188,34 @@ Status SpillManager::WriteWithRetry(int64_t key,
     if (c_retries_ != nullptr) c_retries_->Add(1);
     SleepForBackoff(retry_, static_cast<uint64_t>(key), attempt);
   }
+
+  // Post-success mutations: the write was acknowledged durable, then the
+  // bytes rotted (bit flip) or the tail was lost (torn write). Only
+  // verify-on-read can catch these. Torn wins over flip — a truncated
+  // frame has no payload left to flip.
+  if (inject_torn) {
+    std::error_code ec;
+    fs::resize_file(path, frame.size() / 2, ec);
+    if (!ec) injector_->CountInjected(FaultSite::kSpillTornWrite);
+  } else if (inject_flip) {
+    const uint64_t h = Mix64(static_cast<uint64_t>(key));
+    const uint64_t payload_bytes = frame.size() - kBlockFrameOverhead;
+    const uint64_t offset =
+        payload_bytes > 0 ? kBlockHeaderBytes + h % payload_bytes
+                          : h % kBlockHeaderBytes;  // Empty blob: hit header.
+    FlipFileBit(path, offset, static_cast<int>(h >> 32) & 7);
+    injector_->CountInjected(FaultSite::kSpillBitFlip);
+  }
+  if (inject_stale) injector_->CountInjected(FaultSite::kSpillStaleRead);
+
   {
     std::lock_guard<std::mutex> lock(mu_);
-    sizes_[key] = static_cast<int64_t>(blob.size());
+    entries_[key] = SpillEntry{static_cast<int64_t>(blob.size()), seq};
+  }
+  {
+    // A successful rewrite clears the key's sticky async error.
+    std::lock_guard<std::mutex> lock(qmu_);
+    failed_keys_.erase(key);
   }
   bytes_written_.fetch_add(static_cast<int64_t>(blob.size()));
   num_spills_.fetch_add(1);
@@ -141,9 +269,13 @@ void SpillManager::WriterLoop() {
     {
       std::lock_guard<std::mutex> lock(qmu_);
       writing_ = false;
-      // First error wins; a failed write leaves no size entry, so readers
-      // see NotFound and lineage recomputation can take over.
-      if (!st.ok() && async_error_.ok()) async_error_ = st;
+      if (!st.ok()) {
+        // First error wins for Flush; the per-key latch keeps the error
+        // sticky so a later Read of this key surfaces the real failure
+        // instead of NotFound or the stale previous generation.
+        if (async_error_.ok()) async_error_ = st;
+        failed_keys_[item.key] = st;
+      }
     }
     drained_cv_.notify_all();
   }
@@ -195,33 +327,63 @@ int64_t SpillManager::io_retries() const {
   return io_retries_.load();
 }
 
-Result<std::vector<uint8_t>> SpillManager::ReadOnce(const std::string& path,
-                                                    int64_t size) {
+int64_t SpillManager::blocks_verified() const {
+  WaitDrained();
+  return blocks_verified_.load();
+}
+
+int64_t SpillManager::checksum_failures() const {
+  WaitDrained();
+  return checksum_failures_.load();
+}
+
+int64_t SpillManager::torn_writes_detected() const {
+  WaitDrained();
+  return torn_writes_.load();
+}
+
+Result<std::vector<uint8_t>> SpillManager::ReadFileBytes(
+    const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
     return Status::IOError("cannot open spill file " + path);
   }
-  std::vector<uint8_t> blob(static_cast<size_t>(size));
+  // Read whatever is actually there — a torn file is shorter than the
+  // frame it should hold, and the decoder is what diagnoses that.
+  std::error_code ec;
+  const uint64_t size = fs::file_size(path, ec);
+  if (ec) {
+    std::fclose(f);
+    return Status::IOError("cannot stat spill file " + path);
+  }
+  std::vector<uint8_t> bytes(static_cast<size_t>(size));
   const size_t read =
-      blob.empty() ? 0 : std::fread(blob.data(), 1, blob.size(), f);
+      bytes.empty() ? 0 : std::fread(bytes.data(), 1, bytes.size(), f);
   std::fclose(f);
-  if (read != blob.size()) {
+  if (read != bytes.size()) {
     return Status::IOError("short read from spill file " + path);
   }
-  return blob;
+  return bytes;
 }
 
 Result<std::vector<uint8_t>> SpillManager::Read(int64_t key) {
   WaitForKey(key);  // Read-after-write ordering for async spills.
-  int64_t size = 0;
+  {
+    // The sticky latch first: a failed overwrite must surface its own
+    // error, never NotFound and never the intact previous generation.
+    std::lock_guard<std::mutex> lock(qmu_);
+    auto failed = failed_keys_.find(key);
+    if (failed != failed_keys_.end()) return failed->second;
+  }
+  SpillEntry entry;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    auto it = sizes_.find(key);
-    if (it == sizes_.end()) {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
       return Status::NotFound("no spill for partition key " +
                               std::to_string(key));
     }
-    size = it->second;
+    entry = it->second;
   }
   const std::string path = PathFor(key);
   obs::ScopedLatency latency(h_read_ms_);
@@ -233,18 +395,40 @@ Result<std::vector<uint8_t>> SpillManager::Read(int64_t key) {
                                    FaultInjector::TaskKey(
                                        static_cast<uint64_t>(key), attempt),
                                    "key " + std::to_string(key));
-    Result<std::vector<uint8_t>> blob = st.ok() ? ReadOnce(path, size) : st;
-    if (blob.ok()) {
-      bytes_read_.fetch_add(size);
-      if (c_reads_ != nullptr) {
-        c_reads_->Add(1);
-        c_bytes_read_->Add(size);
+    Result<std::vector<uint8_t>> file = st.ok() ? ReadFileBytes(path) : st;
+    if (file.ok()) {
+      // Verify-on-read: the frame must decode, check out bit-for-bit, and
+      // carry the generation this index expects. kDataLoss is final —
+      // re-reading corrupt bytes cannot help — so it exits the retry loop
+      // below via the non-retryable branch and routes to lineage
+      // recomputation upstream.
+      BlockDefect defect = BlockDefect::kNone;
+      auto block = DecodeBlockFrame(file->data(), file->size(),
+                                    static_cast<int64_t>(entry.seq), &defect);
+      if (block.ok()) {
+        blocks_verified_.fetch_add(1);
+        if (c_blocks_verified_ != nullptr) c_blocks_verified_->Add(1);
+        bytes_read_.fetch_add(entry.payload_bytes);
+        if (c_reads_ != nullptr) {
+          c_reads_->Add(1);
+          c_bytes_read_->Add(entry.payload_bytes);
+        }
+        return std::move(block->payload);
       }
-      return blob;
+      checksum_failures_.fetch_add(1);
+      if (c_checksum_failures_ != nullptr) c_checksum_failures_->Add(1);
+      if (IsTornWriteDefect(defect)) {
+        torn_writes_.fetch_add(1);
+        if (c_torn_writes_ != nullptr) c_torn_writes_->Add(1);
+      }
+      st = Status::DataLoss("spill block for key " + std::to_string(key) +
+                            " failed verification: " +
+                            block.status().message());
+    } else {
+      st = file.status();
     }
-    if (attempt + 1 >= retry_.max_attempts ||
-        !IsRetryable(retry_, blob.status())) {
-      return blob;
+    if (attempt + 1 >= retry_.max_attempts || !IsRetryable(retry_, st)) {
+      return st;
     }
     io_retries_.fetch_add(1);
     if (c_retries_ != nullptr) c_retries_->Add(1);
@@ -254,10 +438,14 @@ Result<std::vector<uint8_t>> SpillManager::Read(int64_t key) {
 
 void SpillManager::Remove(int64_t key) {
   WaitForKey(key);  // Never delete out from under a pending async write.
+  {
+    std::lock_guard<std::mutex> lock(qmu_);
+    failed_keys_.erase(key);
+  }
   // Erase the size entry and delete the file under the same lock so a
   // concurrent Read cannot find the entry after the file is gone.
   std::lock_guard<std::mutex> lock(mu_);
-  sizes_.erase(key);
+  entries_.erase(key);
   std::error_code ec;
   fs::remove(PathFor(key), ec);
 }

@@ -22,24 +22,43 @@ namespace vista::df {
 /// reads them back on demand. Disk spills are a first-class cost in the
 /// paper's trade-off space, so the engine both performs and meters them.
 ///
+/// Durability & integrity protocol (see dataflow/block_format.h and
+/// DESIGN.md "Data integrity & durability"): every blob is written as a
+/// framed durable block — magic + version + per-key sequence number +
+/// length + payload CRC32C + header CRC + footer sentinel — to a temp file
+/// that is fflush'd, fsync'd, closed, and atomically renamed over the final
+/// path (followed by a directory fsync), so a crash mid-write can never
+/// leave a readable half-block: the old generation survives intact or the
+/// new one is durably complete. Read-back verifies the whole frame plus the
+/// expected sequence number before any byte reaches the engine; failures
+/// return kDataLoss — deliberately non-retryable, because a corrupt block
+/// stays corrupt on re-read — which the engine routes to per-partition
+/// lineage recomputation. Verification outcomes are metered as
+/// "integrity.*" counters.
+///
 /// Spill I/O is where transient storage faults surface, so the manager owns
 /// its own retry loop: each Write/Read attempt first consults the optional
-/// FaultInjector (sites kSpillWrite / kSpillRead), then performs the real
-/// file operation; retryable failures are re-attempted under the
-/// RetryPolicy, and exhausted retries surface as IOError to the caller
-/// (where lineage recomputation can take over).
+/// FaultInjector (sites kSpillWrite / kSpillNoSpace / kSpillRead), then
+/// performs the real file operation; retryable failures are re-attempted
+/// under the RetryPolicy, and exhausted retries surface as IOError to the
+/// caller (where lineage recomputation can take over). The injector's
+/// mutation sites (kSpillBitFlip, kSpillTornWrite, kSpillStaleRead) corrupt
+/// durably-written blocks after the write reports success — the silent
+/// failure shapes only verify-on-read catches.
 ///
 /// Writes come in two flavors:
 ///  - Write: synchronous — returns after the blob is durably on disk (or
 ///    the retry budget is exhausted).
 ///  - WriteAsync: hands the blob to a background writer thread through a
 ///    bounded queue (double buffering), overlapping serialization on the
-///    caller with disk I/O. Errors are sticky and surface at the next
-///    Flush(); a key whose async write failed is simply absent from the
-///    size index, so a later Read returns NotFound and the engine's
-///    lineage recomputation takes over. Read/Remove/Write on a key with a
-///    pending async write first wait for that write to land, so
-///    read-after-write ordering is preserved per key.
+///    caller with disk I/O. Errors are sticky and latched per key: a key
+///    whose async write failed surfaces that same error on every later
+///    Read of the key (never a silent NotFound, and never the stale
+///    previous generation) until the key is successfully rewritten or
+///    removed, and the first error since the previous Flush also surfaces
+///    at Flush(). Read/Remove/Write on a key with a pending async write
+///    first wait for that write to land, so read-after-write ordering is
+///    preserved per key.
 class SpillManager {
  public:
   /// `dir` is created if missing; files are removed on destruction.
@@ -60,43 +79,53 @@ class SpillManager {
   /// ("spill.*" instruments, resolved once here), plus a
   /// "spill.queue_depth" gauge tracking the async queue (its max_value is
   /// the high-water mark — > 0 proves serialization and disk I/O actually
-  /// overlapped). Null disables reporting; the registry must outlive the
-  /// manager.
+  /// overlapped) and the shared "integrity.*" verification counters. Null
+  /// disables reporting; the registry must outlive the manager.
   void set_metrics(obs::Registry* metrics);
 
-  /// Persists `blob` under `key` (overwrites any previous spill of `key`).
-  /// Short writes and flush/close-time errors are detected and reported;
-  /// the spill is recorded (size entry + counters) only after the file is
-  /// durably on disk.
+  /// Persists `blob` under `key` (overwrites any previous spill of `key`,
+  /// bumping the key's block generation). Short writes and flush/fsync/
+  /// close-time errors are detected and reported; the spill is recorded
+  /// (size entry + counters) only after the file is durably on disk.
   Status Write(int64_t key, const std::vector<uint8_t>& blob);
 
   /// Enqueues `blob` for the background writer (started lazily on first
   /// use). Blocks only when the bounded queue is full. The write itself
   /// runs under the same fault-injection + retry loop as Write; failures
-  /// surface at Flush().
+  /// surface at Flush() and on every Read of the failed key.
   Status WriteAsync(int64_t key, std::vector<uint8_t> blob);
 
   /// Waits until every queued async write has landed, then returns (and
   /// clears) the first async write error since the previous Flush. The
   /// engine calls this at the end of Persist so a failed spill fails the
-  /// operation that caused it.
+  /// operation that caused it. Per-key error latches survive Flush — they
+  /// clear only when the key is rewritten successfully or removed.
   Status Flush();
 
-  /// Reads back the blob spilled under `key`.
+  /// Reads back the blob spilled under `key`, verifying the durable-block
+  /// frame (checksums, footer, expected generation) before returning it.
+  /// Corruption returns kDataLoss without retrying; a key whose async
+  /// write failed returns that write's latched error.
   Result<std::vector<uint8_t>> Read(int64_t key);
 
   /// Deletes the spill file for `key`, if any. The size entry and the file
   /// are removed under one lock so no reader can observe the entry without
-  /// the file.
+  /// the file. Also clears the key's async-error latch.
   void Remove(int64_t key);
 
   /// Counters. Accessors first drain any in-flight async writes so callers
-  /// always observe settled totals.
+  /// always observe settled totals. Byte counters meter payload bytes
+  /// (frame overhead excluded), so they stay comparable across format
+  /// versions.
   int64_t bytes_written() const;
   int64_t bytes_read() const;
   int64_t num_spills() const;
   /// Failed spill I/O attempts that were retried.
   int64_t io_retries() const;
+  /// Verify-on-read outcomes (also exported as "integrity.*" metrics).
+  int64_t blocks_verified() const;
+  int64_t checksum_failures() const;
+  int64_t torn_writes_detected() const;
 
  private:
   struct PendingWrite {
@@ -104,12 +133,23 @@ class SpillManager {
     std::vector<uint8_t> blob;
   };
 
+  /// Index entry for one durably-written key: payload size (for byte
+  /// accounting) and the expected block generation (stale-read detection).
+  struct SpillEntry {
+    int64_t payload_bytes = 0;
+    uint64_t seq = 0;
+  };
+
   std::string PathFor(int64_t key) const;
-  Status WriteOnce(const std::string& path, const std::vector<uint8_t>& blob);
-  Result<std::vector<uint8_t>> ReadOnce(const std::string& path,
-                                        int64_t size);
-  /// The shared injection + retry + bookkeeping loop behind both Write
-  /// flavors. Thread-safe (called from the caller thread or the writer).
+  /// Durable write of one encoded frame: temp file + fsync + atomic
+  /// rename + directory fsync.
+  Status WriteOnce(const std::string& path, const std::vector<uint8_t>& frame);
+  /// Reads the whole file at `path` (whatever its length — torn files are
+  /// shorter than the frame they should hold).
+  Result<std::vector<uint8_t>> ReadFileBytes(const std::string& path);
+  /// The shared injection + retry + framing + bookkeeping loop behind both
+  /// Write flavors. Thread-safe (called from the caller thread or the
+  /// writer).
   Status WriteWithRetry(int64_t key, const std::vector<uint8_t>& blob);
   void WriterLoop();
   /// True while `key` has a queued or in-flight async write. Requires qmu_.
@@ -123,11 +163,14 @@ class SpillManager {
   FaultInjector* injector_ = nullptr;
   RetryPolicy retry_;
   std::mutex mu_;
-  std::unordered_map<int64_t, int64_t> sizes_;
+  std::unordered_map<int64_t, SpillEntry> entries_;
   std::atomic<int64_t> bytes_written_{0};
   std::atomic<int64_t> bytes_read_{0};
   std::atomic<int64_t> num_spills_{0};
   std::atomic<int64_t> io_retries_{0};
+  std::atomic<int64_t> blocks_verified_{0};
+  std::atomic<int64_t> checksum_failures_{0};
+  std::atomic<int64_t> torn_writes_{0};
 
   /// Async writer state, all guarded by qmu_. The writer thread starts
   /// lazily on the first WriteAsync and is joined in the destructor (after
@@ -144,6 +187,12 @@ class SpillManager {
   bool writing_ = false;
   int64_t writing_key_ = 0;
   Status async_error_;
+  /// Sticky per-key async-write errors: set by the writer on failure,
+  /// cleared by a successful rewrite or Remove. Read() consults this
+  /// first so a failed overwrite can never silently serve the previous
+  /// generation (satellite: the silent-failure window between the last
+  /// WriteAsync and Flush).
+  std::unordered_map<int64_t, Status> failed_keys_;
 
   /// Obs instruments; all null until set_metrics is called.
   obs::Counter* c_writes_ = nullptr;
@@ -151,6 +200,9 @@ class SpillManager {
   obs::Counter* c_bytes_written_ = nullptr;
   obs::Counter* c_bytes_read_ = nullptr;
   obs::Counter* c_retries_ = nullptr;
+  obs::Counter* c_blocks_verified_ = nullptr;
+  obs::Counter* c_checksum_failures_ = nullptr;
+  obs::Counter* c_torn_writes_ = nullptr;
   obs::Histogram* h_write_ms_ = nullptr;
   obs::Histogram* h_read_ms_ = nullptr;
   obs::Gauge* g_queue_depth_ = nullptr;

@@ -99,6 +99,7 @@ FeatureTransferService::FeatureTransferService(df::Engine* engine,
   c_failed_ = metrics.counter("serve.queries_failed");
   c_cache_hits_ = metrics.counter("serve.cache_hits");
   c_rejects_ = metrics.counter("serve.admission_rejects");
+  c_deadline_rejects_ = metrics.counter("serve.deadline_rejects");
   h_query_ms_ = metrics.histogram("serve.query_ms");
   h_queue_ms_ = metrics.histogram("serve.queue_ms");
   g_queue_depth_ = metrics.gauge("serve.queue_depth");
@@ -203,6 +204,9 @@ Status FeatureTransferService::Enqueue(std::unique_ptr<Query> query) {
   if (req.workload.training_iterations < 0) {
     return Status::InvalidArgument("training_iterations must be >= 0");
   }
+  if (req.deadline_seconds < 0) {
+    return Status::InvalidArgument("deadline_seconds must be >= 0");
+  }
 
   // Backpressure: bounded total queue, bounded per-tenant share.
   if (total_queued_ >= config_.max_queue_depth) {
@@ -284,7 +288,22 @@ void FeatureTransferService::WorkerLoop() {
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       query->enqueued_at)
             .count();
-    ServeResult result = RunQuery(*query);
+    ServeResult result;
+    const double deadline = query->request.deadline_seconds;
+    if (deadline > 0 && queue_seconds > deadline) {
+      // The client's deadline lapsed while the query sat in the queue:
+      // executing it now would burn shared inference capacity on an answer
+      // nobody is waiting for. Fail fast, before any work starts.
+      result.query_id = query->id;
+      result.tenant = query->request.tenant;
+      result.status = Status::DeadlineExceeded(
+          "queued for " + std::to_string(queue_seconds) +
+          "s, past the request deadline of " + std::to_string(deadline) +
+          "s");
+      c_deadline_rejects_->Add(1);
+    } else {
+      result = RunQuery(*query);
+    }
     result.queue_seconds = queue_seconds;
     Finish(query.get(), std::move(result));
     {
@@ -434,6 +453,7 @@ ServiceStats FeatureTransferService::stats() const {
   s.queries_failed = c_failed_->value();
   s.cache_hits = c_cache_hits_->value();
   s.admission_rejects = c_rejects_->value();
+  s.deadline_rejects = c_deadline_rejects_->value();
   s.p50_latency_ms = h_query_ms_->Quantile(0.5);
   s.p99_latency_ms = h_query_ms_->Quantile(0.99);
   // The view cache registers into the same registry; const access goes

@@ -33,6 +33,13 @@ struct ServeRequest {
   /// False turns the query into pure feature materialization (no
   /// downstream training / test metrics) — the feature-serving shape.
   bool train_models = true;
+  /// Queueing deadline in seconds; 0 disables it. A query still waiting in
+  /// the admission queue when its deadline lapses completes with
+  /// kDeadlineExceeded instead of executing pointlessly — the client
+  /// stopped waiting, so running it would only burn shared inference
+  /// capacity. Checked at dequeue time (before any work starts); negative
+  /// values are rejected as InvalidArgument at submission.
+  double deadline_seconds = 0;
 };
 
 /// Outcome of one query. Failures of an individual query surface here as a
@@ -114,6 +121,8 @@ struct ServiceStats {
   int64_t queries_failed = 0;
   int64_t cache_hits = 0;
   int64_t admission_rejects = 0;
+  /// Queries dropped at dequeue because their deadline lapsed in the queue.
+  int64_t deadline_rejects = 0;
   int64_t view_cache_evictions = 0;
   int64_t view_cache_resident_bytes = 0;
   double p50_latency_ms = 0;
@@ -231,6 +240,7 @@ class FeatureTransferService {
   obs::Counter* c_failed_ = nullptr;
   obs::Counter* c_cache_hits_ = nullptr;
   obs::Counter* c_rejects_ = nullptr;
+  obs::Counter* c_deadline_rejects_ = nullptr;
   obs::Histogram* h_query_ms_ = nullptr;
   obs::Histogram* h_queue_ms_ = nullptr;
   obs::Gauge* g_queue_depth_ = nullptr;

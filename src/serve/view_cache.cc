@@ -74,6 +74,9 @@ FeatureViewCache::FeatureViewCache(df::MemoryManager* memory,
     c_inserts_ = metrics->counter("serve.view_cache.inserts");
     c_evictions_ = metrics->counter("serve.view_cache.evictions");
     c_insert_overflows_ = metrics->counter("serve.view_cache.overflows");
+    c_corrupt_drops_ = metrics->counter("serve.view_cache.corrupt_drops");
+    c_blocks_verified_ = metrics->counter("integrity.blocks_verified");
+    c_checksum_failures_ = metrics->counter("integrity.checksum_failures");
     g_resident_bytes_ = metrics->gauge("serve.view_cache.resident_bytes");
     g_views_ = metrics->gauge("serve.view_cache.views");
   }
@@ -85,21 +88,47 @@ std::optional<MaterializedView> FeatureViewCache::Lookup(
     const std::string& model, uint64_t fingerprint, int max_layer) {
   std::lock_guard<std::mutex> lock(mu_);
   // Keys order by (model, fingerprint, layer); the deepest usable view is
-  // the last entry at or below (model, fingerprint, max_layer).
-  auto it = entries_.upper_bound(Key{model, fingerprint, max_layer});
-  if (it == entries_.begin()) {
-    if (c_misses_ != nullptr) c_misses_->Add(1);
-    return std::nullopt;
+  // the last entry at or below (model, fingerprint, max_layer). An entry
+  // that fails verification is dropped and the scan continues at the
+  // next-deepest candidate — resuming inference from rotted features
+  // would silently corrupt every downstream layer.
+  for (;;) {
+    auto it = entries_.upper_bound(Key{model, fingerprint, max_layer});
+    if (it == entries_.begin()) break;
+    --it;
+    const auto& [key_model, key_fp, key_layer] = it->first;
+    if (key_model != model || key_fp != fingerprint) break;
+    bool intact = true;
+    for (const auto& p : it->second.view.table.partitions) {
+      if (p->resident() &&
+          p->format() == df::PersistenceFormat::kSerialized) {
+        if (p->VerifyBlob().ok()) {
+          if (c_blocks_verified_ != nullptr) c_blocks_verified_->Add(1);
+        } else {
+          if (c_checksum_failures_ != nullptr) c_checksum_failures_->Add(1);
+          intact = false;
+        }
+      }
+    }
+    if (!intact) {
+      memory_->Release(df::MemoryRegion::kStorage, it->second.charged_bytes);
+      charged_total_ -= it->second.charged_bytes;
+      if (c_corrupt_drops_ != nullptr) c_corrupt_drops_->Add(1);
+      if (g_resident_bytes_ != nullptr) {
+        g_resident_bytes_->Add(-it->second.charged_bytes);
+      }
+      entries_.erase(it);
+      if (g_views_ != nullptr) {
+        g_views_->Set(static_cast<int64_t>(entries_.size()));
+      }
+      continue;
+    }
+    it->second.last_use = ++use_seq_;
+    if (c_hits_ != nullptr) c_hits_->Add(1);
+    return it->second.view;
   }
-  --it;
-  const auto& [key_model, key_fp, key_layer] = it->first;
-  if (key_model != model || key_fp != fingerprint) {
-    if (c_misses_ != nullptr) c_misses_->Add(1);
-    return std::nullopt;
-  }
-  it->second.last_use = ++use_seq_;
-  if (c_hits_ != nullptr) c_hits_->Add(1);
-  return it->second.view;
+  if (c_misses_ != nullptr) c_misses_->Add(1);
+  return std::nullopt;
 }
 
 bool FeatureViewCache::MakeRoom(int64_t bytes) {

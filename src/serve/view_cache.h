@@ -60,7 +60,12 @@ class FeatureViewCache {
   FeatureViewCache& operator=(const FeatureViewCache&) = delete;
 
   /// Deepest cached view of (model, fingerprint) with layer <= max_layer;
-  /// nullopt on miss. Hits refresh the entry's recency.
+  /// nullopt on miss. Hits refresh the entry's recency. Before a view is
+  /// handed out for resume, every serialized-resident partition is
+  /// CRC-verified; an entry that fails is dropped (counted under
+  /// "serve.view_cache.corrupt_drops" and "integrity.checksum_failures")
+  /// and the lookup falls back to the next-deepest intact view — a query
+  /// must never resume inference from rotted features.
   std::optional<MaterializedView> Lookup(const std::string& model,
                                          uint64_t fingerprint, int max_layer);
 
@@ -108,6 +113,9 @@ class FeatureViewCache {
   obs::Counter* c_inserts_ = nullptr;
   obs::Counter* c_evictions_ = nullptr;
   obs::Counter* c_insert_overflows_ = nullptr;
+  obs::Counter* c_corrupt_drops_ = nullptr;
+  obs::Counter* c_blocks_verified_ = nullptr;
+  obs::Counter* c_checksum_failures_ = nullptr;
   obs::Gauge* g_resident_bytes_ = nullptr;
   obs::Gauge* g_views_ = nullptr;
 

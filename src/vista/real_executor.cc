@@ -501,6 +501,7 @@ Result<RealRunResult> RealExecutor::RunOnce(const CompiledPlan& plan,
   run.total_seconds = total_watch.ElapsedSeconds();
   run.engine_stats = engine_->stats();
   run.recovery = run.engine_stats.recovery;
+  run.integrity = run.engine_stats.integrity;
   run.shuffle_ms = engine_->metrics().histogram("engine.shuffle_ms")->sum();
   run.serialize_ms =
       engine_->metrics().histogram("engine.serialize_ms")->sum();

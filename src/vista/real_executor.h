@@ -86,6 +86,11 @@ struct RealRunResult {
   /// Recovery counters for this executor's engine (retries, lineage
   /// recomputations, injected faults) plus the degradations taken above.
   RecoveryStats recovery;
+  /// Verify-on-read outcomes for this executor's engine (blocks checked,
+  /// checksum mismatches, torn writes, corruption-triggered recomputes) —
+  /// a copy of engine_stats.integrity hoisted up for callers that only
+  /// read the summary.
+  IntegrityStats integrity;
   /// Wall seconds per pipeline stage ("read", "join", "inference",
   /// "persistence", "train"), aggregated from the stage spans below — the
   /// paper's Table 3 drill-down measured on the real executor.

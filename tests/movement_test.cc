@@ -333,10 +333,14 @@ TEST(AsyncSpillTest, FlushPropagatesAndClearsAsyncErrors) {
   ASSERT_TRUE(spill.WriteAsync(9, {1, 2, 3}).ok());  // Queues fine...
   EXPECT_TRUE(spill.Flush().IsIOError());            // ...fails at flush.
   EXPECT_TRUE(spill.Flush().ok());                   // Error is cleared.
-  // The failed key never entered the size index: reads see NotFound, which
-  // is exactly what lineage recomputation recovers from.
-  EXPECT_TRUE(spill.Read(9).status().IsNotFound());
+  // The per-key latch outlives Flush: reads of the failed key surface the
+  // write's IOError (retryable, so lineage recomputation still recovers) —
+  // never a silent NotFound that could mask the failed write.
+  EXPECT_TRUE(spill.Read(9).status().IsIOError());
   EXPECT_EQ(spill.num_spills(), 0);
+  // Remove drops the latch; only then does the key read as absent.
+  spill.Remove(9);
+  EXPECT_TRUE(spill.Read(9).status().IsNotFound());
 }
 
 TEST(AsyncSpillTest, SyncWriteAfterAsyncWriteOfSameKeyWins) {

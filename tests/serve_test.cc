@@ -424,6 +424,63 @@ TEST(ServiceTest, BackpressureShedsLoadDeterministically) {
   EXPECT_EQ(stats.queries_completed, 3);
 }
 
+TEST(ServiceTest, QueueDeadlineRejectsStaleQueriesAtDequeue) {
+  Fixture f = Fixture::Make(40);
+  ServiceConfig config = FastServiceConfig(/*num_workers=*/1);
+  config.executor.train_models = false;
+  auto service = MakeService(&f, config);
+
+  // Negative deadlines are malformed, rejected at submission.
+  ServeRequest bad = RequestFor(f);
+  bad.deadline_seconds = -1.0;
+  EXPECT_TRUE(service->Submit(bad).status().IsInvalidArgument());
+
+  // Park the single worker (same harness as the backpressure test) so the
+  // queue wait is deterministic and strictly positive.
+  std::promise<void> entered;
+  std::promise<void> release;
+  std::shared_future<void> release_future(release.get_future());
+  ServeRequest blocker = RequestFor(f, "blocker");
+  blocker.train_models = false;
+  ASSERT_TRUE(service
+                  ->Submit(blocker,
+                           [&entered, release_future](const ServeResult& r) {
+                             EXPECT_TRUE(r.status.ok());
+                             entered.set_value();
+                             release_future.wait();
+                           })
+                  .ok());
+  entered.get_future().wait();
+
+  // Queued behind the parked worker with an unmeetable deadline: the
+  // service must fail it at dequeue instead of executing pointlessly.
+  ServeRequest doomed = RequestFor(f, "doomed");
+  doomed.deadline_seconds = 1e-9;
+  auto doomed_ticket = service->Submit(doomed);
+  ASSERT_TRUE(doomed_ticket.ok());
+  // A generous deadline queued at the same moment still executes.
+  ServeRequest patient = RequestFor(f, "patient");
+  patient.deadline_seconds = 3600.0;
+  auto patient_ticket = service->Submit(patient);
+  ASSERT_TRUE(patient_ticket.ok());
+
+  release.set_value();
+  const ServeResult& doomed_result = (*doomed_ticket)->Wait();
+  EXPECT_TRUE(doomed_result.status.IsDeadlineExceeded())
+      << doomed_result.status;
+  EXPECT_TRUE(doomed_result.run.per_layer.empty());  // Never executed.
+  EXPECT_GT(doomed_result.queue_seconds, 0.0);
+  EXPECT_TRUE((*patient_ticket)->Wait().status.ok());
+  service->Drain();
+  const ServiceStats stats = service->stats();
+  EXPECT_EQ(stats.deadline_rejects, 1);
+  EXPECT_EQ(stats.queries_failed, 1);
+  EXPECT_EQ(stats.queries_completed, 2);
+  // A deadline shed is not an admission reject — it was accepted, queued,
+  // and failed at dequeue.
+  EXPECT_EQ(stats.admission_rejects, 0);
+}
+
 TEST(ServiceTest, MemoryAdmissionControlShedsOversizedQueries) {
   df::EngineConfig ec;
   ec.budgets.user = 4 << 10;  // Far below any real inference footprint.

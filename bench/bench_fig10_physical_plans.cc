@@ -37,8 +37,32 @@ const PhysicalChoice kChoices[] = {
      df::PersistenceFormat::kSerialized},
 };
 
+/// Deterministic outcome tally across the whole sweep: the simulator's
+/// crash decisions are pure functions of the setup, so these counts are
+/// machine-independent and the regression gate can track them.
+struct SweepTally {
+  int completed = 0;
+  int crashed = 0;
+  int errors = 0;
+
+  obs::Json ToJson() const {
+    const int total = completed + crashed + errors;
+    obs::Json summary = obs::Json::Object();
+    summary.Set("configs", obs::Json::Int(total));
+    summary.Set("completed", obs::Json::Int(completed));
+    summary.Set("crashed", obs::Json::Int(crashed));
+    summary.Set("errors", obs::Json::Int(errors));
+    summary.Set("completed_fraction",
+                obs::Json::Num(total == 0 ? 0.0
+                                          : static_cast<double>(completed) /
+                                                static_cast<double>(total)));
+    return summary;
+  }
+};
+
 void Run(const ExperimentSetup& base, const char* row_label,
-         const std::string& sweep_label, bench::BenchReporter* reporter) {
+         const std::string& sweep_label, bench::BenchReporter* reporter,
+         SweepTally* tally) {
   std::printf("%-10s", row_label);
   for (const auto& choice : kChoices) {
     DrillDownConfig config;
@@ -50,9 +74,15 @@ void Run(const ExperimentSetup& base, const char* row_label,
     if (!r.ok()) {
       std::printf(" | %-14s", "error");
       if (reporter != nullptr) reporter->AddError(label, r.status());
+      ++tally->errors;
       continue;
     }
     if (reporter != nullptr) reporter->AddSimRun(label, *r);
+    if (r->crashed()) {
+      ++tally->crashed;
+    } else {
+      ++tally->completed;
+    }
     std::printf(" | %-14s", bench::Outcome(*r).c_str());
   }
   std::printf("\n");
@@ -66,7 +96,7 @@ void Header() {
 
 void SweepScale(dl::KnownCnn cnn, int num_layers,
                 const std::vector<double>& scales,
-                bench::BenchReporter* reporter) {
+                bench::BenchReporter* reporter, SweepTally* tally) {
   std::printf("\n(%s/%dL) runtime vs data scale:\n",
               dl::KnownCnnToString(cnn), num_layers);
   const std::string sweep = std::string(dl::KnownCnnToString(cnn)) + "/" +
@@ -79,13 +109,13 @@ void SweepScale(dl::KnownCnn cnn, int num_layers,
     setup.data = FoodsDataStats(scale);
     char label[16];
     std::snprintf(label, sizeof(label), "%gX", scale);
-    Run(setup, label, sweep, reporter);
+    Run(setup, label, sweep, reporter, tally);
   }
 }
 
 void SweepStructFeatures(dl::KnownCnn cnn, int num_layers, double scale,
                          const std::vector<int>& feature_counts,
-                         bench::BenchReporter* reporter) {
+                         bench::BenchReporter* reporter, SweepTally* tally) {
   std::printf("\n(%s/%dL/%gX) runtime vs #structured features:\n",
               dl::KnownCnnToString(cnn), num_layers, scale);
   const std::string sweep = std::string(dl::KnownCnnToString(cnn)) + "/" +
@@ -99,7 +129,7 @@ void SweepStructFeatures(dl::KnownCnn cnn, int num_layers, double scale,
     setup.data.num_struct_features = features;
     char label[16];
     std::snprintf(label, sizeof(label), "%d", features);
-    Run(setup, label, sweep, reporter);
+    Run(setup, label, sweep, reporter, tally);
   }
 }
 
@@ -116,18 +146,22 @@ int main(int argc, char** argv) {
       "fig10_physical_plans",
       smoke ? "smoke: AlexNet/2L physical plan sweep, scales 1-2X"
             : "physical plan sweep over scale and structured features");
+  SweepTally tally;
   if (smoke) {
-    SweepScale(dl::KnownCnn::kAlexNet, 2, {1.0, 2.0}, &reporter);
+    SweepScale(dl::KnownCnn::kAlexNet, 2, {1.0, 2.0}, &reporter, &tally);
     SweepStructFeatures(dl::KnownCnn::kAlexNet, 2, 2.0, {10, 100},
-                        &reporter);
+                        &reporter, &tally);
   } else {
-    SweepScale(dl::KnownCnn::kAlexNet, 4, {1.0, 2.0, 4.0, 8.0}, &reporter);
-    SweepScale(dl::KnownCnn::kResNet50, 5, {1.0, 2.0, 4.0, 8.0}, &reporter);
+    SweepScale(dl::KnownCnn::kAlexNet, 4, {1.0, 2.0, 4.0, 8.0}, &reporter,
+               &tally);
+    SweepScale(dl::KnownCnn::kResNet50, 5, {1.0, 2.0, 4.0, 8.0}, &reporter,
+               &tally);
     SweepStructFeatures(dl::KnownCnn::kAlexNet, 4, 8.0,
-                        {10, 100, 1000, 10000}, &reporter);
+                        {10, 100, 1000, 10000}, &reporter, &tally);
     SweepStructFeatures(dl::KnownCnn::kResNet50, 5, 8.0,
-                        {10, 100, 1000, 10000}, &reporter);
+                        {10, 100, 1000, 10000}, &reporter, &tally);
   }
+  reporter.AddSection("summary", tally.ToJson());
   const std::string out = bench::FlagValue(
       argc, argv, "--out", smoke ? "BENCH_smoke_fig10.json" : "");
   if (!out.empty()) {

@@ -65,6 +65,40 @@ BENCHES = {
             ("determinism", "bit_identical"),
         ],
     },
+    "pipeline": {
+        "baseline": "bench_pipeline_baseline.json",
+        "tracked": [
+            # Pipelined (prefetch depth > 0) vs serial wall-clock on one
+            # compute thread with injected read stalls: pure overlap.
+            ("pipeline", "overlap_ratio"),
+            # The pipeline must never change results: 1 when the
+            # materialized features are bit-identical at every depth.
+            ("determinism", "bit_identical"),
+        ],
+        "informational": [
+            ("pipeline", "serial_ms"),
+            ("pipeline", "pipelined_ms"),
+            ("pipeline", "delay_ms"),
+            ("prefetch", "requests"),
+            ("prefetch", "hits"),
+            ("prefetch", "queue_depth_peak"),
+        ],
+    },
+    "fig10_physical_plans": {
+        "baseline": "bench_fig10_baseline.json",
+        "tracked": [
+            # The simulator's crash decisions are pure functions of the
+            # sweep setup, so the fraction of physical configs that
+            # complete is exactly reproducible.
+            ("summary", "completed_fraction"),
+        ],
+        "informational": [
+            ("summary", "configs"),
+            ("summary", "completed"),
+            ("summary", "crashed"),
+            ("summary", "errors"),
+        ],
+    },
     "service": {
         "baseline": "bench_service_baseline.json",
         "tracked": [

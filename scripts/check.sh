@@ -22,6 +22,23 @@ export CTEST_OUTPUT_ON_FAILURE="${CTEST_OUTPUT_ON_FAILURE:-1}"
 
 echo "check.sh: preset=${PRESET} jobs=${JOBS} source=$PWD"
 
+# Fail fast, with a clear message, when a tool the requested configuration
+# depends on is not installed — instead of a confusing CMake error several
+# screens into the configure step.
+if [[ "${CMAKE_ARGS:-}" == *ccache* ]] && ! command -v ccache >/dev/null; then
+  echo "check.sh: ERROR: CMAKE_ARGS requests ccache but 'ccache' is not" >&2
+  echo "  installed. Install it (apt-get install ccache) or drop the" >&2
+  echo "  -DCMAKE_CXX_COMPILER_LAUNCHER=ccache argument." >&2
+  exit 2
+fi
+if [[ "${CMAKE_GENERATOR:-}${CMAKE_ARGS:-}" == *Ninja* ]] \
+    && ! command -v ninja >/dev/null; then
+  echo "check.sh: ERROR: the Ninja generator was requested but 'ninja' is" >&2
+  echo "  not installed. Install it (apt-get install ninja-build) or use" >&2
+  echo "  the default generator." >&2
+  exit 2
+fi
+
 case "$PRESET" in
   default) BINARY_DIR="build" ;;
   *)       BINARY_DIR="build-${PRESET}" ;;
@@ -46,7 +63,9 @@ fi
 # shellcheck disable=SC2086  # CMAKE_ARGS is intentionally word-split.
 cmake --preset "$PRESET" ${CMAKE_ARGS:-}
 cmake --build --preset "$PRESET" -j "$JOBS"
-ctest --preset "$PRESET" -j "$JOBS"
+# --timeout caps each test binary (sanitizer runs can wedge on deadlock
+# bugs; better a killed test with logs than a 6-hour hung job).
+ctest --preset "$PRESET" -j "$JOBS" --timeout 600
 
 # Optional corruption-chaos matrix: re-runs the seeded end-to-end chaos
 # test under each listed injector seed (CI runs seeds 1-5; locally e.g.

@@ -32,6 +32,8 @@ const char* FaultSiteToString(FaultSite site) {
       return "spill-stale-read";
     case FaultSite::kSpillNoSpace:
       return "spill-enospc";
+    case FaultSite::kSpillReadDelay:
+      return "spill-read-delay";
   }
   return "?";
 }
@@ -56,6 +58,8 @@ double FaultInjectorConfig::Rate(FaultSite site) const {
       return spill_stale_read_rate;
     case FaultSite::kSpillNoSpace:
       return spill_enospc_rate;
+    case FaultSite::kSpillReadDelay:
+      return spill_read_delay_rate;
   }
   return 0;
 }
@@ -94,8 +98,10 @@ Status FaultInjector::MaybeFail(FaultSite site, uint64_t key,
     case FaultSite::kSpillBitFlip:
     case FaultSite::kSpillTornWrite:
     case FaultSite::kSpillStaleRead:
+    case FaultSite::kSpillReadDelay:
       // Mutation sites never fail the operation in-line; the corruption is
-      // applied to the bytes and surfaces later as kDataLoss on read.
+      // applied to the bytes and surfaces later as kDataLoss on read (or,
+      // for the delay site, the stall is applied and the read succeeds).
       return Status::DataLoss(msg);
   }
   return Status::Unavailable(msg);

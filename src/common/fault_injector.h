@@ -38,9 +38,16 @@ enum class FaultSite : int {
   /// The device is out of space: the write attempt fails up front with
   /// IOError (ENOSPC), before any bytes land. Retryable like other I/O.
   kSpillNoSpace = 8,
+  /// Delayed I/O: a spill-file read-back succeeds but stalls for
+  /// `spill_read_delay_ms` first (a congested volume / slow device).
+  /// Mutation-style site — SpillManager applies the sleep itself and
+  /// records it via CountInjected; the read still returns good bytes, so
+  /// this site exercises overlap (prefetch must hide the stall) rather
+  /// than recovery.
+  kSpillReadDelay = 9,
 };
 
-inline constexpr int kNumFaultSites = 9;
+inline constexpr int kNumFaultSites = 10;
 
 const char* FaultSiteToString(FaultSite site);
 
@@ -59,6 +66,12 @@ struct FaultInjectorConfig {
   double spill_torn_write_rate = 0;
   double spill_stale_read_rate = 0;
   double spill_enospc_rate = 0;
+  /// Delayed-I/O injection: probability that a spill read stalls, and for
+  /// how long. The stall is wall-clock only — data and counters are
+  /// untouched — so it models slow storage for the prefetch/overlap tests
+  /// and benches without perturbing any integrity accounting.
+  double spill_read_delay_rate = 0;
+  double spill_read_delay_ms = 2.0;
 
   double Rate(FaultSite site) const;
 };

@@ -170,6 +170,19 @@ Result<std::vector<Record>> StorageCache::ReadThrough(
   return partition->ReadRecords();
 }
 
+void StorageCache::Prefetch(const std::shared_ptr<Partition>& partition) {
+  int64_t key = -1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(partition.get());
+    if (it == entries_.end() || partition->resident()) return;
+    key = it->second.key;
+  }
+  // Outside mu_: the hint only touches SpillManager state, and holding the
+  // cache lock across it would serialize hints against ReadThrough.
+  spill_->Prefetch(key);
+}
+
 void StorageCache::Remove(const std::shared_ptr<Partition>& partition) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(partition.get());

@@ -54,6 +54,14 @@ class StorageCache {
   /// Removes a partition from management, releasing memory and any spill.
   void Remove(const std::shared_ptr<Partition>& partition);
 
+  /// Non-blocking read-ahead hint: if `partition` is managed and currently
+  /// spilled, asks the SpillManager to start reading its block in the
+  /// background so a near-future ReadThrough finds the verified bytes
+  /// already latched. No-op for resident or unmanaged partitions; purely
+  /// an overlap optimization (results and fault accounting are identical
+  /// with or without the hint — see SpillManager::Prefetch).
+  void Prefetch(const std::shared_ptr<Partition>& partition);
+
   int64_t num_managed() const;
   int64_t num_spilled() const;
 

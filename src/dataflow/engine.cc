@@ -242,6 +242,8 @@ Engine::Engine(EngineConfig config) : config_(std::move(config)) {
   spill_->set_fault_injector(injector_.get());
   spill_->set_retry_policy(config_.retry);
   spill_->set_metrics(metrics_);
+  spill_->set_prefetch_capacity(
+      std::max(config_.prefetch_queue_capacity, config_.prefetch_depth));
   cache_ = std::make_unique<StorageCache>(memory_.get(), spill_.get(),
                                           config_.allow_spill,
                                           injector_.get(), metrics_);
@@ -264,6 +266,14 @@ EngineStats Engine::stats() const {
   s.cache_evictions = metrics_->counter("cache.evictions")->value();
   s.cache_inserts = metrics_->counter("cache.inserts")->value();
   s.cache_resident_bytes = metrics_->gauge("cache.resident_bytes")->value();
+  s.prefetch_requests = metrics_->counter("prefetch.requests")->value();
+  s.prefetch_hits = metrics_->counter("prefetch.hits")->value();
+  s.prefetch_claimed = metrics_->counter("prefetch.claimed")->value();
+  s.prefetch_dropped = metrics_->counter("prefetch.dropped")->value();
+  s.prefetch_corrupt_dropped =
+      metrics_->counter("prefetch.corrupt_dropped")->value();
+  s.prefetch_queue_depth_peak =
+      metrics_->gauge("prefetch.queue_depth")->max_value();
   s.recovery.retries = task_retries_.load() + spill_->io_retries();
   s.recovery.recomputed_partitions = recomputed_partitions_.load();
   s.recovery.injected_faults = injector_->total_injected();
@@ -288,6 +298,27 @@ Result<Table> Engine::MakeTable(std::vector<Record> records,
         std::make_shared<Partition>(std::move(bucket)));
   }
   return table;
+}
+
+void Engine::PrefetchAhead(
+    const std::vector<std::shared_ptr<Partition>>& parts, int64_t i,
+    int depth) {
+  if (depth <= 0) return;
+  const int64_t target = i + depth;
+  if (target < static_cast<int64_t>(parts.size())) {
+    cache_->Prefetch(parts[target]);
+  }
+}
+
+void Engine::SeedPrefetch(
+    const std::vector<std::shared_ptr<Partition>>& parts, int depth) {
+  const int64_t n =
+      std::min<int64_t>(depth, static_cast<int64_t>(parts.size()));
+  for (int64_t i = 0; i < n; ++i) cache_->Prefetch(parts[i]);
+}
+
+void Engine::PrefetchTable(const Table& table) {
+  for (const auto& p : table.partitions) cache_->Prefetch(p);
 }
 
 Result<std::vector<Record>> Engine::ReadPartition(
@@ -339,13 +370,17 @@ Result<std::vector<Record>> Engine::ReadPartitionWithRetry(
 }
 
 Result<Table> Engine::MapPartitions(const Table& input,
-                                    const MapPartitionsFn& fn) {
+                                    const MapPartitionsFn& fn,
+                                    int prefetch_depth) {
   const int np = input.num_partitions();
   const uint64_t op = NextOpSeq();
   obs::ScopedSpan span(tracer_, "map_partitions", "engine");
+  const int depth = EffectivePrefetchDepth(prefetch_depth);
+  SeedPrefetch(input.partitions, depth);
   std::vector<std::shared_ptr<Partition>> outputs(np);
   std::vector<Status> statuses(np);
   pool_->ParallelFor(np, [&](int64_t i) {
+    PrefetchAhead(input.partitions, i, depth);
     c_map_tasks_->Add(1);
     obs::ScopedLatency task_latency(h_map_task_ms_);
     const RetryPolicy& policy = config_.retry;
@@ -402,9 +437,12 @@ Status Engine::ShuffleSources(
   SourceBuckets& buckets = *buckets_out;
   const int ns = table.num_partitions();
   buckets.assign(ns, {});
+  const int depth = config_.prefetch_depth;
+  SeedPrefetch(table.partitions, depth);
   std::vector<Status> statuses(ns);
   std::atomic<int64_t> wire_bytes{0};
   pool_->ParallelFor(ns, [&](int64_t i) {
+    PrefetchAhead(table.partitions, i, depth);
     auto records = ReadPartitionWithRetry(table.partitions[i],
                                           ShuffleTaskUnit(op, side, i), what);
     if (!records.ok()) {
@@ -509,10 +547,13 @@ Result<Table> Engine::Join(const Table& left, const Table& right,
     // num_workers times; the wire counter meters actual serialized bytes.
     const uint64_t op = NextOpSeq();
     const int nr = right.num_partitions();
+    const int depth = config_.prefetch_depth;
+    SeedPrefetch(right.partitions, depth);
     std::vector<std::vector<Record>> gathered(nr);
     std::vector<Status> gather_statuses(nr);
     std::atomic<int64_t> wire_bytes{0};
     pool_->ParallelFor(nr, [&](int64_t i) {
+      PrefetchAhead(right.partitions, i, depth);
       auto records = ReadPartitionWithRetry(right.partitions[i],
                                             ShuffleTaskUnit(op, 1, i),
                                             "broadcast gather");
@@ -551,9 +592,11 @@ Result<Table> Engine::Join(const Table& left, const Table& right,
     for (const Record& r : small) hash_table.emplace(r.id, &r);
 
     const int np = left.num_partitions();
+    SeedPrefetch(left.partitions, depth);
     std::vector<std::shared_ptr<Partition>> outputs(np);
     std::vector<Status> statuses(np);
     pool_->ParallelFor(np, [&](int64_t i) {
+      PrefetchAhead(left.partitions, i, depth);
       auto records = ReadPartition(left.partitions[i]);
       if (!records.ok()) {
         statuses[i] = records.status();
@@ -756,9 +799,14 @@ Result<Table> Engine::Union(const Table& a, const Table& b) {
   obs::ScopedSpan span(tracer_, "union", "engine");
   obs::ScopedLatency shuffle_latency(h_shuffle_ms_);
   const int np = a.num_partitions();
+  const int depth = config_.prefetch_depth;
+  SeedPrefetch(a.partitions, depth);
+  SeedPrefetch(b.partitions, depth);
   std::vector<std::shared_ptr<Partition>> outputs(np);
   std::vector<Status> statuses(np);
   pool_->ParallelFor(np, [&](int64_t i) {
+    PrefetchAhead(a.partitions, i, depth);
+    PrefetchAhead(b.partitions, i, depth);
     auto left = ReadPartitionWithRetry(a.partitions[i],
                                        ShuffleTaskUnit(op, 0, i),
                                        "union read (left)");
@@ -852,10 +900,14 @@ Result<std::vector<Record>> Engine::Collect(const Table& table,
   const uint64_t op = NextOpSeq();
   obs::ScopedSpan span(tracer_, "collect", "engine");
   // Stays serial: the driver-memory crash must trigger at a deterministic
-  // record, in table order, independent of thread scheduling.
+  // record, in table order, independent of thread scheduling. Read-ahead
+  // still overlaps the next partition's disk read with this one's decode.
+  const int depth = config_.prefetch_depth;
+  SeedPrefetch(table.partitions, depth);
   std::vector<Record> all;
   int64_t bytes = 0;
   for (int i = 0; i < table.num_partitions(); ++i) {
+    PrefetchAhead(table.partitions, i, depth);
     VISTA_ASSIGN_OR_RETURN(
         std::vector<Record> records,
         ReadPartitionWithRetry(table.partitions[i],

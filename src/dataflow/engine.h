@@ -92,6 +92,17 @@ struct EngineConfig {
   /// instead of failing the job. Like Spark, recomputation re-runs the UDF,
   /// so UDFs must be deterministic (all of Vista's are).
   bool enable_lineage = true;
+  /// Read-ahead distance for spilled partitions in read-driven ops
+  /// (MapPartitions, shuffle sources, broadcast gather, Union, Collect):
+  /// while task i runs, partition i + depth is hinted to the spill
+  /// prefetch plane. 0 (the default) disables hinting entirely, keeping
+  /// read schedules and fault-draw accounting identical to the
+  /// pre-prefetch engine; results are bit-identical at any depth either
+  /// way.
+  int prefetch_depth = 0;
+  /// Bounds outstanding prefetch slots in the SpillManager (hints beyond
+  /// it drop). The effective capacity is max(this, prefetch_depth).
+  int prefetch_queue_capacity = 4;
   /// Metrics/trace sinks for the engine and its spill/cache components.
   /// Null → the engine creates and owns private instances (tests stay
   /// isolated); benches inject shared ones to aggregate several engines
@@ -119,6 +130,18 @@ struct EngineStats {
   int64_t cache_evictions = 0;
   int64_t cache_inserts = 0;
   int64_t cache_resident_bytes = 0;
+  /// Prefetch-plane counters, read from the shared "prefetch.*"
+  /// instruments (see SpillManager): accepted read-ahead hints, reads
+  /// served from a latched prefetched outcome, still-queued hints claimed
+  /// back by a sync read, hints/slots dropped unconsumed, and prefetched
+  /// blocks dropped because they failed verification. The queue-depth peak
+  /// > 0 proves read-ahead actually ran ahead of the consumer.
+  int64_t prefetch_requests = 0;
+  int64_t prefetch_hits = 0;
+  int64_t prefetch_claimed = 0;
+  int64_t prefetch_dropped = 0;
+  int64_t prefetch_corrupt_dropped = 0;
+  int64_t prefetch_queue_depth_peak = 0;
   /// Retries, lineage recomputations, and injected faults since engine
   /// construction (degradations are filled in by the executor layer).
   RecoveryStats recovery;
@@ -173,8 +196,19 @@ class Engine {
   Result<Table> MakeTable(std::vector<Record> records, int num_partitions);
 
   /// Applies `fn` to every partition in parallel, producing a new
-  /// (unmanaged) table with the same partitioning.
-  Result<Table> MapPartitions(const Table& input, const MapPartitionsFn& fn);
+  /// (unmanaged) table with the same partitioning. `prefetch_depth`
+  /// overrides EngineConfig::prefetch_depth for this op (-1 keeps the
+  /// config value); the executor uses it to pick a compute-aware
+  /// read-ahead distance per inference step.
+  Result<Table> MapPartitions(const Table& input, const MapPartitionsFn& fn,
+                              int prefetch_depth = -1);
+
+  /// Non-blocking read-ahead hints for every currently spilled partition
+  /// of `table` (bounded by the prefetch queue; excess hints drop). The
+  /// executor calls this for the next step's input while the current step
+  /// computes; the serving plane calls it on a cached view before resuming
+  /// partial inference from it.
+  void PrefetchTable(const Table& table);
 
   /// Inner key-key join on record id. Records are merged field-wise: ids
   /// must match, struct features are concatenated (left then right), image
@@ -226,6 +260,19 @@ class Engine {
   Result<std::vector<Record>> ReadPartitionWithRetry(
       const std::shared_ptr<Partition>& p, uint64_t unit,
       const char* what);
+
+  /// Issues read-ahead hints around task `i` of a partition-ordered loop:
+  /// the initial window [0, depth) when i == 0 has not run yet is seeded
+  /// by SeedPrefetch, and each task hints partition i + depth. No-ops at
+  /// depth <= 0.
+  void PrefetchAhead(const std::vector<std::shared_ptr<Partition>>& parts,
+                     int64_t i, int depth);
+  void SeedPrefetch(const std::vector<std::shared_ptr<Partition>>& parts,
+                    int depth);
+  /// Resolves an op-level depth override (-1 = use config).
+  int EffectivePrefetchDepth(int override_depth) const {
+    return override_depth < 0 ? config_.prefetch_depth : override_depth;
+  }
 
   /// Phase 1 of the two-phase parallel shuffle: reads every partition of
   /// `table` in parallel (retryable shuffle sends keyed by

@@ -1,5 +1,6 @@
 #include "dataflow/spill.h"
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 
@@ -70,6 +71,24 @@ SpillManager::SpillManager(std::string dir, int async_queue_capacity)
 }
 
 SpillManager::~SpillManager() {
+  // Reader first: a prefetch read may be waiting on the writer (WaitForKey),
+  // which stays alive until the reader is joined; and no read may race the
+  // directory removal below.
+  {
+    std::lock_guard<std::mutex> lock(pf_mu_);
+    pf_shutdown_ = true;
+    pf_queue_.clear();
+  }
+  pf_work_cv_.notify_all();
+  if (reader_.joinable()) reader_.join();
+  {
+    // Unconsumed slots die with the manager; release their charges.
+    std::lock_guard<std::mutex> lock(pf_mu_);
+    while (!pf_slots_.empty()) {
+      CountPrefetchDrop();
+      EraseSlotLocked(pf_slots_.begin()->first);
+    }
+  }
   {
     std::lock_guard<std::mutex> lock(qmu_);
     shutdown_ = true;
@@ -78,6 +97,18 @@ SpillManager::~SpillManager() {
   if (writer_.joinable()) writer_.join();  // Drains the queue first.
   std::error_code ec;
   fs::remove_all(dir_, ec);
+}
+
+void SpillManager::set_prefetch_capacity(int capacity) {
+  std::lock_guard<std::mutex> lock(pf_mu_);
+  pf_capacity_ = capacity < 1 ? 1 : static_cast<size_t>(capacity);
+}
+
+void SpillManager::set_prefetch_memory(MemoryManager* memory,
+                                       MemoryRegion region) {
+  std::lock_guard<std::mutex> lock(pf_mu_);
+  pf_memory_ = memory;
+  pf_region_ = region;
 }
 
 void SpillManager::set_metrics(obs::Registry* metrics) {
@@ -90,9 +121,15 @@ void SpillManager::set_metrics(obs::Registry* metrics) {
   c_blocks_verified_ = metrics->counter("integrity.blocks_verified");
   c_checksum_failures_ = metrics->counter("integrity.checksum_failures");
   c_torn_writes_ = metrics->counter("integrity.torn_writes_detected");
+  c_pf_requests_ = metrics->counter("prefetch.requests");
+  c_pf_hits_ = metrics->counter("prefetch.hits");
+  c_pf_claimed_ = metrics->counter("prefetch.claimed");
+  c_pf_dropped_ = metrics->counter("prefetch.dropped");
+  c_pf_corrupt_dropped_ = metrics->counter("prefetch.corrupt_dropped");
   h_write_ms_ = metrics->histogram("spill.write_ms");
   h_read_ms_ = metrics->histogram("spill.read_ms");
   g_queue_depth_ = metrics->gauge("spill.queue_depth");
+  g_pf_queue_depth_ = metrics->gauge("prefetch.queue_depth");
 }
 
 std::string SpillManager::PathFor(int64_t key) const {
@@ -228,10 +265,15 @@ Status SpillManager::WriteWithRetry(int64_t key,
 
 Status SpillManager::Write(int64_t key, const std::vector<uint8_t>& blob) {
   WaitForKey(key);  // Never race a pending async write of the same key.
+  InvalidatePrefetch(key);  // A prefetched previous generation is stale now.
   return WriteWithRetry(key, blob);
 }
 
 Status SpillManager::WriteAsync(int64_t key, std::vector<uint8_t> blob) {
+  // Invalidate before enqueueing: if the reader were still waiting for the
+  // key after this write entered the queue, invalidation would deadlock
+  // against its WaitForKey.
+  InvalidatePrefetch(key);
   std::unique_lock<std::mutex> lock(qmu_);
   if (!writer_started_) {
     writer_started_ = true;
@@ -370,10 +412,85 @@ Result<std::vector<uint8_t>> SpillManager::Read(int64_t key) {
   WaitForKey(key);  // Read-after-write ordering for async spills.
   {
     // The sticky latch first: a failed overwrite must surface its own
-    // error, never NotFound and never the intact previous generation.
+    // error, never NotFound and never the intact previous generation (a
+    // prefetched slot for the key necessarily predates the failed write,
+    // so it is dropped, not served).
     std::lock_guard<std::mutex> lock(qmu_);
     auto failed = failed_keys_.find(key);
-    if (failed != failed_keys_.end()) return failed->second;
+    if (failed != failed_keys_.end()) {
+      Status latched = failed->second;
+      {
+        std::lock_guard<std::mutex> pf_lock(pf_mu_);
+        auto slot = pf_slots_.find(key);
+        if (slot != pf_slots_.end() &&
+            slot->second.state != PrefetchSlot::kReading) {
+          if (slot->second.state == PrefetchSlot::kQueued) {
+            for (auto q = pf_queue_.begin(); q != pf_queue_.end(); ++q) {
+              if (*q == key) {
+                pf_queue_.erase(q);
+                break;
+              }
+            }
+          }
+          CountPrefetchDrop();
+          EraseSlotLocked(key);
+        }
+      }
+      return latched;
+    }
+  }
+  {
+    // Consume the key's prefetch slot, if any: a ready outcome is the hit
+    // path (no second read of the same bytes, no second fault draw); an
+    // in-flight read is waited for on the per-key latch; a still-queued
+    // hint is claimed back and the read runs synchronously below.
+    std::unique_lock<std::mutex> lock(pf_mu_);
+    auto it = pf_slots_.find(key);
+    if (it != pf_slots_.end()) {
+      if (it->second.state == PrefetchSlot::kQueued) {
+        for (auto q = pf_queue_.begin(); q != pf_queue_.end(); ++q) {
+          if (*q == key) {
+            pf_queue_.erase(q);
+            break;
+          }
+        }
+        if (g_pf_queue_depth_ != nullptr) {
+          g_pf_queue_depth_->Set(static_cast<int64_t>(pf_queue_.size()));
+        }
+        EraseSlotLocked(key);
+        pf_claimed_.fetch_add(1);
+        if (c_pf_claimed_ != nullptr) c_pf_claimed_->Add(1);
+      } else {
+        pf_state_cv_.wait(lock, [&] {
+          auto s = pf_slots_.find(key);
+          return s == pf_slots_.end() ||
+                 s->second.state == PrefetchSlot::kReady;
+        });
+        auto s = pf_slots_.find(key);
+        if (s != pf_slots_.end()) {
+          Status st = s->second.status;
+          std::vector<uint8_t> payload = std::move(s->second.payload);
+          EraseSlotLocked(key);
+          if (st.ok()) {
+            pf_hits_.fetch_add(1);
+            if (c_pf_hits_ != nullptr) c_pf_hits_->Add(1);
+            return payload;
+          }
+          // The prefetched block was corrupt or unreadable: drop it and
+          // surface the same error the sync path would have — kDataLoss
+          // routes to lineage recomputation upstream, with integrity
+          // counters already bumped exactly once by the reader.
+          if (st.IsDataLoss()) {
+            pf_corrupt_dropped_.fetch_add(1);
+            if (c_pf_corrupt_dropped_ != nullptr) {
+              c_pf_corrupt_dropped_->Add(1);
+            }
+          }
+          return st;
+        }
+        // Slot vanished (invalidated mid-read): fall through to sync.
+      }
+    }
   }
   SpillEntry entry;
   {
@@ -385,16 +502,29 @@ Result<std::vector<uint8_t>> SpillManager::Read(int64_t key) {
     }
     entry = it->second;
   }
+  return ReadVerifiedWithRetry(key, entry);
+}
+
+Result<std::vector<uint8_t>> SpillManager::ReadVerifiedWithRetry(
+    int64_t key, const SpillEntry& entry) {
   const std::string path = PathFor(key);
   obs::ScopedLatency latency(h_read_ms_);
   for (int attempt = 0;; ++attempt) {
-    Status st =
-        injector_ == nullptr
-            ? Status::OK()
-            : injector_->MaybeFail(FaultSite::kSpillRead,
-                                   FaultInjector::TaskKey(
-                                       static_cast<uint64_t>(key), attempt),
-                                   "key " + std::to_string(key));
+    const uint64_t task =
+        FaultInjector::TaskKey(static_cast<uint64_t>(key), attempt);
+    Status st = injector_ == nullptr
+                    ? Status::OK()
+                    : injector_->MaybeFail(FaultSite::kSpillRead, task,
+                                           "key " + std::to_string(key));
+    if (st.ok() && injector_ != nullptr &&
+        injector_->ShouldInject(FaultSite::kSpillReadDelay, task)) {
+      // Delayed I/O: the read succeeds but stalls first (slow device).
+      // Wall-clock only — whether prefetch hides the stall is what the
+      // overlap tests and bench_pipeline measure.
+      injector_->CountInjected(FaultSite::kSpillReadDelay);
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          injector_->config().spill_read_delay_ms));
+    }
     Result<std::vector<uint8_t>> file = st.ok() ? ReadFileBytes(path) : st;
     if (file.ok()) {
       // Verify-on-read: the frame must decode, check out bit-for-bit, and
@@ -436,8 +566,167 @@ Result<std::vector<uint8_t>> SpillManager::Read(int64_t key) {
   }
 }
 
+void SpillManager::CountPrefetchDrop() {
+  pf_dropped_.fetch_add(1);
+  if (c_pf_dropped_ != nullptr) c_pf_dropped_->Add(1);
+}
+
+void SpillManager::EraseSlotLocked(int64_t key) {
+  auto it = pf_slots_.find(key);
+  if (it == pf_slots_.end()) return;
+  if (it->second.charged_bytes > 0 && pf_memory_ != nullptr) {
+    pf_memory_->Release(pf_region_, it->second.charged_bytes);
+  }
+  pf_slots_.erase(it);
+}
+
+void SpillManager::InvalidatePrefetch(int64_t key) {
+  std::unique_lock<std::mutex> lock(pf_mu_);
+  auto it = pf_slots_.find(key);
+  if (it == pf_slots_.end()) return;
+  if (it->second.state == PrefetchSlot::kReading) {
+    // Never mutate the file under an in-flight read: wait for the reader
+    // to latch its outcome (bounded — one read), then drop it.
+    pf_state_cv_.wait(lock, [&] {
+      auto s = pf_slots_.find(key);
+      return s == pf_slots_.end() || s->second.state == PrefetchSlot::kReady;
+    });
+    it = pf_slots_.find(key);
+    if (it == pf_slots_.end()) return;
+  }
+  if (it->second.state == PrefetchSlot::kQueued) {
+    for (auto q = pf_queue_.begin(); q != pf_queue_.end(); ++q) {
+      if (*q == key) {
+        pf_queue_.erase(q);
+        break;
+      }
+    }
+    if (g_pf_queue_depth_ != nullptr) {
+      g_pf_queue_depth_->Set(static_cast<int64_t>(pf_queue_.size()));
+    }
+  }
+  CountPrefetchDrop();
+  EraseSlotLocked(key);
+}
+
+void SpillManager::Prefetch(int64_t key) {
+  {
+    // A latched async-write error must surface on Read; prefetching the
+    // intact previous generation would mask it.
+    std::lock_guard<std::mutex> lock(qmu_);
+    if (failed_keys_.count(key) > 0) {
+      CountPrefetchDrop();
+      return;
+    }
+  }
+  int64_t payload_bytes = -1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) payload_bytes = it->second.payload_bytes;
+  }
+  if (payload_bytes < 0) {
+    // Nothing durably spilled under the key (yet) — e.g. the write is
+    // still queued. The sync read path handles it; the hint just drops.
+    CountPrefetchDrop();
+    return;
+  }
+  std::lock_guard<std::mutex> lock(pf_mu_);
+  if (pf_shutdown_) return;
+  if (pf_slots_.count(key) > 0) return;  // Already queued/reading/ready.
+  if (pf_slots_.size() >= pf_capacity_) {
+    CountPrefetchDrop();
+    return;
+  }
+  int64_t charged = 0;
+  if (pf_memory_ != nullptr && payload_bytes > 0) {
+    if (!pf_memory_->TryReserve(pf_region_, payload_bytes).ok()) {
+      CountPrefetchDrop();  // No headroom: never buffer past the budget.
+      return;
+    }
+    charged = payload_bytes;
+  }
+  if (!reader_started_) {
+    reader_started_ = true;
+    reader_ = std::thread([this] { ReaderLoop(); });
+  }
+  PrefetchSlot slot;
+  slot.state = PrefetchSlot::kQueued;
+  slot.charged_bytes = charged;
+  pf_slots_.emplace(key, std::move(slot));
+  pf_queue_.push_back(key);
+  pf_requests_.fetch_add(1);
+  if (c_pf_requests_ != nullptr) c_pf_requests_->Add(1);
+  if (g_pf_queue_depth_ != nullptr) {
+    g_pf_queue_depth_->Set(static_cast<int64_t>(pf_queue_.size()));
+  }
+  pf_work_cv_.notify_one();
+}
+
+void SpillManager::ReaderLoop() {
+  for (;;) {
+    int64_t key = 0;
+    {
+      std::unique_lock<std::mutex> lock(pf_mu_);
+      pf_work_cv_.wait(lock,
+                       [&] { return pf_shutdown_ || !pf_queue_.empty(); });
+      if (pf_queue_.empty()) return;  // Shutdown with a drained queue.
+      key = pf_queue_.front();
+      pf_queue_.pop_front();
+      if (g_pf_queue_depth_ != nullptr) {
+        g_pf_queue_depth_->Set(static_cast<int64_t>(pf_queue_.size()));
+      }
+      auto it = pf_slots_.find(key);
+      if (it == pf_slots_.end()) continue;  // Claimed back meanwhile.
+      it->second.state = PrefetchSlot::kReading;
+    }
+    // Order after any pending async write of the key, then run the exact
+    // verified-read path Read would have run — same fault draws, same
+    // integrity counters — so accounting is schedule-independent.
+    WaitForKey(key);
+    Status latched = Status::OK();
+    {
+      std::lock_guard<std::mutex> lock(qmu_);
+      auto failed = failed_keys_.find(key);
+      if (failed != failed_keys_.end()) latched = failed->second;
+    }
+    Result<std::vector<uint8_t>> outcome = std::vector<uint8_t>{};
+    if (!latched.ok()) {
+      outcome = latched;
+    } else {
+      SpillEntry entry;
+      bool found = false;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = entries_.find(key);
+        if (it != entries_.end()) {
+          entry = it->second;
+          found = true;
+        }
+      }
+      outcome = found ? ReadVerifiedWithRetry(key, entry)
+                      : Result<std::vector<uint8_t>>(Status::NotFound(
+                            "no spill for partition key " +
+                            std::to_string(key)));
+    }
+    {
+      std::lock_guard<std::mutex> lock(pf_mu_);
+      auto it = pf_slots_.find(key);
+      if (it != pf_slots_.end()) {
+        it->second.status = outcome.status();
+        if (outcome.ok()) it->second.payload = std::move(outcome).value();
+        it->second.state = PrefetchSlot::kReady;
+      }
+      // A slot invalidated mid-read was already counted dropped by its
+      // invalidator; nothing to latch.
+    }
+    pf_state_cv_.notify_all();
+  }
+}
+
 void SpillManager::Remove(int64_t key) {
   WaitForKey(key);  // Never delete out from under a pending async write.
+  InvalidatePrefetch(key);  // Drop any latched/queued read-ahead of it.
   {
     std::lock_guard<std::mutex> lock(qmu_);
     failed_keys_.erase(key);

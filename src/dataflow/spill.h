@@ -14,6 +14,7 @@
 #include "common/fault_injector.h"
 #include "common/retry.h"
 #include "common/status.h"
+#include "dataflow/memory.h"
 #include "obs/metrics.h"
 
 namespace vista::df {
@@ -59,6 +60,28 @@ namespace vista::df {
 ///    at Flush(). Read/Remove/Write on a key with a pending async write
 ///    first wait for that write to land, so read-after-write ordering is
 ///    preserved per key.
+///
+/// Reads have a symmetric async half — the prefetch plane (the read-side
+/// mirror of the double-buffered writer):
+///  - Prefetch: a non-blocking hint that `key` will be read soon. Accepted
+///    hints enter a bounded queue drained by a background reader thread
+///    that runs the exact same verified-read path as Read (same fault
+///    draws, same integrity counters), latching the outcome — payload or
+///    error — in a per-key slot.
+///  - Read first consumes the key's slot: a ready outcome is returned
+///    without touching the disk (a hit, including latched kDataLoss — a
+///    corrupt prefetched block is dropped and surfaces exactly like a
+///    corrupt sync read, so integrity accounting is identical whether the
+///    read ran ahead or inline); an in-flight read is waited for (per-key
+///    latch, never a second read of the same bytes); a still-queued hint
+///    is claimed back and the read runs synchronously. Keys without a slot
+///    fall through to the plain sync path — prefetching is purely an
+///    overlap optimization and never changes results.
+///  - Hints are dropped (counted, never an error) when the queue is at
+///    capacity, the key has no spill or a latched async-write error, or
+///    the optional memory budget has no headroom. Write/Remove invalidate
+///    any slot for the key, so a prefetched previous generation can never
+///    be served after an overwrite.
 class SpillManager {
  public:
   /// `dir` is created if missing; files are removed on destruction.
@@ -105,8 +128,29 @@ class SpillManager {
   /// Reads back the blob spilled under `key`, verifying the durable-block
   /// frame (checksums, footer, expected generation) before returning it.
   /// Corruption returns kDataLoss without retrying; a key whose async
-  /// write failed returns that write's latched error.
+  /// write failed returns that write's latched error. Consumes the key's
+  /// prefetched outcome when one is ready or in flight (see the class
+  /// comment); otherwise reads synchronously.
   Result<std::vector<uint8_t>> Read(int64_t key);
+
+  /// Non-blocking read-ahead hint: enqueue `key` for the background reader
+  /// (started lazily on first use). Best-effort — dropped (and counted)
+  /// when the bounded queue is full, the key has no spill entry or a
+  /// latched async-write error, or the optional prefetch memory budget is
+  /// out of headroom. Safe to hint the same key repeatedly (deduped while
+  /// a slot exists).
+  void Prefetch(int64_t key);
+
+  /// Bounds outstanding prefetch slots (queued + reading + ready); hints
+  /// beyond it are dropped. Reconfigure before issuing hints.
+  void set_prefetch_capacity(int capacity);
+
+  /// Optional budget gate: when set, each accepted hint charges the
+  /// payload's bytes against `region` until its slot is consumed or
+  /// invalidated, and hints with no headroom are dropped. `memory` must
+  /// outlive the manager; null (the default) disables the gate — the
+  /// bounded queue is then the only over-buffering control.
+  void set_prefetch_memory(MemoryManager* memory, MemoryRegion region);
 
   /// Deletes the spill file for `key`, if any. The size entry and the file
   /// are removed under one lock so no reader can observe the entry without
@@ -126,6 +170,18 @@ class SpillManager {
   int64_t blocks_verified() const;
   int64_t checksum_failures() const;
   int64_t torn_writes_detected() const;
+  /// Prefetch-plane outcomes (also exported as "prefetch.*" metrics):
+  /// accepted hints, reads served from a prefetched outcome, still-queued
+  /// hints claimed back by a sync read, hints/slots dropped unconsumed,
+  /// and prefetched blocks that failed verification (dropped; the read
+  /// surfaces kDataLoss exactly like the sync path, so lineage heals it).
+  int64_t prefetch_requests() const { return pf_requests_.load(); }
+  int64_t prefetch_hits() const { return pf_hits_.load(); }
+  int64_t prefetch_claimed() const { return pf_claimed_.load(); }
+  int64_t prefetch_dropped() const { return pf_dropped_.load(); }
+  int64_t prefetch_corrupt_dropped() const {
+    return pf_corrupt_dropped_.load();
+  }
 
  private:
   struct PendingWrite {
@@ -140,6 +196,17 @@ class SpillManager {
     uint64_t seq = 0;
   };
 
+  /// One latched read-ahead: lifecycle kQueued -> kReading -> kReady,
+  /// guarded by pf_mu_. `charged_bytes` is the optional budget charge,
+  /// released by whoever erases the slot.
+  struct PrefetchSlot {
+    enum State { kQueued, kReading, kReady };
+    State state = kQueued;
+    Status status;
+    std::vector<uint8_t> payload;
+    int64_t charged_bytes = 0;
+  };
+
   std::string PathFor(int64_t key) const;
   /// Durable write of one encoded frame: temp file + fsync + atomic
   /// rename + directory fsync.
@@ -151,7 +218,26 @@ class SpillManager {
   /// Write flavors. Thread-safe (called from the caller thread or the
   /// writer).
   Status WriteWithRetry(int64_t key, const std::vector<uint8_t>& blob);
+  /// The shared verified-read loop behind the sync path and the prefetch
+  /// reader: per-attempt kSpillRead / kSpillReadDelay injection, retry,
+  /// frame decode against `entry.seq`, and all integrity/byte counters.
+  /// Fault draws and counter bumps are identical wherever the read runs,
+  /// which is what keeps prefetched and sync schedules bit-identical in
+  /// their accounting.
+  Result<std::vector<uint8_t>> ReadVerifiedWithRetry(int64_t key,
+                                                     const SpillEntry& entry);
   void WriterLoop();
+  /// The prefetch reader: pops hints, orders after any pending write of
+  /// the key (WaitForKey), runs ReadVerifiedWithRetry, latches the outcome
+  /// in the key's slot (discarded if the slot was invalidated mid-read).
+  void ReaderLoop();
+  /// Erases a slot, releasing its budget charge. Requires pf_mu_.
+  void EraseSlotLocked(int64_t key);
+  /// Drops any queued or ready slot for `key` (counted); blocks while the
+  /// reader is mid-read of it so an overwrite can never race the read.
+  /// Called by Write/WriteAsync/Remove before touching the key's file.
+  void InvalidatePrefetch(int64_t key);
+  void CountPrefetchDrop();
   /// True while `key` has a queued or in-flight async write. Requires qmu_.
   bool KeyPendingLocked(int64_t key) const;
   /// Blocks until no async write of `key` is pending.
@@ -194,6 +280,26 @@ class SpillManager {
   /// WriteAsync and Flush).
   std::unordered_map<int64_t, Status> failed_keys_;
 
+  /// Prefetch-plane state, guarded by pf_mu_. The reader thread starts
+  /// lazily on the first accepted hint and is joined in the destructor
+  /// (before the writer, so no read can race file removal).
+  mutable std::mutex pf_mu_;
+  std::condition_variable pf_work_cv_;   // Reader wake-up.
+  std::condition_variable pf_state_cv_;  // Slot state transitions.
+  std::deque<int64_t> pf_queue_;
+  std::unordered_map<int64_t, PrefetchSlot> pf_slots_;
+  size_t pf_capacity_ = 4;
+  std::thread reader_;
+  bool reader_started_ = false;
+  bool pf_shutdown_ = false;
+  MemoryManager* pf_memory_ = nullptr;
+  MemoryRegion pf_region_ = MemoryRegion::kStorage;
+  std::atomic<int64_t> pf_requests_{0};
+  std::atomic<int64_t> pf_hits_{0};
+  std::atomic<int64_t> pf_claimed_{0};
+  std::atomic<int64_t> pf_dropped_{0};
+  std::atomic<int64_t> pf_corrupt_dropped_{0};
+
   /// Obs instruments; all null until set_metrics is called.
   obs::Counter* c_writes_ = nullptr;
   obs::Counter* c_reads_ = nullptr;
@@ -203,9 +309,15 @@ class SpillManager {
   obs::Counter* c_blocks_verified_ = nullptr;
   obs::Counter* c_checksum_failures_ = nullptr;
   obs::Counter* c_torn_writes_ = nullptr;
+  obs::Counter* c_pf_requests_ = nullptr;
+  obs::Counter* c_pf_hits_ = nullptr;
+  obs::Counter* c_pf_claimed_ = nullptr;
+  obs::Counter* c_pf_dropped_ = nullptr;
+  obs::Counter* c_pf_corrupt_dropped_ = nullptr;
   obs::Histogram* h_write_ms_ = nullptr;
   obs::Histogram* h_read_ms_ = nullptr;
   obs::Gauge* g_queue_depth_ = nullptr;
+  obs::Gauge* g_pf_queue_depth_ = nullptr;
 };
 
 }  // namespace vista::df

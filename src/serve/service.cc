@@ -348,6 +348,13 @@ ServeResult FeatureTransferService::RunQuery(const Query& query) {
       base_table = view->table;
     } else {
       obs::ScopedSpan mat_span(&engine_->tracer(), "serve.resume", "serve");
+      // A cached view may have been partly evicted to spill by queries
+      // served since it was published; hint its partitions back into
+      // flight so the resume's partial inference reads overlap the first
+      // partitions' GEMMs instead of stalling on cold disk.
+      if (exec_config.prefetch_depth != 0) {
+        engine_->PrefetchTable(view->table);
+      }
       auto resumed =
           executor.MaterializeLayer(view->table, 0, view->layer, base_layer,
                                     exec_config, &materialize_flops);

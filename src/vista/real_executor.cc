@@ -1,6 +1,7 @@
 #include "vista/real_executor.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 
@@ -57,6 +58,12 @@ Status RealExecutorConfig::Validate() const {
       par_raw > static_cast<int>(dl::CnnParallelism::kIntraImage)) {
     return Status::InvalidArgument("inference_parallelism out of range");
   }
+  if (prefetch_depth < -1 || prefetch_depth > 64) {
+    return Status::InvalidArgument(
+        "prefetch_depth must be -1 (compute-aware), 0 (off) or a fixed "
+        "depth <= 64, got " +
+        std::to_string(prefetch_depth));
+  }
   if (train_models) {
     if (lr.iterations < 0 || mlp.iterations < 0) {
       return Status::InvalidArgument("training iterations must be >= 0");
@@ -112,6 +119,23 @@ ml::FeatureExtractor MakeTransferExtractor(int feature_slot,
   };
 }
 
+int ChoosePrefetchDepth(int64_t partition_flops, int64_t partition_bytes,
+                        int64_t storage_headroom_bytes, int max_depth) {
+  if (max_depth < 1) return 0;
+  if (partition_bytes <= 0) partition_bytes = 1;
+  const int64_t intensity = partition_flops / partition_bytes;
+  int depth = intensity >= 512 ? 4 : intensity >= 64 ? 2 : 1;
+  // Never buffer past the Storage region's current headroom — but never
+  // below 1 either: one read-ahead block is the same transient footprint
+  // the synchronous read path already takes.
+  if (storage_headroom_bytes >= 0) {
+    const int64_t fit = storage_headroom_bytes / partition_bytes;
+    depth = static_cast<int>(
+        std::max<int64_t>(1, std::min<int64_t>(depth, fit)));
+  }
+  return std::min(depth, max_depth);
+}
+
 RealExecutor::RealExecutor(df::Engine* engine, const dl::CnnModel* model)
     : engine_(engine), model_(model) {}
 
@@ -145,6 +169,35 @@ Result<df::Table> RealExecutor::RunInference(const PlanStep& step,
   opts.parallelism = config.inference_parallelism;
 
   df::MemoryManager& memory = engine_->memory();
+
+  // Read-ahead distance for this step. Fixed depths pass straight through;
+  // compute-aware mode (-1) sizes the distance from this layer range's
+  // arithmetic intensity — the same per-layer FLOP figures the "dl.flops.*"
+  // counters meter — over the bytes a spilled partition would have to come
+  // back as, clamped by current Storage headroom so the read-ahead never
+  // out-buffers the MemoryManager budget.
+  int depth = config.prefetch_depth;
+  if (depth < 0) {
+    const int np = std::max(input.num_partitions(), 1);
+    const int64_t partition_flops =
+        per_record_flops * input.num_records() / np;
+    int64_t partition_bytes = input.memory_bytes() / np;
+    if (partition_bytes <= 0) {
+      // Everything already spilled (resident footprint ~0): estimate from
+      // the source representation's per-record tensor size.
+      const int64_t per_record_bytes =
+          source_layer < 0
+              ? arch.input_shape().num_bytes()
+              : arch.layer(source_layer).output_shape.num_bytes();
+      partition_bytes =
+          std::max<int64_t>(1, per_record_bytes * input.num_records() / np);
+    }
+    const int64_t headroom = memory.Available(df::MemoryRegion::kStorage);
+    depth = ChoosePrefetchDepth(
+        partition_flops, partition_bytes,
+        headroom == INT64_MAX ? -1 : headroom,
+        std::max(engine_->config().prefetch_queue_capacity, 1));
+  }
   return engine_->MapPartitions(
       input,
       [&, source_layer, source_slot, produce,
@@ -238,7 +291,8 @@ Result<df::Table> RealExecutor::RunInference(const PlanStep& step,
         }
         release();
         return out;
-      });
+      },
+      depth);
 }
 
 Result<LayerRunResult> RealExecutor::RunTrain(
@@ -355,7 +409,25 @@ Status RealExecutor::RunSteps(const CompiledPlan& plan,
   std::map<std::string, TableState>& tables = *tables_ptr;
   RealRunResult& run = *run_ptr;
 
-  for (const PlanStep& step : plan.steps) {
+  // Layer pipeline: while step k runs, hint the engine to read step k+1's
+  // spilled input partitions in the background. Only tables that already
+  // exist are hinted (the next step's input is often the current step's
+  // output, which cannot be read ahead of its own production). Hints are
+  // fire-and-forget — results and fault accounting are identical with or
+  // without them.
+  const auto prefetch_step_inputs = [&](size_t next) {
+    if (config.prefetch_depth == 0 || next >= plan.steps.size()) return;
+    const PlanStep& n = plan.steps[next];
+    for (const std::string* name : {&n.input, &n.input2}) {
+      if (name->empty()) continue;
+      auto it = tables.find(*name);
+      if (it != tables.end()) engine_->PrefetchTable(it->second.table);
+    }
+  };
+
+  for (size_t si = 0; si < plan.steps.size(); ++si) {
+    const PlanStep& step = plan.steps[si];
+    prefetch_step_inputs(si + 1);
     switch (step.kind) {
       case PlanStep::Kind::kReadStruct: {
         obs::ScopedSpan span(&engine_->tracer(), "read", "stage");

@@ -42,6 +42,22 @@ struct RealExecutorConfig {
   /// huge layers). Interacts with the optimizer's cpu knob — see
   /// DESIGN.md, "Kernel layer".
   dl::CnnParallelism inference_parallelism = dl::CnnParallelism::kInterImage;
+  /// Read-ahead distance for spilled partitions, driving the engine's
+  /// prefetch plane (the read-side mirror of the async spill writer):
+  ///   0  — disabled (the default): every read is synchronous, exactly the
+  ///        pre-prefetch executor.
+  ///  -1  — compute-aware: each inference step picks its own depth from
+  ///        the layer range's FLOPs-per-byte intensity (the same per-layer
+  ///        FLOP figures metered into the "dl.flops.*" counters) — deeper
+  ///        read-ahead for compute-heavy layers, a single double-buffered
+  ///        block for I/O-bound stages — clamped so the buffered bytes
+  ///        never exceed the Storage region's current headroom. See
+  ///        ChoosePrefetchDepth.
+  ///  >0  — fixed depth for every read-driven op.
+  /// Any setting also enables next-step input prefetch between plan steps
+  /// (the layer pipeline: step k's compute overlaps step k+1's reads).
+  /// Results are bit-identical at every depth; only wall-clock changes.
+  int prefetch_depth = 0;
   /// When a run fails with ResourceExhausted, automatically step the
   /// physical plan down the degradation ladder and re-run instead of
   /// surfacing the crash:
@@ -187,6 +203,19 @@ class RealExecutor {
 /// struct_features[0], features are [struct_features[1..], g(slot tensor)].
 ml::FeatureExtractor MakeTransferExtractor(int feature_slot,
                                            int pooling_grid);
+
+/// Compute-aware read-ahead distance for one inference step. Pure
+/// arithmetic so tests can pin the policy:
+///  - intensity = partition_flops / partition_bytes (FLOPs the step runs
+///    per byte it must read). >= 512 FLOPs/B -> depth 4 (GEMM-bound: the
+///    reader can run far ahead), >= 64 -> 2, else 1 (I/O-bound: classic
+///    double buffering — one block ahead matches the transient footprint
+///    the sync path already needs, so auto mode never goes below 1).
+///  - clamped so depth * partition_bytes stays within
+///    `storage_headroom_bytes` (never over-buffer past the MemoryManager
+///    budget), and by `max_depth` (the engine's prefetch queue capacity).
+int ChoosePrefetchDepth(int64_t partition_flops, int64_t partition_bytes,
+                        int64_t storage_headroom_bytes, int max_depth);
 
 }  // namespace vista
 

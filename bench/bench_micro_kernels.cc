@@ -28,6 +28,7 @@
 #include "features/hog.h"
 #include "tensor/gemm.h"
 #include "tensor/gemm_kernel.h"
+#include "tensor/quant.h"
 #include "tensor/scratch.h"
 #include "vista/optimizer.h"
 
@@ -276,6 +277,9 @@ int RunKernelSmoke(int argc, char** argv) {
       "smoke: naive vs packed GEMM (256x1152x196), batched inference "
       "scaling, scratch arena reuse");
   obs::Registry registry;
+  // fp32 packed time on the conv shape; the int8 section below reports its
+  // throughput as a ratio against this.
+  double fp32_packed_ms = 0.0;
 
   // --- Packed vs naive GEMM on the conv-shaped problem: 256 filters over
   // a 128-channel 3x3 patch matrix (k = 1152) at 14x14 output (n = 196).
@@ -297,6 +301,7 @@ int RunKernelSmoke(int argc, char** argv) {
     const double speedup = naive_ms / packed_ms;
     registry.gauge("gemm_gflops")->Set(static_cast<int64_t>(gflops));
     (void)flops_before;
+    fp32_packed_ms = packed_ms;
 
     obs::Json gemm = obs::Json::Object();
     gemm.Set("m", obs::Json::Int(m));
@@ -310,6 +315,66 @@ int RunKernelSmoke(int argc, char** argv) {
     std::printf("gemm 256x1152x196: naive %.2f ms, packed %.2f ms "
                 "(%.2fx, %.1f GFLOP/s)\n",
                 naive_ms, packed_ms, speedup, gflops);
+  }
+
+  // --- Quantized GEMM on the same conv shape: symmetric int8 inputs, the
+  // per-row dequant epilogue fused. The gate tracks the machine-independent
+  // speedup over the fp32 packed kernel and the accuracy of the dequantized
+  // product against the fp32 product of the same real values.
+  {
+    const int64_t m = 256, k = 1152, n = 196;
+    Rng rng(3);
+    Tensor a = Tensor::RandomGaussian(Shape{m, k}, &rng);
+    Tensor b = Tensor::RandomGaussian(Shape{k, n}, &rng);
+    const float a_scale = SymmetricScale(MaxAbs(a.data(), a.num_elements()));
+    const float b_scale = SymmetricScale(MaxAbs(b.data(), b.num_elements()));
+    std::vector<int8_t> a8(m * k), b8(k * n);
+    QuantizeSymmetric(a.data(), m * k, a_scale, a8.data());
+    QuantizeSymmetric(b.data(), k * n, b_scale, b8.data());
+    const std::vector<float> scales(m, a_scale * b_scale);
+    std::vector<float> c(m * n);
+    GemmInt8Epilogue epilogue;
+    epilogue.scale = scales.data();
+    KernelScratch& scratch = KernelScratch::ThreadLocal();
+    const auto run = [&] {
+      GemmPackedInt8(m, n, k, a8.data(), k, b8.data(), n, c.data(), n,
+                     epilogue, &scratch);
+      benchmark::DoNotOptimize(c.data());
+    };
+    run();  // Warm-up.
+    const double int8_ms = TimeMs(15, run);
+    const double gops =
+        static_cast<double>(2 * m * n * k) / (int8_ms * 1e-3) / 1e9;
+    registry.gauge("gemm_gops_int8")->Set(static_cast<int64_t>(gops));
+    const double speedup_vs_fp32 = fp32_packed_ms / int8_ms;
+
+    auto ref = MatMul(a, b);
+    double err_sq = 0.0, ref_sq = 0.0;
+    for (int64_t i = 0; i < m * n; ++i) {
+      const double d = c[i] - ref->at(i);
+      err_sq += d * d;
+      ref_sq += static_cast<double>(ref->at(i)) * ref->at(i);
+    }
+    const double rel_l2_error = std::sqrt(err_sq / ref_sq);
+    const double kErrorBound = 0.05;
+
+    obs::Json q = obs::Json::Object();
+    q.Set("m", obs::Json::Int(m));
+    q.Set("k", obs::Json::Int(k));
+    q.Set("n", obs::Json::Int(n));
+    q.Set("kernel", obs::Json::Str(GemmInt8KernelName()));
+    q.Set("int8_ms", obs::Json::Num(int8_ms));
+    q.Set("fp32_packed_ms", obs::Json::Num(fp32_packed_ms));
+    q.Set("gops", obs::Json::Num(gops));
+    q.Set("speedup_vs_fp32", obs::Json::Num(speedup_vs_fp32));
+    q.Set("rel_l2_error", obs::Json::Num(rel_l2_error));
+    q.Set("accuracy_within_bound",
+          obs::Json::Num(rel_l2_error <= kErrorBound ? 1.0 : 0.0));
+    reporter.AddSection("gemm_int8_256x1152x196", std::move(q));
+    std::printf("gemm int8 256x1152x196 [%s]: %.2f ms (%.2fx vs fp32 "
+                "packed, %.1f GOP/s, rel L2 err %.4f)\n",
+                GemmInt8KernelName(), int8_ms, speedup_vs_fp32, gops,
+                rel_l2_error);
   }
 
   // --- Batched partial inference: 8 images through MicroAlexNet, serial

@@ -39,12 +39,22 @@ BENCHES = {
         "baseline": "bench_kernels_baseline.json",
         "tracked": [
             ("gemm_256x1152x196", "speedup"),
+            # Quantized kernel throughput relative to the fp32 packed
+            # kernel on the same shape, and its accuracy bound (a 0/1
+            # indicator: the dequantized product's relative L2 error
+            # against the fp32 product must stay within the bound, so any
+            # accuracy break fails the gate outright).
+            ("gemm_int8_256x1152x196", "speedup_vs_fp32"),
+            ("gemm_int8_256x1152x196", "accuracy_within_bound"),
             ("batched_inference", "efficiency_normalized"),
         ],
         "informational": [
             ("gemm_256x1152x196", "naive_ms"),
             ("gemm_256x1152x196", "packed_ms"),
             ("gemm_256x1152x196", "gflops"),
+            ("gemm_int8_256x1152x196", "int8_ms"),
+            ("gemm_int8_256x1152x196", "gops"),
+            ("gemm_int8_256x1152x196", "rel_l2_error"),
             ("batched_inference", "serial_ms"),
             ("batched_inference", "parallel_ms"),
             ("batched_inference", "efficiency_raw"),

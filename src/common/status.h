@@ -128,6 +128,9 @@ class Status {
     return code() == StatusCode::kInvalidArgument;
   }
   bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
   bool IsIOError() const { return code() == StatusCode::kIOError; }
   bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
   bool IsDataLoss() const { return code() == StatusCode::kDataLoss; }

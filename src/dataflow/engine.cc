@@ -274,6 +274,16 @@ EngineStats Engine::stats() const {
       metrics_->counter("prefetch.corrupt_dropped")->value();
   s.prefetch_queue_depth_peak =
       metrics_->gauge("prefetch.queue_depth")->max_value();
+  // Inference-plane totals: models profiled into this registry meter each
+  // forward into per-layer "dl.flops.<arch>.<layer>" / "dl.int8_ops.*"
+  // counters; the engine-level stats are their prefix sums.
+  for (const obs::Counter* c : metrics_->counters()) {
+    if (c->name().rfind("dl.flops.", 0) == 0) {
+      s.dl_flops += c->value();
+    } else if (c->name().rfind("dl.int8_ops.", 0) == 0) {
+      s.dl_int8_ops += c->value();
+    }
+  }
   s.recovery.retries = task_retries_.load() + spill_->io_retries();
   s.recovery.recomputed_partitions = recomputed_partitions_.load();
   s.recovery.injected_faults = injector_->total_injected();

@@ -142,6 +142,12 @@ struct EngineStats {
   int64_t prefetch_dropped = 0;
   int64_t prefetch_corrupt_dropped = 0;
   int64_t prefetch_queue_depth_peak = 0;
+  /// Inference-plane totals, summed from the per-layer "dl.flops.*" and
+  /// "dl.int8_ops.*" counters of every model profiled into this engine's
+  /// registry: analytic FLOPs of all forwards run, and the subset executed
+  /// on the quantized int8 kernel (0 unless some run used int8 precision).
+  int64_t dl_flops = 0;
+  int64_t dl_int8_ops = 0;
   /// Retries, lineage recomputations, and injected faults since engine
   /// construction (degradations are filled in by the executor layer).
   RecoveryStats recovery;

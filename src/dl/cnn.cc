@@ -1,10 +1,12 @@
 #include "dl/cnn.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/thread_pool.h"
 #include "tensor/gemm.h"
 #include "tensor/ops.h"
+#include "tensor/quant.h"
 
 namespace vista::dl {
 
@@ -185,6 +187,7 @@ Result<CnnModel> CnnModel::Instantiate(const CnnArchitecture& arch,
   bool first_conv = true;
   for (int li = 0; li < arch.num_layers(); ++li) {
     LayerInstance layer;
+    int64_t quant_flops = 0;
     for (OpSpec op : arch.layer_spec(li).ops) {
       if (op.kind == OpKind::kFc && shape.rank() != 1) {
         shape = Shape{shape.num_elements()};
@@ -193,10 +196,14 @@ Result<CnnModel> CnnModel::Instantiate(const CnnArchitecture& arch,
           PrimitiveInstance prim,
           InstantiatePrimitive(op, shape, &rng, init, &first_conv));
       VISTA_ASSIGN_OR_RETURN(OpStat stat, AnalyzeOp(op, shape));
+      if (op.kind == OpKind::kConv || op.kind == OpKind::kFc) {
+        quant_flops += stat.flops;
+      }
       shape = stat.output_shape;
       layer.primitives.push_back(std::move(prim));
     }
     model.layers_.push_back(std::move(layer));
+    model.layer_quant_flops_.push_back(quant_flops);
   }
   return model;
 }
@@ -207,6 +214,19 @@ Result<Tensor> CnnModel::Run(const Tensor& image) const {
 
 Result<Tensor> CnnModel::RunRange(const Tensor& input, int from, int to,
                                   ThreadPool* pool) const {
+  CnnOptions opts;
+  opts.pool = pool;
+  return RunRange(input, from, to, opts);
+}
+
+Result<Tensor> CnnModel::RunRange(const Tensor& input, int from, int to,
+                                  const CnnOptions& opts) const {
+  ThreadPool* pool = opts.pool;
+  if (opts.precision == Precision::kInt8 && !int8_calibrated_) {
+    return Status::FailedPrecondition(
+        "RunRange: int8 precision requested for " + arch_->name() +
+        " but the model has no calibration (run CalibrateInt8 first)");
+  }
   if (from < 0 || to >= arch_->num_layers() || from > to) {
     return Status::InvalidArgument(
         "RunRange: bad layer range [" + std::to_string(from) + ", " +
@@ -229,12 +249,17 @@ Result<Tensor> CnnModel::RunRange(const Tensor& input, int from, int to,
                  : Tensor(expected, std::vector<float>(
                                         input.data(),
                                         input.data() + input.num_elements()));
+  const bool int8 = opts.precision == Precision::kInt8;
   for (int li = from; li <= to; ++li) {
     obs::ScopedLatency latency(
         layer_forward_ms_.empty() ? nullptr : layer_forward_ms_[li]);
     if (!layer_flops_.empty()) layer_flops_[li]->Add(arch_->layer(li).flops);
+    if (int8 && !layer_int8_ops_.empty()) {
+      layer_int8_ops_[li]->Add(layer_quant_flops_[li]);
+    }
     for (const PrimitiveInstance& prim : layers_[li].primitives) {
-      VISTA_ASSIGN_OR_RETURN(t, ApplyPrimitive(prim, t, pool));
+      VISTA_ASSIGN_OR_RETURN(t, ApplyPrimitive(prim, t, pool,
+                                               opts.precision));
     }
   }
   return t;
@@ -251,16 +276,19 @@ Result<std::vector<Tensor>> CnnModel::RunRangeBatch(
                      inputs.size() > 1;
   if (!inter) {
     // Serial over images; a non-null pool is spent inside each kernel.
+    CnnOptions intra = opts;
     for (size_t i = 0; i < inputs.size(); ++i) {
-      VISTA_ASSIGN_OR_RETURN(out[i], RunRange(inputs[i], from, to, pool));
+      VISTA_ASSIGN_OR_RETURN(out[i], RunRange(inputs[i], from, to, intra));
     }
     return out;
   }
   // One task per image, each with serial kernels; failures land in
   // per-image Status slots (pool tasks must not throw).
+  CnnOptions per_image = opts;
+  per_image.pool = nullptr;
   std::vector<Status> statuses(inputs.size());
   pool->ParallelFor(static_cast<int64_t>(inputs.size()), [&](int64_t i) {
-    auto run = RunRange(inputs[i], from, to, /*pool=*/nullptr);
+    auto run = RunRange(inputs[i], from, to, per_image);
     if (run.ok()) {
       out[i] = std::move(run).value();
     } else {
@@ -276,14 +304,17 @@ Result<std::vector<Tensor>> CnnModel::RunRangeBatch(
 void CnnModel::EnableProfiling(obs::Registry* registry) {
   layer_forward_ms_.clear();
   layer_flops_.clear();
+  layer_int8_ops_.clear();
   if (registry == nullptr) return;
   layer_forward_ms_.reserve(arch_->num_layers());
   layer_flops_.reserve(arch_->num_layers());
+  layer_int8_ops_.reserve(arch_->num_layers());
   for (int i = 0; i < arch_->num_layers(); ++i) {
     const std::string suffix = arch_->name() + "." + arch_->layer(i).name;
     layer_forward_ms_.push_back(
         registry->histogram("dl.forward_ms." + suffix));
     layer_flops_.push_back(registry->counter("dl.flops." + suffix));
+    layer_int8_ops_.push_back(registry->counter("dl.int8_ops." + suffix));
   }
 }
 
@@ -315,11 +346,72 @@ Status CnnModel::SetWeights(const std::vector<Tensor>& weights) {
         }
         w = weights[at++];
       }
+      // Quantized copies and scales were derived from the old weights.
+      prim.quant = PrimitiveInstance::QuantState{};
     }
   }
   if (at != weights.size()) {
     return Status::InvalidArgument("SetWeights: too many tensors");
   }
+  int8_calibrated_ = false;
+  return Status::OK();
+}
+
+Status CnnModel::CalibrateInt8(const std::vector<Tensor>& images) {
+  if (images.empty()) {
+    return Status::InvalidArgument(
+        "CalibrateInt8: empty calibration batch for " + arch_->name());
+  }
+  // Pass 1: fp32 forward over the batch, recording the max-abs of every
+  // kConv/kFc primitive's input — the per-tensor symmetric activation
+  // scale. (kFc flattens, which does not change the max-abs.)
+  std::vector<std::vector<float>> max_abs(layers_.size());
+  for (size_t li = 0; li < layers_.size(); ++li) {
+    max_abs[li].assign(layers_[li].primitives.size(), 0.0f);
+  }
+  const Shape& expected = arch_->input_shape();
+  for (const Tensor& image : images) {
+    if (image.shape() != expected &&
+        image.num_elements() != expected.num_elements()) {
+      return Status::InvalidArgument(
+          "CalibrateInt8: image shape " + image.shape().ToString() +
+          " is not shape-compatible with " + arch_->name() + " input " +
+          expected.ToString());
+    }
+    Tensor t = image.shape() == expected
+                   ? image
+                   : Tensor(expected,
+                            std::vector<float>(
+                                image.data(),
+                                image.data() + image.num_elements()));
+    for (size_t li = 0; li < layers_.size(); ++li) {
+      for (size_t pi = 0; pi < layers_[li].primitives.size(); ++pi) {
+        const PrimitiveInstance& prim = layers_[li].primitives[pi];
+        if (prim.spec.kind == OpKind::kConv ||
+            prim.spec.kind == OpKind::kFc) {
+          max_abs[li][pi] = std::max(
+              max_abs[li][pi], MaxAbs(t.data(), t.num_elements()));
+        }
+        VISTA_ASSIGN_OR_RETURN(t, ApplyPrimitive(prim, t));
+      }
+    }
+  }
+  // Pass 2: quantize each kConv/kFc weight tensor per output channel and
+  // bind the calibrated activation scale.
+  for (size_t li = 0; li < layers_.size(); ++li) {
+    for (size_t pi = 0; pi < layers_[li].primitives.size(); ++pi) {
+      PrimitiveInstance& prim = layers_[li].primitives[pi];
+      if (prim.spec.kind != OpKind::kConv && prim.spec.kind != OpKind::kFc) {
+        continue;
+      }
+      VISTA_ASSIGN_OR_RETURN(QuantizedWeights qw,
+                             QuantizeWeightsPerChannel(prim.weights[0]));
+      prim.quant.weights = std::move(qw);
+      prim.quant.act_scale = SymmetricScale(max_abs[li][pi]);
+      prim.quant.ready = true;
+    }
+  }
+  int8_calibrated_ = true;
   return Status::OK();
 }
 

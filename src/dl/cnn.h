@@ -30,10 +30,15 @@ enum class CnnParallelism {
   kIntraImage,
 };
 
-/// Threading choices for RunRangeBatch. Null pool = serial everything.
+/// Threading and precision choices for RunRange/RunRangeBatch. Null pool =
+/// serial everything.
 struct CnnOptions {
   ThreadPool* pool = nullptr;
   CnnParallelism parallelism = CnnParallelism::kInterImage;
+  /// Numeric precision of the forward pass. kInt8 requires the model to be
+  /// calibrated first (CnnModel::CalibrateInt8); kConv/kFc primitives then
+  /// run on the quantized packed GEMM with fp32 layer boundaries.
+  Precision precision = Precision::kFp32;
 };
 
 /// Analytic statistics of one logical layer (a paper-sense CNN layer f_i).
@@ -161,6 +166,13 @@ class CnnModel {
   Result<Tensor> RunRange(const Tensor& input, int from, int to,
                           ThreadPool* pool = nullptr) const;
 
+  /// RunRange with full options: `opts.pool` parallelizes kernels
+  /// (intra-image; `opts.parallelism` is a batch-level knob and is ignored
+  /// here) and `opts.precision` selects the numeric path.
+  /// FailedPrecondition when int8 is requested without calibration.
+  Result<Tensor> RunRange(const Tensor& input, int from, int to,
+                          const CnnOptions& opts) const;
+
   /// Batched partial inference: RunRange over every tensor in `inputs`,
   /// spending `opts.pool` per `opts.parallelism` — either one pool task per
   /// image (kInterImage) or pool-parallel kernels inside each image in turn
@@ -181,17 +193,37 @@ class CnnModel {
 
   /// Replaces every weight with the tensors in `weights` (must match
   /// weight_tensors() in count and shapes). Used when loading serialized
-  /// models.
+  /// models. Invalidates any int8 calibration (scales were computed for
+  /// the old weights).
   Status SetWeights(const std::vector<Tensor>& weights);
+
+  /// Calibrates the model for int8 inference: one fp32 forward pass per
+  /// calibration image records each kConv/kFc primitive's input max-abs
+  /// (per-tensor symmetric activation scale), then every such primitive's
+  /// weight tensor is quantized per output channel. Idempotent;
+  /// recalibrating replaces the scales. The batch must be non-empty and
+  /// shape-compatible with the architecture's input.
+  Status CalibrateInt8(const std::vector<Tensor>& images);
+
+  /// True once CalibrateInt8 has succeeded (and the weights have not been
+  /// replaced since).
+  bool has_int8_calibration() const { return int8_calibrated_; }
 
   /// Turns on per-layer forward profiling: every subsequent RunRange
   /// records each logical layer's wall time into a
   /// "dl.forward_ms.<arch>.<layer>" histogram and adds the layer's analytic
   /// FLOPs to a "dl.flops.<arch>.<layer>" counter in `registry`
   /// (instruments resolved here, once) — the counters divide into the
-  /// histograms for achieved per-layer GFLOP/s. Null disables profiling
-  /// again. The registry must outlive the model.
+  /// histograms for achieved per-layer GFLOP/s. Int8 runs additionally add
+  /// the layer's quantizable (kConv/kFc) ops to a
+  /// "dl.int8_ops.<arch>.<layer>" counter. Null disables profiling again.
+  /// The registry must outlive the model.
   void EnableProfiling(obs::Registry* registry);
+
+  /// Analytic ops of logical layer `i` that run on the quantized kernel
+  /// under int8 (its kConv/kFc primitives; kBottleneck stays fp32). This
+  /// is what the dl.int8_ops counters add per int8 forward.
+  int64_t layer_int8_ops(int i) const { return layer_quant_flops_[i]; }
 
  private:
   struct LayerInstance {
@@ -200,10 +232,15 @@ class CnnModel {
 
   std::shared_ptr<const CnnArchitecture> arch_;
   std::vector<LayerInstance> layers_;
+  /// Per-layer analytic ops attributable to kConv/kFc primitives — the
+  /// part an int8 run executes on the quantized kernel.
+  std::vector<int64_t> layer_quant_flops_;
+  bool int8_calibrated_ = false;
   /// One histogram + FLOP counter per logical layer when profiling is
   /// enabled; empty otherwise (RunRange then skips all timing work).
   std::vector<obs::Histogram*> layer_forward_ms_;
   std::vector<obs::Counter*> layer_flops_;
+  std::vector<obs::Counter*> layer_int8_ops_;
 };
 
 /// The paper's g_l ∘ (optional pooling): reduces a convolutional layer

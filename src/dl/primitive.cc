@@ -57,6 +57,10 @@ Tensor HeInit(Shape shape, int64_t fan_in, Rng* rng) {
 
 }  // namespace
 
+const char* PrecisionName(Precision p) {
+  return p == Precision::kInt8 ? "int8" : "fp32";
+}
+
 Result<PrimitiveInstance> InstantiatePrimitive(const OpSpec& op,
                                                const Shape& shape, Rng* rng,
                                                WeightInit init,
@@ -124,11 +128,25 @@ Result<PrimitiveInstance> InstantiatePrimitive(const OpSpec& op,
 }
 
 Result<Tensor> ApplyPrimitive(const PrimitiveInstance& prim,
-                              const Tensor& input, ThreadPool* pool) {
+                              const Tensor& input, ThreadPool* pool,
+                              Precision precision) {
   const OpSpec& op = prim.spec;
+  const bool int8 = precision == Precision::kInt8 &&
+                    (op.kind == OpKind::kConv || op.kind == OpKind::kFc);
+  if (int8 && !prim.quant.ready) {
+    return Status::FailedPrecondition(
+        "int8 inference requested but primitive '" +
+        std::string(OpKindToString(op.kind)) +
+        "' has no calibration (run CnnModel::CalibrateInt8 first)");
+  }
   switch (op.kind) {
     case OpKind::kConv:
       // ReLU rides the GEMM epilogue: no separate output pass.
+      if (int8) {
+        return Conv2DGemmInt8(input, prim.quant.weights, prim.weights[1],
+                              op.stride, op.pad, std::max(1, op.groups),
+                              op.relu, prim.quant.act_scale, pool);
+      }
       return Conv2DGemmEx(input, prim.weights[0], prim.weights[1], op.stride,
                           op.pad, std::max(1, op.groups), op.relu, pool);
     case OpKind::kMaxPool:
@@ -141,6 +159,11 @@ Result<Tensor> ApplyPrimitive(const PrimitiveInstance& prim,
       return LocalResponseNorm(input);
     case OpKind::kFc: {
       Tensor x = input.shape().rank() == 1 ? input : input.Flatten();
+      if (int8) {
+        // ReLU is fused into the quantized epilogue.
+        return FullyConnectedInt8(x, prim.quant.weights, prim.weights[1],
+                                  op.relu, prim.quant.act_scale);
+      }
       VISTA_ASSIGN_OR_RETURN(
           Tensor out, FullyConnected(x, prim.weights[0], prim.weights[1]));
       if (op.relu) out = Relu(out);

@@ -6,6 +6,7 @@
 #include "common/random.h"
 #include "common/status.h"
 #include "dl/op_spec.h"
+#include "tensor/quant.h"
 #include "tensor/tensor.h"
 
 namespace vista {
@@ -13,6 +14,18 @@ class ThreadPool;
 }
 
 namespace vista::dl {
+
+/// Numeric precision of a forward pass. kInt8 runs calibrated kConv/kFc
+/// primitives on the quantized packed GEMM (tensor/gemm_kernel.h) with
+/// fp32 layer boundaries; every other primitive (including kBottleneck,
+/// whose interleaved batch norms keep it fp32) is unaffected.
+enum class Precision : int {
+  kFp32 = 0,
+  kInt8 = 1,
+};
+
+/// Short stable name for metrics/plan printing: "fp32" / "int8".
+const char* PrecisionName(Precision p);
 
 /// Weight initialization schemes for instantiated models.
 enum class WeightInit {
@@ -32,6 +45,18 @@ struct PrimitiveInstance {
   OpSpec spec;
   Shape input_shape;
   std::vector<Tensor> weights;
+
+  /// Int8 lowering state, populated by CnnModel::CalibrateInt8 for kConv
+  /// and kFc primitives: the per-output-channel quantized weight tensor
+  /// and the calibrated symmetric scale of this primitive's input
+  /// activations. ready == false until calibration runs (and again after
+  /// SetWeights, which invalidates it).
+  struct QuantState {
+    QuantizedWeights weights;
+    float act_scale = 0.0f;
+    bool ready = false;
+  };
+  QuantState quant;
 };
 
 /// Allocates and initializes the weights of `op` for an input of `shape`.
@@ -47,10 +72,12 @@ Result<PrimitiveInstance> InstantiatePrimitive(const OpSpec& op,
 /// with the shape the primitive was instantiated for. A non-null `pool`
 /// parallelizes the convolution GEMMs across their row tiles (intra-image
 /// parallelism); convolution ReLUs are fused into the GEMM epilogue either
-/// way.
+/// way. Precision::kInt8 routes calibrated kConv/kFc primitives through
+/// the quantized GEMM (FailedPrecondition if the primitive was never
+/// calibrated); other primitive kinds ignore the precision.
 Result<Tensor> ApplyPrimitive(const PrimitiveInstance& prim,
-                              const Tensor& input,
-                              ThreadPool* pool = nullptr);
+                              const Tensor& input, ThreadPool* pool = nullptr,
+                              Precision precision = Precision::kFp32);
 
 }  // namespace vista::dl
 

@@ -331,6 +331,10 @@ ServeResult FeatureTransferService::RunQuery(const Query& query) {
   RealExecutor executor(engine_, model);
   RealExecutorConfig exec_config = config_.executor;
   exec_config.train_models = query.request.train_models;
+  // The query's workload decides the inference precision; the cache below
+  // keys on it, so int8 and fp32 queries over the same dataset never share
+  // numerically different feature views.
+  exec_config.precision = workload.precision;
 
   // Resolve the base layer: exact cached view, resume from a shallower
   // view, or cold from raw image bytes.
@@ -338,7 +342,8 @@ ServeResult FeatureTransferService::RunQuery(const Query& query) {
   df::Table base_table;
   std::optional<MaterializedView> view;
   if (use_cache) {
-    view = view_cache_->Lookup(query.request.model, fingerprint, base_layer);
+    view = view_cache_->Lookup(query.request.model, fingerprint, base_layer,
+                               workload.precision);
   }
   if (view.has_value()) {
     result.cache_hit = true;
@@ -390,7 +395,7 @@ ServeResult FeatureTransferService::RunQuery(const Query& query) {
         base_table.num_records();
     view_cache_->Insert(query.request.model, fingerprint,
                         MaterializedView{base_table, base_layer},
-                        recompute_flops);
+                        recompute_flops, workload.precision);
   }
 
   // The Staged plan from the pre-materialized base — the paper's Appendix B

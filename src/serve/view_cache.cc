@@ -85,19 +85,24 @@ FeatureViewCache::FeatureViewCache(df::MemoryManager* memory,
 FeatureViewCache::~FeatureViewCache() { Clear(); }
 
 std::optional<MaterializedView> FeatureViewCache::Lookup(
-    const std::string& model, uint64_t fingerprint, int max_layer) {
+    const std::string& model, uint64_t fingerprint, int max_layer,
+    dl::Precision precision) {
+  const int prec = static_cast<int>(precision);
   std::lock_guard<std::mutex> lock(mu_);
-  // Keys order by (model, fingerprint, layer); the deepest usable view is
-  // the last entry at or below (model, fingerprint, max_layer). An entry
-  // that fails verification is dropped and the scan continues at the
-  // next-deepest candidate — resuming inference from rotted features
-  // would silently corrupt every downstream layer.
+  // Keys order by (model, fingerprint, precision, layer); the deepest
+  // usable view is the last entry at or below (model, fingerprint,
+  // precision, max_layer). An entry that fails verification is dropped and
+  // the scan continues at the next-deepest candidate — resuming inference
+  // from rotted features would silently corrupt every downstream layer.
   for (;;) {
-    auto it = entries_.upper_bound(Key{model, fingerprint, max_layer});
+    auto it =
+        entries_.upper_bound(Key{model, fingerprint, prec, max_layer});
     if (it == entries_.begin()) break;
     --it;
-    const auto& [key_model, key_fp, key_layer] = it->first;
-    if (key_model != model || key_fp != fingerprint) break;
+    const auto& [key_model, key_fp, key_prec, key_layer] = it->first;
+    if (key_model != model || key_fp != fingerprint || key_prec != prec) {
+      break;
+    }
     bool intact = true;
     for (const auto& p : it->second.view.table.partitions) {
       if (p->resident() &&
@@ -164,11 +169,12 @@ bool FeatureViewCache::MakeRoom(int64_t bytes) {
 }
 
 bool FeatureViewCache::Insert(const std::string& model, uint64_t fingerprint,
-                              MaterializedView view,
-                              int64_t recompute_flops) {
+                              MaterializedView view, int64_t recompute_flops,
+                              dl::Precision precision) {
   const int64_t bytes = view.table.memory_bytes();
   std::lock_guard<std::mutex> lock(mu_);
-  const Key key{model, fingerprint, view.layer};
+  const Key key{model, fingerprint, static_cast<int>(precision),
+                view.layer};
   if (entries_.count(key) > 0) return true;  // Raced duplicate; keep first.
   if (!MakeRoom(bytes)) {
     if (c_insert_overflows_ != nullptr) c_insert_overflows_->Add(1);

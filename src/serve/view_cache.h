@@ -9,6 +9,7 @@
 
 #include "dataflow/engine.h"
 #include "dataflow/memory.h"
+#include "dl/primitive.h"
 #include "obs/metrics.h"
 
 namespace vista::serve {
@@ -35,8 +36,9 @@ struct MaterializedView {
 /// layer l' >= l of the same model on the same dataset (the executor
 /// resumes from the cached layer instead of raw image bytes).
 ///
-/// Entries are keyed by (model, dataset fingerprint, layer) and charge
-/// their footprint against the MemoryManager's Storage region, the same
+/// Entries are keyed by (model, dataset fingerprint, precision, layer) and
+/// charge their footprint against the MemoryManager's Storage region, the
+/// same
 /// accounting engine-persisted partitions live under. Eviction is
 /// cost-aware rather than purely LRU: the victim is the entry with the
 /// lowest recompute-FLOPs-saved per resident byte (ties broken by
@@ -59,17 +61,23 @@ class FeatureViewCache {
   FeatureViewCache(const FeatureViewCache&) = delete;
   FeatureViewCache& operator=(const FeatureViewCache&) = delete;
 
-  /// Deepest cached view of (model, fingerprint) with layer <= max_layer;
-  /// nullopt on miss. Hits refresh the entry's recency. Before a view is
+  /// Deepest cached view of (model, fingerprint) materialized at
+  /// `precision` with layer <= max_layer; nullopt on miss. Views produced
+  /// at a different precision never satisfy the lookup — int8 features are
+  /// numerically different tensors, and resuming an fp32 query from them
+  /// (or vice versa) would silently change results. Hits refresh the
+  /// entry's recency. Before a view is
   /// handed out for resume, every serialized-resident partition is
   /// CRC-verified; an entry that fails is dropped (counted under
   /// "serve.view_cache.corrupt_drops" and "integrity.checksum_failures")
   /// and the lookup falls back to the next-deepest intact view — a query
   /// must never resume inference from rotted features.
-  std::optional<MaterializedView> Lookup(const std::string& model,
-                                         uint64_t fingerprint, int max_layer);
+  std::optional<MaterializedView> Lookup(
+      const std::string& model, uint64_t fingerprint, int max_layer,
+      dl::Precision precision = dl::Precision::kFp32);
 
-  /// Caches `view` under (model, fingerprint, view.layer), evicting
+  /// Caches `view` under (model, fingerprint, precision, view.layer),
+  /// evicting
   /// lower-value entries as needed. `recompute_flops` is the total FLOPs a
   /// future query saves by resuming here instead of from raw images
   /// (cumulative FLOPs through view.layer x record count) — the benefit
@@ -77,7 +85,8 @@ class FeatureViewCache {
   /// view cannot fit even after evicting everything else; the query that
   /// produced it simply proceeds uncached.
   bool Insert(const std::string& model, uint64_t fingerprint,
-              MaterializedView view, int64_t recompute_flops);
+              MaterializedView view, int64_t recompute_flops,
+              dl::Precision precision = dl::Precision::kFp32);
 
   /// Drops every entry and releases all Storage charges.
   void Clear();
@@ -99,7 +108,10 @@ class FeatureViewCache {
              static_cast<double>(charged_bytes > 0 ? charged_bytes : 1);
     }
   };
-  using Key = std::tuple<std::string, uint64_t, int>;
+  /// (model, fingerprint, precision, layer) — layer last so Lookup's
+  /// "deepest view <= max_layer" scan stays a contiguous key range within
+  /// one precision.
+  using Key = std::tuple<std::string, uint64_t, int, int>;
 
   /// Evicts lowest-value entries until `bytes` fit under both the Storage
   /// region and capacity_bytes_. Returns false when impossible. Requires

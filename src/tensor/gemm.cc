@@ -208,4 +208,133 @@ Result<Tensor> Conv2DGemmEx(const Tensor& input, const Tensor& weights,
   return out;
 }
 
+Result<Tensor> Conv2DGemmInt8(const Tensor& input, const QuantizedWeights& qw,
+                              const Tensor& bias, int stride, int pad,
+                              int groups, bool relu, float act_scale,
+                              ThreadPool* pool) {
+  const Shape& ws = qw.shape;
+  if (ws.rank() != 4 || bias.shape().rank() != 1) {
+    return Status::InvalidArgument("Conv2DGemmInt8: bad weights/bias rank");
+  }
+  const int64_t k_total = ws.dim(0);
+  const int kernel = static_cast<int>(ws.dim(2));
+  if (ws.dim(2) != ws.dim(3)) {
+    return Status::InvalidArgument("Conv2DGemmInt8: non-square kernel");
+  }
+  if (groups < 1 || k_total % groups != 0 ||
+      bias.shape().dim(0) != k_total ||
+      static_cast<int64_t>(qw.scales.size()) != k_total ||
+      static_cast<int64_t>(qw.data.size()) != ws.num_elements()) {
+    return Status::InvalidArgument("Conv2DGemmInt8: filters/groups mismatch");
+  }
+  const int64_t c = input.shape().dim(0);
+  if (input.shape().rank() != 3 || c % groups != 0 ||
+      ws.dim(1) != c / groups) {
+    return Status::InvalidArgument(
+        "Conv2DGemmInt8: input channels incompatible with weights/groups");
+  }
+  if (kernel < 1 || stride < 1 || pad < 0) {
+    return Status::InvalidArgument("Conv2DGemmInt8: bad kernel/stride/pad");
+  }
+  const int64_t h = input.shape().dim(1);
+  const int64_t w = input.shape().dim(2);
+  if (kernel > h + 2 * pad || kernel > w + 2 * pad) {
+    return Status::InvalidArgument(
+        "Conv2DGemmInt8: kernel larger than padded input");
+  }
+  const int64_t h_out = (h + 2 * pad - kernel) / stride + 1;
+  const int64_t w_out = (w + 2 * pad - kernel) / stride + 1;
+  if (h_out <= 0 || w_out <= 0) {
+    return Status::InvalidArgument("Conv2DGemmInt8: empty output");
+  }
+  const int64_t c_per_group = c / groups;
+  const int64_t rows = c_per_group * kernel * kernel;
+  const int64_t spatial = h_out * w_out;
+  const int64_t k_per_group = k_total / groups;
+
+  // fp32 im2col exactly as Conv2DGemmEx, then one per-tensor symmetric
+  // quantization pass over the expansion into the int8 staging slot.
+  KernelScratch& scratch = KernelScratch::ThreadLocal();
+  const int64_t col_elems = groups * rows * spatial;
+  float* cols = scratch.Acquire(KernelScratch::Slot::kIm2Col,
+                                static_cast<size_t>(col_elems));
+  Im2ColInto(input.data(), c, h, w, kernel, stride, pad, groups, h_out,
+             w_out, cols);
+  int8_t* qcols = static_cast<int8_t*>(scratch.AcquireBytes(
+      KernelScratch::Slot::kQuantAct, static_cast<size_t>(col_elems)));
+  QuantizeSymmetric(cols, col_elems, act_scale, qcols);
+
+  // Per-row combined dequant scale: weight channel scale x activation
+  // scale (0 when either side hit the zero-scale guard).
+  float* scales = scratch.Acquire(KernelScratch::Slot::kScales,
+                                  static_cast<size_t>(k_total));
+  const float act = act_scale > 0.0f ? act_scale : 0.0f;
+  for (int64_t i = 0; i < k_total; ++i) {
+    scales[i] = qw.scales[static_cast<size_t>(i)] * act;
+  }
+
+  Tensor out(Shape{k_total, h_out, w_out});
+  float* o = out.mutable_data();
+  const int8_t* wt = qw.data.data();
+  const float* b = bias.data();
+  for (int64_t g = 0; g < groups; ++g) {
+    GemmInt8Epilogue epilogue;
+    epilogue.scale = scales + g * k_per_group;
+    epilogue.bias = b + g * k_per_group;
+    epilogue.relu = relu;
+    const int8_t* a_g = wt + g * k_per_group * rows;
+    const int8_t* b_g = qcols + g * rows * spatial;
+    float* c_g = o + g * k_per_group * spatial;
+    if (pool != nullptr) {
+      GemmPackedInt8Parallel(k_per_group, spatial, rows, a_g, rows, b_g,
+                             spatial, c_g, spatial, epilogue, pool);
+    } else {
+      GemmPackedInt8(k_per_group, spatial, rows, a_g, rows, b_g, spatial,
+                     c_g, spatial, epilogue, &scratch);
+    }
+  }
+  return out;
+}
+
+Result<Tensor> FullyConnectedInt8(const Tensor& input,
+                                  const QuantizedWeights& qw,
+                                  const Tensor& bias, bool relu,
+                                  float act_scale) {
+  const Shape& ws = qw.shape;
+  if (ws.rank() != 2 || bias.shape().rank() != 1) {
+    return Status::InvalidArgument(
+        "FullyConnectedInt8: bad weights/bias rank");
+  }
+  const int64_t out_dim = ws.dim(0);
+  const int64_t in_dim = ws.dim(1);
+  if (input.num_elements() != in_dim) {
+    return Status::InvalidArgument(
+        "FullyConnectedInt8: input has " +
+        std::to_string(input.num_elements()) + " elements, weights expect " +
+        std::to_string(in_dim));
+  }
+  if (bias.shape().dim(0) != out_dim ||
+      static_cast<int64_t>(qw.scales.size()) != out_dim) {
+    return Status::InvalidArgument("FullyConnectedInt8: bias length mismatch");
+  }
+  KernelScratch& scratch = KernelScratch::ThreadLocal();
+  int8_t* qx = static_cast<int8_t*>(scratch.AcquireBytes(
+      KernelScratch::Slot::kQuantAct, static_cast<size_t>(in_dim)));
+  QuantizeSymmetric(input.data(), in_dim, act_scale, qx);
+  float* scales = scratch.Acquire(KernelScratch::Slot::kScales,
+                                  static_cast<size_t>(out_dim));
+  const float act = act_scale > 0.0f ? act_scale : 0.0f;
+  for (int64_t i = 0; i < out_dim; ++i) {
+    scales[i] = qw.scales[static_cast<size_t>(i)] * act;
+  }
+  Tensor out(Shape{out_dim});
+  GemmInt8Epilogue epilogue;
+  epilogue.scale = scales;
+  epilogue.bias = bias.data();
+  epilogue.relu = relu;
+  GemmPackedInt8(out_dim, 1, in_dim, qw.data.data(), in_dim, qx, 1,
+                 out.mutable_data(), 1, epilogue, &scratch);
+  return out;
+}
+
 }  // namespace vista

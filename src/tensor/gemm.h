@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "common/status.h"
+#include "tensor/quant.h"
 #include "tensor/tensor.h"
 
 namespace vista {
@@ -49,6 +50,26 @@ Result<Tensor> Conv2DGemm(const Tensor& input, const Tensor& weights,
 Result<Tensor> Conv2DGemmEx(const Tensor& input, const Tensor& weights,
                             const Tensor& bias, int stride, int pad,
                             int groups, bool relu, ThreadPool* pool);
+
+/// Conv2DGemmEx on the quantized kernel: the fp32 im2col expansion is
+/// quantized per-tensor with `act_scale` (the calibrated symmetric input
+/// scale; <= 0 is the zero-scale guard and quantizes to zeros), each
+/// group's GEMM runs int8 x int8 into int32, and the fused epilogue
+/// dequantizes with the per-output-channel combined scale
+/// (weight_scale * act_scale), adds the fp32 bias and applies ReLU.
+/// Output and layer boundaries stay fp32. Same scratch discipline as the
+/// fp32 path: zero allocations when warmed up.
+Result<Tensor> Conv2DGemmInt8(const Tensor& input, const QuantizedWeights& qw,
+                              const Tensor& bias, int stride, int pad,
+                              int groups, bool relu, float act_scale,
+                              ThreadPool* pool);
+
+/// Fully connected layer on the quantized kernel (y = dequant(W_q x_q) + b,
+/// optional fused ReLU); the int8 twin of ops.h's FullyConnected.
+Result<Tensor> FullyConnectedInt8(const Tensor& input,
+                                  const QuantizedWeights& qw,
+                                  const Tensor& bias, bool relu,
+                                  float act_scale);
 
 }  // namespace vista
 

@@ -5,6 +5,14 @@
 #include <cstring>
 
 #include "common/thread_pool.h"
+#include "tensor/quant.h"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#include <immintrin.h>
+#define VISTA_HAVE_X86_INT8 1
+#else
+#define VISTA_HAVE_X86_INT8 0
+#endif
 
 namespace vista {
 namespace {
@@ -169,6 +177,264 @@ void EpilogueOnly(int64_t m, int64_t n, float* c, int64_t ldc,
   }
 }
 
+/// ---- Int8 kernel -------------------------------------------------------
+
+std::atomic<int64_t> g_gemm_int8_ops{0};
+
+/// Packs the (mc x kc) block of A into MR-row strips of 4-deep k blocks:
+/// strip byte (kb*MR + i)*4 + t holds A[row i][4*kb + t], signed,
+/// zero-padded past mc and past kc (to kc4 = RoundUp(kc, 4)). Also emits
+/// the per-row sum over the block's k range, which the driver uses to
+/// correct the +128 unsigned bias applied to the B panel.
+void PackAInt8(const int8_t* a, int64_t lda, int64_t mc, int64_t kc,
+               int8_t* ap, int32_t* rowsum) {
+  const int64_t kc4 = RoundUp(kc, 4);
+  for (int64_t ir = 0; ir < mc; ir += kGemmMR) {
+    const int64_t mr = std::min(kGemmMR, mc - ir);
+    int8_t* dst = ap + ir * kc4;
+    for (int64_t i = 0; i < kGemmMR; ++i) {
+      const int8_t* src = i < mr ? a + (ir + i) * lda : nullptr;
+      int32_t sum = 0;
+      for (int64_t p = 0; p < kc4; ++p) {
+        const int8_t v = (src != nullptr && p < kc) ? src[p] : 0;
+        dst[((p / 4) * kGemmMR + i) * 4 + (p % 4)] = v;
+        sum += v;
+      }
+      if (i < mr) rowsum[ir + i] = sum;
+    }
+  }
+}
+
+/// Packs the (kc x nc) block of B into NR-column strips of 4-deep k
+/// blocks, biased to unsigned: strip byte (kb*NR + j)*4 + t holds
+/// B[4*kb + t][col j] + 128 (so padding stores 128, i.e. signed zero).
+/// This is the vpdpbusd unsigned-operand convention; the signed result is
+/// recovered by subtracting 128 * rowsum(A).
+void PackBInt8(const int8_t* b, int64_t ldb, int64_t kc, int64_t nc,
+               uint8_t* bp) {
+  const int64_t kc4 = RoundUp(kc, 4);
+  for (int64_t jr = 0; jr < nc; jr += kGemmNR) {
+    const int64_t nr = std::min(kGemmNR, nc - jr);
+    uint8_t* dst = bp + jr * kc4;
+    for (int64_t p = 0; p < kc4; ++p) {
+      uint8_t* out = dst + (p / 4) * kGemmNR * 4 + (p % 4);
+      if (p >= kc) {
+        for (int64_t j = 0; j < kGemmNR; ++j) out[j * 4] = 128;
+        continue;
+      }
+      const int8_t* src = b + p * ldb + jr;
+      for (int64_t j = 0; j < kGemmNR; ++j) {
+        const int v = j < nr ? src[j] : 0;
+        out[j * 4] = static_cast<uint8_t>(v + 128);
+      }
+    }
+  }
+}
+
+/// acc (MR x NR int32) += sum over kb of dot4(Bu8 strip, As8 strip):
+/// acc[i][j] += sum_t b[(kb*NR+j)*4+t] * a[(kb*MR+i)*4+t], with b unsigned
+/// and a signed. Every dispatch target computes this exact integer
+/// expression, so results are bit-identical across ISAs.
+using MicroKernelInt8Fn = void (*)(int64_t kc4, const int8_t* ap,
+                                   const uint8_t* bp, int32_t* acc);
+
+void MicroKernelInt8Scalar(int64_t kc4, const int8_t* ap, const uint8_t* bp,
+                           int32_t* acc) {
+  const int64_t kb_n = kc4 / 4;
+  for (int64_t kb = 0; kb < kb_n; ++kb) {
+    const int8_t* a = ap + kb * kGemmMR * 4;
+    const uint8_t* b = bp + kb * kGemmNR * 4;
+    for (int64_t i = 0; i < kGemmMR; ++i) {
+      const int32_t a0 = a[i * 4 + 0];
+      const int32_t a1 = a[i * 4 + 1];
+      const int32_t a2 = a[i * 4 + 2];
+      const int32_t a3 = a[i * 4 + 3];
+      int32_t* row = acc + i * kGemmNR;
+      for (int64_t j = 0; j < kGemmNR; ++j) {
+        row[j] += static_cast<int32_t>(b[j * 4 + 0]) * a0 +
+                  static_cast<int32_t>(b[j * 4 + 1]) * a1 +
+                  static_cast<int32_t>(b[j * 4 + 2]) * a2 +
+                  static_cast<int32_t>(b[j * 4 + 3]) * a3;
+      }
+    }
+  }
+}
+
+#if VISTA_HAVE_X86_INT8
+/// 256-bit vpdpbusd micro-kernel (AVX512-VNNI with VL, and the AVX-VNNI
+/// twin below for client parts without AVX-512): each dword lane of a B
+/// strip holds one column's 4 k bytes, dpbusd does the widening
+/// u8 x s8 dot-4 + int32 accumulate in one instruction.
+__attribute__((target("avx512vnni,avx512vl,avx512bw,avx512f"))) void
+MicroKernelInt8Avx512Vnni(int64_t kc4, const int8_t* ap, const uint8_t* bp,
+                          int32_t* acc) {
+  // NR == 16 int32 accumulators fit one zmm per row: per k4 block the
+  // whole B strip row is a single 64-byte load and each output row is one
+  // broadcast + one dpbusd.
+  __m512i c[kGemmMR];
+  for (int64_t i = 0; i < kGemmMR; ++i) {
+    c[i] = _mm512_loadu_si512(acc + i * kGemmNR);
+  }
+  const int64_t kb_n = kc4 / 4;
+  for (int64_t kb = 0; kb < kb_n; ++kb) {
+    const __m512i bv = _mm512_loadu_si512(bp + kb * kGemmNR * 4);
+    const int8_t* a = ap + kb * kGemmMR * 4;
+    for (int64_t i = 0; i < kGemmMR; ++i) {
+      int32_t aw;
+      std::memcpy(&aw, a + i * 4, sizeof(aw));
+      c[i] = _mm512_dpbusd_epi32(c[i], bv, _mm512_set1_epi32(aw));
+    }
+  }
+  for (int64_t i = 0; i < kGemmMR; ++i) {
+    _mm512_storeu_si512(acc + i * kGemmNR, c[i]);
+  }
+}
+
+#if defined(__GNUC__) && !defined(__clang__) && __GNUC__ >= 11
+#define VISTA_HAVE_AVXVNNI_KERNEL 1
+__attribute__((target("avxvnni,avx2"))) void MicroKernelInt8AvxVnni(
+    int64_t kc4, const int8_t* ap, const uint8_t* bp, int32_t* acc) {
+  __m256i c[kGemmMR][2];
+  for (int64_t i = 0; i < kGemmMR; ++i) {
+    c[i][0] = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(acc + i * kGemmNR));
+    c[i][1] = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(acc + i * kGemmNR + 8));
+  }
+  const int64_t kb_n = kc4 / 4;
+  for (int64_t kb = 0; kb < kb_n; ++kb) {
+    const uint8_t* b = bp + kb * kGemmNR * 4;
+    const __m256i b0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b));
+    const __m256i b1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + 32));
+    const int8_t* a = ap + kb * kGemmMR * 4;
+    for (int64_t i = 0; i < kGemmMR; ++i) {
+      int32_t aw;
+      std::memcpy(&aw, a + i * 4, sizeof(aw));
+      const __m256i av = _mm256_set1_epi32(aw);
+      c[i][0] = _mm256_dpbusd_avx_epi32(c[i][0], b0, av);
+      c[i][1] = _mm256_dpbusd_avx_epi32(c[i][1], b1, av);
+    }
+  }
+  for (int64_t i = 0; i < kGemmMR; ++i) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + i * kGemmNR),
+                        c[i][0]);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + i * kGemmNR + 8),
+                        c[i][1]);
+  }
+}
+#else
+#define VISTA_HAVE_AVXVNNI_KERNEL 0
+#endif
+#endif  // VISTA_HAVE_X86_INT8
+
+struct Int8KernelChoice {
+  MicroKernelInt8Fn fn;
+  const char* name;
+};
+
+/// Manual runtime dispatch (resolved once at startup): target_clones has
+/// no clone level that implies VNNI, so the int8 kernel picks its ISA via
+/// __builtin_cpu_supports instead.
+Int8KernelChoice ResolveMicroKernelInt8() {
+#if VISTA_HAVE_X86_INT8 && defined(__GNUC__)
+  __builtin_cpu_init();
+  if (__builtin_cpu_supports("avx512vnni") &&
+      __builtin_cpu_supports("avx512vl") &&
+      __builtin_cpu_supports("avx512bw")) {
+    return {MicroKernelInt8Avx512Vnni, "avx512vnni"};
+  }
+#if VISTA_HAVE_AVXVNNI_KERNEL
+  if (__builtin_cpu_supports("avxvnni")) {
+    return {MicroKernelInt8AvxVnni, "avxvnni"};
+  }
+#endif
+#endif
+  return {MicroKernelInt8Scalar, "scalar"};
+}
+
+const Int8KernelChoice g_int8_kernel = ResolveMicroKernelInt8();
+
+/// Micro-tile grid over one packed int8 A panel / B panel. Between K
+/// panels C holds raw int32 partial sums bit-cast into the float storage;
+/// the last panel dequantizes through the epilogue. `rowsum` is this A
+/// panel's per-row k sum (for the +128 B bias correction); scale/bias/c8
+/// in `e` are pre-offset to this C block's first row/column by the
+/// driver.
+void InnerTilesInt8(int64_t mc, int64_t nc, int64_t kc, const int8_t* ap,
+                    const uint8_t* bp, const int32_t* rowsum, float* c,
+                    int64_t ldc, bool first, bool last, const float* scale,
+                    const float* bias, bool relu, int8_t* c8, int64_t ldc8,
+                    float inv_out_scale) {
+  const int64_t kc4 = RoundUp(kc, 4);
+  // A fully empty epilogue leaves the raw int32 accumulators bit-cast in
+  // c even on the last panel — the differential tests' mode.
+  const bool raw = scale == nullptr && bias == nullptr && !relu &&
+                   c8 == nullptr;
+  alignas(64) int32_t acc[kGemmMR * kGemmNR];
+  for (int64_t jr = 0; jr < nc; jr += kGemmNR) {
+    const int64_t nr = std::min(kGemmNR, nc - jr);
+    const uint8_t* bstrip = bp + jr * kc4;
+    for (int64_t ir = 0; ir < mc; ir += kGemmMR) {
+      const int64_t mr = std::min(kGemmMR, mc - ir);
+      const int8_t* astrip = ap + ir * kc4;
+      std::memset(acc, 0, sizeof(acc));
+      if (!first) {
+        for (int64_t i = 0; i < mr; ++i) {
+          std::memcpy(acc + i * kGemmNR, c + (ir + i) * ldc + jr,
+                      sizeof(int32_t) * nr);
+        }
+      }
+      g_int8_kernel.fn(kc4, astrip, bstrip, acc);
+      for (int64_t i = 0; i < mr; ++i) {
+        const int32_t corr = 128 * rowsum[ir + i];
+        int32_t* row = acc + i * kGemmNR;
+        if (!last || raw) {
+          for (int64_t j = 0; j < nr; ++j) row[j] -= corr;
+          std::memcpy(c + (ir + i) * ldc + jr, row, sizeof(int32_t) * nr);
+          continue;
+        }
+        const float s = scale != nullptr ? scale[ir + i] : 1.0f;
+        const float b = bias != nullptr ? bias[ir + i] : 0.0f;
+        if (c8 != nullptr) {
+          int8_t* dst = c8 + (ir + i) * ldc8 + jr;
+          for (int64_t j = 0; j < nr; ++j) {
+            float y = static_cast<float>(row[j] - corr) * s + b;
+            if (relu) y = std::max(0.0f, y);
+            dst[j] = SaturateRoundToInt8(y * inv_out_scale);
+          }
+        } else {
+          float* dst = c + (ir + i) * ldc + jr;
+          for (int64_t j = 0; j < nr; ++j) {
+            float y = static_cast<float>(row[j] - corr) * s + b;
+            dst[j] = relu ? std::max(0.0f, y) : y;
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Degenerate k == 0 for the int8 path: the epilogue of a zero product.
+void EpilogueOnlyInt8(int64_t m, int64_t n, float* c, int64_t ldc,
+                      const GemmInt8Epilogue& e) {
+  const float inv =
+      e.out_scale > 0.0f ? 1.0f / e.out_scale : 0.0f;
+  for (int64_t i = 0; i < m; ++i) {
+    float v = e.bias != nullptr ? e.bias[i] : 0.0f;
+    if (e.relu) v = std::max(0.0f, v);
+    if (e.c8 != nullptr) {
+      const int8_t q = SaturateRoundToInt8(v * inv);
+      int8_t* row = e.c8 + i * e.ldc8;
+      for (int64_t j = 0; j < n; ++j) row[j] = q;
+    } else {
+      float* row = c + i * ldc;
+      for (int64_t j = 0; j < n; ++j) row[j] = v;
+    }
+  }
+}
+
 }  // namespace
 
 int64_t GemmFlopsTotal() {
@@ -252,6 +518,114 @@ void GemmPackedParallel(int64_t m, int64_t n, int64_t k, const float* a,
         InnerTiles(mc, nc, kc, ap, bp, c + ic * ldc + jc, ldc, first, last,
                    epilogue.bias != nullptr ? epilogue.bias + ic : nullptr,
                    epilogue.relu);
+      });
+    }
+  }
+}
+
+int64_t GemmInt8OpsTotal() {
+  return g_gemm_int8_ops.load(std::memory_order_relaxed);
+}
+
+const char* GemmInt8KernelName() { return g_int8_kernel.name; }
+
+void GemmPackedInt8(int64_t m, int64_t n, int64_t k, const int8_t* a,
+                    int64_t lda, const int8_t* b, int64_t ldb, float* c,
+                    int64_t ldc, const GemmInt8Epilogue& epilogue,
+                    KernelScratch* scratch) {
+  if (m <= 0 || n <= 0) return;
+  if (k <= 0) {
+    EpilogueOnlyInt8(m, n, c, ldc, epilogue);
+    return;
+  }
+  g_gemm_int8_ops.fetch_add(2 * m * n * k, std::memory_order_relaxed);
+  const float inv_out =
+      epilogue.out_scale > 0.0f ? 1.0f / epilogue.out_scale : 0.0f;
+  for (int64_t jc = 0; jc < n; jc += kGemmNC) {
+    const int64_t nc = std::min(kGemmNC, n - jc);
+    for (int64_t pc = 0; pc < k; pc += kGemmKcInt8) {
+      const int64_t kc = std::min(kGemmKcInt8, k - pc);
+      const int64_t kc4 = RoundUp(kc, 4);
+      const bool first = pc == 0;
+      const bool last = pc + kc == k;
+      uint8_t* bp = static_cast<uint8_t*>(scratch->AcquireBytes(
+          KernelScratch::Slot::kPackBInt8,
+          static_cast<size_t>(RoundUp(nc, kGemmNR) * kc4)));
+      PackBInt8(b + pc * ldb + jc, ldb, kc, nc, bp);
+      int8_t* ap = static_cast<int8_t*>(scratch->AcquireBytes(
+          KernelScratch::Slot::kPackAInt8,
+          static_cast<size_t>(RoundUp(std::min(m, kGemmMC), kGemmMR) *
+                              kc4)));
+      int32_t rowsum[kGemmMC];
+      for (int64_t ic = 0; ic < m; ic += kGemmMC) {
+        const int64_t mc = std::min(kGemmMC, m - ic);
+        PackAInt8(a + ic * lda + pc, lda, mc, kc, ap, rowsum);
+        InnerTilesInt8(
+            mc, nc, kc, ap, bp, rowsum, c + ic * ldc + jc, ldc, first, last,
+            epilogue.scale != nullptr ? epilogue.scale + ic : nullptr,
+            epilogue.bias != nullptr ? epilogue.bias + ic : nullptr,
+            epilogue.relu,
+            epilogue.c8 != nullptr ? epilogue.c8 + ic * epilogue.ldc8 + jc
+                                   : nullptr,
+            epilogue.ldc8, inv_out);
+      }
+    }
+  }
+}
+
+void GemmPackedInt8Parallel(int64_t m, int64_t n, int64_t k, const int8_t* a,
+                            int64_t lda, const int8_t* b, int64_t ldb,
+                            float* c, int64_t ldc,
+                            const GemmInt8Epilogue& epilogue,
+                            ThreadPool* pool) {
+  // Same cutoff as the fp32 kernel: below ~2 MFLOP-equivalents the
+  // dispatch overhead beats the row-tile win.
+  const bool tiny = m * n * k < (1 << 20) || m <= kGemmMC;
+  if (pool == nullptr || pool->num_threads() <= 1 || tiny) {
+    GemmPackedInt8(m, n, k, a, lda, b, ldb, c, ldc, epilogue,
+                   &KernelScratch::ThreadLocal());
+    return;
+  }
+  if (m <= 0 || n <= 0) return;
+  if (k <= 0) {
+    EpilogueOnlyInt8(m, n, c, ldc, epilogue);
+    return;
+  }
+  g_gemm_int8_ops.fetch_add(2 * m * n * k, std::memory_order_relaxed);
+  const float inv_out =
+      epilogue.out_scale > 0.0f ? 1.0f / epilogue.out_scale : 0.0f;
+  KernelScratch& caller = KernelScratch::ThreadLocal();
+  for (int64_t jc = 0; jc < n; jc += kGemmNC) {
+    const int64_t nc = std::min(kGemmNC, n - jc);
+    for (int64_t pc = 0; pc < k; pc += kGemmKcInt8) {
+      const int64_t kc = std::min(kGemmKcInt8, k - pc);
+      const int64_t kc4 = RoundUp(kc, 4);
+      const bool first = pc == 0;
+      const bool last = pc + kc == k;
+      // The B panel is packed once into the caller's arena; workers read
+      // it concurrently (it is immutable until the ParallelFor returns).
+      uint8_t* bp = static_cast<uint8_t*>(caller.AcquireBytes(
+          KernelScratch::Slot::kPackBInt8,
+          static_cast<size_t>(RoundUp(nc, kGemmNR) * kc4)));
+      PackBInt8(b + pc * ldb + jc, ldb, kc, nc, bp);
+      const int64_t num_blocks = (m + kGemmMC - 1) / kGemmMC;
+      pool->ParallelFor(num_blocks, [&](int64_t blk) {
+        const int64_t ic = blk * kGemmMC;
+        const int64_t mc = std::min(kGemmMC, m - ic);
+        KernelScratch& local = KernelScratch::ThreadLocal();
+        int8_t* ap = static_cast<int8_t*>(local.AcquireBytes(
+            KernelScratch::Slot::kPackAInt8,
+            static_cast<size_t>(RoundUp(mc, kGemmMR) * kc4)));
+        int32_t rowsum[kGemmMC];
+        PackAInt8(a + ic * lda + pc, lda, mc, kc, ap, rowsum);
+        InnerTilesInt8(
+            mc, nc, kc, ap, bp, rowsum, c + ic * ldc + jc, ldc, first, last,
+            epilogue.scale != nullptr ? epilogue.scale + ic : nullptr,
+            epilogue.bias != nullptr ? epilogue.bias + ic : nullptr,
+            epilogue.relu,
+            epilogue.c8 != nullptr ? epilogue.c8 + ic * epilogue.ldc8 + jc
+                                   : nullptr,
+            epilogue.ldc8, inv_out);
       });
     }
   }

@@ -60,6 +60,79 @@ void GemmPackedParallel(int64_t m, int64_t n, int64_t k, const float* a,
 /// from deltas around a timed region; see obs gauge "tensor.gemm_gflops".
 int64_t GemmFlopsTotal();
 
+/// ---- Quantized (int8) packed GEMM -------------------------------------
+///
+/// Same BLIS-style structure as the fp32 kernel (6x16 register micro-tile,
+/// MC/NC blocking, panel packing into KernelScratch), but the inner loop
+/// does widening int8 x int8 multiply-accumulate into int32. Because int8
+/// panels are a quarter the size, the K panel quadruples so a packed
+/// kGemmNR-column B strip still fills the same L1 footprint.
+///
+/// Packing is k4-blocked to match the VNNI dot-product instruction: A
+/// strips hold [k/4][MR][4] signed bytes, B strips [k/4][NR][4] bytes
+/// biased to unsigned (u8 = s8 + 128, the vpdpbusd operand convention);
+/// the +128 offset is corrected by subtracting 128 * rowsum(A) per output
+/// row. The scalar fallback computes the identical integer expression, so
+/// every dispatch target produces bit-identical int32 accumulators.
+///
+/// Accumulator range: each output accumulates at most 255 * 127 per k
+/// step, so int32 is exact for k < ~66000 — far beyond any conv/fc
+/// lowering here (callers must not exceed it).
+inline constexpr int64_t kGemmKcInt8 = 4 * kGemmKC;
+
+/// Fused output transform for the int8 kernel, applied on the last K
+/// panel. The int32 accumulator dequantizes as
+///   y = float(acc) * scale[row] + bias[row]          (then optional ReLU)
+/// and is stored either as fp32 into `c`, or — when `c8` is non-null —
+/// requantized to int8 (round-to-nearest-even, saturating to +/-127) as
+///   c8[row * ldc8 + col] = sat(round(y / out_scale)).
+/// `c` is always required: between K panels it holds the raw int32
+/// partial sums (bit-cast into the float storage).
+struct GemmInt8Epilogue {
+  /// Per-row dequant scale of length m (weight_scale[row] * act_scale);
+  /// null means 1.0. When the whole epilogue is empty (no scale, bias,
+  /// relu, or c8), the raw int32 accumulators are left bit-cast in `c` —
+  /// the exact-differential-test mode.
+  const float* scale = nullptr;
+  /// Per-row fp32 addend of length m, applied after dequantization.
+  const float* bias = nullptr;
+  /// Applies max(0, y) after the bias add.
+  bool relu = false;
+  /// Optional requantized int8 output (see above). out_scale <= 0 writes
+  /// zeros (the zero-scale guard).
+  int8_t* c8 = nullptr;
+  int64_t ldc8 = 0;
+  float out_scale = 0.0f;
+};
+
+/// C (m x n fp32, row stride ldc) = dequant(A_q (m x k int8) * B_q
+/// (k x n int8)) with the fused epilogue above. Pack buffers come from
+/// `scratch` slots kPackAInt8 / kPackBInt8, so steady-state calls
+/// allocate nothing.
+void GemmPackedInt8(int64_t m, int64_t n, int64_t k, const int8_t* a,
+                    int64_t lda, const int8_t* b, int64_t ldb, float* c,
+                    int64_t ldc, const GemmInt8Epilogue& epilogue,
+                    KernelScratch* scratch);
+
+/// GemmPackedInt8 with row-tile parallelism across `pool`, mirroring
+/// GemmPackedParallel: B packed once by the caller, M blocks distributed
+/// with ParallelFor, per-thread A panels. Falls back to the serial kernel
+/// when `pool` is null or the problem is too small.
+void GemmPackedInt8Parallel(int64_t m, int64_t n, int64_t k, const int8_t* a,
+                            int64_t lda, const int8_t* b, int64_t ldb,
+                            float* c, int64_t ldc,
+                            const GemmInt8Epilogue& epilogue,
+                            ThreadPool* pool);
+
+/// Cumulative int8 multiply-accumulate ops (2*m*n*k per call,
+/// relaxed-atomic) — the int8 twin of GemmFlopsTotal(); see obs gauge
+/// "gemm_gops_int8".
+int64_t GemmInt8OpsTotal();
+
+/// Name of the int8 micro-kernel selected at startup for this CPU:
+/// "avx512vnni", "avxvnni", or "scalar". Surfaced by the benches.
+const char* GemmInt8KernelName();
+
 }  // namespace vista
 
 #endif  // VISTA_TENSOR_GEMM_KERNEL_H_

@@ -1,0 +1,55 @@
+#include "tensor/quant.h"
+
+#include <cmath>
+
+namespace vista {
+
+float MaxAbs(const float* x, int64_t n) {
+  float m = 0.0f;
+  for (int64_t i = 0; i < n; ++i) {
+    const float a = std::fabs(x[i]);
+    if (a > m) m = a;
+  }
+  return m;
+}
+
+float SymmetricScale(float max_abs) {
+  if (!(max_abs > 0.0f) || !std::isfinite(max_abs)) return 0.0f;
+  return max_abs / 127.0f;
+}
+
+void QuantizeSymmetric(const float* src, int64_t n, float scale,
+                       int8_t* dst) {
+  if (!(scale > 0.0f)) {
+    for (int64_t i = 0; i < n; ++i) dst[i] = 0;
+    return;
+  }
+  const float inv = 1.0f / scale;
+  for (int64_t i = 0; i < n; ++i) {
+    dst[i] = SaturateRoundToInt8(src[i] * inv);
+  }
+}
+
+Result<QuantizedWeights> QuantizeWeightsPerChannel(const Tensor& w) {
+  if (w.shape().rank() < 2) {
+    return Status::InvalidArgument(
+        "QuantizeWeightsPerChannel expects rank >= 2, got " +
+        w.shape().ToString());
+  }
+  QuantizedWeights q;
+  q.shape = w.shape();
+  const int64_t oc = q.out_channels();
+  const int64_t inner = q.inner();
+  q.data.resize(static_cast<size_t>(w.num_elements()));
+  q.scales.resize(static_cast<size_t>(oc));
+  const float* src = w.data();
+  for (int64_t i = 0; i < oc; ++i) {
+    const float* row = src + i * inner;
+    const float scale = SymmetricScale(MaxAbs(row, inner));
+    q.scales[static_cast<size_t>(i)] = scale;
+    QuantizeSymmetric(row, inner, scale, q.data.data() + i * inner);
+  }
+  return q;
+}
+
+}  // namespace vista

@@ -1,0 +1,67 @@
+#ifndef VISTA_TENSOR_QUANT_H_
+#define VISTA_TENSOR_QUANT_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+namespace vista {
+
+/// Symmetric int8 quantization helpers shared by the quantized GEMM path
+/// (tensor/gemm_kernel.h), the DL calibration pass (dl/cnn.h), and the
+/// tests. The scheme is symmetric around zero with the narrow range
+/// [-127, 127] (the -128 code is never produced), so a quantized value is
+/// exactly q = round(x / scale) and dequantizes as q * scale with no zero
+/// point to track through the GEMM.
+
+/// max |x| over `n` floats; 0 for an empty range.
+float MaxAbs(const float* x, int64_t n);
+
+/// The scale mapping [-max_abs, max_abs] onto [-127, 127]: max_abs / 127.
+/// A zero, negative, or non-finite max_abs yields 0 — the zero-scale guard
+/// for tensors that are identically zero (see QuantizeSymmetric).
+float SymmetricScale(float max_abs);
+
+/// Rounds to nearest with ties to even (the IEEE default rounding mode,
+/// which this relies on — the process must not switch fesetround away from
+/// FE_TONEAREST) and saturates to [-127, 127]. NaN maps to 0.
+inline int8_t SaturateRoundToInt8(float v) {
+  if (std::isnan(v)) return 0;
+  if (v >= 127.0f) return 127;
+  if (v <= -127.0f) return -127;
+  return static_cast<int8_t>(std::lrintf(v));
+}
+
+/// dst[i] = SaturateRoundToInt8(src[i] / scale). A scale <= 0 (the
+/// zero-scale guard: SymmetricScale of an all-zero tensor) writes zeros
+/// instead of dividing.
+void QuantizeSymmetric(const float* src, int64_t n, float scale,
+                       int8_t* dst);
+
+/// A weight tensor quantized per output channel (dim 0): element order
+/// matches the fp32 tensor, and row i of the flattened (out x inner) view
+/// dequantizes as data[i * inner + j] * scales[i].
+struct QuantizedWeights {
+  Shape shape;                 ///< Original fp32 weight shape.
+  std::vector<int8_t> data;    ///< Same element order as the fp32 tensor.
+  std::vector<float> scales;   ///< Length shape.dim(0).
+
+  int64_t out_channels() const { return shape.rank() > 0 ? shape.dim(0) : 0; }
+  int64_t inner() const {
+    const int64_t oc = out_channels();
+    return oc > 0 ? shape.num_elements() / oc : 0;
+  }
+};
+
+/// Quantizes `w` (rank >= 2; dim 0 is the output-channel axis — conv
+/// filters are (K, C/g, k, k), fc weights (out, in)) with one symmetric
+/// max-abs scale per output channel. All-zero channels get scale 0 and
+/// all-zero codes.
+Result<QuantizedWeights> QuantizeWeightsPerChannel(const Tensor& w);
+
+}  // namespace vista
+
+#endif  // VISTA_TENSOR_QUANT_H_

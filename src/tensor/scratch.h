@@ -26,7 +26,13 @@ class KernelScratch {
     kIm2Col = 0,
     kPackA = 1,
     kPackB = 2,
-    kNumSlots = 3,
+    // Int8 inference plane: packed int8 A/B panels, the quantized
+    // activation staging buffer, and per-row combined dequant scales.
+    kPackAInt8 = 3,
+    kPackBInt8 = 4,
+    kQuantAct = 5,
+    kScales = 6,
+    kNumSlots = 7,
   };
 
   KernelScratch() = default;
@@ -38,6 +44,13 @@ class KernelScratch {
   /// Returns a 64-byte-aligned buffer holding at least `num_floats` floats.
   /// Contents are unspecified (kernels fully overwrite what they use).
   float* Acquire(Slot slot, size_t num_floats);
+
+  /// Byte-typed view of a slot for the int8 kernels: a 64-byte-aligned
+  /// buffer holding at least `num_bytes` bytes (backed by the same float
+  /// storage, rounded up).
+  void* AcquireBytes(Slot slot, size_t num_bytes) {
+    return Acquire(slot, (num_bytes + sizeof(float) - 1) / sizeof(float));
+  }
 
   /// Frees every slot (counters are kept). Mainly for tests that measure
   /// cold-start behavior.

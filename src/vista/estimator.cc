@@ -4,8 +4,10 @@
 
 namespace vista {
 
-int64_t LayerFeatureBytes(const dl::CnnArchitecture& arch, int layer_index) {
-  return arch.layer(layer_index).output_shape.num_elements() * 4;
+int64_t LayerFeatureBytes(const dl::CnnArchitecture& arch, int layer_index,
+                          dl::Precision precision) {
+  const int64_t elem_bytes = precision == dl::Precision::kInt8 ? 1 : 4;
+  return arch.layer(layer_index).output_shape.num_elements() * elem_bytes;
 }
 
 Result<SizeEstimates> EstimateSizes(const RosterEntry& entry,
@@ -30,9 +32,13 @@ Result<SizeEstimates> EstimateSizes(const RosterEntry& entry,
   est.t_img_tensor_bytes =
       n * (8 + 8 + entry.arch.input_shape().num_bytes());
 
+  // Materialized intermediates carry features at the workload's inference
+  // precision (int8 features are exactly 1/4 the bytes); the record-key
+  // and field-header overheads do not shrink.
   int64_t eager_record_payload = 0;
   for (int l : workload.layers) {
-    const int64_t feature_bytes = LayerFeatureBytes(entry.arch, l);
+    const int64_t feature_bytes =
+        LayerFeatureBytes(entry.arch, l, workload.precision);
     const int64_t ti = static_cast<int64_t>(
                            alpha * static_cast<double>(
                                        n * (8 + 8 + feature_bytes))) +
@@ -51,7 +57,10 @@ Result<SizeEstimates> EstimateSizes(const RosterEntry& entry,
                            static_cast<double>(n * (8 + eager_record_payload))) +
       est.t_str_bytes;
 
-  // Peak UDF (input + output) record buffers across staged hops.
+  // Peak UDF (input + output) record buffers across staged hops. These
+  // stay fp32 regardless of workload precision: the int8 path keeps layer
+  // boundaries (the tensors a UDF holds in flight) in fp32 and only
+  // materialized/serialized features shrink.
   const int64_t img_record = entry.arch.input_shape().num_bytes();
   int64_t peak_udf =
       img_record + LayerFeatureBytes(entry.arch, workload.layers[0]);

@@ -61,8 +61,12 @@ Result<SizeEstimates> EstimateSizes(const RosterEntry& entry,
                                     const DataStats& stats,
                                     double alpha = kDefaultAlpha);
 
-/// Per-record bytes of the full feature tensor of `layer_index`.
-int64_t LayerFeatureBytes(const dl::CnnArchitecture& arch, int layer_index);
+/// Per-record bytes of the full feature tensor of `layer_index` at the
+/// given inference precision: 4 bytes/element for fp32, exactly 1/4 of
+/// that (1 byte/element) for int8 — quantized intermediates are what the
+/// optimizer sizes when the workload runs int8.
+int64_t LayerFeatureBytes(const dl::CnnArchitecture& arch, int layer_index,
+                          dl::Precision precision = dl::Precision::kFp32);
 
 /// Downstream-model memory footprint |M|_mem: proportional to the total
 /// feature dimensionality (structured + the largest pooled CNN layer in L),

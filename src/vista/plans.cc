@@ -67,6 +67,9 @@ std::string CompiledPlan::ToString() const {
   std::ostringstream os;
   os << LogicalPlanToString(logical);
   if (pre_materialized_base) os << " (pre-materialized base)";
+  if (precision == dl::Precision::kInt8) {
+    os << " [" << dl::PrecisionName(precision) << "]";
+  }
   os << ":\n";
   for (const PlanStep& step : steps) {
     os << "  " << step.ToString() << "\n";
@@ -159,6 +162,7 @@ Result<CompiledPlan> CompilePlan(LogicalPlan plan,
   CompiledPlan out;
   out.logical = plan;
   out.pre_materialized_base = pre_materialized_base;
+  out.precision = workload.precision;
   auto& steps = out.steps;
   steps.push_back(ReadStruct());
   steps.push_back(ReadImages());

@@ -72,6 +72,9 @@ struct CompiledPlan {
   /// True when inference starts from a pre-materialized base layer table
   /// instead of raw images (Appendix B).
   bool pre_materialized_base = false;
+  /// Inference precision the plan was compiled for (stamped from the
+  /// workload); executors run every kInference step at this precision.
+  dl::Precision precision = dl::Precision::kFp32;
 
   std::string ToString() const;
 };

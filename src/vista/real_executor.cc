@@ -23,6 +23,17 @@ int64_t RangeFlops(const dl::CnnArchitecture& arch, int from_layer,
   return upto - before;
 }
 
+/// Ops of (from_layer, to_layer] that run on the quantized int8 kernel for
+/// one record (the conv/fc subset of RangeFlops).
+int64_t RangeInt8Ops(const dl::CnnModel& model, int from_layer,
+                     int to_layer) {
+  int64_t ops = 0;
+  for (int l = std::max(from_layer, -1) + 1; l <= to_layer; ++l) {
+    ops += model.layer_int8_ops(l);
+  }
+  return ops;
+}
+
 }  // namespace
 
 Status RealExecutorConfig::Validate() const {
@@ -58,6 +69,11 @@ Status RealExecutorConfig::Validate() const {
       par_raw > static_cast<int>(dl::CnnParallelism::kIntraImage)) {
     return Status::InvalidArgument("inference_parallelism out of range");
   }
+  const int prec_raw = static_cast<int>(precision);
+  if (prec_raw < static_cast<int>(dl::Precision::kFp32) ||
+      prec_raw > static_cast<int>(dl::Precision::kInt8)) {
+    return Status::InvalidArgument("precision out of range");
+  }
   if (prefetch_depth < -1 || prefetch_depth > 64) {
     return Status::InvalidArgument(
         "prefetch_depth must be -1 (compute-aware), 0 (off) or a fixed "
@@ -88,6 +104,18 @@ Status RealExecutorConfig::Validate() const {
       return Status::InvalidArgument(
           "decision tree config values must be >= 1");
     }
+  }
+  return Status::OK();
+}
+
+Status RealExecutorConfig::Validate(const dl::CnnModel* model) const {
+  VISTA_RETURN_IF_ERROR(Validate());
+  if (precision == dl::Precision::kInt8 && model != nullptr &&
+      !model->has_int8_calibration()) {
+    return Status::InvalidArgument(
+        "int8 precision configured but model '" + model->arch().name() +
+        "' has no int8 calibration — run CnnModel::CalibrateInt8 on a "
+        "sample batch before executing int8 plans");
   }
   return Status::OK();
 }
@@ -142,7 +170,8 @@ RealExecutor::RealExecutor(df::Engine* engine, const dl::CnnModel* model)
 Result<df::Table> RealExecutor::RunInference(const PlanStep& step,
                                              const df::Table& input,
                                              const RealExecutorConfig& config,
-                                             int64_t* flops) {
+                                             int64_t* flops,
+                                             int64_t* int8_ops) {
   const dl::CnnArchitecture& arch = model_->arch();
   const int source_layer = step.source_layer;
   const int source_slot = step.source_slot;
@@ -157,6 +186,10 @@ Result<df::Table> RealExecutor::RunInference(const PlanStep& step,
   if (!(produce.size() == 1 && produce[0] == source_layer)) {
     per_record_flops =
         RangeFlops(arch, std::max(source_layer, -1), produce.back());
+    if (config.precision == dl::Precision::kInt8) {
+      *int8_ops += RangeInt8Ops(*model_, source_layer, produce.back()) *
+                   input.num_records();
+    }
   }
   *flops += per_record_flops * input.num_records();
 
@@ -167,6 +200,7 @@ Result<df::Table> RealExecutor::RunInference(const PlanStep& step,
   dl::CnnOptions opts;
   opts.pool = engine_->pool();
   opts.parallelism = config.inference_parallelism;
+  opts.precision = config.precision;
 
   df::MemoryManager& memory = engine_->memory();
 
@@ -469,10 +503,12 @@ Status RealExecutor::RunSteps(const CompiledPlan& plan,
         obs::ScopedSpan span(&engine_->tracer(), "inference", "stage");
         Stopwatch watch;
         int64_t flops = 0;
+        int64_t int8_ops = 0;
         VISTA_ASSIGN_OR_RETURN(
             df::Table produced,
-            RunInference(step, in->second.table, config, &flops));
+            RunInference(step, in->second.table, config, &flops, &int8_ops));
         run.inference_flops += flops;
+        run.inference_int8_ops += int8_ops;
         // Attribute inference time to the layers being produced.
         const double seconds = watch.ElapsedSeconds();
         for (int l : step.produce_layers) {
@@ -587,7 +623,15 @@ Result<RealRunResult> RealExecutor::Run(const CompiledPlan& plan,
                                         const df::Table& t_str,
                                         const df::Table& t_img,
                                         const RealExecutorConfig& config) {
-  VISTA_RETURN_IF_ERROR(config.Validate());
+  VISTA_RETURN_IF_ERROR(config.Validate(model_));
+  if (plan.precision != config.precision) {
+    return Status::InvalidArgument(
+        std::string("plan was compiled for ") +
+        dl::PrecisionName(plan.precision) +
+        " but the executor is configured for " +
+        dl::PrecisionName(config.precision) +
+        " — recompile the plan or align RealExecutorConfig::precision");
+  }
   if (!config.auto_degrade) {
     return RunOnce(plan, workload, t_str, t_img, config);
   }
@@ -645,7 +689,7 @@ Result<df::Table> RealExecutor::PreMaterializeBase(
 Result<df::Table> RealExecutor::MaterializeLayer(
     const df::Table& input, int source_slot, int source_layer,
     int target_layer, const RealExecutorConfig& config, int64_t* flops) {
-  VISTA_RETURN_IF_ERROR(config.Validate());
+  VISTA_RETURN_IF_ERROR(config.Validate(model_));
   if (target_layer < 0 || target_layer >= model_->arch().num_layers()) {
     return Status::InvalidArgument("target layer out of range");
   }
@@ -664,7 +708,8 @@ Result<df::Table> RealExecutor::MaterializeLayer(
     step.source_layer = source_layer;
   }
   step.produce_layers = {target_layer};
-  return RunInference(step, input, config, flops);
+  int64_t int8_ops = 0;
+  return RunInference(step, input, config, flops, &int8_ops);
 }
 
 }  // namespace vista

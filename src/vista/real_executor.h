@@ -42,6 +42,13 @@ struct RealExecutorConfig {
   /// huge layers). Interacts with the optimizer's cpu knob — see
   /// DESIGN.md, "Kernel layer".
   dl::CnnParallelism inference_parallelism = dl::CnnParallelism::kInterImage;
+  /// Inference precision for every kInference step this executor runs.
+  /// kInt8 routes conv/fc primitives through the quantized GEMM kernel and
+  /// materializes features that are exactly 1/4 the fp32 bytes; it requires
+  /// the model to have been calibrated (CnnModel::CalibrateInt8) — the
+  /// model-aware Validate overload rejects the combination otherwise. Must
+  /// match the precision the plan was compiled for (CompiledPlan::precision).
+  dl::Precision precision = dl::Precision::kFp32;
   /// Read-ahead distance for spilled partitions, driving the engine's
   /// prefetch plane (the read-side mirror of the async spill writer):
   ///   0  — disabled (the default): every read is synchronous, exactly the
@@ -76,6 +83,12 @@ struct RealExecutorConfig {
   /// Every executor entry point validates; long-running services validate
   /// once at construction.
   Status Validate() const;
+
+  /// Model-aware validation: everything Validate() checks, plus precision
+  /// combinations that are only decidable against the model — int8 with a
+  /// model that has no calibration is rejected with a Status that names the
+  /// fix (CnnModel::CalibrateInt8). Null `model` degrades to Validate().
+  Status Validate(const dl::CnnModel* model) const;
 };
 
 /// Per-layer outcome of a feature-transfer run.
@@ -95,6 +108,11 @@ struct RealRunResult {
   double total_seconds = 0;
   /// Sum of CNN FLOPs actually executed (quantifies Lazy's redundancy).
   int64_t inference_flops = 0;
+  /// Of those, the ops executed on the quantized int8 kernel (conv/fc
+  /// primitives when the run's precision is int8; 0 for fp32 runs). The
+  /// per-layer breakdown accrues into the "dl.int8_ops.*" counters, which
+  /// EngineStats::dl_int8_ops mirrors.
+  int64_t inference_int8_ops = 0;
   df::EngineStats engine_stats;
   /// Degradation-ladder steps taken before the run completed (empty for a
   /// clean first-attempt run), e.g. "persistence: deserialized -> serialized".
@@ -186,9 +204,11 @@ class RealExecutor {
                   RealRunResult* run);
 
   /// Runs one inference step over `input`, producing the requested layers.
+  /// FLOPs executed accrue into `*flops`; the subset run on the quantized
+  /// int8 kernel (0 under fp32) accrues into `*int8_ops`.
   Result<df::Table> RunInference(const PlanStep& step, const df::Table& input,
                                  const RealExecutorConfig& config,
-                                 int64_t* flops);
+                                 int64_t* flops, int64_t* int8_ops);
 
   Result<LayerRunResult> RunTrain(const PlanStep& step,
                                   const TransferWorkload& workload,

@@ -188,6 +188,60 @@ TEST_F(OptimizerTest, DeserializedWhenIntermediatesFit) {
   EXPECT_EQ(d->persistence, df::PersistenceFormat::kDeserialized);
 }
 
+TEST_F(OptimizerTest, Int8FeatureBytesAreExactlyQuarterOfFp32) {
+  for (auto cnn : {dl::KnownCnn::kAlexNet, dl::KnownCnn::kVgg16,
+                   dl::KnownCnn::kResNet50}) {
+    const auto& entry = Entry(cnn);
+    TransferWorkload w = Workload(cnn, cnn == dl::KnownCnn::kVgg16 ? 3 : 4);
+    for (int l : w.layers) {
+      EXPECT_EQ(LayerFeatureBytes(entry.arch, l, dl::Precision::kInt8) * 4,
+                LayerFeatureBytes(entry.arch, l, dl::Precision::kFp32))
+          << entry.name() << " layer " << l;
+    }
+  }
+}
+
+TEST_F(OptimizerTest, Int8EstimatorShrinksFeaturePayloadOnly) {
+  // Eq. 16 under int8: the feature payload drops to 1 byte/element while
+  // the record key overhead and the structured table stay fp32-sized.
+  const auto& entry = Entry(dl::KnownCnn::kAlexNet);
+  TransferWorkload w = Workload(dl::KnownCnn::kAlexNet, 2);  // fc7, fc8.
+  w.precision = dl::Precision::kInt8;
+  auto est = EstimateSizes(entry, w, Foods(), 2.0);
+  ASSERT_TRUE(est.ok());
+  const int64_t t_str = 20000 * (16 + 4 * 130);
+  EXPECT_EQ(est->t_str_bytes, t_str);
+  EXPECT_EQ(est->t_i_bytes[0], 2 * 20000 * (16 + 4096LL * 1) + t_str);
+
+  TransferWorkload w32 = Workload(dl::KnownCnn::kAlexNet, 2);
+  auto est32 = EstimateSizes(entry, w32, Foods(), 2.0);
+  ASSERT_TRUE(est32.ok());
+  // The UDF inference buffers stay fp32 (the quantized path keeps layer
+  // outputs in fp32 between hops), so that term must not shrink.
+  EXPECT_EQ(est->udf_record_bytes, est32->udf_record_bytes);
+  EXPECT_LT(est->s_double, est32->s_double);
+}
+
+TEST_F(OptimizerTest, Int8FlipsPersistenceToDeserialized) {
+  // Twin of SerializedWhenIntermediatesExceedStorage: the same
+  // ResNet50-on-Amazon workload whose fp32 intermediates overflow the
+  // per-worker storage region fits once int8 quarters the feature bytes,
+  // so the optimizer flips the persistence format.
+  SystemEnv env;
+  TransferWorkload w32 = Workload(dl::KnownCnn::kResNet50, 5);
+  auto d32 = OptimizeFeatureTransfer(env, Entry(dl::KnownCnn::kResNet50),
+                                     w32, Amazon());
+  ASSERT_TRUE(d32.ok());
+  ASSERT_EQ(d32->persistence, df::PersistenceFormat::kSerialized);
+
+  TransferWorkload w8 = Workload(dl::KnownCnn::kResNet50, 5);
+  w8.precision = dl::Precision::kInt8;
+  auto d8 = OptimizeFeatureTransfer(env, Entry(dl::KnownCnn::kResNet50),
+                                    w8, Amazon());
+  ASSERT_TRUE(d8.ok());
+  EXPECT_EQ(d8->persistence, df::PersistenceFormat::kDeserialized);
+}
+
 TEST_F(OptimizerTest, InfeasibleOnTinyNodes) {
   SystemEnv env;
   env.node_memory_bytes = GiB(8);  // Too small for VGG replicas + regions.

@@ -76,6 +76,85 @@ TEST(RealExecutorTest, StagedPlanRunsEndToEnd) {
   EXPECT_GT(result->inference_flops, 0);
 }
 
+std::vector<Tensor> CalibrationBatch(const dl::CnnModel& model, int count) {
+  Rng rng(77);
+  std::vector<Tensor> images;
+  for (int i = 0; i < count; ++i) {
+    images.push_back(Tensor::RandomGaussian(model.arch().input_shape(), &rng));
+  }
+  return images;
+}
+
+TEST(RealExecutorTest, ValidateRejectsInt8WithoutCalibration) {
+  Fixture f = Fixture::Make();
+  RealExecutorConfig config = FastConfig();
+  config.precision = dl::Precision::kInt8;
+  Status st = config.Validate(f.model.get());
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_NE(st.message().find("calibration"), std::string::npos) << st;
+
+  ASSERT_TRUE(f.model->CalibrateInt8(CalibrationBatch(*f.model, 2)).ok());
+  EXPECT_TRUE(config.Validate(f.model.get()).ok());
+}
+
+TEST(RealExecutorTest, RunRejectsPlanConfigPrecisionMismatch) {
+  Fixture f = Fixture::Make();
+  ASSERT_TRUE(f.model->CalibrateInt8(CalibrationBatch(*f.model, 2)).ok());
+  RealExecutor executor(f.engine.get(), f.model.get());
+
+  // Plan compiled fp32, executor configured int8.
+  auto plan = CompilePlan(LogicalPlan::kStaged, f.workload);
+  ASSERT_TRUE(plan.ok());
+  RealExecutorConfig config = FastConfig();
+  config.precision = dl::Precision::kInt8;
+  auto result = executor.Run(*plan, f.workload, f.t_str, f.t_img, config);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+  EXPECT_NE(result.status().message().find("compiled"), std::string::npos);
+
+  // And the reverse: int8 plan, fp32 executor.
+  TransferWorkload w8 = f.workload;
+  w8.precision = dl::Precision::kInt8;
+  auto plan8 = CompilePlan(LogicalPlan::kStaged, w8);
+  ASSERT_TRUE(plan8.ok());
+  auto result8 =
+      executor.Run(*plan8, w8, f.t_str, f.t_img, FastConfig());
+  ASSERT_FALSE(result8.ok());
+  EXPECT_TRUE(result8.status().IsInvalidArgument());
+}
+
+TEST(RealExecutorTest, Int8StagedRunMetersQuantizedOps) {
+  Fixture f = Fixture::Make();
+  ASSERT_TRUE(f.model->CalibrateInt8(CalibrationBatch(*f.model, 2)).ok());
+  f.model->EnableProfiling(&f.engine->metrics());
+  RealExecutor executor(f.engine.get(), f.model.get());
+
+  TransferWorkload w8 = f.workload;
+  w8.precision = dl::Precision::kInt8;
+  auto plan = CompilePlan(LogicalPlan::kStaged, w8);
+  ASSERT_TRUE(plan.ok());
+  RealExecutorConfig config = FastConfig();
+  config.precision = dl::Precision::kInt8;
+  auto result = executor.Run(*plan, w8, f.t_str, f.t_img, config);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->per_layer.size(), 3u);
+  for (const auto& layer : result->per_layer) {
+    EXPECT_GT(layer.test_metrics.total(), 0);
+  }
+  // The analytic accounting and the per-layer profiling counters both see
+  // the quantized work.
+  EXPECT_GT(result->inference_int8_ops, 0);
+  EXPECT_GT(f.engine->stats().dl_int8_ops, 0);
+
+  // An fp32 run of the same workload meters no int8 ops.
+  auto plan32 = CompilePlan(LogicalPlan::kStaged, f.workload);
+  ASSERT_TRUE(plan32.ok());
+  auto result32 =
+      executor.Run(*plan32, f.workload, f.t_str, f.t_img, FastConfig());
+  ASSERT_TRUE(result32.ok());
+  EXPECT_EQ(result32->inference_int8_ops, 0);
+}
+
 // The paper's Section 5.2 invariant: every logical plan trains identical
 // downstream models for a given layer. With deterministic training, the
 // test metrics must be bit-identical across plans, joins, and formats.

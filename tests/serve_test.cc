@@ -593,6 +593,27 @@ TEST(ViewCacheTest, LookupReturnsDeepestUsableLayer) {
   EXPECT_FALSE(cache.Lookup("m", 8, 9).has_value());
 }
 
+TEST(ViewCacheTest, PrecisionsNeverShareViews) {
+  // Int8 and fp32 feature views are numerically different tensors, so a
+  // lookup must only ever see views of its own precision.
+  df::Engine engine({});
+  df::Table t = SmallTable(&engine, 8, 3);
+  FeatureViewCache cache(&engine.memory());
+  ASSERT_TRUE(cache.Insert("m", 7, MaterializedView{t, 3}, 30,
+                           dl::Precision::kFp32));
+  ASSERT_TRUE(cache.Insert("m", 7, MaterializedView{t, 1}, 10,
+                           dl::Precision::kInt8));
+
+  EXPECT_EQ(cache.Lookup("m", 7, 9)->layer, 3);  // fp32 default.
+  EXPECT_EQ(cache.Lookup("m", 7, 9, dl::Precision::kInt8)->layer, 1);
+  // The fp32 layer-3 view must not satisfy an int8 lookup, and vice versa.
+  EXPECT_FALSE(cache.Lookup("m", 7, 2).has_value());
+  EXPECT_FALSE(
+      cache.Lookup("m", 7, 2, dl::Precision::kInt8).has_value() &&
+      cache.Lookup("m", 7, 2, dl::Precision::kInt8)->layer != 1);
+  EXPECT_EQ(cache.Lookup("m", 7, 2, dl::Precision::kInt8)->layer, 1);
+}
+
 TEST(ViewCacheTest, RejectsViewThatCannotEverFit) {
   df::MemoryBudgets budgets;
   budgets.storage = 64;

@@ -12,7 +12,9 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cstring>
 #include <thread>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "common/random.h"
@@ -375,6 +377,145 @@ int RunKernelSmoke(int argc, char** argv) {
                 "packed, %.1f GOP/s, rel L2 err %.4f)\n",
                 GemmInt8KernelName(), int8_ms, speedup_vs_fp32, gops,
                 rel_l2_error);
+  }
+
+  // --- Implicit-GEMM convolution vs the explicit im2col path on a
+  // VGG-style 3x3 conv (64 ch, 112x112, 48 filters — a large-spatial
+  // shape where the materialized 29 MB patch matrix spills the L2 cache,
+  // so the fused packer's single pass over the input shows up as
+  // wall-clock). The gate tracks the machine-independent speedup, the
+  // bit-identity indicator (the implicit packer must reproduce the
+  // materialized expansion's output exactly), and the deterministic
+  // scratch-footprint ratio measured on fresh arenas (explicit = im2col
+  // expansion + packed panels, implicit = panels only).
+  const int64_t conv_c = 64, conv_hw = 112, conv_f = 48;
+  const int conv_k = 3, conv_s = 1, conv_p = 1;
+  Rng conv_rng(6);
+  Tensor conv_in =
+      Tensor::RandomGaussian(Shape{conv_c, conv_hw, conv_hw}, &conv_rng);
+  Tensor conv_w = Tensor::RandomGaussian(
+      Shape{conv_f, conv_c, conv_k, conv_k}, &conv_rng);
+  Tensor conv_b = Tensor::RandomGaussian(Shape{conv_f}, &conv_rng);
+  {
+    const auto ex = [&] {
+      return Conv2DGemmEx(conv_in, conv_w, conv_b, conv_s, conv_p, 1,
+                          /*relu=*/false, nullptr);
+    };
+    const auto im = [&] {
+      return Conv2DGemmImplicit(conv_in, conv_w, conv_b, conv_s, conv_p, 1,
+                                /*relu=*/false, nullptr);
+    };
+    auto ex_out = ex();  // Warm-up + the bit-identity operands.
+    auto im_out = im();
+    const bool identical =
+        ex_out.ok() && im_out.ok() &&
+        std::memcmp(ex_out->data(), im_out->data(),
+                    static_cast<size_t>(ex_out->num_elements()) *
+                        sizeof(float)) == 0;
+    const double ex_ms = TimeMs(9, [&] { benchmark::DoNotOptimize(ex()); });
+    const double im_ms = TimeMs(9, [&] { benchmark::DoNotOptimize(im()); });
+    const double speedup = ex_ms / im_ms;
+
+    // Footprint on fresh arenas (deterministic: pure Acquire accounting).
+    const int64_t rows = conv_c * conv_k * conv_k;
+    const int64_t spatial = conv_hw * conv_hw;
+    std::vector<float> c(static_cast<size_t>(conv_f * spatial));
+    KernelScratch implicit_arena;
+    ConvPatchView view;
+    view.input = conv_in.data();
+    view.h = conv_hw;
+    view.w = conv_hw;
+    view.kernel = conv_k;
+    view.stride = conv_s;
+    view.pad = conv_p;
+    view.w_out = conv_hw;
+    GemmPackedConv(conv_f, spatial, rows, conv_w.data(), rows, view,
+                   c.data(), spatial, GemmEpilogue{}, &implicit_arena);
+    auto cols = Im2Col(conv_in, conv_k, conv_s, conv_p, 1);
+    KernelScratch explicit_arena;
+    float* buf = explicit_arena.Acquire(KernelScratch::Slot::kIm2Col,
+                                        static_cast<size_t>(rows * spatial));
+    std::memcpy(buf, cols->data(),
+                static_cast<size_t>(rows * spatial) * sizeof(float));
+    GemmPacked(conv_f, spatial, rows, conv_w.data(), rows, buf, spatial,
+               c.data(), spatial, GemmEpilogue{}, &explicit_arena);
+    const double temp_ratio =
+        static_cast<double>(explicit_arena.peak_bytes()) /
+        static_cast<double>(implicit_arena.peak_bytes());
+
+    obs::Json ic = obs::Json::Object();
+    ic.Set("channels", obs::Json::Int(conv_c));
+    ic.Set("hw", obs::Json::Int(conv_hw));
+    ic.Set("filters", obs::Json::Int(conv_f));
+    ic.Set("im2col_ms", obs::Json::Num(ex_ms));
+    ic.Set("implicit_ms", obs::Json::Num(im_ms));
+    ic.Set("implicit_speedup_vs_im2col", obs::Json::Num(speedup));
+    ic.Set("bit_identical", obs::Json::Num(identical ? 1.0 : 0.0));
+    ic.Set("implicit_temp_bytes",
+           obs::Json::Int(implicit_arena.peak_bytes()));
+    ic.Set("im2col_temp_bytes", obs::Json::Int(explicit_arena.peak_bytes()));
+    ic.Set("conv_temp_bytes_ratio", obs::Json::Num(temp_ratio));
+    reporter.AddSection("implicit_conv", std::move(ic));
+    std::printf("implicit conv 64x112x112 k3: im2col %.2f ms, implicit "
+                "%.2f ms (%.2fx, bit-identical %d, temp ratio %.1fx)\n",
+                ex_ms, im_ms, speedup, identical ? 1 : 0, temp_ratio);
+  }
+
+  // --- Int8 implicit conv vs the legacy fp32-im2col-then-quantize detour
+  // on the same shape: materialize the expansion, quantize it, run the
+  // memory-sourced int8 kernel — versus quantizing during the gather.
+  {
+    auto qw = QuantizeWeightsPerChannel(conv_w);
+    const float act_scale =
+        SymmetricScale(MaxAbs(conv_in.data(), conv_in.num_elements()));
+    const int64_t rows = conv_c * conv_k * conv_k;
+    const int64_t spatial = conv_hw * conv_hw;
+    std::vector<float> scales(static_cast<size_t>(conv_f));
+    for (int64_t i = 0; i < conv_f; ++i) {
+      scales[static_cast<size_t>(i)] =
+          qw->scales[static_cast<size_t>(i)] * act_scale;
+    }
+    std::vector<int8_t> cols_q(static_cast<size_t>(rows * spatial));
+    Tensor legacy_out(Shape{conv_f, conv_hw, conv_hw});
+    KernelScratch& scratch = KernelScratch::ThreadLocal();
+    const auto legacy = [&] {
+      auto cols = Im2Col(conv_in, conv_k, conv_s, conv_p, 1);
+      QuantizeSymmetric(cols->data(), rows * spatial, act_scale,
+                        cols_q.data());
+      GemmInt8Epilogue epilogue;
+      epilogue.scale = scales.data();
+      epilogue.bias = conv_b.data();
+      GemmPackedInt8(conv_f, spatial, rows, qw->data.data(), rows,
+                     cols_q.data(), spatial, legacy_out.mutable_data(),
+                     spatial, epilogue, &scratch);
+      benchmark::DoNotOptimize(legacy_out.mutable_data());
+    };
+    const auto implicit = [&] {
+      return Conv2DGemmInt8(conv_in, *qw, conv_b, conv_s, conv_p, 1,
+                            /*relu=*/false, act_scale, nullptr);
+    };
+    legacy();  // Warm-up + bit-identity operands.
+    auto im_out = implicit();
+    const bool identical =
+        im_out.ok() &&
+        std::memcmp(legacy_out.data(), im_out->data(),
+                    static_cast<size_t>(legacy_out.num_elements()) *
+                        sizeof(float)) == 0;
+    const double legacy_ms = TimeMs(9, legacy);
+    const double im_ms =
+        TimeMs(9, [&] { benchmark::DoNotOptimize(implicit()); });
+    const double speedup = legacy_ms / im_ms;
+    obs::Json iq = obs::Json::Object();
+    iq.Set("kernel", obs::Json::Str(GemmInt8KernelName()));
+    iq.Set("legacy_ms", obs::Json::Num(legacy_ms));
+    iq.Set("implicit_ms", obs::Json::Num(im_ms));
+    iq.Set("implicit_speedup_vs_im2col", obs::Json::Num(speedup));
+    iq.Set("bit_identical", obs::Json::Num(identical ? 1.0 : 0.0));
+    reporter.AddSection("implicit_conv_int8", std::move(iq));
+    std::printf("implicit conv int8 64x112x112 k3 [%s]: legacy %.2f ms, "
+                "implicit %.2f ms (%.2fx, bit-identical %d)\n",
+                GemmInt8KernelName(), legacy_ms, im_ms, speedup,
+                identical ? 1 : 0);
   }
 
   // --- Batched partial inference: 8 images through MicroAlexNet, serial

@@ -6,6 +6,7 @@
 
 #include "common/flat_map.h"
 #include "common/logging.h"
+#include "tensor/scratch.h"
 
 namespace vista::df {
 namespace {
@@ -284,6 +285,11 @@ EngineStats Engine::stats() const {
       s.dl_int8_ops += c->value();
     }
   }
+  // Kernel-scratch footprint: refresh the gauge from the process-wide
+  // high-water mark so the registry and the stats snapshot agree.
+  obs::Gauge* g_scratch = metrics_->gauge("scratch.peak_bytes");
+  g_scratch->Set(KernelScratch::GlobalPeakBytes());
+  s.scratch_peak_bytes = g_scratch->value();
   s.recovery.retries = task_retries_.load() + spill_->io_retries();
   s.recovery.recomputed_partitions = recomputed_partitions_.load();
   s.recovery.injected_faults = injector_->total_injected();

@@ -148,6 +148,13 @@ struct EngineStats {
   /// on the quantized int8 kernel (0 unless some run used int8 precision).
   int64_t dl_flops = 0;
   int64_t dl_int8_ops = 0;
+  /// Process-wide high-water mark of the kernel scratch arenas (packed
+  /// GEMM panels across every thread; the im2col slot only when the
+  /// explicit reference conv ran) — KernelScratch::GlobalPeakBytes()
+  /// mirrored through the "scratch.peak_bytes" gauge. This is the
+  /// measured DL-execution Temp footprint that the estimator's
+  /// ConvTempBytes predicts.
+  int64_t scratch_peak_bytes = 0;
   /// Retries, lineage recomputations, and injected faults since engine
   /// construction (degradations are filled in by the executor layer).
   RecoveryStats recovery;

@@ -58,6 +58,65 @@ void Im2ColInto(const float* in, int64_t c, int64_t h, int64_t w, int kernel,
   }
 }
 
+/// Shared shape validation + derived geometry for the Conv2DGemm* family.
+/// `name` prefixes error messages so each entry point keeps its own
+/// diagnostics.
+struct ConvGeom {
+  int64_t k_total = 0;
+  int kernel = 1;
+  int64_t c = 0;
+  int64_t h = 0;
+  int64_t w = 0;
+  int64_t h_out = 0;
+  int64_t w_out = 0;
+  int64_t c_per_group = 0;
+  int64_t rows = 0;     // Patch rows per group: c/groups * kernel^2.
+  int64_t spatial = 0;  // h_out * w_out.
+  int64_t k_per_group = 0;
+};
+
+Status ComputeConvGeom(const char* name, const Shape& in_shape,
+                       const Shape& ws, const Shape& bias_shape, int stride,
+                       int pad, int groups, ConvGeom* g) {
+  const std::string p(name);
+  if (ws.rank() != 4 || bias_shape.rank() != 1) {
+    return Status::InvalidArgument(p + ": bad weights/bias rank");
+  }
+  g->k_total = ws.dim(0);
+  g->kernel = static_cast<int>(ws.dim(2));
+  if (ws.dim(2) != ws.dim(3)) {
+    return Status::InvalidArgument(p + ": non-square kernel");
+  }
+  if (groups < 1 || g->k_total % groups != 0 ||
+      bias_shape.dim(0) != g->k_total) {
+    return Status::InvalidArgument(p + ": filters/groups mismatch");
+  }
+  g->c = in_shape.rank() == 3 ? in_shape.dim(0) : 0;
+  if (in_shape.rank() != 3 || g->c % groups != 0 ||
+      ws.dim(1) != g->c / groups) {
+    return Status::InvalidArgument(
+        p + ": input channels incompatible with weights/groups");
+  }
+  if (g->kernel < 1 || stride < 1 || pad < 0) {
+    return Status::InvalidArgument(p + ": bad kernel/stride/pad");
+  }
+  g->h = in_shape.dim(1);
+  g->w = in_shape.dim(2);
+  if (g->kernel > g->h + 2 * pad || g->kernel > g->w + 2 * pad) {
+    return Status::InvalidArgument(p + ": kernel larger than padded input");
+  }
+  g->h_out = (g->h + 2 * pad - g->kernel) / stride + 1;
+  g->w_out = (g->w + 2 * pad - g->kernel) / stride + 1;
+  if (g->h_out <= 0 || g->w_out <= 0) {
+    return Status::InvalidArgument(p + ": empty output");
+  }
+  g->c_per_group = g->c / groups;
+  g->rows = g->c_per_group * g->kernel * g->kernel;
+  g->spatial = g->h_out * g->w_out;
+  g->k_per_group = g->k_total / groups;
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<Tensor> MatMul(const Tensor& a, const Tensor& b) {
@@ -130,79 +189,100 @@ Result<Tensor> Im2Col(const Tensor& input, int kernel, int stride, int pad,
 Result<Tensor> Conv2DGemm(const Tensor& input, const Tensor& weights,
                           const Tensor& bias, int stride, int pad,
                           int groups) {
-  return Conv2DGemmEx(input, weights, bias, stride, pad, groups,
-                      /*relu=*/false, /*pool=*/nullptr);
+  return Conv2DGemmImplicit(input, weights, bias, stride, pad, groups,
+                            /*relu=*/false, /*pool=*/nullptr);
 }
 
 Result<Tensor> Conv2DGemmEx(const Tensor& input, const Tensor& weights,
                             const Tensor& bias, int stride, int pad,
                             int groups, bool relu, ThreadPool* pool) {
-  if (weights.shape().rank() != 4 || bias.shape().rank() != 1) {
-    return Status::InvalidArgument("Conv2DGemm: bad weights/bias rank");
-  }
-  const int64_t k_total = weights.shape().dim(0);
-  const int kernel = static_cast<int>(weights.shape().dim(2));
-  if (weights.shape().dim(2) != weights.shape().dim(3)) {
-    return Status::InvalidArgument("Conv2DGemm: non-square kernel");
-  }
-  if (groups < 1 || k_total % groups != 0 ||
-      bias.shape().dim(0) != k_total) {
-    return Status::InvalidArgument("Conv2DGemm: filters/groups mismatch");
-  }
-  const int64_t c = input.shape().dim(0);
-  if (input.shape().rank() != 3 || c % groups != 0 ||
-      weights.shape().dim(1) != c / groups) {
-    return Status::InvalidArgument(
-        "Conv2DGemm: input channels incompatible with weights/groups");
-  }
-  if (kernel < 1 || stride < 1 || pad < 0) {
-    return Status::InvalidArgument("Conv2DGemm: bad kernel/stride/pad");
-  }
-  const int64_t h = input.shape().dim(1);
-  const int64_t w = input.shape().dim(2);
-  if (kernel > h + 2 * pad || kernel > w + 2 * pad) {
-    return Status::InvalidArgument(
-        "Conv2DGemm: kernel larger than padded input");
-  }
-  const int64_t h_out = (h + 2 * pad - kernel) / stride + 1;
-  const int64_t w_out = (w + 2 * pad - kernel) / stride + 1;
-  if (h_out <= 0 || w_out <= 0) {
-    return Status::InvalidArgument("Conv2DGemm: empty output");
-  }
-  const int64_t c_per_group = c / groups;
-  const int64_t rows = c_per_group * kernel * kernel;
-  const int64_t spatial = h_out * w_out;
-  const int64_t k_per_group = k_total / groups;
-
+  ConvGeom g;
+  VISTA_RETURN_IF_ERROR(ComputeConvGeom("Conv2DGemm", input.shape(),
+                                        weights.shape(), bias.shape(), stride,
+                                        pad, groups, &g));
   // im2col into the thread-local arena: reused across layers and images,
-  // so a warmed-up convolution performs no scratch allocation.
+  // so a warmed-up convolution performs no scratch allocation. This is the
+  // only remaining producer of the kIm2Col slot — the implicit hot path
+  // below never materializes the expansion.
   KernelScratch& scratch = KernelScratch::ThreadLocal();
   float* cols = scratch.Acquire(
       KernelScratch::Slot::kIm2Col,
-      static_cast<size_t>(groups * rows * spatial));
-  Im2ColInto(input.data(), c, h, w, kernel, stride, pad, groups, h_out,
-             w_out, cols);
+      static_cast<size_t>(groups * g.rows * g.spatial));
+  Im2ColInto(input.data(), g.c, g.h, g.w, g.kernel, stride, pad, groups,
+             g.h_out, g.w_out, cols);
 
-  Tensor out(Shape{k_total, h_out, w_out});
+  Tensor out(Shape{g.k_total, g.h_out, g.w_out});
   float* o = out.mutable_data();
   const float* wt = weights.data();
   const float* b = bias.data();
-  for (int64_t g = 0; g < groups; ++g) {
+  for (int64_t gi = 0; gi < groups; ++gi) {
     // Zero-copy group views: the group's filter matrix (k_per_group x rows)
     // and patch matrix (rows x spatial) are contiguous slices addressed by
     // pointer + stride, never materialized as tensors.
     GemmEpilogue epilogue;
-    epilogue.bias = b + g * k_per_group;
+    epilogue.bias = b + gi * g.k_per_group;
     epilogue.relu = relu;
-    const float* a_g = wt + g * k_per_group * rows;
-    const float* b_g = cols + g * rows * spatial;
-    float* c_g = o + g * k_per_group * spatial;
+    const float* a_g = wt + gi * g.k_per_group * g.rows;
+    const float* b_g = cols + gi * g.rows * g.spatial;
+    float* c_g = o + gi * g.k_per_group * g.spatial;
     if (pool != nullptr) {
-      GemmPackedParallel(k_per_group, spatial, rows, a_g, rows, b_g, spatial,
-                         c_g, spatial, epilogue, pool);
+      GemmPackedParallel(g.k_per_group, g.spatial, g.rows, a_g, g.rows, b_g,
+                         g.spatial, c_g, g.spatial, epilogue, pool);
     } else {
-      GemmPacked(k_per_group, spatial, rows, a_g, rows, b_g, spatial, c_g,
-                 spatial, epilogue, &scratch);
+      GemmPacked(g.k_per_group, g.spatial, g.rows, a_g, g.rows, b_g,
+                 g.spatial, c_g, g.spatial, epilogue, &scratch);
+    }
+  }
+  return out;
+}
+
+Result<Tensor> Conv2DGemmImplicit(const Tensor& input, const Tensor& weights,
+                                  const Tensor& bias, int stride, int pad,
+                                  int groups, bool relu, ThreadPool* pool) {
+  ConvGeom g;
+  VISTA_RETURN_IF_ERROR(ComputeConvGeom("Conv2DGemm", input.shape(),
+                                        weights.shape(), bias.shape(), stride,
+                                        pad, groups, &g));
+  KernelScratch& scratch = KernelScratch::ThreadLocal();
+  Tensor out(Shape{g.k_total, g.h_out, g.w_out});
+  float* o = out.mutable_data();
+  const float* wt = weights.data();
+  const float* b = bias.data();
+  // 1x1 / stride-1 / pad-0: the patch matrix IS the group's input slice
+  // (rows = c_per_group, columns = the h*w pixels), so the packed GEMM can
+  // read it in place with ldb = h*w — no gather at all.
+  const bool unit = g.kernel == 1 && stride == 1 && pad == 0;
+  for (int64_t gi = 0; gi < groups; ++gi) {
+    GemmEpilogue epilogue;
+    epilogue.bias = b + gi * g.k_per_group;
+    epilogue.relu = relu;
+    const float* a_g = wt + gi * g.k_per_group * g.rows;
+    const float* in_g = input.data() + gi * g.c_per_group * g.h * g.w;
+    float* c_g = o + gi * g.k_per_group * g.spatial;
+    if (unit) {
+      if (pool != nullptr) {
+        GemmPackedParallel(g.k_per_group, g.spatial, g.rows, a_g, g.rows,
+                           in_g, g.spatial, c_g, g.spatial, epilogue, pool);
+      } else {
+        GemmPacked(g.k_per_group, g.spatial, g.rows, a_g, g.rows, in_g,
+                   g.spatial, c_g, g.spatial, epilogue, &scratch);
+      }
+      continue;
+    }
+    ConvPatchView view;
+    view.input = in_g;
+    view.h = g.h;
+    view.w = g.w;
+    view.kernel = g.kernel;
+    view.stride = stride;
+    view.pad = pad;
+    view.w_out = g.w_out;
+    if (pool != nullptr) {
+      GemmPackedConvParallel(g.k_per_group, g.spatial, g.rows, a_g, g.rows,
+                             view, c_g, g.spatial, epilogue, pool);
+    } else {
+      GemmPackedConv(g.k_per_group, g.spatial, g.rows, a_g, g.rows, view,
+                     c_g, g.spatial, epilogue, &scratch);
     }
   }
   return out;
@@ -212,85 +292,57 @@ Result<Tensor> Conv2DGemmInt8(const Tensor& input, const QuantizedWeights& qw,
                               const Tensor& bias, int stride, int pad,
                               int groups, bool relu, float act_scale,
                               ThreadPool* pool) {
-  const Shape& ws = qw.shape;
-  if (ws.rank() != 4 || bias.shape().rank() != 1) {
-    return Status::InvalidArgument("Conv2DGemmInt8: bad weights/bias rank");
-  }
-  const int64_t k_total = ws.dim(0);
-  const int kernel = static_cast<int>(ws.dim(2));
-  if (ws.dim(2) != ws.dim(3)) {
-    return Status::InvalidArgument("Conv2DGemmInt8: non-square kernel");
-  }
-  if (groups < 1 || k_total % groups != 0 ||
-      bias.shape().dim(0) != k_total ||
-      static_cast<int64_t>(qw.scales.size()) != k_total ||
-      static_cast<int64_t>(qw.data.size()) != ws.num_elements()) {
+  ConvGeom g;
+  VISTA_RETURN_IF_ERROR(ComputeConvGeom("Conv2DGemmInt8", input.shape(),
+                                        qw.shape, bias.shape(), stride, pad,
+                                        groups, &g));
+  if (static_cast<int64_t>(qw.scales.size()) != g.k_total ||
+      static_cast<int64_t>(qw.data.size()) != qw.shape.num_elements()) {
     return Status::InvalidArgument("Conv2DGemmInt8: filters/groups mismatch");
   }
-  const int64_t c = input.shape().dim(0);
-  if (input.shape().rank() != 3 || c % groups != 0 ||
-      ws.dim(1) != c / groups) {
-    return Status::InvalidArgument(
-        "Conv2DGemmInt8: input channels incompatible with weights/groups");
-  }
-  if (kernel < 1 || stride < 1 || pad < 0) {
-    return Status::InvalidArgument("Conv2DGemmInt8: bad kernel/stride/pad");
-  }
-  const int64_t h = input.shape().dim(1);
-  const int64_t w = input.shape().dim(2);
-  if (kernel > h + 2 * pad || kernel > w + 2 * pad) {
-    return Status::InvalidArgument(
-        "Conv2DGemmInt8: kernel larger than padded input");
-  }
-  const int64_t h_out = (h + 2 * pad - kernel) / stride + 1;
-  const int64_t w_out = (w + 2 * pad - kernel) / stride + 1;
-  if (h_out <= 0 || w_out <= 0) {
-    return Status::InvalidArgument("Conv2DGemmInt8: empty output");
-  }
-  const int64_t c_per_group = c / groups;
-  const int64_t rows = c_per_group * kernel * kernel;
-  const int64_t spatial = h_out * w_out;
-  const int64_t k_per_group = k_total / groups;
-
-  // fp32 im2col exactly as Conv2DGemmEx, then one per-tensor symmetric
-  // quantization pass over the expansion into the int8 staging slot.
+  // No im2col and no staging quantization pass: the implicit B packer
+  // quantizes each gathered patch value with act_scale while packing
+  // panels (the exact QuantizeSymmetric expression, so accumulators match
+  // the old quantize-the-expansion path bit for bit). The only scratch
+  // this path touches beyond the packed panels is the k_total-float
+  // combined-scale vector.
   KernelScratch& scratch = KernelScratch::ThreadLocal();
-  const int64_t col_elems = groups * rows * spatial;
-  float* cols = scratch.Acquire(KernelScratch::Slot::kIm2Col,
-                                static_cast<size_t>(col_elems));
-  Im2ColInto(input.data(), c, h, w, kernel, stride, pad, groups, h_out,
-             w_out, cols);
-  int8_t* qcols = static_cast<int8_t*>(scratch.AcquireBytes(
-      KernelScratch::Slot::kQuantAct, static_cast<size_t>(col_elems)));
-  QuantizeSymmetric(cols, col_elems, act_scale, qcols);
 
   // Per-row combined dequant scale: weight channel scale x activation
   // scale (0 when either side hit the zero-scale guard).
   float* scales = scratch.Acquire(KernelScratch::Slot::kScales,
-                                  static_cast<size_t>(k_total));
+                                  static_cast<size_t>(g.k_total));
   const float act = act_scale > 0.0f ? act_scale : 0.0f;
-  for (int64_t i = 0; i < k_total; ++i) {
+  for (int64_t i = 0; i < g.k_total; ++i) {
     scales[i] = qw.scales[static_cast<size_t>(i)] * act;
   }
 
-  Tensor out(Shape{k_total, h_out, w_out});
+  Tensor out(Shape{g.k_total, g.h_out, g.w_out});
   float* o = out.mutable_data();
   const int8_t* wt = qw.data.data();
   const float* b = bias.data();
-  for (int64_t g = 0; g < groups; ++g) {
+  for (int64_t gi = 0; gi < groups; ++gi) {
     GemmInt8Epilogue epilogue;
-    epilogue.scale = scales + g * k_per_group;
-    epilogue.bias = b + g * k_per_group;
+    epilogue.scale = scales + gi * g.k_per_group;
+    epilogue.bias = b + gi * g.k_per_group;
     epilogue.relu = relu;
-    const int8_t* a_g = wt + g * k_per_group * rows;
-    const int8_t* b_g = qcols + g * rows * spatial;
-    float* c_g = o + g * k_per_group * spatial;
+    const int8_t* a_g = wt + gi * g.k_per_group * g.rows;
+    float* c_g = o + gi * g.k_per_group * g.spatial;
+    ConvPatchView view;
+    view.input = input.data() + gi * g.c_per_group * g.h * g.w;
+    view.h = g.h;
+    view.w = g.w;
+    view.kernel = g.kernel;
+    view.stride = stride;
+    view.pad = pad;
+    view.w_out = g.w_out;
     if (pool != nullptr) {
-      GemmPackedInt8Parallel(k_per_group, spatial, rows, a_g, rows, b_g,
-                             spatial, c_g, spatial, epilogue, pool);
+      GemmPackedConvInt8Parallel(g.k_per_group, g.spatial, g.rows, a_g,
+                                 g.rows, view, act_scale, c_g, g.spatial,
+                                 epilogue, pool);
     } else {
-      GemmPackedInt8(k_per_group, spatial, rows, a_g, rows, b_g, spatial,
-                     c_g, spatial, epilogue, &scratch);
+      GemmPackedConvInt8(g.k_per_group, g.spatial, g.rows, a_g, g.rows, view,
+                         act_scale, c_g, g.spatial, epilogue, &scratch);
     }
   }
   return out;

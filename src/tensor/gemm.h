@@ -32,33 +32,48 @@ Result<Tensor> MatMulReference(const Tensor& a, const Tensor& b);
 Result<Tensor> Im2Col(const Tensor& input, int kernel, int stride, int pad,
                       int groups);
 
-/// Convolution via im2col + GEMM — an independent implementation of
-/// tensor/ops.h's Conv2D with identical semantics (including groups),
-/// differential-tested against the direct loops. The im2col expansion goes
-/// into the thread-local scratch arena and each group's GEMM reads strided
-/// views of the weight and column buffers, so a warmed-up call performs no
-/// scratch allocation and no per-group copies; bias is fused into the GEMM
-/// epilogue. CnnModel uses this path.
+/// Convolution as GEMM — an independent implementation of tensor/ops.h's
+/// Conv2D with identical semantics (including groups), differential-tested
+/// against the direct loops. Routes to Conv2DGemmImplicit (no relu, no
+/// pool). CnnModel uses this path.
 Result<Tensor> Conv2DGemm(const Tensor& input, const Tensor& weights,
                           const Tensor& bias, int stride, int pad,
                           int groups = 1);
 
-/// Conv2DGemm with the full fused epilogue and optional intra-op
-/// parallelism: `relu` folds max(0, x) into the GEMM's output pass, and a
-/// non-null `pool` distributes each group's GEMM row tiles with
+/// Explicit im2col + GEMM reference: materializes the patch-matrix
+/// expansion into the thread-local arena (Slot::kIm2Col — this is the only
+/// remaining producer of that slot), then runs each group's packed GEMM
+/// over strided views. `relu` folds max(0, x) into the GEMM's output pass,
+/// and a non-null `pool` distributes each group's GEMM row tiles with
 /// ThreadPool::ParallelFor (safe under nesting; see thread_pool.h).
+/// Kept as the differential-test oracle and bench baseline for the
+/// implicit path below, which is bit-identical by construction.
 Result<Tensor> Conv2DGemmEx(const Tensor& input, const Tensor& weights,
                             const Tensor& bias, int stride, int pad,
                             int groups, bool relu, ThreadPool* pool);
 
-/// Conv2DGemmEx on the quantized kernel: the fp32 im2col expansion is
-/// quantized per-tensor with `act_scale` (the calibrated symmetric input
-/// scale; <= 0 is the zero-scale guard and quantizes to zeros), each
-/// group's GEMM runs int8 x int8 into int32, and the fused epilogue
-/// dequantizes with the per-output-channel combined scale
-/// (weight_scale * act_scale), adds the fp32 bias and applies ReLU.
-/// Output and layer boundaries stay fp32. Same scratch discipline as the
-/// fp32 path: zero allocations when warmed up.
+/// Convolution as *implicit* GEMM — the hot path. Same semantics and
+/// epilogue as Conv2DGemmEx, but the patch matrix is never materialized:
+/// the GEMM's B-panel packer gathers patch elements straight from the
+/// padded CHW input while packing KC x NC panels (tensor/gemm_kernel.h),
+/// so conv scratch drops from the full C/g*k^2 x H_out*W_out expansion to
+/// the two packed panels. A 1x1/stride-1/pad-0 convolution skips the
+/// gather entirely and feeds the input tensor to the packed GEMM in
+/// place. Output is bit-identical to Conv2DGemmEx: the packed panels are
+/// byte-identical, so the accumulation order is unchanged.
+Result<Tensor> Conv2DGemmImplicit(const Tensor& input, const Tensor& weights,
+                                  const Tensor& bias, int stride, int pad,
+                                  int groups, bool relu, ThreadPool* pool);
+
+/// Conv2DGemmImplicit on the quantized kernel: the implicit B packer
+/// quantizes each gathered patch value per-tensor with `act_scale` (the
+/// calibrated symmetric input scale; <= 0 is the zero-scale guard and
+/// quantizes to zeros) while packing — no fp32 expansion and no staging
+/// quantization pass — then each group's GEMM runs int8 x int8 into
+/// int32, and the fused epilogue dequantizes with the per-output-channel
+/// combined scale (weight_scale * act_scale), adds the fp32 bias and
+/// applies ReLU. Output and layer boundaries stay fp32. Int32
+/// accumulators are bit-identical to quantizing a materialized expansion.
 Result<Tensor> Conv2DGemmInt8(const Tensor& input, const QuantizedWeights& qw,
                               const Tensor& bias, int stride, int pad,
                               int groups, bool relu, float act_scale,

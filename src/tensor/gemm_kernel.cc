@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstring>
+#include <utility>
 
 #include "common/thread_pool.h"
 #include "tensor/quant.h"
@@ -54,6 +55,116 @@ void PackB(const float* b, int64_t ldb, int64_t kc, int64_t nc, float* bp) {
       float* row = dst + p * kGemmNR;
       for (int64_t j = 0; j < nr; ++j) row[j] = src[j];
       for (int64_t j = nr; j < kGemmNR; ++j) row[j] = 0.0f;
+    }
+  }
+}
+
+/// Patch-row tap decomposition for one KC panel: row r = pc + p of the
+/// implicit patch matrix is the conv tap (channel cc, ky, kx) with
+/// r = (cc * kernel + ky) * kernel + kx. Built once per panel so the
+/// per-strip pack loops below touch no divisions.
+struct ConvRowTaps {
+  // Sized for the larger int8 K panel (kGemmKcInt8 = 4 * kGemmKC rows);
+  // the fp32 path uses the first kGemmKC entries.
+  int32_t cc[kGemmKcInt8];
+  int32_t ky[kGemmKcInt8];
+  int32_t kx[kGemmKcInt8];
+
+  void Build(const ConvPatchView& v, int64_t pc, int64_t kc) {
+    const int64_t kk = static_cast<int64_t>(v.kernel) * v.kernel;
+    for (int64_t p = 0; p < kc; ++p) {
+      const int64_t r = pc + p;
+      const int64_t c = r / kk;
+      const int64_t rem = r - c * kk;
+      cc[p] = static_cast<int32_t>(c);
+      ky[p] = static_cast<int32_t>(rem / v.kernel);
+      kx[p] = static_cast<int32_t>(rem % v.kernel);
+    }
+  }
+};
+
+/// One strip's worth of output columns decomposed into output-row runs:
+/// columns [jc + jr + q, jc + jr + q + len) all sit in output row oy
+/// starting at output column ox. At most kGemmNR runs (w_out == 1), and
+/// for typical conv grids one or two. Built once per strip — the span
+/// walk is independent of the patch row, so the p loop reuses it.
+struct StripSpans {
+  struct Run {
+    int32_t q, len, oy, ox;
+  };
+  Run runs[kGemmNR];
+  int n = 0;
+
+  void Build(const ConvPatchView& v, int64_t col0, int64_t nr) {
+    n = 0;
+    int64_t q = 0;
+    while (q < nr) {
+      const int64_t col = col0 + q;
+      const int64_t oy = col / v.w_out;
+      const int64_t ox = col - oy * v.w_out;
+      const int64_t len = std::min(nr - q, v.w_out - ox);
+      runs[n++] = {static_cast<int32_t>(q), static_cast<int32_t>(len),
+                   static_cast<int32_t>(oy), static_cast<int32_t>(ox)};
+      q += len;
+    }
+  }
+};
+
+/// Packs the (kc x nc) block at (row pc, col jc) of `v`'s implicit patch
+/// matrix into NR-column strips — the same strip layout and zero fill as
+/// PackB, but copying input segments straight into the strips: within one
+/// output-row run a stride-1 patch row is a contiguous slice of an input
+/// row, so the gather is the same contiguous copy PackB performs, reading
+/// the (L2-resident) input instead of a materialized expansion that was
+/// itself gathered from it. Taps landing in the zero-padding border store
+/// 0. Single pass: the expansion never exists, not even panel-sized.
+void PackBConv(const ConvPatchView& v, int64_t pc, int64_t jc, int64_t kc,
+               int64_t nc, float* bp) {
+  ConvRowTaps taps;
+  taps.Build(v, pc, kc);
+  StripSpans spans;
+  for (int64_t jr = 0; jr < nc; jr += kGemmNR) {
+    const int64_t nr = std::min(kGemmNR, nc - jr);
+    spans.Build(v, jc + jr, nr);
+    float* dst = bp + jr * kc;
+    for (int64_t p = 0; p < kc; ++p) {
+      const float* chan =
+          v.input + static_cast<int64_t>(taps.cc[p]) * v.h * v.w;
+      const int64_t ky = taps.ky[p];
+      const int64_t kx = taps.kx[p];
+      float* out = dst + p * kGemmNR;
+      for (int s = 0; s < spans.n; ++s) {
+        const StripSpans::Run& run = spans.runs[s];
+        float* o = out + run.q;
+        const int64_t iy = run.oy * v.stride - v.pad + ky;
+        if (iy < 0 || iy >= v.h) {
+          for (int32_t i = 0; i < run.len; ++i) o[i] = 0.0f;
+          continue;
+        }
+        const float* row = chan + iy * v.w;
+        if (v.stride == 1) {
+          // Column run.ox + i reads ix = ix0 + i: zeros while ix < 0, an
+          // unchecked contiguous copy while 0 <= ix < w, zeros past the
+          // right edge.
+          const int64_t ix0 = run.ox - v.pad + kx;
+          const int64_t len = run.len;
+          const int64_t left = std::min(len, std::max<int64_t>(0, -ix0));
+          const int64_t end = std::max(left, std::min(len, v.w - ix0));
+          for (int64_t i = 0; i < left; ++i) o[i] = 0.0f;
+          const float* src = row + ix0;
+          for (int64_t i = left; i < end; ++i) o[i] = src[i];
+          for (int64_t i = end; i < len; ++i) o[i] = 0.0f;
+        } else {
+          for (int32_t i = 0; i < run.len; ++i) {
+            const int64_t ix =
+                (run.ox + i) * v.stride - v.pad + kx;
+            o[i] = static_cast<uint64_t>(ix) < static_cast<uint64_t>(v.w)
+                       ? row[ix]
+                       : 0.0f;
+          }
+        }
+      }
+      for (int64_t j = nr; j < kGemmNR; ++j) out[j] = 0.0f;
     }
   }
 }
@@ -227,6 +338,61 @@ void PackBInt8(const int8_t* b, int64_t ldb, int64_t kc, int64_t nc,
         const int v = j < nr ? src[j] : 0;
         out[j * 4] = static_cast<uint8_t>(v + 128);
       }
+    }
+  }
+}
+
+/// Int8 twin of PackBConv: packs the (kc x nc) block of `v`'s implicit
+/// patch matrix into PackBInt8's [k/4][NR][4] u8 layout, quantizing each
+/// gathered fp32 value on the fly with exactly QuantizeSymmetric's
+/// expression — SaturateRoundToInt8(value * (1/act_scale)) — then biasing
+/// +128. Padding taps, columns past nc, rows past kc, and the whole panel
+/// under the zero-scale guard (act_scale <= 0) all store 128 (signed
+/// zero), matching what PackBInt8 would have read from a quantized
+/// expansion byte for byte.
+void PackBConvInt8(const ConvPatchView& v, float act_scale, int64_t pc,
+                   int64_t jc, int64_t kc, int64_t nc, uint8_t* bp) {
+  const int64_t kc4 = RoundUp(kc, 4);
+  const bool zero_scale = !(act_scale > 0.0f);
+  const float inv = zero_scale ? 0.0f : 1.0f / act_scale;
+  ConvRowTaps taps;
+  taps.Build(v, pc, kc);
+  StripSpans spans;
+  for (int64_t jr = 0; jr < nc; jr += kGemmNR) {
+    const int64_t nr = std::min(kGemmNR, nc - jr);
+    spans.Build(v, jc + jr, nr);
+    uint8_t* dst = bp + jr * kc4;
+    for (int64_t p = 0; p < kc4; ++p) {
+      uint8_t* out = dst + (p / 4) * kGemmNR * 4 + (p % 4);
+      if (p >= kc || zero_scale) {
+        // Rows past kc and the zero-scale guard store 128 (signed zero).
+        for (int64_t j = 0; j < kGemmNR; ++j) out[j * 4] = 128;
+        continue;
+      }
+      const float* chan =
+          v.input + static_cast<int64_t>(taps.cc[p]) * v.h * v.w;
+      const int64_t ky = taps.ky[p];
+      const int64_t kx = taps.kx[p];
+      for (int s = 0; s < spans.n; ++s) {
+        const StripSpans::Run& run = spans.runs[s];
+        uint8_t* o = out + static_cast<int64_t>(run.q) * 4;
+        const int64_t iy = run.oy * v.stride - v.pad + ky;
+        if (iy < 0 || iy >= v.h) {
+          for (int32_t i = 0; i < run.len; ++i) o[i * 4] = 128;
+          continue;
+        }
+        const float* row = chan + iy * v.w;
+        for (int32_t i = 0; i < run.len; ++i) {
+          const int64_t ix = (run.ox + i) * v.stride - v.pad + kx;
+          const float val =
+              static_cast<uint64_t>(ix) < static_cast<uint64_t>(v.w)
+                  ? row[ix]
+                  : 0.0f;
+          o[i * 4] =
+              static_cast<uint8_t>(SaturateRoundToInt8(val * inv) + 128);
+        }
+      }
+      for (int64_t j = nr; j < kGemmNR; ++j) out[j * 4] = 128;
     }
   }
 }
@@ -435,15 +601,21 @@ void EpilogueOnlyInt8(int64_t m, int64_t n, float* c, int64_t ldc,
   }
 }
 
-}  // namespace
+/// ---- Shared panel-loop drivers -----------------------------------------
+///
+/// The jc (NC) / pc (KC) / ic (MC) blocking, scratch acquisition, and
+/// micro-tile dispatch are identical for every B source; the drivers are
+/// parameterized on `pack_b(pc, jc, kc, nc, bp)`, which supplies the
+/// packed (kc x nc) panel — copied from memory (PackB / PackBInt8) or
+/// gathered from a conv's implicit patch matrix (PackBConv /
+/// PackBConvInt8). Because the packed panels are byte-identical across
+/// sources, every downstream accumulation is too: implicit-GEMM
+/// bit-identity is structural, not numerical luck.
 
-int64_t GemmFlopsTotal() {
-  return g_gemm_flops.load(std::memory_order_relaxed);
-}
-
-void GemmPacked(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda,
-                const float* b, int64_t ldb, float* c, int64_t ldc,
-                const GemmEpilogue& epilogue, KernelScratch* scratch) {
+template <typename PackBFn>
+void GemmPackedDriver(int64_t m, int64_t n, int64_t k, const float* a,
+                      int64_t lda, PackBFn&& pack_b, float* c, int64_t ldc,
+                      const GemmEpilogue& epilogue, KernelScratch* scratch) {
   if (m <= 0 || n <= 0) return;
   if (k <= 0) {
     EpilogueOnly(m, n, c, ldc, epilogue);
@@ -459,7 +631,7 @@ void GemmPacked(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda,
       float* bp = scratch->Acquire(
           KernelScratch::Slot::kPackB,
           static_cast<size_t>(RoundUp(nc, kGemmNR) * kc));
-      PackB(b + pc * ldb + jc, ldb, kc, nc, bp);
+      pack_b(pc, jc, kc, nc, bp);
       float* ap = scratch->Acquire(
           KernelScratch::Slot::kPackA,
           static_cast<size_t>(RoundUp(std::min(m, kGemmMC), kGemmMR) *
@@ -475,18 +647,11 @@ void GemmPacked(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda,
   }
 }
 
-void GemmPackedParallel(int64_t m, int64_t n, int64_t k, const float* a,
-                        int64_t lda, const float* b, int64_t ldb, float* c,
-                        int64_t ldc, const GemmEpilogue& epilogue,
-                        ThreadPool* pool) {
-  // Below ~2 MFLOP the dispatch overhead beats the row-tile win; one M
-  // block also leaves nothing to distribute.
-  const bool tiny = m * n * k < (1 << 20) || m <= kGemmMC;
-  if (pool == nullptr || pool->num_threads() <= 1 || tiny) {
-    GemmPacked(m, n, k, a, lda, b, ldb, c, ldc, epilogue,
-               &KernelScratch::ThreadLocal());
-    return;
-  }
+template <typename PackBFn>
+void GemmPackedParallelDriver(int64_t m, int64_t n, int64_t k, const float* a,
+                              int64_t lda, PackBFn&& pack_b, float* c,
+                              int64_t ldc, const GemmEpilogue& epilogue,
+                              ThreadPool* pool) {
   if (m <= 0 || n <= 0) return;
   if (k <= 0) {
     EpilogueOnly(m, n, c, ldc, epilogue);
@@ -505,7 +670,7 @@ void GemmPackedParallel(int64_t m, int64_t n, int64_t k, const float* a,
       float* bp = caller.Acquire(
           KernelScratch::Slot::kPackB,
           static_cast<size_t>(RoundUp(nc, kGemmNR) * kc));
-      PackB(b + pc * ldb + jc, ldb, kc, nc, bp);
+      pack_b(pc, jc, kc, nc, bp);
       const int64_t num_blocks = (m + kGemmMC - 1) / kGemmMC;
       pool->ParallelFor(num_blocks, [&](int64_t blk) {
         const int64_t ic = blk * kGemmMC;
@@ -523,16 +688,11 @@ void GemmPackedParallel(int64_t m, int64_t n, int64_t k, const float* a,
   }
 }
 
-int64_t GemmInt8OpsTotal() {
-  return g_gemm_int8_ops.load(std::memory_order_relaxed);
-}
-
-const char* GemmInt8KernelName() { return g_int8_kernel.name; }
-
-void GemmPackedInt8(int64_t m, int64_t n, int64_t k, const int8_t* a,
-                    int64_t lda, const int8_t* b, int64_t ldb, float* c,
-                    int64_t ldc, const GemmInt8Epilogue& epilogue,
-                    KernelScratch* scratch) {
+template <typename PackBFn>
+void GemmPackedInt8Driver(int64_t m, int64_t n, int64_t k, const int8_t* a,
+                          int64_t lda, PackBFn&& pack_b, float* c,
+                          int64_t ldc, const GemmInt8Epilogue& epilogue,
+                          KernelScratch* scratch) {
   if (m <= 0 || n <= 0) return;
   if (k <= 0) {
     EpilogueOnlyInt8(m, n, c, ldc, epilogue);
@@ -551,7 +711,7 @@ void GemmPackedInt8(int64_t m, int64_t n, int64_t k, const int8_t* a,
       uint8_t* bp = static_cast<uint8_t*>(scratch->AcquireBytes(
           KernelScratch::Slot::kPackBInt8,
           static_cast<size_t>(RoundUp(nc, kGemmNR) * kc4)));
-      PackBInt8(b + pc * ldb + jc, ldb, kc, nc, bp);
+      pack_b(pc, jc, kc, nc, bp);
       int8_t* ap = static_cast<int8_t*>(scratch->AcquireBytes(
           KernelScratch::Slot::kPackAInt8,
           static_cast<size_t>(RoundUp(std::min(m, kGemmMC), kGemmMR) *
@@ -573,19 +733,12 @@ void GemmPackedInt8(int64_t m, int64_t n, int64_t k, const int8_t* a,
   }
 }
 
-void GemmPackedInt8Parallel(int64_t m, int64_t n, int64_t k, const int8_t* a,
-                            int64_t lda, const int8_t* b, int64_t ldb,
-                            float* c, int64_t ldc,
-                            const GemmInt8Epilogue& epilogue,
-                            ThreadPool* pool) {
-  // Same cutoff as the fp32 kernel: below ~2 MFLOP-equivalents the
-  // dispatch overhead beats the row-tile win.
-  const bool tiny = m * n * k < (1 << 20) || m <= kGemmMC;
-  if (pool == nullptr || pool->num_threads() <= 1 || tiny) {
-    GemmPackedInt8(m, n, k, a, lda, b, ldb, c, ldc, epilogue,
-                   &KernelScratch::ThreadLocal());
-    return;
-  }
+template <typename PackBFn>
+void GemmPackedInt8ParallelDriver(int64_t m, int64_t n, int64_t k,
+                                  const int8_t* a, int64_t lda,
+                                  PackBFn&& pack_b, float* c, int64_t ldc,
+                                  const GemmInt8Epilogue& epilogue,
+                                  ThreadPool* pool) {
   if (m <= 0 || n <= 0) return;
   if (k <= 0) {
     EpilogueOnlyInt8(m, n, c, ldc, epilogue);
@@ -607,7 +760,7 @@ void GemmPackedInt8Parallel(int64_t m, int64_t n, int64_t k, const int8_t* a,
       uint8_t* bp = static_cast<uint8_t*>(caller.AcquireBytes(
           KernelScratch::Slot::kPackBInt8,
           static_cast<size_t>(RoundUp(nc, kGemmNR) * kc4)));
-      PackBInt8(b + pc * ldb + jc, ldb, kc, nc, bp);
+      pack_b(pc, jc, kc, nc, bp);
       const int64_t num_blocks = (m + kGemmMC - 1) / kGemmMC;
       pool->ParallelFor(num_blocks, [&](int64_t blk) {
         const int64_t ic = blk * kGemmMC;
@@ -629,6 +782,145 @@ void GemmPackedInt8Parallel(int64_t m, int64_t n, int64_t k, const int8_t* a,
       });
     }
   }
+}
+
+/// Below ~2 MFLOP the dispatch overhead beats the row-tile win; one M
+/// block also leaves nothing to distribute.
+inline bool ParallelTooSmall(int64_t m, int64_t n, int64_t k,
+                             ThreadPool* pool) {
+  return pool == nullptr || pool->num_threads() <= 1 ||
+         m * n * k < (1 << 20) || m <= kGemmMC;
+}
+
+}  // namespace
+
+int64_t GemmFlopsTotal() {
+  return g_gemm_flops.load(std::memory_order_relaxed);
+}
+
+void GemmPacked(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda,
+                const float* b, int64_t ldb, float* c, int64_t ldc,
+                const GemmEpilogue& epilogue, KernelScratch* scratch) {
+  GemmPackedDriver(
+      m, n, k, a, lda,
+      [&](int64_t pc, int64_t jc, int64_t kc, int64_t nc, float* bp) {
+        PackB(b + pc * ldb + jc, ldb, kc, nc, bp);
+      },
+      c, ldc, epilogue, scratch);
+}
+
+void GemmPackedConv(int64_t m, int64_t n, int64_t k, const float* a,
+                    int64_t lda, const ConvPatchView& b, float* c,
+                    int64_t ldc, const GemmEpilogue& epilogue,
+                    KernelScratch* scratch) {
+  GemmPackedDriver(
+      m, n, k, a, lda,
+      [&](int64_t pc, int64_t jc, int64_t kc, int64_t nc, float* bp) {
+        PackBConv(b, pc, jc, kc, nc, bp);
+      },
+      c, ldc, epilogue, scratch);
+}
+
+void GemmPackedParallel(int64_t m, int64_t n, int64_t k, const float* a,
+                        int64_t lda, const float* b, int64_t ldb, float* c,
+                        int64_t ldc, const GemmEpilogue& epilogue,
+                        ThreadPool* pool) {
+  if (ParallelTooSmall(m, n, k, pool)) {
+    GemmPacked(m, n, k, a, lda, b, ldb, c, ldc, epilogue,
+               &KernelScratch::ThreadLocal());
+    return;
+  }
+  GemmPackedParallelDriver(
+      m, n, k, a, lda,
+      [&](int64_t pc, int64_t jc, int64_t kc, int64_t nc, float* bp) {
+        PackB(b + pc * ldb + jc, ldb, kc, nc, bp);
+      },
+      c, ldc, epilogue, pool);
+}
+
+void GemmPackedConvParallel(int64_t m, int64_t n, int64_t k, const float* a,
+                            int64_t lda, const ConvPatchView& b, float* c,
+                            int64_t ldc, const GemmEpilogue& epilogue,
+                            ThreadPool* pool) {
+  if (ParallelTooSmall(m, n, k, pool)) {
+    GemmPackedConv(m, n, k, a, lda, b, c, ldc, epilogue,
+                   &KernelScratch::ThreadLocal());
+    return;
+  }
+  GemmPackedParallelDriver(
+      m, n, k, a, lda,
+      [&](int64_t pc, int64_t jc, int64_t kc, int64_t nc, float* bp) {
+        PackBConv(b, pc, jc, kc, nc, bp);
+      },
+      c, ldc, epilogue, pool);
+}
+
+int64_t GemmInt8OpsTotal() {
+  return g_gemm_int8_ops.load(std::memory_order_relaxed);
+}
+
+const char* GemmInt8KernelName() { return g_int8_kernel.name; }
+
+void GemmPackedInt8(int64_t m, int64_t n, int64_t k, const int8_t* a,
+                    int64_t lda, const int8_t* b, int64_t ldb, float* c,
+                    int64_t ldc, const GemmInt8Epilogue& epilogue,
+                    KernelScratch* scratch) {
+  GemmPackedInt8Driver(
+      m, n, k, a, lda,
+      [&](int64_t pc, int64_t jc, int64_t kc, int64_t nc, uint8_t* bp) {
+        PackBInt8(b + pc * ldb + jc, ldb, kc, nc, bp);
+      },
+      c, ldc, epilogue, scratch);
+}
+
+void GemmPackedConvInt8(int64_t m, int64_t n, int64_t k, const int8_t* a,
+                        int64_t lda, const ConvPatchView& b, float act_scale,
+                        float* c, int64_t ldc,
+                        const GemmInt8Epilogue& epilogue,
+                        KernelScratch* scratch) {
+  GemmPackedInt8Driver(
+      m, n, k, a, lda,
+      [&](int64_t pc, int64_t jc, int64_t kc, int64_t nc, uint8_t* bp) {
+        PackBConvInt8(b, act_scale, pc, jc, kc, nc, bp);
+      },
+      c, ldc, epilogue, scratch);
+}
+
+void GemmPackedInt8Parallel(int64_t m, int64_t n, int64_t k, const int8_t* a,
+                            int64_t lda, const int8_t* b, int64_t ldb,
+                            float* c, int64_t ldc,
+                            const GemmInt8Epilogue& epilogue,
+                            ThreadPool* pool) {
+  if (ParallelTooSmall(m, n, k, pool)) {
+    GemmPackedInt8(m, n, k, a, lda, b, ldb, c, ldc, epilogue,
+                   &KernelScratch::ThreadLocal());
+    return;
+  }
+  GemmPackedInt8ParallelDriver(
+      m, n, k, a, lda,
+      [&](int64_t pc, int64_t jc, int64_t kc, int64_t nc, uint8_t* bp) {
+        PackBInt8(b + pc * ldb + jc, ldb, kc, nc, bp);
+      },
+      c, ldc, epilogue, pool);
+}
+
+void GemmPackedConvInt8Parallel(int64_t m, int64_t n, int64_t k,
+                                const int8_t* a, int64_t lda,
+                                const ConvPatchView& b, float act_scale,
+                                float* c, int64_t ldc,
+                                const GemmInt8Epilogue& epilogue,
+                                ThreadPool* pool) {
+  if (ParallelTooSmall(m, n, k, pool)) {
+    GemmPackedConvInt8(m, n, k, a, lda, b, act_scale, c, ldc, epilogue,
+                       &KernelScratch::ThreadLocal());
+    return;
+  }
+  GemmPackedInt8ParallelDriver(
+      m, n, k, a, lda,
+      [&](int64_t pc, int64_t jc, int64_t kc, int64_t nc, uint8_t* bp) {
+        PackBConvInt8(b, act_scale, pc, jc, kc, nc, bp);
+      },
+      c, ldc, epilogue, pool);
 }
 
 }  // namespace vista

@@ -44,6 +44,50 @@ void GemmPacked(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda,
                 const float* b, int64_t ldb, float* c, int64_t ldc,
                 const GemmEpilogue& epilogue, KernelScratch* scratch);
 
+/// ---- Implicit-GEMM convolution ----------------------------------------
+///
+/// Geometry of one convolution group's *implicit* patch matrix: the
+/// (C/g * kernel * kernel) x (H_out * W_out) im2col expansion that the
+/// explicit path materializes, described instead by the mapping
+///   B[r][q] = input[c][oy*stride - pad + ky][ox*stride - pad + kx]
+/// with r = (c, ky, kx) row-major over (channel, kernel-y, kernel-x) and
+/// q = (oy, ox) row-major over the output grid; elements whose window
+/// taps land in the zero-padding border are 0. The implicit B-panel packer
+/// gathers straight from this view while packing KC x NC panels, so the
+/// expansion is never written to memory: the conv's scratch footprint
+/// drops from C/g*k*k * H_out*W_out floats to the two packed panels.
+struct ConvPatchView {
+  /// First channel of this group's input (CHW, contiguous).
+  const float* input = nullptr;
+  /// Input spatial dims.
+  int64_t h = 0;
+  int64_t w = 0;
+  int kernel = 1;
+  int stride = 1;
+  int pad = 0;
+  /// Output width (columns decompose as q = oy * w_out + ox).
+  int64_t w_out = 1;
+};
+
+/// GemmPacked with the B operand sourced from `b`'s implicit patch matrix:
+/// C (m x n) = A (m x k) * im2col(b), bit-identical to materializing the
+/// expansion and calling GemmPacked on it (the packer gathers the exact
+/// values PackB would copy, in the same panel order, so the accumulation
+/// order is unchanged — only the operand source differs). `n` must be
+/// h_out * w_out and `k` the patch-row count of the view.
+void GemmPackedConv(int64_t m, int64_t n, int64_t k, const float* a,
+                    int64_t lda, const ConvPatchView& b, float* c,
+                    int64_t ldc, const GemmEpilogue& epilogue,
+                    KernelScratch* scratch);
+
+/// GemmPackedConv with row-tile parallelism, mirroring GemmPackedParallel:
+/// the implicit B panel is gathered once per (NC, KC) block by the caller,
+/// M blocks are distributed with ParallelFor, per-thread A panels.
+void GemmPackedConvParallel(int64_t m, int64_t n, int64_t k, const float* a,
+                            int64_t lda, const ConvPatchView& b, float* c,
+                            int64_t ldc, const GemmEpilogue& epilogue,
+                            ThreadPool* pool);
+
 /// GemmPacked with row-tile (M-dimension) parallelism across `pool`: the B
 /// panel is packed once by the caller, then the M blocks are distributed
 /// with ThreadPool::ParallelFor (caller-inclusive, so this is safe to call
@@ -123,6 +167,29 @@ void GemmPackedInt8Parallel(int64_t m, int64_t n, int64_t k, const int8_t* a,
                             float* c, int64_t ldc,
                             const GemmInt8Epilogue& epilogue,
                             ThreadPool* pool);
+
+/// GemmPackedInt8 with the B operand gathered from `b`'s implicit fp32
+/// patch matrix and quantized *during* panel packing: each gathered value
+/// is quantized exactly as QuantizeSymmetric (round-to-nearest-even of
+/// value / act_scale, saturating; act_scale <= 0 quantizes to zeros) and
+/// stored biased to unsigned (+128, the vpdpbusd convention). Replaces the
+/// fp32-im2col-then-quantize detour: int32 accumulators are bit-identical
+/// to quantizing a materialized expansion and calling GemmPackedInt8 on
+/// it, with neither the expansion nor the quantized copy ever written.
+void GemmPackedConvInt8(int64_t m, int64_t n, int64_t k, const int8_t* a,
+                        int64_t lda, const ConvPatchView& b, float act_scale,
+                        float* c, int64_t ldc,
+                        const GemmInt8Epilogue& epilogue,
+                        KernelScratch* scratch);
+
+/// GemmPackedConvInt8 with row-tile parallelism, mirroring
+/// GemmPackedInt8Parallel.
+void GemmPackedConvInt8Parallel(int64_t m, int64_t n, int64_t k,
+                                const int8_t* a, int64_t lda,
+                                const ConvPatchView& b, float act_scale,
+                                float* c, int64_t ldc,
+                                const GemmInt8Epilogue& epilogue,
+                                ThreadPool* pool);
 
 /// Cumulative int8 multiply-accumulate ops (2*m*n*k per call,
 /// relaxed-atomic) — the int8 twin of GemmFlopsTotal(); see obs gauge

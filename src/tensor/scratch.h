@@ -23,6 +23,10 @@ namespace vista {
 class KernelScratch {
  public:
   enum class Slot : int {
+    /// Materialized im2col expansion. Only the explicit reference path
+    /// (Conv2DGemmEx, the differential-test oracle) still writes this
+    /// slot; the implicit-GEMM hot path gathers patches during B-panel
+    /// packing and never touches it.
     kIm2Col = 0,
     kPackA = 1,
     kPackB = 2,
@@ -62,10 +66,23 @@ class KernelScratch {
   int64_t reuses() const { return reuses_; }
   /// Total float capacity currently held across slots.
   int64_t capacity_floats() const;
+  /// Total bytes currently held across slots.
+  int64_t capacity_bytes() const { return capacity_floats() * 4; }
+  /// High-water mark of capacity_bytes() over this arena's lifetime
+  /// (Release() resets capacity but never the peak): the arena's true
+  /// scratch footprint, the number the estimator's ConvTempBytes predicts.
+  int64_t peak_bytes() const { return peak_bytes_; }
+
+  /// Process-wide aggregates over every arena (all threads): bytes
+  /// currently held, and the high-water mark of that total. Mirrored into
+  /// obs as the "scratch.peak_bytes" gauge and surfaced through
+  /// EngineStats/RealRunResult so the kernel Temp footprint is observable.
+  static int64_t TotalBytes();
+  static int64_t GlobalPeakBytes();
 
   /// The calling thread's arena. One arena per thread for the process
-  /// lifetime: im2col/pack buffers are reused across layers, images, and
-  /// engine map tasks scheduled on the same worker thread.
+  /// lifetime: pack buffers are reused across layers, images, and engine
+  /// map tasks scheduled on the same worker thread.
   static KernelScratch& ThreadLocal();
 
  private:
@@ -76,9 +93,15 @@ class KernelScratch {
     size_t capacity = 0;  // In floats.
   };
 
+  /// Adjusts this arena's held-byte count by `delta` bytes and folds the
+  /// result into the per-arena and process-wide high-water marks.
+  void TrackBytes(int64_t delta);
+
   Buffer buffers_[kNumSlots];
   int64_t allocations_ = 0;
   int64_t reuses_ = 0;
+  int64_t held_bytes_ = 0;
+  int64_t peak_bytes_ = 0;
 };
 
 }  // namespace vista

@@ -48,6 +48,16 @@ struct SizeEstimates {
   int64_t udf_record_bytes = 0;
   /// Same for the Eager plan (image input + every layer's output at once).
   int64_t eager_udf_record_bytes = 0;
+  /// Eq. 16 Temp term: per-thread kernel-scratch high-water across every
+  /// logical layer the staged inference runs (0 .. max(L)) at the
+  /// workload's precision — the packed GEMM panels of the implicit-GEMM
+  /// conv path. Multiply by the thread count for a per-node figure.
+  int64_t conv_temp_bytes = 0;
+  /// The same walk under the legacy materialized-im2col conv path (full
+  /// patch-matrix expansion + panels, plus the int8 staging copy). Kept
+  /// for A/B accounting (OptimizerParams::materialized_im2col) and as the
+  /// footprint-reduction denominator the benches report.
+  int64_t conv_temp_im2col_bytes = 0;
 };
 
 /// Fudge factor for the blowup of binary feature vectors as managed-heap
@@ -67,6 +77,22 @@ Result<SizeEstimates> EstimateSizes(const RosterEntry& entry,
 /// optimizer sizes when the workload runs int8.
 int64_t LayerFeatureBytes(const dl::CnnArchitecture& arch, int layer_index,
                           dl::Precision precision = dl::Precision::kFp32);
+
+/// Per-thread scratch (Temp-region) bytes the implicit-GEMM conv kernels
+/// need to run logical layer `layer_index`: the maximum over the layer's
+/// conv ops (including bottleneck-internal convs, which stay fp32 at any
+/// workload precision) of the packed A + packed B panel footprint, sized
+/// exactly as gemm_kernel.cc's drivers acquire them. Non-conv layers
+/// return 0.
+int64_t ConvTempBytes(const dl::CnnArchitecture& arch, int layer_index,
+                      dl::Precision precision = dl::Precision::kFp32);
+
+/// The same walk under the legacy materialized-im2col path: the full
+/// C/g*k^2 x H_out*W_out expansion (plus the quantize staging copy for
+/// int8) on top of the packed panels — what Temp accounting charged before
+/// the conv kernels went implicit.
+int64_t ConvIm2ColTempBytes(const dl::CnnArchitecture& arch, int layer_index,
+                            dl::Precision precision = dl::Precision::kFp32);
 
 /// Downstream-model memory footprint |M|_mem: proportional to the total
 /// feature dimensionality (structured + the largest pooled CNN layer in L),

@@ -9,6 +9,7 @@
 #include "features/synthetic.h"
 #include "obs/export.h"
 #include "tensor/ops.h"
+#include "vista/estimator.h"
 
 namespace vista {
 
@@ -226,7 +227,20 @@ Result<df::Table> RealExecutor::RunInference(const PlanStep& step,
       partition_bytes =
           std::max<int64_t>(1, per_record_bytes * input.num_records() / np);
     }
-    const int64_t headroom = memory.Available(df::MemoryRegion::kStorage);
+    int64_t headroom = memory.Available(df::MemoryRegion::kStorage);
+    if (headroom != INT64_MAX) {
+      // The conv kernels' per-thread scratch (packed GEMM panels — Eq. 16
+      // Temp) is real memory the Storage region cannot use while this
+      // hop's layers run; subtract it so read-ahead depth reflects the
+      // headroom the implicit-GEMM path actually leaves free.
+      int64_t conv_temp = 0;
+      for (int l = std::max(source_layer + 1, 0); l <= produce.back(); ++l) {
+        conv_temp =
+            std::max(conv_temp, ConvTempBytes(arch, l, config.precision));
+      }
+      headroom = std::max<int64_t>(
+          0, headroom - conv_temp * engine_->parallelism());
+    }
     depth = ChoosePrefetchDepth(
         partition_flops, partition_bytes,
         headroom == INT64_MAX ? -1 : headroom,
@@ -608,6 +622,7 @@ Result<RealRunResult> RealExecutor::RunOnce(const CompiledPlan& plan,
             });
   run.total_seconds = total_watch.ElapsedSeconds();
   run.engine_stats = engine_->stats();
+  run.scratch_peak_bytes = run.engine_stats.scratch_peak_bytes;
   run.recovery = run.engine_stats.recovery;
   run.integrity = run.engine_stats.integrity;
   run.shuffle_ms = engine_->metrics().histogram("engine.shuffle_ms")->sum();

@@ -113,6 +113,11 @@ struct RealRunResult {
   /// per-layer breakdown accrues into the "dl.int8_ops.*" counters, which
   /// EngineStats::dl_int8_ops mirrors.
   int64_t inference_int8_ops = 0;
+  /// Process-wide kernel-scratch high-water mark (packed GEMM panels) at
+  /// run end — a copy of engine_stats.scratch_peak_bytes hoisted up: the
+  /// measured DL-execution Temp footprint to compare against
+  /// SizeEstimates::conv_temp_bytes.
+  int64_t scratch_peak_bytes = 0;
   df::EngineStats engine_stats;
   /// Degradation-ladder steps taken before the run completed (empty for a
   /// clean first-attempt run), e.g. "persistence: deserialized -> serialized".

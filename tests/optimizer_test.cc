@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "features/synthetic.h"
 #include "vista/estimator.h"
 #include "vista/optimizer.h"
@@ -296,6 +298,55 @@ TEST_F(OptimizerTest, ModelMemoryScalesWithLargestLayer) {
   mlp.model = DownstreamModel::kMlp;
   EXPECT_GT(EstimateModelMemoryBytes(alex, mlp, Foods()),
             10 * EstimateModelMemoryBytes(alex, wa, Foods()));
+}
+
+TEST_F(OptimizerTest, ConvTempEstimatesReflectImplicitGemm) {
+  // The Eq. 16 Temp term under implicit GEMM is two packed panels; the
+  // legacy materialized-im2col figure on VGG16's 224x224 3x3 convs is a
+  // full ~115 MB patch matrix on top of them — at least the 4x reduction
+  // the kernel tests measure, in practice far more.
+  const auto& entry = Entry(dl::KnownCnn::kVgg16);
+  TransferWorkload w = Workload(dl::KnownCnn::kVgg16, 2);
+  auto est = EstimateSizes(entry, w, Foods());
+  ASSERT_TRUE(est.ok());
+  EXPECT_GT(est->conv_temp_bytes, 0);
+  EXPECT_GE(est->conv_temp_im2col_bytes, 4 * est->conv_temp_bytes);
+  // Layer-level: the per-layer walk agrees with the workload maximum.
+  int64_t peak = 0;
+  for (int l = 0; l < entry.arch.num_layers(); ++l) {
+    peak = std::max(peak, ConvTempBytes(entry.arch, l));
+  }
+  EXPECT_EQ(peak, est->conv_temp_bytes);
+}
+
+TEST_F(OptimizerTest, MaterializedIm2ColTempFlipsPlanChoice) {
+  // The Temp term must actually move plan decisions: charging the legacy
+  // materialized-im2col scratch to DL Execution Memory shrinks Storage by
+  // x * ~115 MB on VGG16, which at some node size crosses the
+  // s_double-per-worker line and flips persistence to serialized (or
+  // costs a thread of cpu). Sweep node memory and require at least one
+  // flip, with the memory accounting ordered correctly everywhere.
+  const auto& entry = Entry(dl::KnownCnn::kVgg16);
+  TransferWorkload w = Workload(dl::KnownCnn::kVgg16, 2);
+  DataStats stats = Amazon();
+  OptimizerParams implicit_params;
+  OptimizerParams legacy_params;
+  legacy_params.materialized_im2col = true;
+  bool flipped = false;
+  for (int64_t mem = GiB(6); mem <= GiB(48); mem += MiB(256)) {
+    SystemEnv env;
+    env.node_memory_bytes = mem;
+    auto a = OptimizeFeatureTransfer(env, entry, w, stats, implicit_params);
+    auto b = OptimizeFeatureTransfer(env, entry, w, stats, legacy_params);
+    if (!a.ok() || !b.ok()) continue;
+    if (a->cpu == b->cpu) {
+      EXPECT_GT(b->mem_dl, a->mem_dl);
+      EXPECT_LT(b->mem_storage, a->mem_storage);
+    }
+    if (a->persistence != b->persistence || a->cpu != b->cpu) flipped = true;
+  }
+  EXPECT_TRUE(flipped)
+      << "materialized-im2col Temp accounting never changed a plan";
 }
 
 }  // namespace
